@@ -1,0 +1,17 @@
+//! Ablation bench: affinity-edge sweep (Section 4 extensibility).
+use criterion::{criterion_group, criterion_main, Criterion};
+use slpm_querysim::experiments::ablation::affinity_sweep;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_affinity");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.bench_function("sweep_8x8", |b| {
+        b.iter(|| affinity_sweep(std::hint::black_box(8), &[0.0, 1.0, 4.0]));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Ablation bench: mapping cost and locality under different graph models
+//! (Section 4 variations).
+use criterion::{criterion_group, criterion_main, Criterion};
+use slpm_querysim::experiments::ablation::connectivity_comparison;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_connectivity");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.bench_function("compare_8x8", |b| {
+        b.iter(|| connectivity_comparison(std::hint::black_box(8)));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Criterion bench for the Figure 1 experiment: worst adjacent-pair 1-D
+//! distance per mapping, on 4x4 and 8x8 grids.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1_boundary");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for side in [4usize, 8] {
+        g.bench_with_input(BenchmarkId::new("run", side), &side, |b, &side| {
+            b.iter(|| slpm_querysim::experiments::fig1::run(std::hint::black_box(side)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Criterion bench for Figure 5a: the full 5-D nearest-neighbour worst-case
+//! sweep (mapping construction + exhaustive pair metrics).
+use criterion::{criterion_group, criterion_main, Criterion};
+use slpm_querysim::experiments::fig5::{run_worst_case, Fig5Config};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5a_nn_worst");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.bench_function("quick_2^5", |b| {
+        let cfg = Fig5Config::quick();
+        b.iter(|| run_worst_case(std::hint::black_box(&cfg)));
+    });
+    g.bench_function("paper_4^5", |b| {
+        let cfg = Fig5Config::default();
+        b.iter(|| run_worst_case(std::hint::black_box(&cfg)));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Criterion bench for Figure 5b: 2-D axis-fairness sweep.
+use criterion::{criterion_group, criterion_main, Criterion};
+use slpm_querysim::experiments::fig5::{run_fairness, Fig5Config};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5b_fairness");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.bench_function("paper_16x16", |b| {
+        let cfg = Fig5Config::default();
+        b.iter(|| run_fairness(std::hint::black_box(&cfg)));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion bench for Figure 6a: range-query worst case. The paper-scale
+//! 8^4 sweep is heavy, so the bench exercises the quick configuration and a
+//! 4^4 mid-size; the fig6a binary regenerates the full figure.
+use criterion::{criterion_group, criterion_main, Criterion};
+use slpm_querysim::experiments::fig6::{run_worst_case, Fig6Config};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6a_range_worst");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.bench_function("quick_4^3", |b| {
+        let cfg = Fig6Config::quick();
+        b.iter(|| run_worst_case(std::hint::black_box(&cfg)));
+    });
+    g.bench_function("mid_4^4", |b| {
+        let cfg = Fig6Config {
+            side: 4,
+            ndim: 4,
+            percents: vec![2.0, 8.0, 32.0],
+            shape_tolerance: 1.25,
+        };
+        b.iter(|| run_worst_case(std::hint::black_box(&cfg)));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

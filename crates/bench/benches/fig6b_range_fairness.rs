@@ -1,0 +1,18 @@
+//! Criterion bench for Figure 6b: partial-range-query fairness sweep.
+use criterion::{criterion_group, criterion_main, Criterion};
+use slpm_querysim::experiments::fig6::{run_fairness, Fig6Config};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6b_range_fairness");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.bench_function("quick_4^3", |b| {
+        let cfg = Fig6Config::quick();
+        b.iter(|| run_fairness(std::hint::black_box(&cfg)));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Prints the three ablation studies from DESIGN.md.
+use slpm_querysim::experiments::ablation;
+use slpm_querysim::table::TextTable;
+
+fn main() {
+    let mut t = TextTable::new(["method", "lambda2", "residual", "2-sum cost"]);
+    for r in ablation::eigensolver_agreement(16) {
+        t.push_row([
+            r.method,
+            format!("{:.8}", r.lambda2),
+            format!("{:.2e}", r.residual),
+            format!("{:.1}", r.two_sum),
+        ]);
+    }
+    println!("== Ablation: eigensolver strategies (16x16 grid) ==\n{}", t.render());
+
+    let mut t = TextTable::new(["graph model", "lambda2", "worst adj.", "mean adj."]);
+    for r in ablation::connectivity_comparison(8) {
+        t.push_row([
+            r.model,
+            format!("{:.6}", r.lambda2),
+            r.worst_adjacent.to_string(),
+            format!("{:.2}", r.mean_adjacent),
+        ]);
+    }
+    println!("== Ablation: graph connectivity (8x8 grid) ==\n{}", t.render());
+
+    let mut t = TextTable::new(["affinity weight", "pair 1-D distance", "base 2-sum"]);
+    for r in ablation::affinity_sweep(8, &[0.0, 0.5, 1.0, 2.0, 4.0, 8.0]) {
+        t.push_row([
+            format!("{:.1}", r.weight),
+            r.pair_distance.to_string(),
+            format!("{:.1}", r.base_two_sum),
+        ]);
+    }
+    println!("== Ablation: affinity edge weight (8x8 grid, corner pair) ==\n{}", t.render());
+
+    let mut t = TextTable::new(["ordering strategy", "2-sum", "bandwidth", "mean adj."]);
+    for r in ablation::ordering_comparison(16) {
+        t.push_row([
+            r.strategy,
+            format!("{:.0}", r.two_sum),
+            r.bandwidth.to_string(),
+            format!("{:.2}", r.mean_adjacent),
+        ]);
+    }
+    println!("== Ablation: ordering strategies (16x16 grid) ==\n{}", t.render());
+}

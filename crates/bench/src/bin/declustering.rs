@@ -1,0 +1,6 @@
+//! Extra experiment: parallel response time over M round-robin disks.
+use slpm_querysim::experiments::declustering;
+fn main() {
+    let cfg = declustering::DeclusterConfig::default();
+    println!("{}", declustering::render(&declustering::run(&cfg), &cfg));
+}

@@ -1,0 +1,4 @@
+//! Regenerates Figure 3 (the 3×3 worked example).
+fn main() {
+    println!("{}", slpm_querysim::experiments::fig3::run().render());
+}

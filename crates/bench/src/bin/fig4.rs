@@ -1,0 +1,8 @@
+//! Regenerates Figure 4 (4- vs 8-connectivity variants). Usage: `fig4 [side]`.
+fn main() {
+    let side: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
+    println!("{}", slpm_querysim::experiments::fig4::run(side).render());
+}

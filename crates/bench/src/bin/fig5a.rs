@@ -1,0 +1,6 @@
+//! Regenerates Figure 5a (nearest-neighbour worst case, 5-D).
+use slpm_querysim::experiments::fig5;
+fn main() {
+    let cfg = fig5::Fig5Config::default();
+    println!("{}", fig5::run_worst_case(&cfg).render());
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 5b (nearest-neighbour fairness, 2-D).
+use slpm_querysim::experiments::fig5;
+fn main() {
+    let cfg = fig5::Fig5Config::default();
+    println!("{}", fig5::run_fairness(&cfg).render());
+}

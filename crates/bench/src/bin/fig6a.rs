@@ -1,0 +1,8 @@
+//! Regenerates Figure 6a (range-query worst case, 4-D) plus the
+//! partial-query stress variant.
+use slpm_querysim::experiments::fig6;
+fn main() {
+    let cfg = fig6::Fig6Config::default();
+    println!("{}", fig6::run_worst_case(&cfg).render());
+    println!("{}", fig6::run_worst_case_partial(&cfg).render());
+}

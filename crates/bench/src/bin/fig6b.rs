@@ -1,0 +1,6 @@
+//! Regenerates Figure 6b (range-query fairness, 4-D).
+use slpm_querysim::experiments::fig6;
+fn main() {
+    let cfg = fig6::Fig6Config::default();
+    println!("{}", fig6::run_fairness(&cfg).render());
+}

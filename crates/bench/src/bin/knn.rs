@@ -1,0 +1,6 @@
+//! Extra experiment: kNN scan-window sizes per mapping (paper Section 1
+//! motivation: similarity search).
+use slpm_querysim::experiments::knn;
+fn main() {
+    println!("{}", knn::run(&knn::KnnConfig::default()).render());
+}

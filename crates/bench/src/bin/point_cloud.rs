@@ -1,0 +1,6 @@
+//! Extra experiment: Spectral LPM on clustered non-grid point sets.
+use slpm_querysim::experiments::point_cloud;
+fn main() {
+    let cfg = point_cloud::PointCloudConfig::default();
+    println!("{}", point_cloud::render(&point_cloud::run(&cfg), &cfg));
+}

@@ -1,0 +1,6 @@
+//! Extra experiment: R-tree packing quality and query cost per mapping.
+use slpm_querysim::experiments::rtree_packing;
+fn main() {
+    let cfg = rtree_packing::RtreeConfig::default();
+    println!("{}", rtree_packing::render(&rtree_packing::run(&cfg), &cfg));
+}

@@ -1,0 +1,6 @@
+//! Extra experiment: measured page I/O and buffer hit rates per mapping.
+use slpm_querysim::experiments::storage_io;
+fn main() {
+    let cfg = storage_io::StorageIoConfig::default();
+    println!("{}", storage_io::render(&storage_io::run(&cfg), &cfg));
+}

@@ -1,0 +1,17 @@
+//! Index of the figure-regeneration binaries.
+fn main() {
+    println!(
+        "Spectral LPM reproduction — figure regenerators:\n\
+         \n\
+         cargo run --release -p slpm-bench --bin fig1   # boundary effect table\n\
+         cargo run --release -p slpm-bench --bin fig3   # 3x3 worked example\n\
+         cargo run --release -p slpm-bench --bin fig4   # 4- vs 8-connectivity\n\
+         cargo run --release -p slpm-bench --bin fig5a  # NN worst case (5-D)\n\
+         cargo run --release -p slpm-bench --bin fig5b  # NN fairness (2-D)\n\
+         cargo run --release -p slpm-bench --bin fig6a  # range worst case (4-D)\n\
+         cargo run --release -p slpm-bench --bin fig6b  # range fairness (4-D)\n\
+         cargo run --release -p slpm-bench --bin ablations\n\
+         \n\
+         Criterion benches: cargo bench -p slpm-bench"
+    );
+}

@@ -1,0 +1,363 @@
+//! Hand-rolled argument parsing for the `slpm` binary.
+
+use std::fmt;
+
+/// A mapping selectable on the command line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MappingChoice {
+    /// Row-major sweep.
+    Sweep,
+    /// Boustrophedon snake.
+    Snake,
+    /// Z-order ("Peano" in the paper).
+    Peano,
+    /// Original base-3 Peano.
+    TruePeano,
+    /// Gray-coded curve.
+    Gray,
+    /// Hilbert curve.
+    Hilbert,
+    /// Spectral LPM, 4-connectivity.
+    Spectral,
+    /// Spectral LPM, 8-connectivity.
+    Spectral8,
+}
+
+impl MappingChoice {
+    /// Parse a mapping name (case-insensitive).
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s.to_ascii_lowercase().as_str() {
+            "sweep" => MappingChoice::Sweep,
+            "snake" => MappingChoice::Snake,
+            "peano" | "z" | "zorder" | "z-order" | "morton" => MappingChoice::Peano,
+            "truepeano" | "true-peano" | "peano3" => MappingChoice::TruePeano,
+            "gray" => MappingChoice::Gray,
+            "hilbert" => MappingChoice::Hilbert,
+            "spectral" => MappingChoice::Spectral,
+            "spectral8" => MappingChoice::Spectral8,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for MappingChoice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MappingChoice::Sweep => "sweep",
+            MappingChoice::Snake => "snake",
+            MappingChoice::Peano => "peano",
+            MappingChoice::TruePeano => "truepeano",
+            MappingChoice::Gray => "gray",
+            MappingChoice::Hilbert => "hilbert",
+            MappingChoice::Spectral => "spectral",
+            MappingChoice::Spectral8 => "spectral8",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A parsed command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// `slpm order --grid AxBx… --mapping M [--csv]`
+    Order {
+        /// Grid extents.
+        dims: Vec<usize>,
+        /// Which mapping.
+        mapping: MappingChoice,
+        /// Emit CSV instead of a grid/point listing.
+        csv: bool,
+    },
+    /// `slpm fiedler --grid AxBx… [--method dense|shift-invert|shifted-direct]`
+    Fiedler {
+        /// Grid extents.
+        dims: Vec<usize>,
+        /// Eigensolver method name.
+        method: String,
+    },
+    /// `slpm figure <id>` where id ∈ fig1, fig3, fig4, fig5a, fig5b,
+    /// fig6a, fig6b.
+    Figure {
+        /// Figure id.
+        id: String,
+    },
+    /// `slpm experiment <name>` where name ∈ knn, storage, rtree,
+    /// decluster, pointcloud, ablations.
+    Experiment {
+        /// Experiment name.
+        name: String,
+    },
+    /// `slpm report --grid AxB --mapping M` — quality report of an order.
+    Report {
+        /// Grid extents.
+        dims: Vec<usize>,
+        /// Which mapping.
+        mapping: MappingChoice,
+    },
+    /// `slpm help`
+    Help,
+}
+
+/// Parse failures, with a message suitable for direct printing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse `AxBxC` grid syntax (e.g. `8x8`, `4x4x4x4`).
+pub fn parse_dims(s: &str) -> Result<Vec<usize>, ParseError> {
+    let dims: Result<Vec<usize>, _> = s.split(['x', 'X']).map(str::parse::<usize>).collect();
+    match dims {
+        Ok(d) if !d.is_empty() && d.iter().all(|&x| x > 0) => Ok(d),
+        _ => Err(ParseError(format!(
+            "invalid grid '{s}': expected AxB... with positive extents"
+        ))),
+    }
+}
+
+/// Extract the value following a `--flag`.
+fn take_value<'a>(
+    args: &'a [String],
+    i: &mut usize,
+    flag: &str,
+) -> Result<&'a str, ParseError> {
+    *i += 1;
+    args.get(*i)
+        .map(String::as_str)
+        .ok_or_else(|| ParseError(format!("{flag} requires a value")))
+}
+
+/// Parse a full argument vector (without the program name).
+pub fn parse(args: &[String]) -> Result<Command, ParseError> {
+    let cmd = args
+        .first()
+        .map(String::as_str)
+        .ok_or_else(|| ParseError("no command; try `slpm help`".into()))?;
+    match cmd {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "order" => {
+            let mut dims = None;
+            let mut mapping = None;
+            let mut csv = false;
+            let mut i = 1;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--grid" => dims = Some(parse_dims(take_value(args, &mut i, "--grid")?)?),
+                    "--mapping" => {
+                        let v = take_value(args, &mut i, "--mapping")?;
+                        mapping = Some(MappingChoice::parse(v).ok_or_else(|| {
+                            ParseError(format!(
+                                "unknown mapping '{v}' (try sweep, snake, peano, truepeano, \
+                                 gray, hilbert, spectral, spectral8)"
+                            ))
+                        })?);
+                    }
+                    "--csv" => csv = true,
+                    other => return Err(ParseError(format!("unknown flag '{other}'"))),
+                }
+                i += 1;
+            }
+            Ok(Command::Order {
+                dims: dims.ok_or_else(|| ParseError("order requires --grid".into()))?,
+                mapping: mapping
+                    .ok_or_else(|| ParseError("order requires --mapping".into()))?,
+                csv,
+            })
+        }
+        "fiedler" => {
+            let mut dims = None;
+            let mut method = "shift-invert".to_string();
+            let mut i = 1;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--grid" => dims = Some(parse_dims(take_value(args, &mut i, "--grid")?)?),
+                    "--method" => method = take_value(args, &mut i, "--method")?.to_string(),
+                    other => return Err(ParseError(format!("unknown flag '{other}'"))),
+                }
+                i += 1;
+            }
+            if !["dense", "shift-invert", "shifted-direct"].contains(&method.as_str()) {
+                return Err(ParseError(format!(
+                    "unknown method '{method}' (dense, shift-invert, shifted-direct)"
+                )));
+            }
+            Ok(Command::Fiedler {
+                dims: dims.ok_or_else(|| ParseError("fiedler requires --grid".into()))?,
+                method,
+            })
+        }
+        "figure" => {
+            let id = args
+                .get(1)
+                .ok_or_else(|| ParseError("figure requires an id (fig1..fig6b)".into()))?;
+            let known = ["fig1", "fig3", "fig4", "fig5a", "fig5b", "fig6a", "fig6b"];
+            if !known.contains(&id.as_str()) {
+                return Err(ParseError(format!(
+                    "unknown figure '{id}' (known: {})",
+                    known.join(", ")
+                )));
+            }
+            Ok(Command::Figure { id: id.clone() })
+        }
+        "experiment" => {
+            let name = args
+                .get(1)
+                .ok_or_else(|| ParseError("experiment requires a name".into()))?;
+            let known = [
+                "knn",
+                "storage",
+                "rtree",
+                "decluster",
+                "pointcloud",
+                "ablations",
+            ];
+            if !known.contains(&name.as_str()) {
+                return Err(ParseError(format!(
+                    "unknown experiment '{name}' (known: {})",
+                    known.join(", ")
+                )));
+            }
+            Ok(Command::Experiment { name: name.clone() })
+        }
+        "report" => {
+            let mut dims = None;
+            let mut mapping = None;
+            let mut i = 1;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--grid" => dims = Some(parse_dims(take_value(args, &mut i, "--grid")?)?),
+                    "--mapping" => {
+                        let v = take_value(args, &mut i, "--mapping")?;
+                        mapping = Some(MappingChoice::parse(v).ok_or_else(|| {
+                            ParseError(format!("unknown mapping '{v}'"))
+                        })?);
+                    }
+                    other => return Err(ParseError(format!("unknown flag '{other}'"))),
+                }
+                i += 1;
+            }
+            Ok(Command::Report {
+                dims: dims.ok_or_else(|| ParseError("report requires --grid".into()))?,
+                mapping: mapping
+                    .ok_or_else(|| ParseError("report requires --mapping".into()))?,
+            })
+        }
+        other => Err(ParseError(format!(
+            "unknown command '{other}'; try `slpm help`"
+        ))),
+    }
+}
+
+/// The help text.
+pub const HELP: &str = "\
+slpm — Spectral LPM reproduction CLI
+
+USAGE:
+  slpm order   --grid 8x8 --mapping spectral [--csv]
+  slpm fiedler --grid 8x8 [--method dense|shift-invert|shifted-direct]
+  slpm figure  <fig1|fig3|fig4|fig5a|fig5b|fig6a|fig6b>
+  slpm experiment <knn|storage|rtree|decluster|pointcloud|ablations>
+  slpm report  --grid 8x8 --mapping hilbert
+  slpm help
+
+Mappings: sweep, snake, peano (Z-order), truepeano, gray, hilbert,
+          spectral (4-connectivity), spectral8 (8-connectivity).
+Grids for the recursive curves need power-of-two sides (truepeano: powers
+of three); sweep/snake/spectral accept any extents.
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_dims_cases() {
+        assert_eq!(parse_dims("8x8").unwrap(), vec![8, 8]);
+        assert_eq!(parse_dims("4X4X4").unwrap(), vec![4, 4, 4]);
+        assert_eq!(parse_dims("16").unwrap(), vec![16]);
+        assert!(parse_dims("").is_err());
+        assert!(parse_dims("8x0").is_err());
+        assert!(parse_dims("8xa").is_err());
+    }
+
+    #[test]
+    fn parse_order_command() {
+        let c = parse(&argv(&["order", "--grid", "8x8", "--mapping", "hilbert"])).unwrap();
+        assert_eq!(
+            c,
+            Command::Order {
+                dims: vec![8, 8],
+                mapping: MappingChoice::Hilbert,
+                csv: false
+            }
+        );
+        let c = parse(&argv(&["order", "--grid", "4x4", "--mapping", "spectral", "--csv"]))
+            .unwrap();
+        assert!(matches!(c, Command::Order { csv: true, .. }));
+    }
+
+    #[test]
+    fn order_requires_flags() {
+        assert!(parse(&argv(&["order", "--grid", "8x8"])).is_err());
+        assert!(parse(&argv(&["order", "--mapping", "sweep"])).is_err());
+        assert!(parse(&argv(&["order", "--grid"])).is_err());
+        assert!(parse(&argv(&["order", "--mapping", "nope", "--grid", "4x4"])).is_err());
+    }
+
+    #[test]
+    fn parse_fiedler_defaults() {
+        let c = parse(&argv(&["fiedler", "--grid", "4x4"])).unwrap();
+        assert_eq!(
+            c,
+            Command::Fiedler {
+                dims: vec![4, 4],
+                method: "shift-invert".into()
+            }
+        );
+        assert!(parse(&argv(&["fiedler", "--grid", "4x4", "--method", "qr"])).is_err());
+    }
+
+    #[test]
+    fn parse_figure_and_experiment() {
+        assert_eq!(
+            parse(&argv(&["figure", "fig5a"])).unwrap(),
+            Command::Figure { id: "fig5a".into() }
+        );
+        assert!(parse(&argv(&["figure", "fig9"])).is_err());
+        assert_eq!(
+            parse(&argv(&["experiment", "knn"])).unwrap(),
+            Command::Experiment { name: "knn".into() }
+        );
+        assert!(parse(&argv(&["experiment", "nope"])).is_err());
+    }
+
+    #[test]
+    fn parse_help_and_errors() {
+        assert_eq!(parse(&argv(&["help"])).unwrap(), Command::Help);
+        assert_eq!(parse(&argv(&["-h"])).unwrap(), Command::Help);
+        assert!(parse(&[]).is_err());
+        assert!(parse(&argv(&["frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn mapping_aliases() {
+        assert_eq!(MappingChoice::parse("Morton"), Some(MappingChoice::Peano));
+        assert_eq!(MappingChoice::parse("z-order"), Some(MappingChoice::Peano));
+        assert_eq!(
+            MappingChoice::parse("TRUEPEANO"),
+            Some(MappingChoice::TruePeano)
+        );
+        assert_eq!(MappingChoice::parse("bogus"), None);
+        assert_eq!(MappingChoice::Spectral8.to_string(), "spectral8");
+    }
+}

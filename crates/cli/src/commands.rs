@@ -1,0 +1,294 @@
+//! Command execution for the `slpm` binary.
+
+use crate::args::{Command, MappingChoice, ParseError};
+use slpm_graph::grid::{Connectivity, GridSpec};
+use slpm_linalg::fiedler::{fiedler_pair, FiedlerMethod, FiedlerOptions};
+use slpm_querysim::experiments::{
+    ablation, declustering, fig1, fig3, fig4, fig5, fig6, knn, point_cloud, rtree_packing,
+    storage_io,
+};
+use slpm_querysim::mappings::curve_order;
+use slpm_sfc::{
+    GrayCurve, HilbertCurve, PeanoCurve, SnakeCurve, SweepCurve, TruePeanoCurve,
+};
+use spectral_lpm::{LinearOrder, SpectralConfig, SpectralMapper};
+
+/// Build the requested order over the grid.
+fn build_order(dims: &[usize], mapping: MappingChoice) -> Result<LinearOrder, ParseError> {
+    let spec = GridSpec::new(dims);
+    let err = |e: String| ParseError(e);
+    let side = dims[0] as u64;
+    let uniform = dims.iter().all(|&d| d as u64 == side);
+    let k = dims.len();
+    let need_uniform = |name: &str| -> Result<(), ParseError> {
+        if uniform {
+            Ok(())
+        } else {
+            Err(ParseError(format!("{name} requires a hypercube grid")))
+        }
+    };
+    match mapping {
+        MappingChoice::Sweep => {
+            let dims64: Vec<u64> = dims.iter().map(|&d| d as u64).collect();
+            Ok(curve_order(
+                &spec,
+                &SweepCurve::new(&dims64).map_err(|e| err(e.to_string()))?,
+            ))
+        }
+        MappingChoice::Snake => {
+            let dims64: Vec<u64> = dims.iter().map(|&d| d as u64).collect();
+            Ok(curve_order(
+                &spec,
+                &SnakeCurve::new(&dims64).map_err(|e| err(e.to_string()))?,
+            ))
+        }
+        MappingChoice::Peano => {
+            need_uniform("peano")?;
+            Ok(curve_order(
+                &spec,
+                &PeanoCurve::from_side(k, side).map_err(|e| err(e.to_string()))?,
+            ))
+        }
+        MappingChoice::TruePeano => {
+            need_uniform("truepeano")?;
+            Ok(curve_order(
+                &spec,
+                &TruePeanoCurve::from_side(k, side).map_err(|e| err(e.to_string()))?,
+            ))
+        }
+        MappingChoice::Gray => {
+            need_uniform("gray")?;
+            Ok(curve_order(
+                &spec,
+                &GrayCurve::from_side(k, side).map_err(|e| err(e.to_string()))?,
+            ))
+        }
+        MappingChoice::Hilbert => {
+            need_uniform("hilbert")?;
+            Ok(curve_order(
+                &spec,
+                &HilbertCurve::from_side(k, side).map_err(|e| err(e.to_string()))?,
+            ))
+        }
+        MappingChoice::Spectral | MappingChoice::Spectral8 => {
+            let connectivity = if mapping == MappingChoice::Spectral {
+                Connectivity::Orthogonal
+            } else {
+                Connectivity::Full
+            };
+            let mapper = SpectralMapper::new(SpectralConfig {
+                connectivity,
+                ..Default::default()
+            });
+            Ok(mapper
+                .map_grid(&spec)
+                .map_err(|e| err(e.to_string()))?
+                .order)
+        }
+    }
+}
+
+/// Execute a parsed command, returning its stdout text.
+pub fn execute(cmd: &Command) -> Result<String, ParseError> {
+    match cmd {
+        Command::Help => Ok(crate::args::HELP.to_string()),
+        Command::Order { dims, mapping, csv } => {
+            let spec = GridSpec::new(dims);
+            let order = build_order(dims, *mapping)?;
+            let mut out = String::new();
+            if *csv {
+                // point coordinates, then rank.
+                let header: Vec<String> =
+                    (0..dims.len()).map(|d| format!("x{d}")).collect();
+                out.push_str(&header.join(","));
+                out.push_str(",rank\n");
+                for (i, coords) in spec.iter_points().enumerate() {
+                    let cells: Vec<String> = coords.iter().map(usize::to_string).collect();
+                    out.push_str(&cells.join(","));
+                    out.push_str(&format!(",{}\n", order.rank_of(i)));
+                }
+            } else if dims.len() == 2 {
+                out.push_str(&format!("{mapping} order on a {}x{} grid:\n", dims[0], dims[1]));
+                for x in 0..dims[0] {
+                    let row: Vec<String> = (0..dims[1])
+                        .map(|y| format!("{:>4}", order.rank_of(spec.index_of(&[x, y]))))
+                        .collect();
+                    out.push_str(&row.join(""));
+                    out.push('\n');
+                }
+            } else {
+                out.push_str(&format!("{mapping} order ({} points):\n", spec.num_points()));
+                for (i, coords) in spec.iter_points().enumerate() {
+                    out.push_str(&format!("{:?} -> {}\n", coords, order.rank_of(i)));
+                }
+            }
+            Ok(out)
+        }
+        Command::Fiedler { dims, method } => {
+            let spec = GridSpec::new(dims);
+            let lap = spec.graph(Connectivity::Orthogonal).laplacian();
+            let m = match method.as_str() {
+                "dense" => FiedlerMethod::Dense,
+                "shifted-direct" => FiedlerMethod::ShiftedDirect,
+                _ => FiedlerMethod::ShiftInvert,
+            };
+            let pair = fiedler_pair(
+                &lap,
+                &FiedlerOptions {
+                    method: m,
+                    ..Default::default()
+                },
+            )
+            .map_err(|e| ParseError(e.to_string()))?;
+            let comps: Vec<String> = pair.vector.iter().map(|v| format!("{v:.4}")).collect();
+            Ok(format!(
+                "grid {:?}  method {}\nlambda_2 = {:.8}\nresidual = {:.2e}\nfiedler vector = [{}]\n",
+                dims,
+                method,
+                pair.lambda2,
+                pair.residual,
+                comps.join(", ")
+            ))
+        }
+        Command::Figure { id } => Ok(match id.as_str() {
+            "fig1" => fig1::run(4).render(),
+            "fig3" => fig3::run().render(),
+            "fig4" => fig4::run(4).render(),
+            "fig5a" => fig5::run_worst_case(&fig5::Fig5Config::default()).render(),
+            "fig5b" => fig5::run_fairness(&fig5::Fig5Config::default()).render(),
+            "fig6a" => fig6::run_worst_case(&fig6::Fig6Config::default()).render(),
+            "fig6b" => fig6::run_fairness(&fig6::Fig6Config::default()).render(),
+            other => return Err(ParseError(format!("unknown figure '{other}'"))),
+        }),
+        Command::Experiment { name } => Ok(match name.as_str() {
+            "knn" => knn::run(&knn::KnnConfig::default()).render(),
+            "storage" => {
+                let cfg = storage_io::StorageIoConfig::default();
+                storage_io::render(&storage_io::run(&cfg), &cfg)
+            }
+            "rtree" => {
+                let cfg = rtree_packing::RtreeConfig::default();
+                rtree_packing::render(&rtree_packing::run(&cfg), &cfg)
+            }
+            "decluster" => {
+                let cfg = declustering::DeclusterConfig::default();
+                declustering::render(&declustering::run(&cfg), &cfg)
+            }
+            "pointcloud" => {
+                let cfg = point_cloud::PointCloudConfig::default();
+                point_cloud::render(&point_cloud::run(&cfg), &cfg)
+            }
+            "ablations" => {
+                let mut out = String::new();
+                for r in ablation::eigensolver_agreement(16) {
+                    out.push_str(&format!(
+                        "eigensolver {}: lambda2 {:.8} residual {:.2e} 2-sum {:.0}\n",
+                        r.method, r.lambda2, r.residual, r.two_sum
+                    ));
+                }
+                for r in ablation::ordering_comparison(16) {
+                    out.push_str(&format!(
+                        "ordering {}: 2-sum {:.0} bandwidth {}\n",
+                        r.strategy, r.two_sum, r.bandwidth
+                    ));
+                }
+                out
+            }
+            other => return Err(ParseError(format!("unknown experiment '{other}'"))),
+        }),
+        Command::Report { dims, mapping } => {
+            let spec = GridSpec::new(dims);
+            let graph = spec.graph(Connectivity::Orthogonal);
+            let order = build_order(dims, *mapping)?;
+            let report = spectral_lpm::OrderReport::compute(
+                &graph,
+                &order,
+                &SpectralConfig::default(),
+            )
+            .map_err(|e| ParseError(e.to_string()))?;
+            Ok(report.render(&mapping.to_string()))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args;
+
+    fn run(parts: &[&str]) -> Result<String, ParseError> {
+        let argv: Vec<String> = parts.iter().map(|s| s.to_string()).collect();
+        execute(&args::parse(&argv)?)
+    }
+
+    #[test]
+    fn order_grid_output() {
+        let out = run(&["order", "--grid", "4x4", "--mapping", "hilbert"]).unwrap();
+        assert!(out.contains("hilbert order on a 4x4 grid"));
+        // Contains every rank 0..15.
+        for r in 0..16 {
+            assert!(out.contains(&format!("{r:>4}")), "missing rank {r}");
+        }
+    }
+
+    #[test]
+    fn order_csv_output() {
+        let out = run(&["order", "--grid", "2x2", "--mapping", "sweep", "--csv"]).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines[0], "x0,x1,rank");
+        assert_eq!(lines.len(), 5);
+        assert_eq!(lines[1], "0,0,0");
+        assert_eq!(lines[4], "1,1,3");
+    }
+
+    #[test]
+    fn order_spectral_any_extent() {
+        let out = run(&["order", "--grid", "3x5", "--mapping", "spectral", "--csv"]).unwrap();
+        assert_eq!(out.lines().count(), 16);
+    }
+
+    #[test]
+    fn order_rejects_non_cube_for_curves() {
+        assert!(run(&["order", "--grid", "4x8", "--mapping", "hilbert"]).is_err());
+        assert!(run(&["order", "--grid", "6x6", "--mapping", "hilbert"]).is_err());
+        // True Peano needs powers of three.
+        assert!(run(&["order", "--grid", "9x9", "--mapping", "truepeano"]).is_ok());
+        assert!(run(&["order", "--grid", "8x8", "--mapping", "truepeano"]).is_err());
+    }
+
+    #[test]
+    fn fiedler_command_reports_lambda2() {
+        let out = run(&["fiedler", "--grid", "3x3", "--method", "dense"]).unwrap();
+        assert!(out.contains("lambda_2 = 1.000000"), "{out}");
+        assert!(out.contains("fiedler vector"));
+    }
+
+    #[test]
+    fn figure_command_renders() {
+        let out = run(&["figure", "fig3"]).unwrap();
+        assert!(out.contains("lambda_2"));
+        let out = run(&["figure", "fig1"]).unwrap();
+        assert!(out.contains("Spectral"));
+    }
+
+    #[test]
+    fn help_lists_usage() {
+        let out = run(&["help"]).unwrap();
+        assert!(out.contains("USAGE"));
+    }
+
+    #[test]
+    fn report_command_renders_metrics() {
+        let out = run(&["report", "--grid", "4x4", "--mapping", "hilbert"]).unwrap();
+        assert!(out.contains("lambda2"), "{out}");
+        assert!(out.contains("bandwidth"));
+        assert!(run(&["report", "--grid", "4x4"]).is_err());
+    }
+
+    #[test]
+    fn experiment_ablations_smoke() {
+        let out = run(&["experiment", "ablations"]).unwrap();
+        assert!(out.contains("eigensolver shift-invert"));
+        assert!(out.contains("ordering direct Fiedler"));
+    }
+}

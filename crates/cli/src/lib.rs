@@ -1,0 +1,23 @@
+//! Command-line interface to the Spectral LPM reproduction.
+//!
+//! The `slpm` binary exposes the library to shell users:
+//!
+//! ```text
+//! slpm order   --grid 8x8 --mapping spectral [--csv]   # rank per point
+//! slpm fiedler --grid 8x8 [--method dense]             # λ₂ + vector
+//! slpm figure  fig5a                                   # regenerate a figure
+//! slpm experiment knn                                  # extra experiments
+//! slpm help
+//! ```
+//!
+//! Argument parsing is hand-rolled (no CLI crates in the dependency
+//! budget) and lives in [`args`] so it is unit-testable; command execution
+//! lives in [`commands`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+
+pub use args::{Command, ParseError};

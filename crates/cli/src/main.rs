@@ -1,0 +1,12 @@
+//! Thin entry point: parse, execute, print; errors to stderr with exit 2.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match slpm_cli::args::parse(&args).and_then(|cmd| slpm_cli::commands::execute(&cmd)) {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,449 @@
+//! The weighted undirected [`Graph`] type and its matrix views.
+
+use slpm_linalg::sparse::CsrMatrix;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Errors from graph construction and matrix extraction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphError {
+    /// Edge endpoint out of range.
+    VertexOutOfRange {
+        /// The offending vertex id.
+        vertex: usize,
+        /// Number of vertices in the graph.
+        num_vertices: usize,
+    },
+    /// Self-loops carry no locality information and are rejected.
+    SelfLoop {
+        /// The vertex that was joined to itself.
+        vertex: usize,
+    },
+    /// Edge weights must be positive and finite (a weight encodes the
+    /// priority of placing two points close together; zero or negative
+    /// priorities are meaningless in the paper's model).
+    BadWeight {
+        /// The offending weight.
+        weight: f64,
+    },
+    /// A vertex list that must be duplicate-free contained a repeat.
+    DuplicateVertex {
+        /// The repeated vertex id.
+        vertex: usize,
+    },
+    /// The operation requires a connected graph.
+    Disconnected {
+        /// Number of connected components found.
+        components: usize,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::VertexOutOfRange { vertex, num_vertices } => {
+                write!(f, "vertex {vertex} out of range (graph has {num_vertices} vertices)")
+            }
+            GraphError::SelfLoop { vertex } => write!(f, "self-loop at vertex {vertex}"),
+            GraphError::BadWeight { weight } => {
+                write!(f, "edge weight must be positive and finite, got {weight}")
+            }
+            GraphError::DuplicateVertex { vertex } => {
+                write!(f, "vertex {vertex} appears more than once")
+            }
+            GraphError::Disconnected { components } => {
+                write!(f, "graph is disconnected ({components} components)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// A weighted undirected graph on vertices `0..n`.
+///
+/// Parallel edges are merged by **summing** weights (adding an affinity edge
+/// on top of a grid edge strengthens the tie, matching the paper's
+/// Section 4 semantics of "inform Spectral LPM that p and q need to be
+/// treated as if they have Manhattan distance 1" — and more so if repeated).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Graph {
+    num_vertices: usize,
+    /// Canonical edge map: key is `(min, max)` vertex pair, value is weight.
+    edges: BTreeMap<(usize, usize), f64>,
+}
+
+impl Graph {
+    /// Create an edgeless graph on `n` vertices.
+    pub fn new(n: usize) -> Self {
+        Graph {
+            num_vertices: n,
+            edges: BTreeMap::new(),
+        }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Number of (undirected, merged) edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Add an undirected unit-weight edge.
+    pub fn add_edge(&mut self, u: usize, v: usize) -> Result<(), GraphError> {
+        self.add_weighted_edge(u, v, 1.0)
+    }
+
+    /// Add an undirected weighted edge; merging duplicates sums weights.
+    pub fn add_weighted_edge(&mut self, u: usize, v: usize, w: f64) -> Result<(), GraphError> {
+        if u >= self.num_vertices {
+            return Err(GraphError::VertexOutOfRange {
+                vertex: u,
+                num_vertices: self.num_vertices,
+            });
+        }
+        if v >= self.num_vertices {
+            return Err(GraphError::VertexOutOfRange {
+                vertex: v,
+                num_vertices: self.num_vertices,
+            });
+        }
+        if u == v {
+            return Err(GraphError::SelfLoop { vertex: u });
+        }
+        if !(w.is_finite() && w > 0.0) {
+            return Err(GraphError::BadWeight { weight: w });
+        }
+        let key = (u.min(v), u.max(v));
+        *self.edges.entry(key).or_insert(0.0) += w;
+        Ok(())
+    }
+
+    /// Weight of edge `(u, v)` (0 when absent).
+    pub fn edge_weight(&self, u: usize, v: usize) -> f64 {
+        let key = (u.min(v), u.max(v));
+        self.edges.get(&key).copied().unwrap_or(0.0)
+    }
+
+    /// True if `(u, v)` is an edge.
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        self.edge_weight(u, v) > 0.0
+    }
+
+    /// Iterate over edges as `(u, v, w)` with `u < v`, sorted.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        self.edges.iter().map(|(&(u, v), &w)| (u, v, w))
+    }
+
+    /// Weighted degree of every vertex (`d_i = Σ_j w_ij`).
+    pub fn degrees(&self) -> Vec<f64> {
+        let mut deg = vec![0.0; self.num_vertices];
+        for (&(u, v), &w) in &self.edges {
+            deg[u] += w;
+            deg[v] += w;
+        }
+        deg
+    }
+
+    /// Neighbour lists (vertex ids only), sorted ascending.
+    pub fn adjacency_lists(&self) -> Vec<Vec<usize>> {
+        let mut adj = vec![Vec::new(); self.num_vertices];
+        for &(u, v) in self.edges.keys() {
+            adj[u].push(v);
+            adj[v].push(u);
+        }
+        for l in &mut adj {
+            l.sort_unstable();
+        }
+        adj
+    }
+
+    /// The weighted adjacency matrix `A` in CSR form.
+    pub fn adjacency_matrix(&self) -> CsrMatrix {
+        let n = self.num_vertices;
+        let mut t = Vec::with_capacity(2 * self.edges.len());
+        for (&(u, v), &w) in &self.edges {
+            t.push((u, v, w));
+            t.push((v, u, w));
+        }
+        CsrMatrix::from_triplets(n, n, &t).expect("edge endpoints validated on insert")
+    }
+
+    /// The combinatorial Laplacian `L = D − A` in CSR form (paper step 2).
+    pub fn laplacian(&self) -> CsrMatrix {
+        let n = self.num_vertices;
+        let mut t = Vec::with_capacity(2 * self.edges.len() + n);
+        let mut deg = vec![0.0; n];
+        for (&(u, v), &w) in &self.edges {
+            t.push((u, v, -w));
+            t.push((v, u, -w));
+            deg[u] += w;
+            deg[v] += w;
+        }
+        for (i, d) in deg.into_iter().enumerate() {
+            if d != 0.0 {
+                t.push((i, i, d));
+            }
+        }
+        CsrMatrix::from_triplets(n, n, &t).expect("edge endpoints validated on insert")
+    }
+
+    /// The symmetric normalised Laplacian `I − D^{-1/2} A D^{-1/2}`.
+    ///
+    /// Not used by the paper's algorithm but provided for ablation: spectral
+    /// orders from the normalised Laplacian differ on irregular graphs.
+    pub fn normalized_laplacian(&self) -> CsrMatrix {
+        let n = self.num_vertices;
+        let deg = self.degrees();
+        let inv_sqrt: Vec<f64> = deg
+            .iter()
+            .map(|&d| if d > 0.0 { 1.0 / d.sqrt() } else { 0.0 })
+            .collect();
+        let mut t = Vec::with_capacity(2 * self.edges.len() + n);
+        for (&(u, v), &w) in &self.edges {
+            let nv = -w * inv_sqrt[u] * inv_sqrt[v];
+            t.push((u, v, nv));
+            t.push((v, u, nv));
+        }
+        for i in 0..n {
+            if deg[i] > 0.0 {
+                t.push((i, i, 1.0));
+            }
+        }
+        CsrMatrix::from_triplets(n, n, &t).expect("edge endpoints validated on insert")
+    }
+
+    /// Induced subgraph on a set of vertices.
+    ///
+    /// Returns the subgraph (with vertices renumbered `0..set.len()` in the
+    /// order given) plus the mapping from new ids back to original ids.
+    /// Duplicate vertices in `vertices` are rejected.
+    pub fn induced_subgraph(&self, vertices: &[usize]) -> Result<(Graph, Vec<usize>), GraphError> {
+        let mut new_id = std::collections::BTreeMap::new();
+        for (new, &old) in vertices.iter().enumerate() {
+            if old >= self.num_vertices {
+                return Err(GraphError::VertexOutOfRange {
+                    vertex: old,
+                    num_vertices: self.num_vertices,
+                });
+            }
+            if new_id.insert(old, new).is_some() {
+                return Err(GraphError::DuplicateVertex { vertex: old });
+            }
+        }
+        let mut g = Graph::new(vertices.len());
+        for (&(u, v), &w) in &self.edges {
+            if let (Some(&nu), Some(&nv)) = (new_id.get(&u), new_id.get(&v)) {
+                g.add_weighted_edge(nu, nv, w)
+                    .expect("subgraph edges valid by construction");
+            }
+        }
+        Ok((g, vertices.to_vec()))
+    }
+
+    /// Require connectivity, returning a typed error otherwise.
+    pub fn require_connected(&self) -> Result<(), GraphError> {
+        let comps = crate::traversal::connected_components(self);
+        let count = comps.iter().copied().max().map_or(0, |m| m + 1);
+        if self.num_vertices > 0 && count != 1 {
+            return Err(GraphError::Disconnected { components: count });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Graph {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1).unwrap();
+        g.add_edge(1, 2).unwrap();
+        g.add_edge(2, 0).unwrap();
+        g
+    }
+
+    #[test]
+    fn counts_and_membership() {
+        let g = triangle();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 0));
+    }
+
+    #[test]
+    fn duplicate_edges_sum_weights() {
+        let mut g = Graph::new(2);
+        g.add_weighted_edge(0, 1, 1.5).unwrap();
+        g.add_weighted_edge(1, 0, 2.5).unwrap();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.edge_weight(0, 1), 4.0);
+    }
+
+    #[test]
+    fn rejects_bad_edges() {
+        let mut g = Graph::new(2);
+        assert!(matches!(
+            g.add_edge(0, 2),
+            Err(GraphError::VertexOutOfRange { .. })
+        ));
+        assert!(matches!(g.add_edge(1, 1), Err(GraphError::SelfLoop { .. })));
+        assert!(matches!(
+            g.add_weighted_edge(0, 1, 0.0),
+            Err(GraphError::BadWeight { .. })
+        ));
+        assert!(matches!(
+            g.add_weighted_edge(0, 1, -1.0),
+            Err(GraphError::BadWeight { .. })
+        ));
+        assert!(matches!(
+            g.add_weighted_edge(0, 1, f64::NAN),
+            Err(GraphError::BadWeight { .. })
+        ));
+    }
+
+    #[test]
+    fn degrees_of_triangle() {
+        assert_eq!(triangle().degrees(), vec![2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn adjacency_lists_sorted() {
+        let mut g = Graph::new(4);
+        g.add_edge(3, 0).unwrap();
+        g.add_edge(0, 1).unwrap();
+        assert_eq!(g.adjacency_lists()[0], vec![1, 3]);
+    }
+
+    #[test]
+    fn laplacian_matches_definition() {
+        // Paper Figure 3c shows the Laplacian of a 3×3 grid; here we verify
+        // the definition L = D − A on the triangle.
+        let g = triangle();
+        let l = g.laplacian();
+        assert_eq!(l.get(0, 0), 2.0);
+        assert_eq!(l.get(0, 1), -1.0);
+        assert_eq!(l.get(1, 2), -1.0);
+        for s in l.row_sums() {
+            assert!(s.abs() < 1e-15);
+        }
+        l.require_symmetric(0.0).unwrap();
+    }
+
+    #[test]
+    fn laplacian_equals_d_minus_a() {
+        let g = triangle();
+        let l = g.laplacian().to_dense();
+        let a = g.adjacency_matrix().to_dense();
+        let deg = g.degrees();
+        for i in 0..3 {
+            for j in 0..3 {
+                let expect = if i == j { deg[i] } else { 0.0 } - a.get(i, j);
+                assert_eq!(l.get(i, j), expect);
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_laplacian() {
+        let mut g = Graph::new(2);
+        g.add_weighted_edge(0, 1, 3.0).unwrap();
+        let l = g.laplacian();
+        assert_eq!(l.get(0, 0), 3.0);
+        assert_eq!(l.get(0, 1), -3.0);
+    }
+
+    #[test]
+    fn normalized_laplacian_diagonal_is_one() {
+        let g = triangle();
+        let nl = g.normalized_laplacian();
+        for i in 0..3 {
+            assert!((nl.get(i, i) - 1.0).abs() < 1e-15);
+        }
+        // Triangle is 2-regular: normalised = L / 2.
+        let l = g.laplacian();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((nl.get(i, j) - l.get(i, j) / 2.0).abs() < 1e-15);
+            }
+        }
+    }
+
+    #[test]
+    fn connectivity_check() {
+        triangle().require_connected().unwrap();
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1).unwrap();
+        g.add_edge(2, 3).unwrap();
+        assert!(matches!(
+            g.require_connected(),
+            Err(GraphError::Disconnected { components: 2 })
+        ));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::new(0);
+        assert_eq!(g.num_vertices(), 0);
+        g.require_connected().unwrap(); // vacuously connected
+        let l = g.laplacian();
+        assert_eq!(l.rows(), 0);
+    }
+
+    #[test]
+    fn isolated_vertices_graph_is_disconnected() {
+        let g = Graph::new(3);
+        assert!(g.require_connected().is_err());
+    }
+
+    #[test]
+    fn edges_iterator_is_canonical() {
+        let mut g = Graph::new(3);
+        g.add_edge(2, 1).unwrap();
+        g.add_edge(1, 0).unwrap();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1, 1.0), (1, 2, 1.0)]);
+    }
+
+    #[test]
+    fn induced_subgraph_renumbers() {
+        let mut g = Graph::new(5);
+        g.add_edge(0, 1).unwrap();
+        g.add_weighted_edge(1, 2, 2.0).unwrap();
+        g.add_edge(3, 4).unwrap();
+        let (sub, back) = g.induced_subgraph(&[2, 1, 0]).unwrap();
+        assert_eq!(sub.num_vertices(), 3);
+        assert_eq!(back, vec![2, 1, 0]);
+        // Edge (1,2) maps to new ids (1,0) with weight 2; edge (0,1) → (2,1).
+        assert_eq!(sub.edge_weight(0, 1), 2.0);
+        assert_eq!(sub.edge_weight(1, 2), 1.0);
+        assert!(!sub.has_edge(0, 2));
+    }
+
+    #[test]
+    fn induced_subgraph_rejects_bad_input() {
+        let g = Graph::new(3);
+        assert!(matches!(
+            g.induced_subgraph(&[0, 5]),
+            Err(GraphError::VertexOutOfRange { .. })
+        ));
+        assert!(matches!(
+            g.induced_subgraph(&[1, 1]),
+            Err(GraphError::DuplicateVertex { vertex: 1 })
+        ));
+    }
+
+    #[test]
+    fn display_of_errors() {
+        let e = GraphError::Disconnected { components: 3 };
+        assert!(e.to_string().contains("3 components"));
+    }
+}

@@ -1,0 +1,191 @@
+//! Sturm-sequence bisection for symmetric tridiagonal eigenvalues.
+//!
+//! A third, independent eigenvalue algorithm (after QL and Jacobi): the
+//! number of sign agreements in the Sturm sequence of `T − λI` counts the
+//! eigenvalues below `λ`, so any single eigenvalue can be located by pure
+//! bisection — numerically bulletproof, embarrassingly verifiable, and
+//! usable to cross-check the λ₂ the faster solvers produce. Golub & Van
+//! Loan §8.4.
+//!
+//! Operates on the same EISPACK-convention `(diag, off)` pairs as
+//! [`crate::tql`] (`off[0] == 0`, `off[i]` couples rows `i−1, i`).
+
+use crate::error::LinalgError;
+
+/// Number of eigenvalues of the tridiagonal `T` that are **strictly less**
+/// than `x`, via the Sturm sequence sign count.
+pub fn count_eigenvalues_below(diag: &[f64], off: &[f64], x: f64) -> usize {
+    let n = diag.len();
+    let mut count = 0usize;
+    // q_i is the ratio of characteristic polynomials; a non-positive value
+    // signals one more eigenvalue below x.
+    let mut q = 1.0f64;
+    for i in 0..n {
+        let off2 = if i == 0 { 0.0 } else { off[i] * off[i] };
+        q = if q != 0.0 {
+            diag[i] - x - off2 / q
+        } else {
+            // Treat an exact zero as a tiny positive number (standard
+            // perturbation trick).
+            diag[i] - x - off2 / f64::MIN_POSITIVE
+        };
+        if q < 0.0 {
+            count += 1;
+        }
+    }
+    count
+}
+
+/// Locate the `k`-th smallest eigenvalue (0-based) of a symmetric
+/// tridiagonal matrix by Sturm bisection, to absolute tolerance `tol`.
+pub fn kth_eigenvalue(
+    diag: &[f64],
+    off: &[f64],
+    k: usize,
+    tol: f64,
+) -> Result<f64, LinalgError> {
+    let n = diag.len();
+    if off.len() != n {
+        return Err(LinalgError::DimensionMismatch {
+            context: "bisection off-diagonal",
+            expected: n,
+            found: off.len(),
+        });
+    }
+    if k >= n {
+        return Err(LinalgError::ProblemTooSmall {
+            dimension: n,
+            minimum: k + 1,
+        });
+    }
+
+    // Gershgorin interval containing the whole spectrum.
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for i in 0..n {
+        let r = off[i].abs() + if i + 1 < n { off[i + 1].abs() } else { 0.0 };
+        lo = lo.min(diag[i] - r);
+        hi = hi.max(diag[i] + r);
+    }
+    if lo > hi {
+        return Err(LinalgError::NonFiniteInput {
+            context: "bisection: empty Gershgorin interval",
+        });
+    }
+
+    // Bisection on the eigenvalue-counting function.
+    let mut a = lo;
+    let mut b = hi;
+    // 200 iterations halve the interval below any f64 tolerance.
+    for _ in 0..200 {
+        if b - a <= tol {
+            break;
+        }
+        let mid = 0.5 * (a + b);
+        if count_eigenvalues_below(diag, off, mid) > k {
+            b = mid;
+        } else {
+            a = mid;
+        }
+    }
+    Ok(0.5 * (a + b))
+}
+
+/// All `n` eigenvalues by repeated bisection, ascending — O(n² log(1/tol)),
+/// slower than QL but with per-eigenvalue error bounds; used as a
+/// cross-check oracle in tests.
+pub fn all_eigenvalues(diag: &[f64], off: &[f64], tol: f64) -> Result<Vec<f64>, LinalgError> {
+    (0..diag.len())
+        .map(|k| kth_eigenvalue(diag, off, k, tol))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tql::tridiagonal_eigen;
+
+    /// Path-graph Laplacian as a tridiagonal.
+    fn path(n: usize) -> (Vec<f64>, Vec<f64>) {
+        let diag: Vec<f64> = (0..n)
+            .map(|i| if i == 0 || i == n - 1 { 1.0 } else { 2.0 })
+            .collect();
+        let mut off = vec![-1.0; n];
+        off[0] = 0.0;
+        (diag, off)
+    }
+
+    #[test]
+    fn counts_are_monotone_and_complete() {
+        let (d, e) = path(8);
+        assert_eq!(count_eigenvalues_below(&d, &e, -1e-9), 0);
+        assert_eq!(count_eigenvalues_below(&d, &e, 4.1), 8);
+        let mut prev = 0;
+        for x in [-0.5, 0.1, 0.5, 1.0, 2.0, 3.0, 3.9, 4.5] {
+            let c = count_eigenvalues_below(&d, &e, x);
+            assert!(c >= prev, "count not monotone at {x}");
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn matches_ql_on_path_laplacian() {
+        let (d, e) = path(10);
+        let ql = tridiagonal_eigen(d.clone(), e.clone()).unwrap();
+        let bis = all_eigenvalues(&d, &e, 1e-12).unwrap();
+        for k in 0..10 {
+            assert!(
+                (ql.eigenvalues[k] - bis[k]).abs() < 1e-9,
+                "k={k}: ql {} vs bisection {}",
+                ql.eigenvalues[k],
+                bis[k]
+            );
+        }
+    }
+
+    #[test]
+    fn lambda2_of_path_is_correct() {
+        let n = 16;
+        let (d, e) = path(n);
+        let l2 = kth_eigenvalue(&d, &e, 1, 1e-13).unwrap();
+        let expect = 4.0 * (std::f64::consts::PI / (2.0 * n as f64)).sin().powi(2);
+        assert!((l2 - expect).abs() < 1e-10, "{l2} vs {expect}");
+    }
+
+    #[test]
+    fn diagonal_matrix_eigenvalues_are_diagonal() {
+        let d = vec![3.0, 1.0, 2.0];
+        let e = vec![0.0, 0.0, 0.0];
+        let all = all_eigenvalues(&d, &e, 1e-13).unwrap();
+        assert!((all[0] - 1.0).abs() < 1e-10);
+        assert!((all[1] - 2.0).abs() < 1e-10);
+        assert!((all[2] - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(kth_eigenvalue(&[1.0], &[0.0], 1, 1e-10).is_err());
+        assert!(kth_eigenvalue(&[1.0, 2.0], &[0.0], 0, 1e-10).is_err());
+    }
+
+    #[test]
+    fn random_tridiagonals_match_ql() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        for n in [2usize, 5, 12] {
+            let diag: Vec<f64> = (0..n).map(|_| rng.gen_range(-2.0..2.0)).collect();
+            let mut off: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            off[0] = 0.0;
+            let ql = tridiagonal_eigen(diag.clone(), off.clone()).unwrap();
+            let bis = all_eigenvalues(&diag, &off, 1e-12).unwrap();
+            for k in 0..n {
+                assert!(
+                    (ql.eigenvalues[k] - bis[k]).abs() < 1e-8,
+                    "n={n} k={k}: {} vs {}",
+                    ql.eigenvalues[k],
+                    bis[k]
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,500 @@
+//! Computing the Fiedler pair (λ₂, v₂) of a graph Laplacian.
+//!
+//! This is the numerical heart of Spectral LPM (step 3 of the paper's
+//! pseudo-code): the second-smallest eigenvalue of `L = D − A` — the
+//! *algebraic connectivity* (Fiedler 1973) — and its eigenvector, whose
+//! component order is the spectral linear order.
+//!
+//! Three interchangeable strategies are provided:
+//!
+//! * [`FiedlerMethod::ShiftInvert`] (default) — Lanczos on the operator
+//!   `x ↦ P L⁺ P x`, where the pseudo-inverse action is an inner CG solve
+//!   and `P` deflates the constant kernel. The spectrum of that operator is
+//!   `{1/λ₂ > 1/λ₃ > …}`, so the *largest* eigenvalue — the thing Lanczos
+//!   finds fastest — maps straight to λ₂, with separation `λ₃/λ₂` that is
+//!   excellent on grid graphs.
+//! * [`FiedlerMethod::ShiftedDirect`] — Lanczos on `cI − L` with `c` a
+//!   Gershgorin bound. No inner solves, but convergence degrades when λ₂ is
+//!   clustered; used as an ablation baseline and a fallback.
+//! * [`FiedlerMethod::Dense`] — Householder + QL on the materialised
+//!   Laplacian, O(n³); the reference for tests and small graphs.
+
+use crate::cg::{self, CgOptions};
+use crate::error::LinalgError;
+use crate::lanczos::{self, LanczosOptions};
+use crate::operator::{ones_direction, DeflatedOperator, LinearOperator, ShiftedOperator};
+use crate::sparse::CsrMatrix;
+use crate::tql;
+use crate::vector;
+
+/// Strategy for the Fiedler computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FiedlerMethod {
+    /// Lanczos on the deflated pseudo-inverse (inner CG solves). Fast
+    /// convergence in iterations; each iteration costs one Laplacian solve.
+    #[default]
+    ShiftInvert,
+    /// Lanczos on `cI − L` with a Gershgorin shift. Cheap iterations, more
+    /// of them.
+    ShiftedDirect,
+    /// Dense Householder + QL (exact, O(n³)); only sensible for n ≲ 2000.
+    Dense,
+}
+
+/// Options for [`fiedler_pair`].
+#[derive(Debug, Clone)]
+pub struct FiedlerOptions {
+    /// Strategy to use.
+    pub method: FiedlerMethod,
+    /// Relative residual tolerance on the eigenpair.
+    pub tolerance: f64,
+    /// RNG seed for Lanczos start vectors.
+    pub seed: u64,
+    /// Iteration/subspace cap forwarded to Lanczos (`None` = default).
+    pub max_subspace: Option<usize>,
+}
+
+impl Default for FiedlerOptions {
+    fn default() -> Self {
+        FiedlerOptions {
+            method: FiedlerMethod::ShiftInvert,
+            tolerance: 1e-9,
+            seed: 0xF1ED_1EB2,
+            max_subspace: None,
+        }
+    }
+}
+
+/// A computed Fiedler pair plus diagnostics.
+#[derive(Debug, Clone)]
+pub struct FiedlerPair {
+    /// The algebraic connectivity λ₂ ≥ 0 (0 iff the graph is disconnected).
+    pub lambda2: f64,
+    /// Unit-norm Fiedler vector, mean-centred and sign-canonicalised
+    /// ([`vector::canonicalize_sign`]).
+    pub vector: Vec<f64>,
+    /// Residual `‖L v − λ₂ v‖` measured against the *original* Laplacian.
+    pub residual: f64,
+    /// Which method produced the answer.
+    pub method: FiedlerMethod,
+}
+
+/// The pseudo-inverse action `y = P L⁺ P x` implemented by conjugate
+/// gradients, exposed as a [`LinearOperator`] so Lanczos can consume it.
+pub struct LaplacianPseudoInverse<'a> {
+    laplacian: &'a CsrMatrix,
+    cg_opts: CgOptions,
+}
+
+impl<'a> LaplacianPseudoInverse<'a> {
+    /// Wrap a Laplacian. `tolerance` is the inner CG tolerance, which must
+    /// be tighter than the outer Lanczos tolerance for residuals to settle.
+    pub fn new(laplacian: &'a CsrMatrix, tolerance: f64) -> Self {
+        LaplacianPseudoInverse {
+            laplacian,
+            cg_opts: CgOptions {
+                tolerance,
+                max_iterations: None,
+                deflate_mean: true,
+            },
+        }
+    }
+}
+
+impl LinearOperator for LaplacianPseudoInverse<'_> {
+    fn dim(&self) -> usize {
+        self.laplacian.rows()
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        // CG with mean deflation computes L⁺ applied to the centred input.
+        let out = cg::solve(self.laplacian, x, &self.cg_opts)
+            .expect("inner CG solve failed: Laplacian not PSD or graph disconnected");
+        y.copy_from_slice(&out.solution);
+    }
+}
+
+/// Compute the Fiedler pair of a combinatorial Laplacian.
+///
+/// Preconditions (checked): `laplacian` is square, symmetric, has zero row
+/// sums, and represents a **connected** graph — disconnected graphs have
+/// λ₂ = 0 and no meaningful spectral order; connectivity must be verified by
+/// the caller (the graph layer does) and is re-checked here cheaply via the
+/// computed λ₂.
+pub fn fiedler_pair(
+    laplacian: &CsrMatrix,
+    opts: &FiedlerOptions,
+) -> Result<FiedlerPair, LinalgError> {
+    let n = laplacian.rows();
+    if n < 2 {
+        return Err(LinalgError::ProblemTooSmall {
+            dimension: n,
+            minimum: 2,
+        });
+    }
+    laplacian.require_symmetric(1e-9)?;
+    let worst_row_sum = laplacian
+        .row_sums()
+        .into_iter()
+        .fold(0.0f64, |m, s| m.max(s.abs()));
+    if worst_row_sum > 1e-9 {
+        return Err(LinalgError::NonFiniteInput {
+            context: "fiedler_pair: matrix is not a Laplacian (nonzero row sums)",
+        });
+    }
+
+    let (lambda2, mut v) = match opts.method {
+        FiedlerMethod::Dense => dense_fiedler(laplacian)?,
+        FiedlerMethod::ShiftedDirect => shifted_direct_fiedler(laplacian, opts)?,
+        FiedlerMethod::ShiftInvert => shift_invert_fiedler(laplacian, opts)?,
+    };
+
+    // Normalise the representative: zero mean, unit norm, canonical sign.
+    vector::center(&mut v);
+    if vector::normalize(&mut v) == 0.0 {
+        return Err(LinalgError::NonFiniteInput {
+            context: "fiedler_pair: eigenvector collapsed (disconnected graph?)",
+        });
+    }
+    vector::canonicalize_sign(&mut v);
+
+    // True residual against L.
+    let lv = laplacian.matvec(&v)?;
+    let mut r = lv;
+    vector::axpy(-lambda2, &v, &mut r);
+    let residual = vector::norm2(&r);
+
+    Ok(FiedlerPair {
+        lambda2,
+        vector: v,
+        residual,
+        method: opts.method,
+    })
+}
+
+/// The `k` smallest **nonzero** eigenpairs of a connected Laplacian,
+/// ascending: `(λ₂, v₂), (λ₃, v₃), …` — used by the multi-vector spectral
+/// order (tie-breaking on degenerate grids) and by diagnostics.
+///
+/// Implementation: shift-invert Lanczos requesting `k` Ritz pairs of the
+/// deflated pseudo-inverse (whose top-k eigenvalues are `1/λ₂ ≥ … ≥
+/// 1/λ_{k+1}`), with Rayleigh-quotient refinement of each eigenvalue.
+pub fn smallest_nonzero_eigenpairs(
+    laplacian: &CsrMatrix,
+    k: usize,
+    opts: &FiedlerOptions,
+) -> Result<Vec<(f64, Vec<f64>)>, LinalgError> {
+    let n = laplacian.rows();
+    if n < k + 1 {
+        return Err(LinalgError::ProblemTooSmall {
+            dimension: n,
+            minimum: k + 1,
+        });
+    }
+    laplacian.require_symmetric(1e-9)?;
+    if k == 0 {
+        return Ok(vec![]);
+    }
+    if opts.method == FiedlerMethod::Dense {
+        let eig = tql::symmetric_eigen(&laplacian.to_dense())?;
+        return Ok((1..=k)
+            .map(|i| {
+                let mut v = eig.eigenvector(i);
+                vector::center(&mut v);
+                vector::normalize(&mut v);
+                vector::canonicalize_sign(&mut v);
+                (eig.eigenvalues[i], v)
+            })
+            .collect());
+    }
+    let inner_tol = (opts.tolerance * 1e-3).max(1e-14);
+    let pinv = LaplacianPseudoInverse::new(laplacian, inner_tol);
+    let ones = vec![ones_direction(n)];
+    let deflated = DeflatedOperator::new(&pinv, &ones);
+    let lopts = lanczos::LanczosOptions {
+        num_eigenpairs: k,
+        tolerance: opts.tolerance,
+        seed: opts.seed,
+        max_subspace: Some(opts.max_subspace.unwrap_or((n - 1).min(40 + 8 * k))),
+        deflation: vec![ones_direction(n)],
+    };
+    let res = lanczos::largest_eigenpairs(&deflated, &lopts)?;
+    // Ritz pairs come descending in 1/λ, i.e. ascending in λ — keep order,
+    // refine eigenvalues, normalise representatives.
+    let mut out = Vec::with_capacity(k);
+    for mut v in res.eigenvectors {
+        vector::center(&mut v);
+        if vector::normalize(&mut v) == 0.0 {
+            return Err(LinalgError::NonFiniteInput {
+                context: "smallest_nonzero_eigenpairs: collapsed Ritz vector",
+            });
+        }
+        vector::canonicalize_sign(&mut v);
+        let lambda = laplacian.rayleigh_quotient(&v);
+        out.push((lambda, v));
+    }
+    out.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite eigenvalues"));
+    Ok(out)
+}
+
+fn dense_fiedler(laplacian: &CsrMatrix) -> Result<(f64, Vec<f64>), LinalgError> {
+    let eig = tql::symmetric_eigen(&laplacian.to_dense())?;
+    Ok((eig.eigenvalues[1], eig.eigenvector(1)))
+}
+
+fn shifted_direct_fiedler(
+    laplacian: &CsrMatrix,
+    opts: &FiedlerOptions,
+) -> Result<(f64, Vec<f64>), LinalgError> {
+    let n = laplacian.rows();
+    let c = laplacian.gershgorin_upper_bound() + 1.0;
+    let shifted = ShiftedOperator::new(laplacian, c, -1.0);
+    let lopts = LanczosOptions {
+        num_eigenpairs: 1,
+        tolerance: opts.tolerance,
+        seed: opts.seed,
+        max_subspace: Some(opts.max_subspace.unwrap_or(n.min(300))),
+        deflation: vec![ones_direction(n)],
+    };
+    let (mu, v) = lanczos::largest_eigenpair(&shifted, &lopts)?;
+    Ok((c - mu, v))
+}
+
+fn shift_invert_fiedler(
+    laplacian: &CsrMatrix,
+    opts: &FiedlerOptions,
+) -> Result<(f64, Vec<f64>), LinalgError> {
+    let n = laplacian.rows();
+    let inner_tol = (opts.tolerance * 1e-3).max(1e-14);
+    let pinv = LaplacianPseudoInverse::new(laplacian, inner_tol);
+    let ones = vec![ones_direction(n)];
+    let deflated = DeflatedOperator::new(&pinv, &ones);
+    let lopts = LanczosOptions {
+        num_eigenpairs: 1,
+        tolerance: opts.tolerance,
+        seed: opts.seed,
+        max_subspace: Some(opts.max_subspace.unwrap_or(n.min(80))),
+        deflation: vec![ones_direction(n)],
+    };
+    let (theta, v) = lanczos::largest_eigenpair(&deflated, &lopts)?;
+    if theta <= 0.0 {
+        return Err(LinalgError::NotPositiveDefinite { curvature: theta });
+    }
+    // Refine λ₂ with a Rayleigh quotient against the true Laplacian (the
+    // Lanczos value 1/θ inherits inner-solve error).
+    let lambda2 = laplacian.rayleigh_quotient(&v);
+    Ok((lambda2, v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_laplacian(n: usize) -> CsrMatrix {
+        let mut t = Vec::new();
+        for i in 0..n {
+            let deg = if i == 0 || i == n - 1 { 1.0 } else { 2.0 };
+            t.push((i, i, deg));
+            if i + 1 < n {
+                t.push((i, i + 1, -1.0));
+                t.push((i + 1, i, -1.0));
+            }
+        }
+        CsrMatrix::from_triplets(n, n, &t).unwrap()
+    }
+
+    fn cycle_laplacian(n: usize) -> CsrMatrix {
+        let mut t = Vec::new();
+        for i in 0..n {
+            t.push((i, i, 2.0));
+            let j = (i + 1) % n;
+            t.push((i, j, -1.0));
+            t.push((j, i, -1.0));
+        }
+        CsrMatrix::from_triplets(n, n, &t).unwrap()
+    }
+
+    fn expected_path_lambda2(n: usize) -> f64 {
+        4.0 * (std::f64::consts::PI / (2.0 * n as f64)).sin().powi(2)
+    }
+
+    #[test]
+    fn all_methods_agree_on_path() {
+        let n = 16;
+        let lap = path_laplacian(n);
+        let expect = expected_path_lambda2(n);
+        for method in [
+            FiedlerMethod::Dense,
+            FiedlerMethod::ShiftedDirect,
+            FiedlerMethod::ShiftInvert,
+        ] {
+            let opts = FiedlerOptions {
+                method,
+                ..Default::default()
+            };
+            let pair = fiedler_pair(&lap, &opts).unwrap();
+            assert!(
+                (pair.lambda2 - expect).abs() < 1e-7,
+                "{method:?}: lambda2 {} vs {}",
+                pair.lambda2,
+                expect
+            );
+            assert!(pair.residual < 1e-6, "{method:?}: residual {}", pair.residual);
+        }
+    }
+
+    #[test]
+    fn fiedler_vector_of_path_is_monotone() {
+        // The path's Fiedler vector is cos(π(i+0.5)/n): strictly monotone,
+        // so the spectral order recovers the path order (or its reverse).
+        let lap = path_laplacian(10);
+        let pair = fiedler_pair(&lap, &FiedlerOptions::default()).unwrap();
+        let v = &pair.vector;
+        let increasing = v.windows(2).all(|w| w[1] > w[0]);
+        let decreasing = v.windows(2).all(|w| w[1] < w[0]);
+        assert!(increasing || decreasing, "vector {:?} not monotone", v);
+    }
+
+    #[test]
+    fn cycle_lambda2_known_value() {
+        // Cycle C_n: λ₂ = 2 − 2cos(2π/n), multiplicity 2.
+        let n = 12;
+        let lap = cycle_laplacian(n);
+        let expect = 2.0 - 2.0 * (2.0 * std::f64::consts::PI / n as f64).cos();
+        for method in [FiedlerMethod::Dense, FiedlerMethod::ShiftInvert] {
+            let pair = fiedler_pair(
+                &lap,
+                &FiedlerOptions {
+                    method,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            assert!(
+                (pair.lambda2 - expect).abs() < 1e-7,
+                "{method:?}: {} vs {expect}",
+                pair.lambda2
+            );
+            assert!(pair.residual < 1e-6);
+        }
+    }
+
+    #[test]
+    fn vector_is_centered_unit_sign_canonical() {
+        let lap = path_laplacian(9);
+        let pair = fiedler_pair(&lap, &FiedlerOptions::default()).unwrap();
+        assert!(vector::mean(&pair.vector).abs() < 1e-10);
+        assert!((vector::norm2(&pair.vector) - 1.0).abs() < 1e-10);
+        let mut copy = pair.vector.clone();
+        vector::canonicalize_sign(&mut copy);
+        assert_eq!(copy, pair.vector);
+    }
+
+    #[test]
+    fn complete_graph_lambda2_is_n() {
+        // K_n has λ₂ = n.
+        let n = 6;
+        let mut t = Vec::new();
+        for i in 0..n {
+            t.push((i, i, (n - 1) as f64));
+            for j in 0..n {
+                if i != j {
+                    t.push((i, j, -1.0));
+                }
+            }
+        }
+        let lap = CsrMatrix::from_triplets(n, n, &t).unwrap();
+        let pair = fiedler_pair(&lap, &FiedlerOptions::default()).unwrap();
+        assert!((pair.lambda2 - n as f64).abs() < 1e-7);
+    }
+
+    #[test]
+    fn rejects_tiny_problems() {
+        let lap = CsrMatrix::from_diagonal(&[0.0]);
+        assert!(matches!(
+            fiedler_pair(&lap, &FiedlerOptions::default()),
+            Err(LinalgError::ProblemTooSmall { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_non_laplacian() {
+        let m = CsrMatrix::from_diagonal(&[1.0, 2.0, 3.0]);
+        assert!(fiedler_pair(&m, &FiedlerOptions::default()).is_err());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let lap = path_laplacian(20);
+        let a = fiedler_pair(&lap, &FiedlerOptions::default()).unwrap();
+        let b = fiedler_pair(&lap, &FiedlerOptions::default()).unwrap();
+        assert_eq!(a.vector, b.vector);
+        assert_eq!(a.lambda2, b.lambda2);
+    }
+
+    #[test]
+    fn smallest_nonzero_pairs_match_dense() {
+        let n = 14;
+        let lap = path_laplacian(n);
+        let iterative =
+            smallest_nonzero_eigenpairs(&lap, 3, &FiedlerOptions::default()).unwrap();
+        let dense = smallest_nonzero_eigenpairs(
+            &lap,
+            3,
+            &FiedlerOptions {
+                method: FiedlerMethod::Dense,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(iterative.len(), 3);
+        for i in 0..3 {
+            let expect = 4.0
+                * (std::f64::consts::PI * (i + 1) as f64 / (2.0 * n as f64))
+                    .sin()
+                    .powi(2);
+            assert!(
+                (iterative[i].0 - expect).abs() < 1e-7,
+                "iterative pair {i}: {} vs {expect}",
+                iterative[i].0
+            );
+            assert!((dense[i].0 - expect).abs() < 1e-8);
+            // Both representatives are genuine eigenvectors.
+            for (lambda, v) in [&iterative[i], &dense[i]] {
+                let lv = lap.matvec(v).unwrap();
+                let mut r = lv;
+                vector::axpy(-lambda, v, &mut r);
+                assert!(vector::norm2(&r) < 1e-6, "pair {i} residual");
+            }
+        }
+        // Ascending order.
+        assert!(iterative[0].0 <= iterative[1].0);
+        assert!(iterative[1].0 <= iterative[2].0);
+    }
+
+    #[test]
+    fn smallest_nonzero_pairs_edge_cases() {
+        let lap = path_laplacian(4);
+        assert!(smallest_nonzero_eigenpairs(&lap, 0, &FiedlerOptions::default())
+            .unwrap()
+            .is_empty());
+        assert!(smallest_nonzero_eigenpairs(&lap, 4, &FiedlerOptions::default()).is_err());
+    }
+
+    #[test]
+    fn weighted_laplacian_supported() {
+        // Two nodes joined by weight-5 edge: L = [[5,-5],[-5,5]], λ₂ = 10.
+        let lap =
+            CsrMatrix::from_triplets(2, 2, &[(0, 0, 5.0), (0, 1, -5.0), (1, 0, -5.0), (1, 1, 5.0)])
+                .unwrap();
+        let pair = fiedler_pair(
+            &lap,
+            &FiedlerOptions {
+                method: FiedlerMethod::Dense,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!((pair.lambda2 - 10.0).abs() < 1e-9);
+    }
+}

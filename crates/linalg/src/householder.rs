@@ -1,0 +1,237 @@
+//! Householder tridiagonalisation of dense symmetric matrices.
+//!
+//! This is the first half of the classic dense symmetric eigensolver
+//! (EISPACK's `tred2`, as presented in Numerical Recipes and Golub & Van
+//! Loan §8.3): an orthogonal similarity `QᵀAQ = T` reducing `A` to a
+//! symmetric tridiagonal `T`, with the accumulated transform `Q` kept so
+//! eigenvectors of `T` can be mapped back to eigenvectors of `A`.
+
+use crate::dense::DenseMatrix;
+use crate::error::LinalgError;
+
+/// Result of a tridiagonalisation: `QᵀAQ = tridiag(off, diag, off)`.
+#[derive(Debug, Clone)]
+pub struct Tridiagonal {
+    /// Main diagonal of `T`, length `n`.
+    pub diag: Vec<f64>,
+    /// Sub/super-diagonal of `T`, length `n` with `off[0] == 0` (the
+    /// EISPACK convention: `off[i]` couples rows `i-1` and `i`).
+    pub off: Vec<f64>,
+    /// The accumulated orthogonal transform, column `j` of `q` is the image
+    /// of the `j`-th tridiagonal basis vector in the original space.
+    pub q: DenseMatrix,
+}
+
+/// Reduce a symmetric matrix to tridiagonal form with accumulated `Q`.
+///
+/// The input must be square and symmetric (checked up to `1e-10` relative
+/// to the Frobenius norm).
+pub fn tridiagonalize(a: &DenseMatrix) -> Result<Tridiagonal, LinalgError> {
+    let n = a.rows();
+    if a.cols() != n {
+        return Err(LinalgError::NotSquare {
+            rows: a.rows(),
+            cols: a.cols(),
+        });
+    }
+    let tol = 1e-10 * a.frobenius_norm().max(1.0);
+    a.require_symmetric(tol)?;
+    if !crate::vector::all_finite(a.as_slice()) {
+        return Err(LinalgError::NonFiniteInput {
+            context: "tridiagonalize",
+        });
+    }
+
+    // Work on a copy; `z` ends up holding Q.
+    let mut z = a.clone();
+    let mut d = vec![0.0f64; n];
+    let mut e = vec![0.0f64; n];
+
+    // Householder reduction (tred2, Numerical Recipes in C §11.2, adapted
+    // to 0-based indexing).
+    for i in (1..n).rev() {
+        let l = i - 1;
+        let mut h = 0.0f64;
+        let mut scale = 0.0f64;
+        if l > 0 {
+            for k in 0..=l {
+                scale += z.get(i, k).abs();
+            }
+            if scale == 0.0 {
+                e[i] = z.get(i, l);
+            } else {
+                for k in 0..=l {
+                    let v = z.get(i, k) / scale;
+                    z.set(i, k, v);
+                    h += v * v;
+                }
+                let mut f = z.get(i, l);
+                let g = if f >= 0.0 { -h.sqrt() } else { h.sqrt() };
+                e[i] = scale * g;
+                h -= f * g;
+                z.set(i, l, f - g);
+                f = 0.0;
+                for j in 0..=l {
+                    z.set(j, i, z.get(i, j) / h);
+                    let mut g = 0.0;
+                    for k in 0..=j {
+                        g += z.get(j, k) * z.get(i, k);
+                    }
+                    for k in j + 1..=l {
+                        g += z.get(k, j) * z.get(i, k);
+                    }
+                    e[j] = g / h;
+                    f += e[j] * z.get(i, j);
+                }
+                let hh = f / (h + h);
+                for j in 0..=l {
+                    let f = z.get(i, j);
+                    let g = e[j] - hh * f;
+                    e[j] = g;
+                    for k in 0..=j {
+                        let v = z.get(j, k) - (f * e[k] + g * z.get(i, k));
+                        z.set(j, k, v);
+                    }
+                }
+            }
+        } else {
+            e[i] = z.get(i, l);
+        }
+        d[i] = h;
+    }
+
+    d[0] = 0.0;
+    e[0] = 0.0;
+    // Accumulate transformation matrices.
+    for i in 0..n {
+        if d[i] != 0.0 {
+            for j in 0..i {
+                let mut g = 0.0;
+                for k in 0..i {
+                    g += z.get(i, k) * z.get(k, j);
+                }
+                for k in 0..i {
+                    let v = z.get(k, j) - g * z.get(k, i);
+                    z.set(k, j, v);
+                }
+            }
+        }
+        d[i] = z.get(i, i);
+        z.set(i, i, 1.0);
+        for j in 0..i {
+            z.set(j, i, 0.0);
+            z.set(i, j, 0.0);
+        }
+    }
+
+    Ok(Tridiagonal { diag: d, off: e, q: z })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vector;
+
+    fn reconstruct(t: &Tridiagonal) -> DenseMatrix {
+        // A = Q T Qᵀ
+        let n = t.diag.len();
+        let mut tm = DenseMatrix::zeros(n, n);
+        for i in 0..n {
+            tm.set(i, i, t.diag[i]);
+            if i > 0 {
+                tm.set(i, i - 1, t.off[i]);
+                tm.set(i - 1, i, t.off[i]);
+            }
+        }
+        t.q.matmul(&tm).unwrap().matmul(&t.q.transpose()).unwrap()
+    }
+
+    fn assert_close(a: &DenseMatrix, b: &DenseMatrix, tol: f64) {
+        assert_eq!(a.rows(), b.rows());
+        for i in 0..a.rows() {
+            for j in 0..a.cols() {
+                assert!(
+                    (a.get(i, j) - b.get(i, j)).abs() < tol,
+                    "mismatch at ({i},{j}): {} vs {}",
+                    a.get(i, j),
+                    b.get(i, j)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tridiagonal_matrix_is_unchanged() {
+        let a = DenseMatrix::from_rows(&[
+            vec![2.0, -1.0, 0.0],
+            vec![-1.0, 2.0, -1.0],
+            vec![0.0, -1.0, 2.0],
+        ])
+        .unwrap();
+        let t = tridiagonalize(&a).unwrap();
+        assert_close(&reconstruct(&t), &a, 1e-12);
+    }
+
+    #[test]
+    fn dense_symmetric_reconstructs() {
+        let a = DenseMatrix::from_rows(&[
+            vec![4.0, 1.0, -2.0, 2.0],
+            vec![1.0, 2.0, 0.0, 1.0],
+            vec![-2.0, 0.0, 3.0, -2.0],
+            vec![2.0, 1.0, -2.0, -1.0],
+        ])
+        .unwrap();
+        let t = tridiagonalize(&a).unwrap();
+        assert_close(&reconstruct(&t), &a, 1e-10);
+    }
+
+    #[test]
+    fn q_is_orthogonal() {
+        let a = DenseMatrix::from_rows(&[
+            vec![4.0, 1.0, -2.0, 2.0],
+            vec![1.0, 2.0, 0.0, 1.0],
+            vec![-2.0, 0.0, 3.0, -2.0],
+            vec![2.0, 1.0, -2.0, -1.0],
+        ])
+        .unwrap();
+        let t = tridiagonalize(&a).unwrap();
+        let qtq = t.q.transpose().matmul(&t.q).unwrap();
+        assert_close(&qtq, &DenseMatrix::identity(4), 1e-12);
+    }
+
+    #[test]
+    fn random_matrices_reconstruct() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        for n in [1usize, 2, 3, 5, 8, 13] {
+            let mut a = DenseMatrix::zeros(n, n);
+            for i in 0..n {
+                for j in 0..=i {
+                    let v = rng.gen_range(-1.0..1.0);
+                    a.set(i, j, v);
+                    a.set(j, i, v);
+                }
+            }
+            let t = tridiagonalize(&a).unwrap();
+            assert_close(&reconstruct(&t), &a, 1e-9 * (n as f64));
+            assert!(vector::all_finite(&t.diag));
+            assert!(vector::all_finite(&t.off));
+            assert_eq!(t.off[0], 0.0);
+        }
+    }
+
+    #[test]
+    fn rejects_nonsquare_and_asymmetric() {
+        let ns = DenseMatrix::zeros(2, 3);
+        assert!(tridiagonalize(&ns).is_err());
+        let asym = DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![0.0, 1.0]]).unwrap();
+        assert!(tridiagonalize(&asym).is_err());
+    }
+
+    #[test]
+    fn one_by_one() {
+        let a = DenseMatrix::from_rows(&[vec![5.0]]).unwrap();
+        let t = tridiagonalize(&a).unwrap();
+        assert_eq!(t.diag, vec![5.0]);
+    }
+}

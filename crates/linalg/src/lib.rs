@@ -1,0 +1,68 @@
+//! Dense and sparse symmetric linear algebra for the Spectral LPM reproduction.
+//!
+//! The ICDE 2003 paper reduces locality-preserving mapping to one numerical
+//! problem: *find the second-smallest eigenvalue λ₂ and its eigenvector (the
+//! Fiedler vector) of a graph Laplacian*. Mature sparse eigensolver crates
+//! are not available in this environment, so this crate implements the whole
+//! numerical substrate from scratch:
+//!
+//! * [`vector`] — primitive kernels on `&[f64]` slices (dot, axpy, norms,
+//!   projections) shared by every solver.
+//! * [`dense`] — a row-major dense matrix with symmetric helpers.
+//! * [`sparse`] — a compressed-sparse-row (CSR) symmetric matrix, the format
+//!   in which graph Laplacians are materialised.
+//! * [`operator`] — the [`operator::LinearOperator`] abstraction that lets
+//!   Lanczos and CG run on dense matrices, CSR matrices, or composed
+//!   operators (shifted, projected, inverted) without copies.
+//! * [`householder`] + [`tql`] — the classic dense symmetric eigensolver
+//!   pipeline (tridiagonalise, then implicit-shift QL), used directly for
+//!   small problems and to solve the Lanczos Ritz problem.
+//! * [`jacobi`] — a cyclic Jacobi eigensolver used as an independent
+//!   cross-check in tests.
+//! * [`cg`] — conjugate gradients for SPD (optionally deflated) systems.
+//! * [`lanczos`] — Lanczos iteration with full reorthogonalisation.
+//! * [`fiedler`] — the high-level entry point: compute the Fiedler pair of a
+//!   Laplacian by shift-invert Lanczos (default), shifted direct Lanczos, or
+//!   the dense path.
+//!
+//! All algorithms are deterministic given the caller-supplied RNG seed.
+//!
+//! ```
+//! use slpm_linalg::sparse::CsrMatrix;
+//! use slpm_linalg::fiedler::{fiedler_pair, FiedlerOptions};
+//!
+//! // Path graph 0—1—2 Laplacian; its Fiedler value is 1.
+//! let lap = CsrMatrix::from_triplets(3, 3, &[
+//!     (0, 0, 1.0), (0, 1, -1.0),
+//!     (1, 0, -1.0), (1, 1, 2.0), (1, 2, -1.0),
+//!     (2, 1, -1.0), (2, 2, 1.0),
+//! ]).unwrap();
+//! let pair = fiedler_pair(&lap, &FiedlerOptions::default()).unwrap();
+//! assert!((pair.lambda2 - 1.0).abs() < 1e-9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bisection;
+pub mod cg;
+pub mod dense;
+pub mod error;
+pub mod fiedler;
+pub mod householder;
+pub mod jacobi;
+pub mod lanczos;
+pub mod operator;
+pub mod pcg;
+pub mod power;
+pub mod sparse;
+pub mod tql;
+pub mod vector;
+
+pub use cg::{CgOptions, CgOutcome};
+pub use dense::DenseMatrix;
+pub use error::LinalgError;
+pub use fiedler::{FiedlerMethod, FiedlerOptions, FiedlerPair};
+pub use lanczos::{LanczosOptions, LanczosResult};
+pub use operator::LinearOperator;
+pub use sparse::CsrMatrix;

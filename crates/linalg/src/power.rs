@@ -1,0 +1,277 @@
+//! Power iteration and deflated inverse iteration.
+//!
+//! The simplest possible eigensolvers, kept for three reasons: they give an
+//! independent correctness oracle for Lanczos; they are the textbook
+//! baseline the `ablation_eigensolver` bench compares against; and inverse
+//! iteration is the standard way to *refine* an eigenvector once its
+//! eigenvalue is known to a few digits.
+
+use crate::cg::{self, CgOptions};
+use crate::error::LinalgError;
+use crate::operator::LinearOperator;
+use crate::vector;
+use rand::SeedableRng;
+
+/// Options shared by the simple iterations.
+#[derive(Debug, Clone)]
+pub struct PowerOptions {
+    /// Convergence tolerance on the eigen-residual `‖Av − λv‖`.
+    pub tolerance: f64,
+    /// Iteration cap.
+    pub max_iterations: usize,
+    /// RNG seed for the start vector.
+    pub seed: u64,
+    /// Directions to deflate (confine the iteration to their complement).
+    pub deflation: Vec<Vec<f64>>,
+}
+
+impl Default for PowerOptions {
+    fn default() -> Self {
+        PowerOptions {
+            tolerance: 1e-9,
+            max_iterations: 10_000,
+            seed: 0x90BE_EF01,
+            deflation: Vec::new(),
+        }
+    }
+}
+
+/// Result of a simple iteration.
+#[derive(Debug, Clone)]
+pub struct PowerResult {
+    /// Converged eigenvalue (Rayleigh quotient at exit).
+    pub eigenvalue: f64,
+    /// Unit eigenvector.
+    pub eigenvector: Vec<f64>,
+    /// Iterations used.
+    pub iterations: usize,
+    /// Final residual `‖Av − λv‖`.
+    pub residual: f64,
+}
+
+/// Power iteration: converges to the eigenvalue of largest magnitude (of
+/// the deflated operator).
+pub fn power_iteration<A: LinearOperator + ?Sized>(
+    a: &A,
+    opts: &PowerOptions,
+) -> Result<PowerResult, LinalgError> {
+    let n = a.dim();
+    if n == 0 {
+        return Err(LinalgError::ProblemTooSmall {
+            dimension: 0,
+            minimum: 1,
+        });
+    }
+    let mut rng = rand::rngs::StdRng::seed_from_u64(opts.seed);
+    let mut v = vec![0.0; n];
+    vector::fill_random(&mut rng, &mut v);
+    for d in &opts.deflation {
+        vector::project_out(d, &mut v);
+    }
+    if vector::normalize(&mut v) == 0.0 {
+        return Err(LinalgError::NonFiniteInput {
+            context: "power iteration start vector collapsed",
+        });
+    }
+
+    let mut av = vec![0.0; n];
+    for iter in 1..=opts.max_iterations {
+        a.apply(&v, &mut av);
+        for d in &opts.deflation {
+            vector::project_out(d, &mut av);
+        }
+        let lambda = vector::dot(&v, &av);
+        // Residual before the renormalisation step.
+        let mut r = av.clone();
+        vector::axpy(-lambda, &v, &mut r);
+        let residual = vector::norm2(&r);
+        if residual <= opts.tolerance * lambda.abs().max(1.0) {
+            vector::copy(&av, &mut v);
+            if vector::normalize(&mut v) == 0.0 {
+                return Err(LinalgError::NonFiniteInput {
+                    context: "power iteration collapsed",
+                });
+            }
+            vector::canonicalize_sign(&mut v);
+            return Ok(PowerResult {
+                eigenvalue: lambda,
+                eigenvector: v,
+                iterations: iter,
+                residual,
+            });
+        }
+        vector::copy(&av, &mut v);
+        if vector::normalize(&mut v) == 0.0 {
+            return Err(LinalgError::NonFiniteInput {
+                context: "power iteration collapsed",
+            });
+        }
+    }
+    Err(LinalgError::NoConvergence {
+        solver: "power iteration",
+        iterations: opts.max_iterations,
+        residual: f64::NAN,
+        tolerance: opts.tolerance,
+    })
+}
+
+/// Deflated inverse iteration on a singular Laplacian: each step solves
+/// `L w = v` restricted to the zero-mean subspace (CG), converging to the
+/// eigenvector of the **smallest nonzero** eigenvalue — the Fiedler vector.
+///
+/// Convergence rate is `λ₂/λ₃` per step, so this is the slow-but-simple
+/// oracle; the production path is shift-invert Lanczos.
+pub fn fiedler_by_inverse_iteration<A: LinearOperator + ?Sized>(
+    laplacian: &A,
+    opts: &PowerOptions,
+) -> Result<PowerResult, LinalgError> {
+    let n = laplacian.dim();
+    if n < 2 {
+        return Err(LinalgError::ProblemTooSmall {
+            dimension: n,
+            minimum: 2,
+        });
+    }
+    let mut rng = rand::rngs::StdRng::seed_from_u64(opts.seed);
+    let mut v = vec![0.0; n];
+    vector::fill_random(&mut rng, &mut v);
+    vector::center(&mut v);
+    if vector::normalize(&mut v) == 0.0 {
+        return Err(LinalgError::NonFiniteInput {
+            context: "inverse iteration start vector collapsed",
+        });
+    }
+
+    let cg_opts = CgOptions {
+        tolerance: (opts.tolerance * 1e-2).max(1e-14),
+        deflate_mean: true,
+        max_iterations: None,
+    };
+    let mut av = vec![0.0; n];
+    for iter in 1..=opts.max_iterations {
+        let solved = cg::solve(laplacian, &v, &cg_opts)?;
+        v = solved.solution;
+        vector::center(&mut v);
+        if vector::normalize(&mut v) == 0.0 {
+            return Err(LinalgError::NonFiniteInput {
+                context: "inverse iteration collapsed",
+            });
+        }
+        // Rayleigh quotient and residual against the *original* operator.
+        laplacian.apply(&v, &mut av);
+        let lambda = vector::dot(&v, &av);
+        let mut r = av.clone();
+        vector::axpy(-lambda, &v, &mut r);
+        let residual = vector::norm2(&r);
+        if residual <= opts.tolerance * lambda.abs().max(1.0) {
+            vector::canonicalize_sign(&mut v);
+            return Ok(PowerResult {
+                eigenvalue: lambda,
+                eigenvector: v,
+                iterations: iter,
+                residual,
+            });
+        }
+    }
+    Err(LinalgError::NoConvergence {
+        solver: "inverse iteration",
+        iterations: opts.max_iterations,
+        residual: f64::NAN,
+        tolerance: opts.tolerance,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::ones_direction;
+    use crate::sparse::CsrMatrix;
+
+    fn path_laplacian(n: usize) -> CsrMatrix {
+        let mut t = Vec::new();
+        for i in 0..n {
+            let deg = if i == 0 || i == n - 1 { 1.0 } else { 2.0 };
+            t.push((i, i, deg));
+            if i + 1 < n {
+                t.push((i, i + 1, -1.0));
+                t.push((i + 1, i, -1.0));
+            }
+        }
+        CsrMatrix::from_triplets(n, n, &t).unwrap()
+    }
+
+    #[test]
+    fn power_finds_dominant_of_diagonal() {
+        let d = CsrMatrix::from_diagonal(&[1.0, -7.0, 3.0]);
+        let r = power_iteration(&d, &PowerOptions::default()).unwrap();
+        assert!((r.eigenvalue + 7.0).abs() < 1e-7);
+        assert!(r.eigenvector[1].abs() > 0.999);
+    }
+
+    #[test]
+    fn power_with_deflation_finds_second() {
+        let d = CsrMatrix::from_diagonal(&[5.0, 3.0, 1.0]);
+        // Deflate e0 → dominant becomes 3.
+        let mut e0 = vec![0.0; 3];
+        e0[0] = 1.0;
+        let opts = PowerOptions {
+            deflation: vec![e0],
+            ..Default::default()
+        };
+        let r = power_iteration(&d, &opts).unwrap();
+        assert!((r.eigenvalue - 3.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn inverse_iteration_finds_fiedler() {
+        let n = 12;
+        let lap = path_laplacian(n);
+        let r = fiedler_by_inverse_iteration(&lap, &PowerOptions::default()).unwrap();
+        let expect = 4.0 * (std::f64::consts::PI / (2.0 * n as f64)).sin().powi(2);
+        assert!((r.eigenvalue - expect).abs() < 1e-7, "{} vs {expect}", r.eigenvalue);
+        assert!(r.residual < 1e-7);
+        // Orthogonal to the kernel.
+        let ones = ones_direction(n);
+        assert!(vector::dot(&ones, &r.eigenvector).abs() < 1e-7);
+    }
+
+    #[test]
+    fn inverse_iteration_matches_lanczos_fiedler() {
+        let lap = path_laplacian(20);
+        let inv = fiedler_by_inverse_iteration(&lap, &PowerOptions::default()).unwrap();
+        let pair = crate::fiedler::fiedler_pair(&lap, &Default::default()).unwrap();
+        assert!((inv.eigenvalue - pair.lambda2).abs() < 1e-7);
+        // Same vector up to sign (λ₂ of a path is simple); both are
+        // sign-canonicalised, so they agree directly.
+        for i in 0..20 {
+            assert!(
+                (inv.eigenvector[i] - pair.vector[i]).abs() < 1e-5,
+                "component {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_empty_and_tiny() {
+        let d = CsrMatrix::from_diagonal(&[]);
+        assert!(power_iteration(&d, &PowerOptions::default()).is_err());
+        let one = CsrMatrix::from_diagonal(&[1.0]);
+        assert!(fiedler_by_inverse_iteration(&one, &PowerOptions::default()).is_err());
+    }
+
+    #[test]
+    fn iteration_cap_is_enforced() {
+        // Two nearly-equal dominant eigenvalues make power iteration slow;
+        // with a cap of 1 it must fail rather than spin.
+        let d = CsrMatrix::from_diagonal(&[1.0, 0.999999, 0.5]);
+        let opts = PowerOptions {
+            max_iterations: 1,
+            tolerance: 1e-14,
+            ..Default::default()
+        };
+        assert!(matches!(
+            power_iteration(&d, &opts),
+            Err(LinalgError::NoConvergence { .. })
+        ));
+    }
+}

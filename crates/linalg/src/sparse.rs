@@ -1,0 +1,370 @@
+//! Compressed sparse row (CSR) matrices.
+//!
+//! Graph Laplacians of k-dimensional grids have ≤ 2k+1 nonzeros per row, so
+//! CSR is the natural storage: one `matvec` is a single pass over two flat
+//! arrays. Construction goes through a coordinate (triplet) accumulator that
+//! sorts, merges duplicates, and drops explicit zeros, which is exactly what
+//! building `L = D − A` from an edge list produces.
+
+use crate::error::LinalgError;
+use crate::operator::LinearOperator;
+
+/// A sparse matrix in compressed-sparse-row format.
+///
+/// Invariants (enforced by all constructors):
+/// * `row_ptr.len() == rows + 1`, `row_ptr[0] == 0`,
+///   `row_ptr[rows] == col_idx.len() == values.len()`;
+/// * within each row, column indices are strictly increasing;
+/// * all column indices are `< cols`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Build from coordinate triplets `(row, col, value)`.
+    ///
+    /// Duplicate coordinates are summed; entries that sum to exactly zero
+    /// are kept (callers may rely on structural nonzeros), but triplets with
+    /// value `0.0` are dropped up front.
+    pub fn from_triplets(
+        rows: usize,
+        cols: usize,
+        triplets: &[(usize, usize, f64)],
+    ) -> Result<Self, LinalgError> {
+        for &(r, c, v) in triplets {
+            if r >= rows {
+                return Err(LinalgError::DimensionMismatch {
+                    context: "CsrMatrix::from_triplets row index",
+                    expected: rows,
+                    found: r,
+                });
+            }
+            if c >= cols {
+                return Err(LinalgError::DimensionMismatch {
+                    context: "CsrMatrix::from_triplets col index",
+                    expected: cols,
+                    found: c,
+                });
+            }
+            if !v.is_finite() {
+                return Err(LinalgError::NonFiniteInput {
+                    context: "CsrMatrix::from_triplets",
+                });
+            }
+        }
+        let mut sorted: Vec<(usize, usize, f64)> = triplets
+            .iter()
+            .copied()
+            .filter(|&(_, _, v)| v != 0.0)
+            .collect();
+        sorted.sort_unstable_by_key(|a| (a.0, a.1));
+
+        let mut row_ptr = vec![0usize; rows + 1];
+        let mut col_idx: Vec<usize> = Vec::with_capacity(sorted.len());
+        let mut values: Vec<f64> = Vec::with_capacity(sorted.len());
+        let mut last: Option<(usize, usize)> = None;
+        for &(r, c, v) in &sorted {
+            if last == Some((r, c)) {
+                // Duplicate coordinate: accumulate into the previous entry.
+                *values.last_mut().expect("duplicate implies prior entry") += v;
+                continue;
+            }
+            col_idx.push(c);
+            values.push(v);
+            row_ptr[r + 1] += 1;
+            last = Some((r, c));
+        }
+        // Turn per-row counts into cumulative offsets.
+        for i in 0..rows {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        Ok(CsrMatrix {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        })
+    }
+
+    /// Build a diagonal matrix from its diagonal entries.
+    pub fn from_diagonal(diag: &[f64]) -> Self {
+        let n = diag.len();
+        let triplets: Vec<_> = diag
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (i, i, v))
+            .collect();
+        // Constructing from in-range triplets cannot fail.
+        Self::from_triplets(n, n, &triplets).expect("diagonal triplets are in range")
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Iterate over `(col, value)` pairs of row `i`.
+    pub fn row_iter(&self, i: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let lo = self.row_ptr[i];
+        let hi = self.row_ptr[i + 1];
+        self.col_idx[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.values[lo..hi].iter().copied())
+    }
+
+    /// Value at `(i, j)` (0 if not stored). Binary search within the row.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        let lo = self.row_ptr[i];
+        let hi = self.row_ptr[i + 1];
+        match self.col_idx[lo..hi].binary_search(&j) {
+            Ok(k) => self.values[lo + k],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// `y = A x` into a caller-provided buffer.
+    pub fn matvec_into(&self, x: &[f64], y: &mut [f64]) {
+        debug_assert_eq!(x.len(), self.cols);
+        debug_assert_eq!(y.len(), self.rows);
+        for i in 0..self.rows {
+            let lo = self.row_ptr[i];
+            let hi = self.row_ptr[i + 1];
+            let mut acc = 0.0;
+            for k in lo..hi {
+                acc += self.values[k] * x[self.col_idx[k]];
+            }
+            y[i] = acc;
+        }
+    }
+
+    /// `y = A x` returning a fresh vector, with dimension checking.
+    pub fn matvec(&self, x: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        if x.len() != self.cols {
+            return Err(LinalgError::DimensionMismatch {
+                context: "CsrMatrix::matvec",
+                expected: self.cols,
+                found: x.len(),
+            });
+        }
+        let mut y = vec![0.0; self.rows];
+        self.matvec_into(x, &mut y);
+        Ok(y)
+    }
+
+    /// Densify (tests / tiny problems only).
+    pub fn to_dense(&self) -> crate::dense::DenseMatrix {
+        let mut m = crate::dense::DenseMatrix::zeros(self.rows, self.cols);
+        for i in 0..self.rows {
+            for (j, v) in self.row_iter(i) {
+                m.set(i, j, v);
+            }
+        }
+        m
+    }
+
+    /// Largest `|a_ij − a_ji|` over stored entries; errors for non-square.
+    pub fn max_asymmetry(&self) -> Result<f64, LinalgError> {
+        if self.rows != self.cols {
+            return Err(LinalgError::NotSquare {
+                rows: self.rows,
+                cols: self.cols,
+            });
+        }
+        let mut worst = 0.0f64;
+        for i in 0..self.rows {
+            for (j, v) in self.row_iter(i) {
+                worst = worst.max((v - self.get(j, i)).abs());
+            }
+        }
+        Ok(worst)
+    }
+
+    /// Verify symmetry within `tol`.
+    pub fn require_symmetric(&self, tol: f64) -> Result<(), LinalgError> {
+        let worst = self.max_asymmetry()?;
+        if worst > tol {
+            Err(LinalgError::NotSymmetric {
+                max_asymmetry: worst,
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Gershgorin upper bound on the spectrum of a symmetric matrix:
+    /// `max_i (a_ii + Σ_{j≠i} |a_ij|)`. For a combinatorial Laplacian this
+    /// equals twice the maximum degree, a cheap and safe shift for turning
+    /// "smallest eigenvalue" problems into "largest eigenvalue" problems.
+    pub fn gershgorin_upper_bound(&self) -> f64 {
+        let mut bound = 0.0f64;
+        for i in 0..self.rows {
+            let mut radius = 0.0;
+            let mut diag = 0.0;
+            for (j, v) in self.row_iter(i) {
+                if j == i {
+                    diag = v;
+                } else {
+                    radius += v.abs();
+                }
+            }
+            bound = bound.max(diag + radius);
+        }
+        bound
+    }
+
+    /// Row sums (for a Laplacian these must all be zero).
+    pub fn row_sums(&self) -> Vec<f64> {
+        (0..self.rows)
+            .map(|i| self.row_iter(i).map(|(_, v)| v).sum())
+            .collect()
+    }
+}
+
+impl LinearOperator for CsrMatrix {
+    fn dim(&self) -> usize {
+        debug_assert_eq!(self.rows, self.cols);
+        self.rows
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        self.matvec_into(x, y);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrMatrix {
+        // [2 -1 0; -1 2 -1; 0 -1 2]
+        CsrMatrix::from_triplets(
+            3,
+            3,
+            &[
+                (0, 0, 2.0),
+                (0, 1, -1.0),
+                (1, 0, -1.0),
+                (1, 1, 2.0),
+                (1, 2, -1.0),
+                (2, 1, -1.0),
+                (2, 2, 2.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_sorts_and_counts() {
+        let m = sample();
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 3);
+        assert_eq!(m.nnz(), 7);
+        assert_eq!(m.get(0, 0), 2.0);
+        assert_eq!(m.get(0, 2), 0.0);
+    }
+
+    #[test]
+    fn duplicate_triplets_are_summed() {
+        let m = CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (0, 0, 2.5), (1, 1, 1.0)]).unwrap();
+        assert_eq!(m.get(0, 0), 3.5);
+        assert_eq!(m.nnz(), 2);
+    }
+
+    #[test]
+    fn zero_triplets_are_dropped() {
+        let m = CsrMatrix::from_triplets(2, 2, &[(0, 1, 0.0), (1, 0, 3.0)]).unwrap();
+        assert_eq!(m.nnz(), 1);
+        assert_eq!(m.get(0, 1), 0.0);
+        assert_eq!(m.get(1, 0), 3.0);
+    }
+
+    #[test]
+    fn out_of_range_triplets_rejected() {
+        assert!(CsrMatrix::from_triplets(2, 2, &[(2, 0, 1.0)]).is_err());
+        assert!(CsrMatrix::from_triplets(2, 2, &[(0, 2, 1.0)]).is_err());
+        assert!(CsrMatrix::from_triplets(2, 2, &[(0, 0, f64::NAN)]).is_err());
+    }
+
+    #[test]
+    fn empty_rows_are_fine() {
+        let m = CsrMatrix::from_triplets(4, 4, &[(0, 0, 1.0), (3, 3, 1.0)]).unwrap();
+        assert_eq!(m.row_iter(1).count(), 0);
+        assert_eq!(m.row_iter(2).count(), 0);
+        let y = m.matvec(&[1.0, 1.0, 1.0, 1.0]).unwrap();
+        assert_eq!(y, vec![1.0, 0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn matvec_matches_dense() {
+        let m = sample();
+        let d = m.to_dense();
+        let x = [1.0, 2.0, 3.0];
+        assert_eq!(m.matvec(&x).unwrap(), d.matvec(&x).unwrap());
+    }
+
+    #[test]
+    fn matvec_rejects_bad_length() {
+        assert!(sample().matvec(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn diagonal_constructor() {
+        let d = CsrMatrix::from_diagonal(&[1.0, 2.0, 3.0]);
+        assert_eq!(d.get(1, 1), 2.0);
+        assert_eq!(d.get(0, 1), 0.0);
+        assert_eq!(d.nnz(), 3);
+    }
+
+    #[test]
+    fn symmetry_and_gershgorin() {
+        let m = sample();
+        m.require_symmetric(0.0).unwrap();
+        // Gershgorin bound of the tridiagonal [−1 2 −1] matrix is 2+2=4.
+        assert_eq!(m.gershgorin_upper_bound(), 4.0);
+
+        let asym = CsrMatrix::from_triplets(2, 2, &[(0, 1, 1.0)]).unwrap();
+        assert!(asym.require_symmetric(1e-12).is_err());
+    }
+
+    #[test]
+    fn row_sums_zero_for_laplacian() {
+        let lap = CsrMatrix::from_triplets(
+            2,
+            2,
+            &[(0, 0, 1.0), (0, 1, -1.0), (1, 0, -1.0), (1, 1, 1.0)],
+        )
+        .unwrap();
+        for s in lap.row_sums() {
+            assert!(s.abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn operator_dim_and_apply() {
+        let m = sample();
+        assert_eq!(LinearOperator::dim(&m), 3);
+        let mut y = vec![0.0; 3];
+        m.apply(&[1.0, 0.0, 0.0], &mut y);
+        assert_eq!(y, vec![2.0, -1.0, 0.0]);
+    }
+}

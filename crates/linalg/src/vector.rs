@@ -1,0 +1,269 @@
+//! Primitive dense-vector kernels.
+//!
+//! Every iterative solver in this crate is built from the handful of
+//! level-1 operations below. They operate on plain `&[f64]` / `&mut [f64]`
+//! slices so callers never pay for a wrapper type, and they all assert
+//! conforming lengths in debug builds (solvers guarantee conformance by
+//! construction, so release builds skip the checks).
+
+/// Dot product `xᵀy`.
+///
+/// # Panics
+/// Debug builds panic if the slices have different lengths.
+#[inline]
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    debug_assert_eq!(x.len(), y.len(), "dot: length mismatch");
+    // Accumulate in chunks of 4 to give LLVM an easy vectorisation shape
+    // while keeping summation order deterministic.
+    let mut acc = [0.0f64; 4];
+    let chunks = x.len() / 4;
+    for c in 0..chunks {
+        let i = c * 4;
+        acc[0] += x[i] * y[i];
+        acc[1] += x[i + 1] * y[i + 1];
+        acc[2] += x[i + 2] * y[i + 2];
+        acc[3] += x[i + 3] * y[i + 3];
+    }
+    let mut tail = 0.0;
+    for i in chunks * 4..x.len() {
+        tail += x[i] * y[i];
+    }
+    acc[0] + acc[1] + acc[2] + acc[3] + tail
+}
+
+/// Euclidean norm `‖x‖₂`.
+#[inline]
+pub fn norm2(x: &[f64]) -> f64 {
+    dot(x, x).sqrt()
+}
+
+/// Infinity norm `max |x_i|` (0 for an empty slice).
+#[inline]
+pub fn norm_inf(x: &[f64]) -> f64 {
+    x.iter().fold(0.0f64, |m, &v| m.max(v.abs()))
+}
+
+/// `y ← y + alpha * x`.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x.iter()) {
+        *yi += alpha * xi;
+    }
+}
+
+/// `x ← alpha * x`.
+#[inline]
+pub fn scale(alpha: f64, x: &mut [f64]) {
+    for xi in x.iter_mut() {
+        *xi *= alpha;
+    }
+}
+
+/// Copy `src` into `dst`.
+#[inline]
+pub fn copy(src: &[f64], dst: &mut [f64]) {
+    debug_assert_eq!(src.len(), dst.len(), "copy: length mismatch");
+    dst.copy_from_slice(src);
+}
+
+/// Normalise `x` to unit Euclidean norm in place.
+///
+/// Returns the original norm. If the norm is zero the vector is left
+/// untouched and `0.0` is returned (callers treat that as breakdown).
+pub fn normalize(x: &mut [f64]) -> f64 {
+    let n = norm2(x);
+    if n > 0.0 {
+        scale(1.0 / n, x);
+    }
+    n
+}
+
+/// Arithmetic mean of the entries (0 for an empty slice).
+pub fn mean(x: &[f64]) -> f64 {
+    if x.is_empty() {
+        return 0.0;
+    }
+    x.iter().sum::<f64>() / x.len() as f64
+}
+
+/// Subtract the mean from every entry, making the vector orthogonal to the
+/// all-ones vector. This is the deflation step used throughout the Fiedler
+/// computation (the constant vector spans the Laplacian null space on a
+/// connected graph).
+pub fn center(x: &mut [f64]) {
+    let m = mean(x);
+    for xi in x.iter_mut() {
+        *xi -= m;
+    }
+}
+
+/// Remove from `x` its component along the *unit* vector `q`:
+/// `x ← x − (qᵀx) q`. Returns the removed coefficient `qᵀx`.
+pub fn project_out(q: &[f64], x: &mut [f64]) -> f64 {
+    let c = dot(q, x);
+    axpy(-c, q, x);
+    c
+}
+
+/// Classical Gram–Schmidt re-orthogonalisation of `x` against a basis of
+/// unit vectors, performed twice ("twice is enough", Kahan–Parlett) for
+/// numerical robustness. The basis is given as a slice of rows.
+pub fn reorthogonalize(basis: &[Vec<f64>], x: &mut [f64]) {
+    for _ in 0..2 {
+        for q in basis {
+            project_out(q, x);
+        }
+    }
+}
+
+/// True if every entry is finite.
+pub fn all_finite(x: &[f64]) -> bool {
+    x.iter().all(|v| v.is_finite())
+}
+
+/// Fill `x` with uniform random values in `(-1, 1)` from the supplied RNG.
+/// Deterministic for a seeded RNG; used to start Lanczos / power iterations.
+pub fn fill_random<R: rand::Rng>(rng: &mut R, x: &mut [f64]) {
+    for xi in x.iter_mut() {
+        *xi = rng.gen_range(-1.0..1.0);
+    }
+}
+
+/// Canonical sign convention used across the crate: flip the vector so its
+/// first entry of largest magnitude is positive. Eigenvectors are only
+/// defined up to sign; fixing the sign makes orders reproducible.
+pub fn canonicalize_sign(x: &mut [f64]) {
+    let mut best = 0usize;
+    let mut best_abs = 0.0f64;
+    for (i, v) in x.iter().enumerate() {
+        if v.abs() > best_abs {
+            best_abs = v.abs();
+            best = i;
+        }
+    }
+    if best_abs > 0.0 && x[best] < 0.0 {
+        scale(-1.0, x);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_matches_naive() {
+        let x: Vec<f64> = (0..13).map(|i| i as f64 * 0.5).collect();
+        let y: Vec<f64> = (0..13).map(|i| (i as f64).sin()).collect();
+        let naive: f64 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
+        assert!((dot(&x, &y) - naive).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dot_empty_is_zero() {
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn norm2_of_unit_axes() {
+        assert!((norm2(&[3.0, 4.0]) - 5.0).abs() < 1e-15);
+        assert_eq!(norm2(&[]), 0.0);
+    }
+
+    #[test]
+    fn norm_inf_finds_largest_magnitude() {
+        assert_eq!(norm_inf(&[1.0, -7.0, 3.0]), 7.0);
+        assert_eq!(norm_inf(&[]), 0.0);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let x = [1.0, 2.0];
+        let mut y = [10.0, 20.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, [12.0, 24.0]);
+    }
+
+    #[test]
+    fn scale_in_place() {
+        let mut x = [1.0, -2.0];
+        scale(-3.0, &mut x);
+        assert_eq!(x, [-3.0, 6.0]);
+    }
+
+    #[test]
+    fn normalize_returns_old_norm() {
+        let mut x = [0.0, 3.0, 4.0];
+        let n = normalize(&mut x);
+        assert!((n - 5.0).abs() < 1e-15);
+        assert!((norm2(&x) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn normalize_zero_vector_is_noop() {
+        let mut x = [0.0, 0.0];
+        assert_eq!(normalize(&mut x), 0.0);
+        assert_eq!(x, [0.0, 0.0]);
+    }
+
+    #[test]
+    fn center_makes_mean_zero() {
+        let mut x = [1.0, 2.0, 3.0, 6.0];
+        center(&mut x);
+        assert!(mean(&x).abs() < 1e-15);
+    }
+
+    #[test]
+    fn project_out_makes_orthogonal() {
+        let q = {
+            let mut q = vec![1.0, 1.0, 1.0, 1.0];
+            normalize(&mut q);
+            q
+        };
+        let mut x = vec![1.0, 2.0, 3.0, 4.0];
+        project_out(&q, &mut x);
+        assert!(dot(&q, &x).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reorthogonalize_against_two_vectors() {
+        let mut q1 = vec![1.0, 0.0, 0.0, 0.0];
+        normalize(&mut q1);
+        let mut q2 = vec![0.0, 1.0, 1.0, 0.0];
+        normalize(&mut q2);
+        let basis = vec![q1.clone(), q2.clone()];
+        let mut x = vec![1.0, 2.0, 3.0, 4.0];
+        reorthogonalize(&basis, &mut x);
+        assert!(dot(&q1, &x).abs() < 1e-12);
+        assert!(dot(&q2, &x).abs() < 1e-12);
+    }
+
+    #[test]
+    fn canonicalize_sign_flips_when_needed() {
+        let mut x = vec![0.1, -0.9, 0.2];
+        canonicalize_sign(&mut x);
+        assert!(x[1] > 0.0);
+        // Flipping twice is idempotent.
+        let before = x.clone();
+        canonicalize_sign(&mut x);
+        assert_eq!(before, x);
+    }
+
+    #[test]
+    fn all_finite_detects_nan_and_inf() {
+        assert!(all_finite(&[1.0, 2.0]));
+        assert!(!all_finite(&[1.0, f64::NAN]));
+        assert!(!all_finite(&[f64::INFINITY]));
+    }
+
+    #[test]
+    fn fill_random_is_deterministic_for_seed() {
+        use rand::SeedableRng;
+        let mut a = vec![0.0; 8];
+        let mut b = vec![0.0; 8];
+        fill_random(&mut rand::rngs::StdRng::seed_from_u64(7), &mut a);
+        fill_random(&mut rand::rngs::StdRng::seed_from_u64(7), &mut b);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|v| (-1.0..1.0).contains(v)));
+    }
+}

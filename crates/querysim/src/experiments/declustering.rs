@@ -1,0 +1,179 @@
+//! Declustering experiment — parallel I/O over M disks.
+//!
+//! Declustering is another application on the paper's list: spread pages
+//! over M disks so one query's pages can be fetched in parallel. With
+//! round-robin placement, a query that touches *consecutive* pages
+//! balances perfectly (response time ⌈pages/M⌉); a query whose pages alias
+//! to few disks serialises. The mapping controls which pages a query
+//! touches — so locality quality becomes parallel speed-up.
+
+use crate::mappings::MappingSet;
+use crate::workloads;
+use serde::Serialize;
+use slpm_graph::grid::GridSpec;
+use slpm_storage::decluster::{query_response_time, Declustering, RoundRobin};
+use slpm_storage::{PageLayout, PageMapper};
+
+/// Configuration of the declustering experiment.
+#[derive(Debug, Clone, Serialize)]
+pub struct DeclusterConfig {
+    /// Grid side (power of two).
+    pub side: usize,
+    /// Dimensionality.
+    pub ndim: usize,
+    /// Records per page.
+    pub records_per_page: usize,
+    /// Number of parallel disks.
+    pub disks: usize,
+    /// Query box side in cells.
+    pub query_side: usize,
+}
+
+impl Default for DeclusterConfig {
+    fn default() -> Self {
+        DeclusterConfig {
+            side: 16,
+            ndim: 2,
+            records_per_page: 8,
+            disks: 4,
+            query_side: 4,
+        }
+    }
+}
+
+impl DeclusterConfig {
+    /// Reduced configuration for tests.
+    pub fn quick() -> Self {
+        DeclusterConfig {
+            side: 8,
+            ndim: 2,
+            records_per_page: 4,
+            disks: 2,
+            query_side: 3,
+        }
+    }
+}
+
+/// One mapping's parallel-I/O summary.
+#[derive(Debug, Clone, Serialize)]
+pub struct DeclusterRow {
+    /// Mapping name.
+    pub mapping: String,
+    /// Mean parallel response time (page-read units) over all query
+    /// placements.
+    pub mean_response: f64,
+    /// Worst response time.
+    pub max_response: usize,
+    /// Mean ideal response (⌈pages/M⌉) — the lower bound given the pages
+    /// the mapping touches.
+    pub mean_ideal: f64,
+    /// Mean ratio response/ideal ≥ 1 (1 = perfectly balanced).
+    pub mean_imbalance: f64,
+}
+
+/// Run the declustering experiment over every placement of a
+/// `query_side`-hypercube.
+pub fn run(cfg: &DeclusterConfig) -> Vec<DeclusterRow> {
+    let spec = GridSpec::cube(cfg.side, cfg.ndim);
+    let set = MappingSet::paper_set(&spec).expect("power-of-two grid");
+    let rr = RoundRobin::new(cfg.disks);
+    let sides = vec![cfg.query_side; cfg.ndim];
+
+    set.iter()
+        .map(|(label, order)| {
+            let mapper = PageMapper::new(order, PageLayout::new(cfg.records_per_page));
+            let mut count = 0usize;
+            let mut sum_resp = 0.0f64;
+            let mut max_resp = 0usize;
+            let mut sum_ideal = 0.0f64;
+            let mut sum_ratio = 0.0f64;
+            workloads::for_each_box(&spec, &sides, |b| {
+                let vertices: Vec<usize> = b.indices(&spec).collect();
+                let pages = mapper.pages_touched(vertices.iter().copied());
+                let npages = pages.len();
+                let resp = query_response_time(&mapper, &rr, vertices.iter().copied());
+                let ideal = npages.div_ceil(rr.num_disks());
+                count += 1;
+                sum_resp += resp as f64;
+                max_resp = max_resp.max(resp);
+                sum_ideal += ideal as f64;
+                sum_ratio += resp as f64 / ideal.max(1) as f64;
+            });
+            DeclusterRow {
+                mapping: label.to_string(),
+                mean_response: sum_resp / count as f64,
+                max_response: max_resp,
+                mean_ideal: sum_ideal / count as f64,
+                mean_imbalance: sum_ratio / count as f64,
+            }
+        })
+        .collect()
+}
+
+/// Render the rows as a text table.
+pub fn render(rows: &[DeclusterRow], cfg: &DeclusterConfig) -> String {
+    let mut t = crate::table::TextTable::new([
+        "mapping",
+        "mean response",
+        "max response",
+        "mean ideal",
+        "imbalance",
+    ]);
+    for r in rows {
+        t.push_row([
+            r.mapping.clone(),
+            format!("{:.2}", r.mean_response),
+            r.max_response.to_string(),
+            format!("{:.2}", r.mean_ideal),
+            format!("{:.3}", r.mean_imbalance),
+        ]);
+    }
+    format!(
+        "== Declustering: {0}^{1} grid, {2} disks, {3}-cube queries, {4} rec/page ==\n{5}",
+        cfg.side,
+        cfg.ndim,
+        cfg.disks,
+        cfg.query_side,
+        cfg.records_per_page,
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_row_per_mapping_with_sane_values() {
+        let rows = run(&DeclusterConfig::quick());
+        assert_eq!(rows.len(), 5);
+        for r in &rows {
+            assert!(r.mean_response >= r.mean_ideal - 1e-9, "{}", r.mapping);
+            assert!(r.mean_imbalance >= 1.0 - 1e-9);
+            assert!(r.max_response >= 1);
+        }
+    }
+
+    #[test]
+    fn response_never_below_ideal() {
+        for cfg in [DeclusterConfig::quick(), DeclusterConfig::default()] {
+            for r in run(&cfg) {
+                assert!(
+                    r.mean_imbalance >= 1.0 - 1e-9,
+                    "{}: imbalance {}",
+                    r.mapping,
+                    r.mean_imbalance
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn render_lists_all_mappings() {
+        let cfg = DeclusterConfig::quick();
+        let s = render(&run(&cfg), &cfg);
+        for name in ["Sweep", "Peano", "Gray", "Hilbert", "Spectral"] {
+            assert!(s.contains(name));
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! k-nearest-neighbour window experiment.
+//!
+//! The paper's introduction motivates locality-preserving mappings with
+//! "multi-dimensional similarity search queries": to answer a kNN query
+//! from a 1-D layout, one scans outward from the query point's position
+//! until the k nearest neighbours have been seen. The cost is the **window
+//! size** — how many 1-D positions around the query must be read. This
+//! experiment measures, per mapping, the window needed to cover the true
+//! k-nearest (Manhattan) neighbour set of every point.
+
+use crate::experiments::{FigureData, FigureSeries};
+use crate::mappings::MappingSet;
+use crate::metrics::SpanStats;
+use serde::Serialize;
+use slpm_graph::grid::GridSpec;
+
+/// Configuration of the kNN window experiment.
+#[derive(Debug, Clone, Serialize)]
+pub struct KnnConfig {
+    /// Grid side (power of two).
+    pub side: usize,
+    /// Dimensionality.
+    pub ndim: usize,
+    /// The `k` values to sweep.
+    pub ks: Vec<usize>,
+}
+
+impl Default for KnnConfig {
+    fn default() -> Self {
+        KnnConfig {
+            side: 16,
+            ndim: 2,
+            ks: vec![1, 2, 4, 8, 16],
+        }
+    }
+}
+
+impl KnnConfig {
+    /// Reduced configuration for tests.
+    pub fn quick() -> Self {
+        KnnConfig {
+            side: 4,
+            ndim: 2,
+            ks: vec![1, 4],
+        }
+    }
+}
+
+/// The true k-nearest-neighbour set of `center` (row-major index) under
+/// Manhattan distance, ties included (so the set may exceed `k` when the
+/// k-th distance is shared — the scan must cover all of them to be correct).
+pub fn knn_set(spec: &GridSpec, center: usize, k: usize) -> Vec<usize> {
+    let c = spec.coords_of(center);
+    let mut by_dist: Vec<(usize, usize)> = (0..spec.num_points())
+        .filter(|&i| i != center)
+        .map(|i| (GridSpec::manhattan(&c, &spec.coords_of(i)), i))
+        .collect();
+    by_dist.sort_unstable();
+    if by_dist.len() <= k {
+        return by_dist.into_iter().map(|(_, i)| i).collect();
+    }
+    let cutoff = by_dist[k - 1].0;
+    by_dist
+        .into_iter()
+        .take_while(|&(d, _)| d <= cutoff)
+        .map(|(_, i)| i)
+        .collect()
+}
+
+/// Window radius needed at `center` so that `[rank−w, rank+w]` covers its
+/// whole kNN set under `order`.
+pub fn knn_window(
+    spec: &GridSpec,
+    order: &spectral_lpm::LinearOrder,
+    center: usize,
+    k: usize,
+) -> usize {
+    let r = order.rank_of(center);
+    knn_set(spec, center, k)
+        .into_iter()
+        .map(|v| order.rank_of(v).abs_diff(r))
+        .max()
+        .unwrap_or(0)
+}
+
+/// Window statistics over every grid point for one `k`.
+pub fn knn_window_stats(
+    spec: &GridSpec,
+    order: &spectral_lpm::LinearOrder,
+    k: usize,
+) -> SpanStats {
+    SpanStats::from_iter((0..spec.num_points()).map(|c| knn_window(spec, order, c, k)))
+}
+
+/// Run the kNN window experiment: mean window size per `k`, per mapping.
+pub fn run(cfg: &KnnConfig) -> FigureData {
+    let spec = GridSpec::cube(cfg.side, cfg.ndim);
+    let set = MappingSet::paper_set(&spec).expect("power-of-two grid");
+    let series = set
+        .iter()
+        .map(|(label, order)| FigureSeries {
+            label: label.to_string(),
+            points: cfg
+                .ks
+                .iter()
+                .map(|&k| (k as f64, knn_window_stats(&spec, order, k).mean))
+                .collect(),
+        })
+        .collect();
+    FigureData {
+        id: "knn".into(),
+        title: format!(
+            "kNN scan window, {}^{} grid ({} points)",
+            cfg.side,
+            cfg.ndim,
+            spec.num_points()
+        ),
+        x_label: "k".into(),
+        y_label: "Mean 1-D window radius".into(),
+        series,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spectral_lpm::LinearOrder;
+
+    #[test]
+    fn knn_set_of_center_point() {
+        let spec = GridSpec::new(&[3, 3]);
+        let center = spec.index_of(&[1, 1]);
+        // k = 4: the four orthogonal neighbours, all at distance 1.
+        let set = knn_set(&spec, center, 4);
+        assert_eq!(set.len(), 4);
+        for v in &set {
+            assert_eq!(GridSpec::manhattan(&[1, 1], &spec.coords_of(*v)), 1);
+        }
+    }
+
+    #[test]
+    fn knn_set_includes_distance_ties() {
+        let spec = GridSpec::new(&[3, 3]);
+        let center = spec.index_of(&[1, 1]);
+        // k = 2 but four points tie at distance 1: all four are returned.
+        let set = knn_set(&spec, center, 2);
+        assert_eq!(set.len(), 4);
+    }
+
+    #[test]
+    fn corner_has_two_nearest() {
+        let spec = GridSpec::new(&[3, 3]);
+        let corner = spec.index_of(&[0, 0]);
+        let set = knn_set(&spec, corner, 2);
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn window_under_identity_order() {
+        // 1-D path: kNN of interior point i are i±1; identity order gives
+        // window exactly 1.
+        let spec = GridSpec::new(&[8]);
+        let order = LinearOrder::identity(8);
+        assert_eq!(knn_window(&spec, &order, 4, 2), 1);
+        // Endpoint: neighbours are 1 and 2 → window 2.
+        assert_eq!(knn_window(&spec, &order, 0, 2), 2);
+    }
+
+    #[test]
+    fn run_produces_five_series() {
+        let f = run(&KnnConfig::quick());
+        assert_eq!(f.series.len(), 5);
+        for s in &f.series {
+            assert_eq!(s.points.len(), 2);
+            // Windows grow (weakly) with k.
+            assert!(s.points[1].1 >= s.points[0].1);
+        }
+    }
+
+    #[test]
+    fn spectral_window_beats_worst_fractal() {
+        let f = run(&KnnConfig::quick());
+        let y = |label: &str| f.series(label).unwrap().points[0].1;
+        let worst_fractal = y("Peano").max(y("Gray")).max(y("Hilbert"));
+        assert!(y("Spectral") <= worst_fractal + 1e-9);
+    }
+}

@@ -1,0 +1,187 @@
+//! Storage-level experiment: from spans to actual I/O.
+//!
+//! The paper's span metric (Figure 6) is a proxy for disk behaviour. This
+//! experiment closes the loop using the storage substrate: lay each mapping
+//! out on pages, replay a range-query workload, and report *measured*
+//! pages, seeks, model cost and buffer-pool hit rates per mapping.
+
+use crate::mappings::MappingSet;
+use crate::workloads;
+use serde::Serialize;
+use slpm_graph::grid::GridSpec;
+use slpm_storage::{BufferPool, IoModel, PageLayout, PageMapper};
+
+/// Configuration of the storage I/O experiment.
+#[derive(Debug, Clone, Serialize)]
+pub struct StorageIoConfig {
+    /// Grid side (power of two).
+    pub side: usize,
+    /// Dimensionality.
+    pub ndim: usize,
+    /// Records per page.
+    pub records_per_page: usize,
+    /// Query box side (cells per dimension).
+    pub query_side: usize,
+    /// Buffer pool capacity in pages.
+    pub buffer_pages: usize,
+}
+
+impl Default for StorageIoConfig {
+    fn default() -> Self {
+        StorageIoConfig {
+            side: 16,
+            ndim: 2,
+            records_per_page: 8,
+            query_side: 4,
+            buffer_pages: 8,
+        }
+    }
+}
+
+impl StorageIoConfig {
+    /// Reduced configuration for tests.
+    pub fn quick() -> Self {
+        StorageIoConfig {
+            side: 8,
+            ndim: 2,
+            records_per_page: 4,
+            query_side: 2,
+            buffer_pages: 4,
+        }
+    }
+}
+
+/// Measured I/O of one mapping over the whole workload.
+#[derive(Debug, Clone, Serialize)]
+pub struct StorageIoRow {
+    /// Mapping name.
+    pub mapping: String,
+    /// Total distinct pages read across queries (without buffering).
+    pub pages: usize,
+    /// Total sequential runs (seeks).
+    pub seeks: usize,
+    /// Total cost under the seek/transfer model.
+    pub model_cost: f64,
+    /// Buffer-pool hit ratio when queries are replayed in row-major
+    /// placement order (nearby queries back to back).
+    pub buffer_hit_ratio: f64,
+}
+
+/// Run the storage experiment: every placement of a `query_side`-cube,
+/// visited in row-major order of the query corner (a spatially coherent
+/// workload, as a map-browsing session would produce).
+pub fn run(cfg: &StorageIoConfig) -> Vec<StorageIoRow> {
+    let spec = GridSpec::cube(cfg.side, cfg.ndim);
+    let set = MappingSet::paper_set(&spec).expect("power-of-two grid");
+    let model = IoModel::default();
+    let sides = vec![cfg.query_side; cfg.ndim];
+
+    set.iter()
+        .map(|(label, order)| {
+            let mapper = PageMapper::new(order, PageLayout::new(cfg.records_per_page));
+            let mut pages = 0usize;
+            let mut seeks = 0usize;
+            let mut cost = 0.0f64;
+            let mut pool = BufferPool::new(cfg.buffer_pages);
+            workloads::for_each_box(&spec, &sides, |b| {
+                let vertices: Vec<usize> = b.indices(&spec).collect();
+                let io = model.query_cost(&mapper, vertices.iter().copied());
+                pages += io.pages;
+                seeks += io.runs;
+                cost += io.total;
+                pool.access_many(mapper.pages_touched(vertices.iter().copied()));
+            });
+            StorageIoRow {
+                mapping: label.to_string(),
+                pages,
+                seeks,
+                model_cost: cost,
+                buffer_hit_ratio: pool.stats().hit_ratio(),
+            }
+        })
+        .collect()
+}
+
+/// Render the rows as a text table.
+pub fn render(rows: &[StorageIoRow], cfg: &StorageIoConfig) -> String {
+    let mut t = crate::table::TextTable::new([
+        "mapping",
+        "pages read",
+        "seeks",
+        "model cost",
+        "buffer hit %",
+    ]);
+    for r in rows {
+        t.push_row([
+            r.mapping.clone(),
+            r.pages.to_string(),
+            r.seeks.to_string(),
+            format!("{:.1}", r.model_cost),
+            format!("{:.1}", 100.0 * r.buffer_hit_ratio),
+        ]);
+    }
+    format!(
+        "== Storage I/O: {0}^{1} grid, {2}-cube queries, {3} rec/page, {4}-page pool ==\n{5}",
+        cfg.side,
+        cfg.ndim,
+        cfg.query_side,
+        cfg.records_per_page,
+        cfg.buffer_pages,
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_row_per_mapping() {
+        let rows = run(&StorageIoConfig::quick());
+        assert_eq!(rows.len(), 5);
+        for r in &rows {
+            assert!(r.pages > 0, "{}", r.mapping);
+            assert!(r.seeks > 0);
+            assert!(r.seeks <= r.pages);
+            assert!(r.model_cost > 0.0);
+            assert!((0.0..=1.0).contains(&r.buffer_hit_ratio));
+        }
+    }
+
+    #[test]
+    fn spectral_or_hilbert_beats_sweep_on_seeks() {
+        // Coherent square queries: the 2-D-aware mappings (Hilbert,
+        // Spectral) need fewer seeks than the scan order.
+        let rows = run(&StorageIoConfig::quick());
+        let get = |name: &str| rows.iter().find(|r| r.mapping == name).unwrap();
+        let sweep = get("Sweep").seeks;
+        assert!(
+            get("Hilbert").seeks < sweep || get("Spectral").seeks < sweep,
+            "neither Hilbert ({}) nor Spectral ({}) beat Sweep ({sweep})",
+            get("Hilbert").seeks,
+            get("Spectral").seeks
+        );
+    }
+
+    #[test]
+    fn coherent_replay_gets_buffer_hits() {
+        let rows = run(&StorageIoConfig::quick());
+        for r in &rows {
+            assert!(
+                r.buffer_hit_ratio > 0.2,
+                "{}: hit ratio {} suspiciously low for overlapping queries",
+                r.mapping,
+                r.buffer_hit_ratio
+            );
+        }
+    }
+
+    #[test]
+    fn render_contains_all_mappings() {
+        let cfg = StorageIoConfig::quick();
+        let s = render(&run(&cfg), &cfg);
+        for name in ["Sweep", "Peano", "Gray", "Hilbert", "Spectral"] {
+            assert!(s.contains(name));
+        }
+    }
+}

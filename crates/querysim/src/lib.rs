@@ -1,0 +1,33 @@
+//! Workloads, metrics and experiment runners for the Spectral LPM
+//! evaluation (paper Section 5).
+//!
+//! The paper asks two questions of every mapping:
+//!
+//! 1. **Nearest-neighbour locality** (Figure 5): if two points are at
+//!    Manhattan distance `d` in k-D, how far apart can they land in 1-D?
+//! 2. **Range-query locality** (Figure 6): for a k-D range query, how wide
+//!    is the 1-D interval `[min rank, max rank]` of its points — i.e. how
+//!    much must a sequential scan read?
+//!
+//! Modules:
+//! * [`mappings`] — builds the full comparison set (Sweep / Snake / Peano /
+//!    Gray / Hilbert / Spectral) as uniform [`spectral_lpm::LinearOrder`]s
+//!    over one grid;
+//! * [`workloads`] — exhaustive and sampled pair/range-query generators;
+//! * [`metrics`] — the distance and span statistics the figures plot;
+//! * [`table`] — plain-text table rendering for the `fig*` binaries;
+//! * [`experiments`] — one runner per paper figure (1, 3, 4, 5a, 5b, 6a,
+//!    6b) plus the ablation studies, each returning serialisable rows.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod mappings;
+pub mod metrics;
+pub mod table;
+pub mod workloads;
+
+pub use mappings::{MappingLabel, MappingSet};
+pub use metrics::SpanStats;
+pub use workloads::RangeBox;

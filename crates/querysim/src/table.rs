@@ -1,0 +1,118 @@
+//! Plain-text table rendering for the `fig*` binaries.
+//!
+//! The experiment runners return typed rows; this module turns them into
+//! the aligned text tables the benchmark harness prints, mirroring the
+//! rows/series of the paper's figures.
+
+/// A simple column-aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Start a table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
+        TextTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (cells are stringified by the caller).
+    pub fn push_row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, row: I) {
+        let row: Vec<String> = row.into_iter().map(Into::into).collect();
+        assert_eq!(
+            row.len(),
+            self.header.len(),
+            "row arity must match header"
+        );
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Render with right-aligned columns separated by two spaces.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut width = vec![0usize; cols];
+        for (c, h) in self.header.iter().enumerate() {
+            width[c] = width[c].max(h.len());
+        }
+        for row in &self.rows {
+            for (c, cell) in row.iter().enumerate() {
+                width[c] = width[c].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let render_row = |cells: &[String], width: &[usize], out: &mut String| {
+            for (c, cell) in cells.iter().enumerate() {
+                if c > 0 {
+                    out.push_str("  ");
+                }
+                // Right-align.
+                for _ in 0..width[c].saturating_sub(cell.len()) {
+                    out.push(' ');
+                }
+                out.push_str(cell);
+            }
+            out.push('\n');
+        };
+        render_row(&self.header, &width, &mut out);
+        let total: usize = width.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            render_row(row, &width, &mut out);
+        }
+        out
+    }
+}
+
+/// Format a float with 2 decimal places (the precision the paper's plots
+/// can be read to).
+pub fn fmt_f(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Format a percentage with 1 decimal place.
+pub fn fmt_pct(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = TextTable::new(["name", "value"]);
+        t.push_row(["a", "1"]);
+        t.push_row(["long-name", "12345"]);
+        let r = t.render();
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("name"));
+        assert!(lines[1].starts_with('-'));
+        // Right alignment pads the short cells.
+        assert!(lines[2].starts_with("        a"));
+        assert_eq!(t.num_rows(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        let mut t = TextTable::new(["a", "b"]);
+        t.push_row(["only-one"]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt_f(1.234), "1.23");
+        assert_eq!(fmt_pct(33.333), "33.3");
+    }
+}

@@ -1,0 +1,423 @@
+//! Workload generators: point pairs at fixed Manhattan distance, axis
+//! pairs, and range-query boxes.
+//!
+//! Everything is exhaustive by default — the paper's grids are small enough
+//! that worst cases can be computed exactly rather than sampled — with
+//! seeded sampling variants for the larger benchmark sweeps.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use slpm_graph::grid::GridSpec;
+
+/// An axis-aligned inclusive range query `[lo, hi]` in grid coordinates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RangeBox {
+    /// Inclusive lower corner.
+    pub lo: Vec<usize>,
+    /// Inclusive upper corner (`hi[d] >= lo[d]`).
+    pub hi: Vec<usize>,
+}
+
+impl RangeBox {
+    /// Number of grid points inside.
+    pub fn volume(&self) -> usize {
+        self.lo
+            .iter()
+            .zip(self.hi.iter())
+            .map(|(&l, &h)| h - l + 1)
+            .product()
+    }
+
+    /// True when `coords` lies inside the box.
+    pub fn contains(&self, coords: &[usize]) -> bool {
+        coords
+            .iter()
+            .zip(self.lo.iter().zip(self.hi.iter()))
+            .all(|(&c, (&l, &h))| c >= l && c <= h)
+    }
+
+    /// Iterate over the row-major indices of all points inside.
+    pub fn indices<'a>(&'a self, spec: &'a GridSpec) -> impl Iterator<Item = usize> + 'a {
+        let mut cur = self.lo.clone();
+        let mut done = false;
+        std::iter::from_fn(move || {
+            if done {
+                return None;
+            }
+            let idx = spec.index_of(&cur);
+            // Odometer increment within the box, last dimension fastest.
+            let k = cur.len();
+            let mut d = k;
+            loop {
+                if d == 0 {
+                    done = true;
+                    break;
+                }
+                d -= 1;
+                if cur[d] < self.hi[d] {
+                    cur[d] += 1;
+                    for dd in d + 1..k {
+                        cur[dd] = self.lo[dd];
+                    }
+                    break;
+                }
+            }
+            Some(idx)
+        })
+    }
+}
+
+/// Call `f(i, j)` for every unordered pair of grid points at Manhattan
+/// distance exactly `d` (`i < j` as row-major indices).
+///
+/// Enumeration is O(n · |ball(d)|): for each point, only the lattice points
+/// at distance exactly `d` that compare row-major-greater are visited.
+pub fn for_each_pair_at_distance<F: FnMut(usize, usize)>(spec: &GridSpec, d: usize, mut f: F) {
+    if d == 0 {
+        return;
+    }
+    let k = spec.ndim();
+    // For each point, probe every lattice offset of L1 norm d with
+    // lexicographically-positive direction; offsets are generated once up
+    // front, so each unordered pair is visited exactly once.
+    let offsets = l1_sphere_offsets(k, d);
+    let mut b = vec![0usize; k];
+    for a in spec.iter_points() {
+        let ia = spec.index_of(&a);
+        'offs: for off in &offsets {
+            for dim in 0..k {
+                let c = a[dim] as isize + off[dim];
+                if c < 0 || c as usize >= spec.dim(dim) {
+                    continue 'offs;
+                }
+                b[dim] = c as usize;
+            }
+            let ib = spec.index_of(&b);
+            f(ia.min(ib), ia.max(ib));
+        }
+    }
+}
+
+/// All lattice offsets `v ∈ Z^k` with `‖v‖₁ = d` and lexicographically
+/// positive sign (first nonzero component > 0), so each unordered pair is
+/// produced exactly once.
+pub fn l1_sphere_offsets(k: usize, d: usize) -> Vec<Vec<isize>> {
+    let mut out = Vec::new();
+    let mut cur = vec![0isize; k];
+    fn rec(k: usize, dim: usize, d_left: isize, cur: &mut Vec<isize>, out: &mut Vec<Vec<isize>>) {
+        if dim == k {
+            if d_left == 0 {
+                // Lexicographic positivity check.
+                if let Some(&first) = cur.iter().find(|&&v| v != 0) {
+                    if first > 0 {
+                        out.push(cur.clone());
+                    }
+                }
+            }
+            return;
+        }
+        for v in -d_left..=d_left {
+            cur[dim] = v;
+            rec(k, dim + 1, d_left - v.abs(), cur, out);
+        }
+        cur[dim] = 0;
+    }
+    rec(k, 0, d as isize, &mut cur, &mut out);
+    out
+}
+
+/// Call `f(i, j)` for every pair displaced by exactly `d` along dimension
+/// `dim` **only** (all other coordinates equal) — the Figure 5b workload.
+pub fn for_each_axis_pair<F: FnMut(usize, usize)>(spec: &GridSpec, dim: usize, d: usize, mut f: F) {
+    assert!(dim < spec.ndim());
+    if d == 0 {
+        return;
+    }
+    let mut b;
+    for a in spec.iter_points() {
+        if a[dim] + d < spec.dim(dim) {
+            b = a.clone();
+            b[dim] += d;
+            f(spec.index_of(&a), spec.index_of(&b));
+        }
+    }
+}
+
+/// Enumerate every placement of a box with the given per-dimension side
+/// lengths.
+pub fn for_each_box<F: FnMut(&RangeBox)>(spec: &GridSpec, sides: &[usize], mut f: F) {
+    assert_eq!(sides.len(), spec.ndim());
+    for (d, &s) in sides.iter().enumerate() {
+        assert!(
+            s >= 1 && s <= spec.dim(d),
+            "box side {s} out of range for dim {d}"
+        );
+    }
+    let k = spec.ndim();
+    let mut lo = vec![0usize; k];
+    loop {
+        let hi: Vec<usize> = lo.iter().zip(sides.iter()).map(|(&l, &s)| l + s - 1).collect();
+        f(&RangeBox { lo: lo.clone(), hi });
+        // Odometer over valid lower corners.
+        let mut d = k;
+        loop {
+            if d == 0 {
+                return;
+            }
+            d -= 1;
+            if lo[d] + sides[d] < spec.dim(d) {
+                lo[d] += 1;
+                for dd in d + 1..k {
+                    lo[dd] = 0;
+                }
+                break;
+            }
+            lo[d] = 0;
+        }
+    }
+}
+
+/// The hypercube side length whose volume best matches `percent`% of the
+/// grid volume (at least 1, at most the grid side). Used to translate the
+/// paper's "range query size (percent)" axis into concrete boxes.
+pub fn side_for_volume_percent(spec: &GridSpec, percent: f64) -> usize {
+    let n = spec.num_points() as f64;
+    let k = spec.ndim() as f64;
+    let target = (percent / 100.0 * n).max(1.0);
+    let side = target.powf(1.0 / k).round() as usize;
+    side.clamp(1, spec.dims().iter().copied().min().expect("non-empty dims"))
+}
+
+/// All box *shapes* (per-dimension side tuples) whose volume is within a
+/// multiplicative `tolerance` of `percent`% of the grid volume — the
+/// paper's "all possible **partial** range queries with a certain size":
+/// elongated shapes such as `1×1×8×8` constrain only some dimensions, and
+/// the variation across shapes (and placements) is exactly what Figure 6b's
+/// standard deviation captures.
+///
+/// The tolerance window is widened automatically until at least one shape
+/// qualifies, so the function always returns a non-empty set.
+pub fn shapes_for_volume_percent(
+    spec: &GridSpec,
+    percent: f64,
+    tolerance: f64,
+) -> Vec<Vec<usize>> {
+    assert!(tolerance >= 1.0, "tolerance is a multiplicative factor ≥ 1");
+    let n = spec.num_points() as f64;
+    let target = (percent / 100.0 * n).max(1.0);
+    let k = spec.ndim();
+    fn enumerate(
+        spec: &GridSpec,
+        dim: usize,
+        lo: f64,
+        hi: f64,
+        cur: &mut Vec<usize>,
+        acc: f64,
+        out: &mut Vec<Vec<usize>>,
+    ) {
+        if dim == spec.ndim() {
+            if acc >= lo && acc <= hi {
+                out.push(cur.clone());
+            }
+            return;
+        }
+        for s in 1..=spec.dim(dim) {
+            let next = acc * s as f64;
+            if next > hi {
+                break; // sides only grow, prune
+            }
+            cur.push(s);
+            enumerate(spec, dim + 1, lo, hi, cur, next, out);
+            cur.pop();
+        }
+    }
+
+    let mut tol = tolerance;
+    loop {
+        let mut shapes = Vec::new();
+        let mut cur = Vec::with_capacity(k);
+        enumerate(spec, 0, target / tol, target * tol, &mut cur, 1.0, &mut shapes);
+        if !shapes.is_empty() {
+            return shapes;
+        }
+        tol *= 1.5;
+    }
+}
+
+/// Seeded sample of `count` random boxes with the given sides (for grids
+/// too large to enumerate exhaustively).
+pub fn sample_boxes(spec: &GridSpec, sides: &[usize], count: usize, seed: u64) -> Vec<RangeBox> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let k = spec.ndim();
+    (0..count)
+        .map(|_| {
+            let lo: Vec<usize> = (0..k)
+                .map(|d| rng.gen_range(0..=spec.dim(d) - sides[d]))
+                .collect();
+            let hi: Vec<usize> = lo.iter().zip(sides.iter()).map(|(&l, &s)| l + s - 1).collect();
+            RangeBox { lo, hi }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn box_volume_contains_indices() {
+        let spec = GridSpec::new(&[4, 4]);
+        let b = RangeBox {
+            lo: vec![1, 1],
+            hi: vec![2, 3],
+        };
+        assert_eq!(b.volume(), 6);
+        assert!(b.contains(&[1, 3]));
+        assert!(!b.contains(&[0, 1]));
+        assert!(!b.contains(&[1, 0]));
+        let idx: Vec<usize> = b.indices(&spec).collect();
+        assert_eq!(idx.len(), 6);
+        for &i in &idx {
+            assert!(b.contains(&spec.coords_of(i)));
+        }
+        // All indices distinct.
+        let mut sorted = idx.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 6);
+    }
+
+    #[test]
+    fn l1_sphere_counts_2d() {
+        // In 2-D, lattice points at L1 distance d: 4d; half are lex-positive.
+        for d in 1..=4 {
+            assert_eq!(l1_sphere_offsets(2, d).len(), 2 * d);
+        }
+    }
+
+    #[test]
+    fn pairs_at_distance_match_bruteforce() {
+        let spec = GridSpec::new(&[3, 4]);
+        for d in 1..=4usize {
+            let mut fast = Vec::new();
+            for_each_pair_at_distance(&spec, d, |i, j| fast.push((i, j)));
+            fast.sort_unstable();
+            fast.dedup();
+            let mut brute = Vec::new();
+            for i in 0..spec.num_points() {
+                for j in i + 1..spec.num_points() {
+                    if GridSpec::manhattan(&spec.coords_of(i), &spec.coords_of(j)) == d {
+                        brute.push((i, j));
+                    }
+                }
+            }
+            assert_eq!(fast, brute, "d = {d}");
+        }
+    }
+
+    #[test]
+    fn pairs_at_distance_zero_is_empty() {
+        let spec = GridSpec::new(&[3, 3]);
+        let mut n = 0;
+        for_each_pair_at_distance(&spec, 0, |_, _| n += 1);
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn axis_pairs_only_move_one_dim() {
+        let spec = GridSpec::new(&[4, 5]);
+        let mut count = 0;
+        for_each_axis_pair(&spec, 0, 2, |i, j| {
+            let a = spec.coords_of(i);
+            let b = spec.coords_of(j);
+            assert_eq!(a[1], b[1]);
+            assert_eq!(a[0].abs_diff(b[0]), 2);
+            count += 1;
+        });
+        // x displacement 2 in a 4-row grid: 2 starting rows × 5 columns.
+        assert_eq!(count, 10);
+    }
+
+    #[test]
+    fn box_enumeration_counts() {
+        let spec = GridSpec::new(&[4, 4]);
+        let mut n = 0;
+        for_each_box(&spec, &[2, 3], |b| {
+            assert_eq!(b.volume(), 6);
+            n += 1;
+        });
+        // (4−2+1) × (4−3+1) placements.
+        assert_eq!(n, 6);
+    }
+
+    #[test]
+    fn full_grid_box() {
+        let spec = GridSpec::new(&[3, 3]);
+        let mut n = 0;
+        for_each_box(&spec, &[3, 3], |b| {
+            assert_eq!(b.volume(), 9);
+            n += 1;
+        });
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn shapes_for_volume_within_window() {
+        let spec = GridSpec::cube(8, 4);
+        let shapes = shapes_for_volume_percent(&spec, 2.0, 1.25);
+        // Target = 81.92; window [65.5, 102.4].
+        assert!(!shapes.is_empty());
+        for s in &shapes {
+            let vol: usize = s.iter().product();
+            assert!(
+                (66..=102).contains(&vol),
+                "shape {s:?} volume {vol} outside window"
+            );
+            assert!(s.iter().all(|&x| (1..=8).contains(&x)));
+        }
+        // Elongated partial-match shapes are included, e.g. 2×5×8×1.
+        assert!(shapes.iter().any(|s| s.contains(&8) && s.contains(&1)));
+    }
+
+    #[test]
+    fn shapes_window_widens_until_nonempty() {
+        // 3×3 grid, 40% of 9 = 3.6: no shape has volume in a ±1% window
+        // (volumes are 1,2,3,4,6,9) so the window must widen to find 3 or 4.
+        let spec = GridSpec::new(&[3, 3]);
+        let shapes = shapes_for_volume_percent(&spec, 40.0, 1.01);
+        assert!(!shapes.is_empty());
+        for s in &shapes {
+            let vol: usize = s.iter().product();
+            assert!(vol == 3 || vol == 4, "unexpected volume {vol}");
+        }
+    }
+
+    #[test]
+    fn shapes_at_full_volume_is_whole_grid() {
+        let spec = GridSpec::cube(4, 2);
+        let shapes = shapes_for_volume_percent(&spec, 100.0, 1.05);
+        assert_eq!(shapes, vec![vec![4, 4]]);
+    }
+
+    #[test]
+    fn side_for_volume_percent_basics() {
+        let spec = GridSpec::cube(8, 4); // 4096 points
+        assert_eq!(side_for_volume_percent(&spec, 100.0), 8);
+        // 2% of 4096 ≈ 82 → side ≈ 3.
+        assert_eq!(side_for_volume_percent(&spec, 2.0), 3);
+        // Tiny percent clamps to 1.
+        assert_eq!(side_for_volume_percent(&spec, 1e-9), 1);
+    }
+
+    #[test]
+    fn sampled_boxes_are_in_range_and_seeded() {
+        let spec = GridSpec::new(&[8, 8]);
+        let a = sample_boxes(&spec, &[3, 3], 10, 7);
+        let b = sample_boxes(&spec, &[3, 3], 10, 7);
+        assert_eq!(a, b);
+        for bx in &a {
+            assert_eq!(bx.volume(), 9);
+            assert!(bx.hi.iter().zip(spec.dims()).all(|(&h, &d)| h < d));
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Property tests over the experiment layer: invariants that must hold for
+//! any grid shape and any query size, independent of which mapping wins.
+
+use proptest::prelude::*;
+use slpm_graph::grid::GridSpec;
+use slpm_querysim::experiments::{fig5, fig6, knn};
+use slpm_querysim::mappings::MappingSet;
+use slpm_querysim::{metrics, workloads};
+
+fn small_cube() -> impl Strategy<Value = GridSpec> {
+    prop_oneof![
+        Just(GridSpec::cube(4, 2)),
+        Just(GridSpec::cube(8, 2)),
+        Just(GridSpec::cube(2, 3)),
+        Just(GridSpec::cube(4, 3)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn pair_distance_stats_bounds(spec in small_cube(), d in 1usize..4) {
+        let set = MappingSet::paper_set(&spec).unwrap();
+        let n = spec.num_points();
+        let d = d.min(spec.max_manhattan());
+        for (label, order) in set.iter() {
+            let s = metrics::pair_distance_stats(&spec, order, d);
+            if s.count > 0 {
+                prop_assert!(s.min >= 1, "{}", label);
+                prop_assert!(s.max <= n - 1, "{}", label);
+                prop_assert!(s.mean >= s.min as f64 - 1e-9);
+                prop_assert!(s.mean <= s.max as f64 + 1e-9);
+                prop_assert!(s.stddev <= (s.max - s.min) as f64 + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn partial_stats_count_matches_enumeration(spec in small_cube(), pct in 5.0f64..80.0) {
+        let set = MappingSet::paper_set(&spec).unwrap();
+        let (_, order) = set.iter().next().unwrap();
+        let shapes = workloads::shapes_for_volume_percent(&spec, pct, 1.25);
+        let mut expected = 0usize;
+        for sh in &shapes {
+            workloads::for_each_box(&spec, sh, |_| expected += 1);
+        }
+        let stats = metrics::partial_range_span_stats(&spec, order, pct, 1.25);
+        prop_assert_eq!(stats.count, expected);
+    }
+
+    #[test]
+    fn knn_windows_monotone_in_k(spec in small_cube()) {
+        let set = MappingSet::paper_set(&spec).unwrap();
+        for (label, order) in set.iter() {
+            let w1 = knn::knn_window_stats(&spec, order, 1);
+            let w4 = knn::knn_window_stats(&spec, order, 4);
+            prop_assert!(
+                w4.mean >= w1.mean - 1e-9,
+                "{}: k=4 window {} below k=1 window {}",
+                label, w4.mean, w1.mean
+            );
+        }
+    }
+
+    #[test]
+    fn span_max_never_exceeds_n_minus_1(spec in small_cube(), pct in 2.0f64..100.0) {
+        let set = MappingSet::paper_set(&spec).unwrap();
+        let n = spec.num_points();
+        for (label, order) in set.iter() {
+            let s = metrics::partial_range_span_stats(&spec, order, pct, 1.25);
+            prop_assert!(s.max <= n - 1, "{}", label);
+        }
+    }
+}
+
+#[test]
+fn figure_runners_have_consistent_axes() {
+    // Every series in a figure shares the x grid, in order.
+    let figs = [
+        fig5::run_worst_case(&fig5::Fig5Config::quick()),
+        fig5::run_fairness(&fig5::Fig5Config::quick()),
+        fig6::run_worst_case(&fig6::Fig6Config::quick()),
+        fig6::run_fairness(&fig6::Fig6Config::quick()),
+    ];
+    for f in &figs {
+        let xs: Vec<f64> = f.series[0].points.iter().map(|p| p.0).collect();
+        for s in &f.series {
+            let sx: Vec<f64> = s.points.iter().map(|p| p.0).collect();
+            assert_eq!(sx, xs, "{}: series {} x-grid mismatch", f.id, s.label);
+        }
+        // x strictly increasing.
+        for w in xs.windows(2) {
+            assert!(w[1] > w[0], "{}: x not increasing", f.id);
+        }
+        // CSV round-trips the row count.
+        let csv = f.to_csv();
+        assert_eq!(csv.lines().count(), xs.len() + 1, "{}", f.id);
+    }
+}

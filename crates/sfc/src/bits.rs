@@ -1,0 +1,133 @@
+//! Bit-twiddling primitives shared by the power-of-two curves.
+
+/// Interleave the low `bits` bits of each coordinate into a Morton word.
+///
+/// Coordinate 0 contributes the **most significant** bit of every group, so
+/// the resulting order sorts first by coordinate 0's top bit — matching the
+/// row-major orientation of [`crate::sweep::SweepCurve`] and the quadrant
+/// numbering in the paper's Figure 1.
+///
+/// Output bit `(bits − 1 − b) · k + i` (counting groups from the top) holds
+/// bit `b` of coordinate `i`.
+pub fn interleave(coords: &[u32], bits: u32) -> u64 {
+    let k = coords.len();
+    debug_assert!(k as u32 * bits <= 63, "interleave overflow");
+    let mut out = 0u64;
+    for b in (0..bits).rev() {
+        for (i, &c) in coords.iter().enumerate() {
+            let bit = ((c >> b) & 1) as u64;
+            let pos = (bits - 1 - b) as usize * k + i;
+            let shift = (bits as usize * k - 1) - pos;
+            out |= bit << shift;
+        }
+    }
+    out
+}
+
+/// Inverse of [`interleave`].
+pub fn deinterleave(code: u64, ndim: usize, bits: u32) -> Vec<u32> {
+    let mut coords = vec![0u32; ndim];
+    for b in (0..bits).rev() {
+        for (i, c) in coords.iter_mut().enumerate() {
+            let pos = (bits - 1 - b) as usize * ndim + i;
+            let shift = (bits as usize * ndim - 1) - pos;
+            let bit = ((code >> shift) & 1) as u32;
+            *c |= bit << b;
+        }
+    }
+    coords
+}
+
+/// Binary-reflected Gray code: `g = b ⊕ (b ≫ 1)`.
+#[inline]
+pub fn gray_encode(b: u64) -> u64 {
+    b ^ (b >> 1)
+}
+
+/// Inverse Gray code: the rank `i` such that `gray_encode(i) == g`.
+#[inline]
+pub fn gray_decode(mut g: u64) -> u64 {
+    let mut b = g;
+    loop {
+        g >>= 1;
+        if g == 0 {
+            break;
+        }
+        b ^= g;
+    }
+    b
+}
+
+/// Number of bits needed to represent `side − 1` (i.e. `log2` of a
+/// power-of-two side). Returns `None` when `side` is not a power of two.
+pub fn log2_exact(side: u64) -> Option<u32> {
+    if side == 0 || !side.is_power_of_two() {
+        None
+    } else {
+        Some(side.trailing_zeros())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interleave_2d_examples() {
+        // coords (x, y) with 2 bits: x=3 (11), y=0 (00) → bits x1 y1 x0 y0
+        // = 1010 = 10.
+        assert_eq!(interleave(&[3, 0], 2), 0b1010);
+        assert_eq!(interleave(&[0, 3], 2), 0b0101);
+        assert_eq!(interleave(&[3, 3], 2), 0b1111);
+        assert_eq!(interleave(&[0, 0], 2), 0);
+        // First coordinate owns the top bit: (1,0) with 1 bit = 2.
+        assert_eq!(interleave(&[1, 0], 1), 2);
+        assert_eq!(interleave(&[0, 1], 1), 1);
+    }
+
+    #[test]
+    fn interleave_roundtrip_3d() {
+        for code in 0..512u64 {
+            let coords = deinterleave(code, 3, 3);
+            assert_eq!(interleave(&coords, 3), code);
+        }
+    }
+
+    #[test]
+    fn interleave_roundtrip_various_shapes() {
+        for (k, bits) in [(1usize, 6u32), (2, 4), (4, 3), (5, 2), (6, 2)] {
+            let n = 1u64 << (k as u32 * bits);
+            let step = (n / 257).max(1);
+            let mut code = 0u64;
+            while code < n {
+                let coords = deinterleave(code, k, bits);
+                assert!(coords.iter().all(|&c| c < (1 << bits)));
+                assert_eq!(interleave(&coords, bits), code, "k={k} bits={bits}");
+                code += step;
+            }
+        }
+    }
+
+    #[test]
+    fn gray_code_basics() {
+        let seq: Vec<u64> = (0..8).map(gray_encode).collect();
+        assert_eq!(seq, vec![0, 1, 3, 2, 6, 7, 5, 4]);
+        for i in 0..256u64 {
+            assert_eq!(gray_decode(gray_encode(i)), i);
+        }
+        // Consecutive Gray codes differ in exactly one bit.
+        for i in 1..256u64 {
+            let diff = gray_encode(i) ^ gray_encode(i - 1);
+            assert_eq!(diff.count_ones(), 1);
+        }
+    }
+
+    #[test]
+    fn log2_exact_powers() {
+        assert_eq!(log2_exact(1), Some(0));
+        assert_eq!(log2_exact(2), Some(1));
+        assert_eq!(log2_exact(16), Some(4));
+        assert_eq!(log2_exact(0), None);
+        assert_eq!(log2_exact(6), None);
+    }
+}

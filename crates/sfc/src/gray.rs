@@ -1,0 +1,137 @@
+//! The Gray-coded curve (Faloutsos 1986/88).
+//!
+//! Like Z-order, coordinates are bit-interleaved; but the interleaved words
+//! are then visited in reflected-Gray-code order rather than numeric order,
+//! so consecutive cells along the curve differ in exactly one interleaved
+//! bit. This fixes some of Z-order's long jumps while remaining a fractal
+//! quadrant-exhausting order.
+
+use crate::bits;
+use crate::traits::{CurveError, CurveKind, SpaceFillingCurve};
+
+/// Gray-coded curve over a `2^bits`-sided hypercube in `ndim` dimensions.
+///
+/// `encode` returns the rank `i` such that the reflected Gray codeword
+/// `G(i)` equals the bit-interleaved coordinates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GrayCurve {
+    ndim: usize,
+    bits: u32,
+}
+
+impl GrayCurve {
+    /// Create a Gray curve on `ndim` dimensions of side `2^bits`.
+    pub fn new(ndim: usize, bits: u32) -> Result<Self, CurveError> {
+        if ndim == 0 || bits == 0 {
+            return Err(CurveError::DegenerateSpace);
+        }
+        if ndim as u32 * bits > 63 {
+            return Err(CurveError::TooManyBits { ndim, bits });
+        }
+        Ok(GrayCurve { ndim, bits })
+    }
+
+    /// Create from a side length, which must be a power of two.
+    pub fn from_side(ndim: usize, side: u64) -> Result<Self, CurveError> {
+        let bits = bits::log2_exact(side).ok_or(CurveError::NotPowerOfTwo { side })?;
+        Self::new(ndim, bits)
+    }
+}
+
+impl SpaceFillingCurve for GrayCurve {
+    fn ndim(&self) -> usize {
+        self.ndim
+    }
+
+    fn dims(&self) -> Vec<u64> {
+        vec![1u64 << self.bits; self.ndim]
+    }
+
+    fn kind(&self) -> CurveKind {
+        CurveKind::Gray
+    }
+
+    fn encode(&self, coords: &[u32]) -> u64 {
+        debug_assert_eq!(coords.len(), self.ndim);
+        bits::gray_decode(bits::interleave(coords, self.bits))
+    }
+
+    fn decode(&self, rank: u64) -> Vec<u32> {
+        debug_assert!(rank < self.num_points());
+        bits::deinterleave(bits::gray_encode(rank), self.ndim, self.bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        for (k, b) in [(1usize, 4u32), (2, 3), (4, 2), (5, 2)] {
+            let c = GrayCurve::new(k, b).unwrap();
+            for r in 0..c.num_points() {
+                assert_eq!(c.encode(&c.decode(r)), r, "k={k} b={b} rank {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn consecutive_ranks_differ_in_one_interleaved_bit() {
+        let c = GrayCurve::new(2, 3).unwrap();
+        for r in 1..c.num_points() {
+            let a = bits::interleave(&c.decode(r - 1), 3);
+            let b = bits::interleave(&c.decode(r), 3);
+            assert_eq!((a ^ b).count_ones(), 1);
+        }
+    }
+
+    #[test]
+    fn consecutive_cells_are_chebyshev_close_in_2d() {
+        // One interleaved bit = one coordinate bit flips: the step is a
+        // power-of-two jump along a single axis (not always distance 1 —
+        // Gray is better than Z but not continuous).
+        let c = GrayCurve::new(2, 2).unwrap();
+        for r in 1..16 {
+            let a = c.decode(r - 1);
+            let b = c.decode(r);
+            let changed: Vec<usize> = (0..2).filter(|&d| a[d] != b[d]).collect();
+            assert_eq!(changed.len(), 1, "exactly one coordinate changes");
+        }
+    }
+
+    #[test]
+    fn gray_1d_is_gray_sequence() {
+        let c = GrayCurve::new(1, 3).unwrap();
+        let cells: Vec<u32> = (0..8).map(|r| c.decode(r)[0]).collect();
+        assert_eq!(cells, vec![0, 1, 3, 2, 6, 7, 5, 4]);
+    }
+
+    #[test]
+    fn differs_from_peano() {
+        use crate::peano::PeanoCurve;
+        let g = GrayCurve::new(2, 2).unwrap();
+        let p = PeanoCurve::new(2, 2).unwrap();
+        let gt = g.rank_table();
+        let pt = p.rank_table();
+        assert_ne!(gt, pt);
+        // Both are permutations of 0..16.
+        let mut sorted = gt.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..16).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn construction_errors() {
+        assert!(GrayCurve::new(0, 1).is_err());
+        assert!(GrayCurve::new(2, 0).is_err());
+        assert!(GrayCurve::new(32, 2).is_err());
+        assert!(GrayCurve::from_side(2, 5).is_err());
+        assert!(GrayCurve::from_side(2, 4).is_ok());
+    }
+
+    #[test]
+    fn kind_is_gray() {
+        assert_eq!(GrayCurve::new(2, 1).unwrap().kind(), CurveKind::Gray);
+    }
+}

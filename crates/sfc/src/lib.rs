@@ -1,0 +1,49 @@
+//! Space-filling curves in arbitrary dimension.
+//!
+//! These are the *fractal* locality-preserving mappings the paper argues
+//! against (Section 2) plus the non-fractal row-major Sweep baseline used in
+//! its experiments (Section 5):
+//!
+//! * [`SweepCurve`] — row-major order, arbitrary extents;
+//! * [`SnakeCurve`] — boustrophedon order (row-major with alternating
+//!   direction), arbitrary extents; an extra non-fractal baseline;
+//! * [`PeanoCurve`] — bit-interleaving Z-order (what the database
+//!   literature of the period, and this paper, call the "Peano" curve,
+//!   after Orenstein–Merrett), power-of-two extents;
+//! * [`GrayCurve`] — the Gray-coded curve of Faloutsos: Z-order indices
+//!   run through the reflected Gray code, power-of-two extents;
+//! * [`HilbertCurve`] — the k-dimensional Hilbert curve via Skilling's
+//!   transpose algorithm, power-of-two extents.
+//!
+//! All curves implement [`SpaceFillingCurve`]: a bijection between
+//! coordinate tuples and ranks `0..num_points`, with `encode`/`decode`
+//! inverses. Property tests in `tests/` verify bijectivity for every curve
+//! and, for the Hilbert curve, unit-step continuity (consecutive ranks are
+//! at Manhattan distance exactly 1 — the defining fractal property).
+//!
+//! ```
+//! use slpm_sfc::{HilbertCurve, SpaceFillingCurve};
+//!
+//! let curve = HilbertCurve::from_side(2, 8).unwrap(); // 8×8 grid
+//! let rank = curve.encode(&[3, 4]);
+//! assert_eq!(curve.decode(rank), vec![3, 4]);
+//! assert_eq!(curve.num_points(), 64);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bits;
+pub mod gray;
+pub mod hilbert;
+pub mod peano;
+pub mod sweep;
+pub mod traits;
+pub mod true_peano;
+
+pub use gray::GrayCurve;
+pub use hilbert::HilbertCurve;
+pub use peano::PeanoCurve;
+pub use sweep::{SnakeCurve, SweepCurve};
+pub use traits::{CurveError, CurveKind, SpaceFillingCurve};
+pub use true_peano::TruePeanoCurve;

@@ -1,0 +1,154 @@
+//! The Z-order / Morton curve ("Peano" in the paper's terminology).
+//!
+//! The database literature of the era (Orenstein–Merrett and the papers
+//! citing them, including this one) calls bit-interleaving Z-order the
+//! "Peano" curve. It visits the four quadrants of a 2-D space in an
+//! N/Z-shaped pattern recursively — the canonical example of the fractal
+//! boundary effect: the jump between quadrants can traverse the whole
+//! space.
+
+use crate::bits;
+use crate::traits::{CurveError, CurveKind, SpaceFillingCurve};
+
+/// Bit-interleaving Z-order over a `2^bits`-sided hypercube in `ndim`
+/// dimensions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PeanoCurve {
+    ndim: usize,
+    bits: u32,
+}
+
+impl PeanoCurve {
+    /// Create a Z-order curve on `ndim` dimensions of side `2^bits`.
+    pub fn new(ndim: usize, bits: u32) -> Result<Self, CurveError> {
+        if ndim == 0 || bits == 0 {
+            return Err(CurveError::DegenerateSpace);
+        }
+        if ndim as u32 * bits > 63 {
+            return Err(CurveError::TooManyBits { ndim, bits });
+        }
+        Ok(PeanoCurve { ndim, bits })
+    }
+
+    /// Create from a side length, which must be a power of two.
+    pub fn from_side(ndim: usize, side: u64) -> Result<Self, CurveError> {
+        let bits = bits::log2_exact(side).ok_or(CurveError::NotPowerOfTwo { side })?;
+        Self::new(ndim, bits)
+    }
+
+    /// Bits per dimension.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+}
+
+impl SpaceFillingCurve for PeanoCurve {
+    fn ndim(&self) -> usize {
+        self.ndim
+    }
+
+    fn dims(&self) -> Vec<u64> {
+        vec![1u64 << self.bits; self.ndim]
+    }
+
+    fn kind(&self) -> CurveKind {
+        CurveKind::Peano
+    }
+
+    fn encode(&self, coords: &[u32]) -> u64 {
+        debug_assert_eq!(coords.len(), self.ndim);
+        debug_assert!(coords.iter().all(|&c| (c as u64) < (1u64 << self.bits)));
+        bits::interleave(coords, self.bits)
+    }
+
+    fn decode(&self, rank: u64) -> Vec<u32> {
+        debug_assert!(rank < self.num_points());
+        bits::deinterleave(rank, self.ndim, self.bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn z_order_4x4_layout() {
+        // With coordinate 0 owning the high bit, the 4×4 Z-order is:
+        //   c1→  0   1   2   3
+        // c0=0:  0   1   4   5
+        // c0=1:  2   3   6   7
+        // c0=2:  8   9  12  13
+        // c0=3: 10  11  14  15
+        let c = PeanoCurve::new(2, 2).unwrap();
+        let expected = [
+            [0u64, 1, 4, 5],
+            [2, 3, 6, 7],
+            [8, 9, 12, 13],
+            [10, 11, 14, 15],
+        ];
+        for (x0, row) in expected.iter().enumerate() {
+            for (x1, &want) in row.iter().enumerate() {
+                assert_eq!(c.encode(&[x0 as u32, x1 as u32]), want);
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_2d_and_5d() {
+        for (k, b) in [(2usize, 3u32), (5, 2)] {
+            let c = PeanoCurve::new(k, b).unwrap();
+            for r in 0..c.num_points() {
+                assert_eq!(c.encode(&c.decode(r)), r);
+            }
+        }
+    }
+
+    #[test]
+    fn quadrant_exhaustion() {
+        // The fractal property: all of quadrant 0 (both top bits 0) comes
+        // before any point of quadrant 1, etc.
+        let c = PeanoCurve::new(2, 3).unwrap();
+        let side = 8u32;
+        let quadrant = |x: u32, y: u32| (x / 4) * 2 + (y / 4);
+        let mut last_quadrant_max = [0u64; 4];
+        let mut quadrant_min = [u64::MAX; 4];
+        for x in 0..side {
+            for y in 0..side {
+                let q = quadrant(x, y) as usize;
+                let r = c.encode(&[x, y]);
+                last_quadrant_max[q] = last_quadrant_max[q].max(r);
+                quadrant_min[q] = quadrant_min[q].min(r);
+            }
+        }
+        for q in 1..4 {
+            assert!(
+                quadrant_min[q] > last_quadrant_max[q - 1],
+                "quadrant {q} starts before quadrant {} ends",
+                q - 1
+            );
+        }
+    }
+
+    #[test]
+    fn construction_errors() {
+        assert_eq!(PeanoCurve::new(0, 2).unwrap_err(), CurveError::DegenerateSpace);
+        assert_eq!(PeanoCurve::new(2, 0).unwrap_err(), CurveError::DegenerateSpace);
+        assert!(matches!(
+            PeanoCurve::new(8, 8),
+            Err(CurveError::TooManyBits { .. })
+        ));
+        assert!(matches!(
+            PeanoCurve::from_side(2, 6),
+            Err(CurveError::NotPowerOfTwo { side: 6 })
+        ));
+        assert_eq!(PeanoCurve::from_side(2, 8).unwrap().bits(), 3);
+    }
+
+    #[test]
+    fn dims_and_kind() {
+        let c = PeanoCurve::new(3, 2).unwrap();
+        assert_eq!(c.dims(), vec![4, 4, 4]);
+        assert_eq!(c.num_points(), 64);
+        assert_eq!(c.kind(), CurveKind::Peano);
+    }
+}

@@ -1,0 +1,244 @@
+//! The non-fractal scan orders: row-major Sweep and boustrophedon Snake.
+
+use crate::traits::{CurveError, CurveKind, SpaceFillingCurve};
+
+/// Row-major scan order — the paper's "Sweep" baseline.
+///
+/// In 2-D this visits row 0 left-to-right, then row 1 left-to-right, and so
+/// on: excellent locality along the fastest-varying dimension, terrible
+/// along the slowest (the asymmetry Figure 5b quantifies).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepCurve {
+    dims: Vec<u64>,
+}
+
+impl SweepCurve {
+    /// Create a sweep order over arbitrary (positive) extents.
+    pub fn new(dims: &[u64]) -> Result<Self, CurveError> {
+        if dims.is_empty() || dims.contains(&0) {
+            return Err(CurveError::DegenerateSpace);
+        }
+        let total_bits: u32 = dims.iter().map(|d| 64 - (d - 1).leading_zeros()).sum();
+        if total_bits > 63 {
+            return Err(CurveError::TooManyBits {
+                ndim: dims.len(),
+                bits: total_bits / dims.len() as u32,
+            });
+        }
+        Ok(SweepCurve {
+            dims: dims.to_vec(),
+        })
+    }
+}
+
+impl SpaceFillingCurve for SweepCurve {
+    fn ndim(&self) -> usize {
+        self.dims.len()
+    }
+
+    fn dims(&self) -> Vec<u64> {
+        self.dims.clone()
+    }
+
+    fn kind(&self) -> CurveKind {
+        CurveKind::Sweep
+    }
+
+    fn encode(&self, coords: &[u32]) -> u64 {
+        debug_assert_eq!(coords.len(), self.dims.len());
+        let mut rank = 0u64;
+        for (d, &c) in coords.iter().enumerate() {
+            debug_assert!((c as u64) < self.dims[d]);
+            rank = rank * self.dims[d] + c as u64;
+        }
+        rank
+    }
+
+    fn decode(&self, mut rank: u64) -> Vec<u32> {
+        let k = self.dims.len();
+        let mut coords = vec![0u32; k];
+        for d in (0..k).rev() {
+            coords[d] = (rank % self.dims[d]) as u32;
+            rank /= self.dims[d];
+        }
+        coords
+    }
+}
+
+/// Boustrophedon ("snake") scan: row-major, but every other row is visited
+/// in reverse so consecutive ranks are always at Manhattan distance 1.
+///
+/// Not part of the paper's comparison set; included because it is the
+/// strongest *non-fractal, non-spectral* baseline — it fixes Sweep's
+/// discontinuity at row ends while keeping its cross-row behaviour.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnakeCurve {
+    dims: Vec<u64>,
+}
+
+impl SnakeCurve {
+    /// Create a snake order over arbitrary (positive) extents.
+    pub fn new(dims: &[u64]) -> Result<Self, CurveError> {
+        // Same domain restrictions as Sweep.
+        SweepCurve::new(dims).map(|s| SnakeCurve { dims: s.dims })
+    }
+}
+
+impl SpaceFillingCurve for SnakeCurve {
+    fn ndim(&self) -> usize {
+        self.dims.len()
+    }
+
+    fn dims(&self) -> Vec<u64> {
+        self.dims.clone()
+    }
+
+    fn kind(&self) -> CurveKind {
+        CurveKind::Snake
+    }
+
+    fn encode(&self, coords: &[u32]) -> u64 {
+        debug_assert_eq!(coords.len(), self.dims.len());
+        // Reflected mixed-radix Gray construction, innermost dimension
+        // first: rank(c_d..) = c_d · R + (rank(rest) reflected when c_d is
+        // odd), R = ∏ dims[d+1..]. Reflecting the *remainder* (not the
+        // digits) is what makes consecutive ranks unit steps.
+        let k = self.dims.len();
+        let mut rank = 0u64;
+        let mut r_suffix = 1u64;
+        for d in (0..k).rev() {
+            let digit = coords[d] as u64;
+            debug_assert!(digit < self.dims[d]);
+            let inner = if digit % 2 == 1 {
+                r_suffix - 1 - rank
+            } else {
+                rank
+            };
+            rank = digit * r_suffix + inner;
+            r_suffix *= self.dims[d];
+        }
+        rank
+    }
+
+    fn decode(&self, mut rank: u64) -> Vec<u32> {
+        let k = self.dims.len();
+        let mut coords = vec![0u32; k];
+        let mut r_suffix: u64 = self.dims.iter().product();
+        for d in 0..k {
+            r_suffix /= self.dims[d];
+            let digit = rank / r_suffix;
+            coords[d] = digit as u32;
+            rank %= r_suffix;
+            if digit % 2 == 1 {
+                // The inner sequence runs reversed under an odd digit.
+                rank = r_suffix - 1 - rank;
+            }
+        }
+        coords
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_2d_row_major() {
+        let c = SweepCurve::new(&[3, 4]).unwrap();
+        assert_eq!(c.encode(&[0, 0]), 0);
+        assert_eq!(c.encode(&[0, 3]), 3);
+        assert_eq!(c.encode(&[1, 0]), 4);
+        assert_eq!(c.encode(&[2, 3]), 11);
+        assert_eq!(c.num_points(), 12);
+        for r in 0..12 {
+            assert_eq!(c.encode(&c.decode(r)), r);
+        }
+    }
+
+    #[test]
+    fn sweep_rejects_degenerate() {
+        assert_eq!(SweepCurve::new(&[]).unwrap_err(), CurveError::DegenerateSpace);
+        assert_eq!(
+            SweepCurve::new(&[4, 0]).unwrap_err(),
+            CurveError::DegenerateSpace
+        );
+    }
+
+    #[test]
+    fn sweep_rejects_overflow() {
+        assert!(matches!(
+            SweepCurve::new(&[u64::MAX / 2; 2]),
+            Err(CurveError::TooManyBits { .. })
+        ));
+    }
+
+    #[test]
+    fn snake_2d_is_boustrophedon() {
+        let c = SnakeCurve::new(&[3, 3]).unwrap();
+        // Row 0 forward: (0,0) (0,1) (0,2); row 1 reversed; row 2 forward.
+        let order: Vec<Vec<u32>> = (0..9).map(|r| c.decode(r)).collect();
+        assert_eq!(
+            order,
+            vec![
+                vec![0, 0],
+                vec![0, 1],
+                vec![0, 2],
+                vec![1, 2],
+                vec![1, 1],
+                vec![1, 0],
+                vec![2, 0],
+                vec![2, 1],
+                vec![2, 2],
+            ]
+        );
+    }
+
+    #[test]
+    fn snake_consecutive_ranks_are_adjacent() {
+        for dims in [vec![4u64, 4], vec![3, 5], vec![2, 3, 4], vec![3, 3, 3, 3]] {
+            let c = SnakeCurve::new(&dims).unwrap();
+            let n = c.num_points();
+            for r in 1..n {
+                let a = c.decode(r - 1);
+                let b = c.decode(r);
+                let dist: u64 = a
+                    .iter()
+                    .zip(b.iter())
+                    .map(|(&x, &y)| (x as i64 - y as i64).unsigned_abs())
+                    .sum();
+                assert_eq!(dist, 1, "dims {dims:?}: ranks {} and {r} not adjacent", r - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn snake_roundtrip() {
+        for dims in [vec![5u64], vec![4, 6], vec![2, 2, 2, 2, 2]] {
+            let c = SnakeCurve::new(&dims).unwrap();
+            for r in 0..c.num_points() {
+                assert_eq!(c.encode(&c.decode(r)), r, "dims {dims:?} rank {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_kind_and_dims() {
+        let c = SweepCurve::new(&[2, 2]).unwrap();
+        assert_eq!(c.kind(), CurveKind::Sweep);
+        assert_eq!(c.dims(), vec![2, 2]);
+        assert_eq!(c.ndim(), 2);
+        let s = SnakeCurve::new(&[2, 2]).unwrap();
+        assert_eq!(s.kind(), CurveKind::Snake);
+    }
+
+    #[test]
+    fn rank_table_matches_encode() {
+        let c = SweepCurve::new(&[3, 2]).unwrap();
+        let table = c.rank_table();
+        // Sweep's rank table over row-major indexing is the identity.
+        assert_eq!(table, (0..6).collect::<Vec<u64>>());
+        let s = SnakeCurve::new(&[2, 3]).unwrap();
+        let table = s.rank_table();
+        assert_eq!(table, vec![0, 1, 2, 5, 4, 3]);
+    }
+}

@@ -1,0 +1,173 @@
+//! The [`SpaceFillingCurve`] trait and curve taxonomy.
+
+use std::fmt;
+
+/// Identifies a curve family; used by experiment drivers to sweep over all
+/// mappings uniformly and label output rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CurveKind {
+    /// Row-major scan (the paper's non-fractal "Sweep" baseline).
+    Sweep,
+    /// Boustrophedon scan (extra non-fractal baseline, not in the paper).
+    Snake,
+    /// Bit-interleaving Z-order ("Peano" in the paper's terminology).
+    Peano,
+    /// The original base-3 Peano curve (1890) — continuous, radix-3.
+    TruePeano,
+    /// Gray-coded Z-order (Faloutsos' Gray curve).
+    Gray,
+    /// The Hilbert curve.
+    Hilbert,
+}
+
+impl CurveKind {
+    /// All curve kinds the paper's experiments sweep over.
+    pub const PAPER_SET: [CurveKind; 4] = [
+        CurveKind::Sweep,
+        CurveKind::Peano,
+        CurveKind::Gray,
+        CurveKind::Hilbert,
+    ];
+
+    /// Whether the curve is a fractal (recursive quadrant-exhausting)
+    /// mapping — the class the paper argues against.
+    pub fn is_fractal(self) -> bool {
+        matches!(
+            self,
+            CurveKind::Peano | CurveKind::TruePeano | CurveKind::Gray | CurveKind::Hilbert
+        )
+    }
+}
+
+impl fmt::Display for CurveKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CurveKind::Sweep => "Sweep",
+            CurveKind::Snake => "Snake",
+            CurveKind::Peano => "Peano",
+            CurveKind::TruePeano => "TruePeano",
+            CurveKind::Gray => "Gray",
+            CurveKind::Hilbert => "Hilbert",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Errors from curve construction or use.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CurveError {
+    /// The requested grid side is not a power of two (required by the
+    /// recursive curves).
+    NotPowerOfTwo {
+        /// Offending side length.
+        side: u64,
+    },
+    /// Total bits (`ndim × bits`) would overflow the 63-bit code budget.
+    TooManyBits {
+        /// Dimensions requested.
+        ndim: usize,
+        /// Bits per dimension requested.
+        bits: u32,
+    },
+    /// Zero dimensions or zero bits requested.
+    DegenerateSpace,
+}
+
+impl fmt::Display for CurveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CurveError::NotPowerOfTwo { side } => {
+                write!(f, "grid side {side} is not a power of two")
+            }
+            CurveError::TooManyBits { ndim, bits } => {
+                write!(f, "{ndim} dims × {bits} bits exceeds the 63-bit code budget")
+            }
+            CurveError::DegenerateSpace => write!(f, "curve space must be non-degenerate"),
+        }
+    }
+}
+
+impl std::error::Error for CurveError {}
+
+/// A bijection between the points of a finite k-dimensional grid and the
+/// ranks `0..num_points()` — a locality-preserving mapping candidate.
+pub trait SpaceFillingCurve {
+    /// Dimensionality of the domain.
+    fn ndim(&self) -> usize;
+
+    /// Per-dimension extents of the domain.
+    fn dims(&self) -> Vec<u64>;
+
+    /// Total number of points (product of extents).
+    fn num_points(&self) -> u64 {
+        self.dims().iter().product()
+    }
+
+    /// Which family this curve belongs to.
+    fn kind(&self) -> CurveKind;
+
+    /// Map a coordinate tuple to its rank along the curve.
+    ///
+    /// # Panics
+    /// May panic (debug) when `coords` is out of range; callers iterate
+    /// over the declared domain.
+    fn encode(&self, coords: &[u32]) -> u64;
+
+    /// Map a rank back to its coordinate tuple. Inverse of `encode`.
+    fn decode(&self, rank: u64) -> Vec<u32>;
+
+    /// The full rank table indexed by row-major point index — the form the
+    /// experiment layer consumes. Provided for convenience; O(num_points).
+    fn rank_table(&self) -> Vec<u64> {
+        let dims = self.dims();
+        let n = self.num_points();
+        let mut table = vec![0u64; n as usize];
+        // Row-major enumeration of coordinates.
+        let k = self.ndim();
+        let mut coords = vec![0u32; k];
+        for (row_major, slot) in table.iter_mut().enumerate().take(n as usize) {
+            let _ = row_major;
+            *slot = self.encode(&coords);
+            // Odometer increment, last dimension fastest.
+            for d in (0..k).rev() {
+                coords[d] += 1;
+                if (coords[d] as u64) < dims[d] {
+                    break;
+                }
+                coords[d] = 0;
+            }
+        }
+        table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_display_and_fractal_flag() {
+        assert_eq!(CurveKind::Hilbert.to_string(), "Hilbert");
+        assert!(CurveKind::Hilbert.is_fractal());
+        assert!(CurveKind::Peano.is_fractal());
+        assert!(CurveKind::Gray.is_fractal());
+        assert!(!CurveKind::Sweep.is_fractal());
+        assert!(!CurveKind::Snake.is_fractal());
+    }
+
+    #[test]
+    fn paper_set_contents() {
+        assert_eq!(CurveKind::PAPER_SET.len(), 4);
+        assert!(!CurveKind::PAPER_SET.contains(&CurveKind::Snake));
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(CurveError::NotPowerOfTwo { side: 6 }
+            .to_string()
+            .contains("6"));
+        assert!(CurveError::TooManyBits { ndim: 9, bits: 8 }
+            .to_string()
+            .contains("63-bit"));
+    }
+}

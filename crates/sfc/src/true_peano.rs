@@ -1,0 +1,236 @@
+//! The *actual* Peano curve (Giuseppe Peano, 1890) — base-3, serpentine.
+//!
+//! The database literature (and the reproduced paper) says "Peano curve"
+//! for bit-interleaving Z-order; the original Peano curve is a different,
+//! *continuous* construction on 3ⁿ-sided grids: every step moves to a
+//! Manhattan-distance-1 neighbour, like the Hilbert curve but with radix-3
+//! reflections instead of rotations. Included for completeness and as an
+//! extra fractal baseline with genuinely different boundary behaviour.
+//!
+//! Construction (Peano's original digit formula, generalised to k
+//! dimensions): write the rank in base 3 as digits `r₁ r₂ … r_{kp}`,
+//! cycling through dimensions within each refinement level. The coordinate
+//! digit produced by rank digit `r_m` (belonging to dimension d) is `r_m`
+//! complemented (`x ↦ 2 − x`) once for every *earlier* rank digit of a
+//! *different* dimension that is odd — i.e. reflected when the serpentine
+//! has reversed direction along d.
+
+use crate::traits::{CurveError, CurveKind, SpaceFillingCurve};
+
+/// The original base-3 Peano curve over a `3^levels`-sided hypercube.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TruePeanoCurve {
+    ndim: usize,
+    levels: u32,
+}
+
+impl TruePeanoCurve {
+    /// Create a Peano curve on `ndim` dimensions with side `3^levels`.
+    pub fn new(ndim: usize, levels: u32) -> Result<Self, CurveError> {
+        if ndim == 0 || levels == 0 {
+            return Err(CurveError::DegenerateSpace);
+        }
+        // 3^(ndim·levels) must fit in u64 (≈ 3^40 max).
+        let total_digits = ndim as u32 * levels;
+        if total_digits > 39 {
+            return Err(CurveError::TooManyBits {
+                ndim,
+                bits: levels,
+            });
+        }
+        Ok(TruePeanoCurve { ndim, levels })
+    }
+
+    /// Create from a side length, which must be a power of three.
+    pub fn from_side(ndim: usize, side: u64) -> Result<Self, CurveError> {
+        let mut s = side;
+        let mut levels = 0u32;
+        while s > 1 {
+            if !s.is_multiple_of(3) {
+                return Err(CurveError::NotPowerOfTwo { side });
+            }
+            s /= 3;
+            levels += 1;
+        }
+        if levels == 0 {
+            return Err(CurveError::DegenerateSpace);
+        }
+        Self::new(ndim, levels)
+    }
+
+    /// Side length `3^levels`.
+    pub fn side(&self) -> u64 {
+        3u64.pow(self.levels)
+    }
+}
+
+impl SpaceFillingCurve for TruePeanoCurve {
+    fn ndim(&self) -> usize {
+        self.ndim
+    }
+
+    fn dims(&self) -> Vec<u64> {
+        vec![self.side(); self.ndim]
+    }
+
+    fn kind(&self) -> CurveKind {
+        CurveKind::TruePeano
+    }
+
+    fn encode(&self, coords: &[u32]) -> u64 {
+        debug_assert_eq!(coords.len(), self.ndim);
+        let k = self.ndim;
+        let p = self.levels as usize;
+        // Coordinate digits, most significant first.
+        let mut cdig = vec![vec![0u8; p]; k];
+        for (d, &c) in coords.iter().enumerate() {
+            debug_assert!((c as u64) < self.side());
+            let mut v = c as u64;
+            for i in (0..p).rev() {
+                cdig[d][i] = (v % 3) as u8;
+                v /= 3;
+            }
+        }
+        // Produce rank digits in (level, dim) order, tracking for each
+        // dimension the parity of previously emitted rank digits of the
+        // *other* dimensions.
+        let mut sum_other = vec![0u32; k];
+        let mut rank = 0u64;
+        for i in 0..p {
+            for d in 0..k {
+                let a = cdig[d][i];
+                let r = if sum_other[d] % 2 == 1 { 2 - a } else { a };
+                rank = rank * 3 + r as u64;
+                for (e, s) in sum_other.iter_mut().enumerate() {
+                    if e != d {
+                        *s += r as u32;
+                    }
+                }
+            }
+        }
+        rank
+    }
+
+    fn decode(&self, rank: u64) -> Vec<u32> {
+        debug_assert!(rank < self.num_points());
+        let k = self.ndim;
+        let p = self.levels as usize;
+        // Extract rank digits most significant first.
+        let total = k * p;
+        let mut rdig = vec![0u8; total];
+        let mut v = rank;
+        for i in (0..total).rev() {
+            rdig[i] = (v % 3) as u8;
+            v /= 3;
+        }
+        let mut sum_other = vec![0u32; k];
+        let mut coords = vec![0u32; k];
+        let mut m = 0usize;
+        for _level in 0..p {
+            for d in 0..k {
+                let r = rdig[m];
+                m += 1;
+                let a = if sum_other[d] % 2 == 1 { 2 - r } else { r };
+                coords[d] = coords[d] * 3 + a as u32;
+                for (e, s) in sum_other.iter_mut().enumerate() {
+                    if e != d {
+                        *s += r as u32;
+                    }
+                }
+            }
+        }
+        coords
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn manhattan(a: &[u32], b: &[u32]) -> u64 {
+        a.iter()
+            .zip(b.iter())
+            .map(|(&x, &y)| (x as i64 - y as i64).unsigned_abs())
+            .sum()
+    }
+
+    #[test]
+    fn first_level_2d_is_serpentine() {
+        // One level in 2-D: the 3×3 serpentine starting at the origin.
+        let c = TruePeanoCurve::new(2, 1).unwrap();
+        let cells: Vec<Vec<u32>> = (0..9).map(|r| c.decode(r)).collect();
+        assert_eq!(cells[0], vec![0, 0]);
+        // Unit steps throughout.
+        for w in cells.windows(2) {
+            assert_eq!(manhattan(&w[0], &w[1]), 1, "{w:?}");
+        }
+        // Visits all 9 cells.
+        let mut sorted = cells.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 9);
+    }
+
+    #[test]
+    fn roundtrip_various_shapes() {
+        for (k, p) in [(1usize, 3u32), (2, 2), (3, 2), (4, 1)] {
+            let c = TruePeanoCurve::new(k, p).unwrap();
+            for r in 0..c.num_points() {
+                let coords = c.decode(r);
+                assert_eq!(c.encode(&coords), r, "k={k} p={p} rank {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn continuity_unit_steps() {
+        // The defining property Peano proved in 1890: the curve is
+        // continuous — consecutive ranks are Manhattan-distance-1 apart.
+        for (k, p) in [(2usize, 2u32), (2, 3), (3, 2)] {
+            let c = TruePeanoCurve::new(k, p).unwrap();
+            let mut prev = c.decode(0);
+            for r in 1..c.num_points() {
+                let cur = c.decode(r);
+                assert_eq!(
+                    manhattan(&prev, &cur),
+                    1,
+                    "k={k} p={p}: jump at rank {r}"
+                );
+                prev = cur;
+            }
+        }
+    }
+
+    #[test]
+    fn start_and_end_corners_2d() {
+        // The 2-D Peano curve runs from (0,0) to (side−1, side−1).
+        let c = TruePeanoCurve::new(2, 2).unwrap();
+        assert_eq!(c.decode(0), vec![0, 0]);
+        assert_eq!(c.decode(80), vec![8, 8]);
+    }
+
+    #[test]
+    fn construction_errors() {
+        assert!(TruePeanoCurve::new(0, 1).is_err());
+        assert!(TruePeanoCurve::new(2, 0).is_err());
+        assert!(TruePeanoCurve::new(8, 8).is_err());
+        assert!(TruePeanoCurve::from_side(2, 8).is_err());
+        assert_eq!(TruePeanoCurve::from_side(2, 27).unwrap().side(), 27);
+        assert!(TruePeanoCurve::from_side(2, 1).is_err());
+    }
+
+    #[test]
+    fn differs_from_z_order_peano() {
+        // Same name in the literature, very different curve: compare on a
+        // conceptual level — the true Peano is continuous, Z-order is not.
+        let c = TruePeanoCurve::new(2, 2).unwrap();
+        let mut max_step = 0;
+        let mut prev = c.decode(0);
+        for r in 1..81 {
+            let cur = c.decode(r);
+            max_step = max_step.max(manhattan(&prev, &cur));
+            prev = cur;
+        }
+        assert_eq!(max_step, 1);
+    }
+}

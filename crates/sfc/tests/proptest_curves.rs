@@ -1,0 +1,105 @@
+//! Property tests: every curve is a bijection with exact inverses, on every
+//! shape the paper's experiments use.
+
+use proptest::prelude::*;
+use slpm_sfc::{
+    GrayCurve, HilbertCurve, PeanoCurve, SnakeCurve, SpaceFillingCurve, SweepCurve,
+};
+
+/// Strategy over (ndim, bits) pairs that stay within a small total budget so
+/// exhaustive checks stay fast.
+fn shape() -> impl Strategy<Value = (usize, u32)> {
+    (1usize..=5, 1u32..=3).prop_filter("≤ 4096 points", |&(k, b)| (k as u32 * b) <= 12)
+}
+
+fn check_bijection(curve: &dyn SpaceFillingCurve) {
+    let n = curve.num_points();
+    let mut seen = vec![false; n as usize];
+    for r in 0..n {
+        let coords = curve.decode(r);
+        assert_eq!(curve.encode(&coords), r, "roundtrip failed at rank {r}");
+        let idx = r as usize;
+        assert!(!seen[idx]);
+        seen[idx] = true;
+    }
+    assert!(seen.into_iter().all(|s| s));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn peano_is_bijective((k, b) in shape()) {
+        check_bijection(&PeanoCurve::new(k, b).unwrap());
+    }
+
+    #[test]
+    fn gray_is_bijective((k, b) in shape()) {
+        check_bijection(&GrayCurve::new(k, b).unwrap());
+    }
+
+    #[test]
+    fn hilbert_is_bijective((k, b) in shape()) {
+        check_bijection(&HilbertCurve::new(k, b).unwrap());
+    }
+
+    #[test]
+    fn sweep_and_snake_bijective(dims in proptest::collection::vec(1u64..=6, 1..=4)) {
+        check_bijection(&SweepCurve::new(&dims).unwrap());
+        check_bijection(&SnakeCurve::new(&dims).unwrap());
+    }
+
+    #[test]
+    fn hilbert_steps_are_unit((k, b) in shape()) {
+        let c = HilbertCurve::new(k, b).unwrap();
+        let mut prev = c.decode(0);
+        for r in 1..c.num_points() {
+            let cur = c.decode(r);
+            let d: u64 = prev.iter().zip(cur.iter())
+                .map(|(&x, &y)| (x as i64 - y as i64).unsigned_abs())
+                .sum();
+            prop_assert_eq!(d, 1, "jump at rank {}", r);
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn snake_steps_are_unit(dims in proptest::collection::vec(2u64..=5, 1..=4)) {
+        let c = SnakeCurve::new(&dims).unwrap();
+        let mut prev = c.decode(0);
+        for r in 1..c.num_points() {
+            let cur = c.decode(r);
+            let d: u64 = prev.iter().zip(cur.iter())
+                .map(|(&x, &y)| (x as i64 - y as i64).unsigned_abs())
+                .sum();
+            prop_assert_eq!(d, 1, "jump at rank {}", r);
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn gray_steps_flip_one_axis((k, b) in shape()) {
+        let c = GrayCurve::new(k, b).unwrap();
+        let mut prev = c.decode(0);
+        for r in 1..c.num_points() {
+            let cur = c.decode(r);
+            let changed = prev.iter().zip(cur.iter()).filter(|(a, b)| a != b).count();
+            prop_assert_eq!(changed, 1, "rank {}", r);
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn rank_tables_are_permutations((k, b) in shape()) {
+        for curve in [
+            Box::new(PeanoCurve::new(k, b).unwrap()) as Box<dyn SpaceFillingCurve>,
+            Box::new(GrayCurve::new(k, b).unwrap()),
+            Box::new(HilbertCurve::new(k, b).unwrap()),
+        ] {
+            let mut t = curve.rank_table();
+            t.sort_unstable();
+            let n = curve.num_points();
+            prop_assert_eq!(t, (0..n).collect::<Vec<u64>>());
+        }
+    }
+}

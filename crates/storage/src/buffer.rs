@@ -1,0 +1,187 @@
+//! An LRU buffer pool over the page store.
+//!
+//! Locality pays twice: once in fewer pages per query, and again in cache
+//! hits across *successive* queries — nearby queries touch overlapping page
+//! sets. The buffer pool makes the second effect measurable: replay a
+//! workload through a pool of `capacity` frames and read off the hit rate.
+
+use std::collections::HashMap;
+
+/// Statistics of a buffer-pool run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BufferStats {
+    /// Page requests served from the pool.
+    pub hits: usize,
+    /// Page requests that had to go to storage.
+    pub misses: usize,
+    /// Pages evicted to make room.
+    pub evictions: usize,
+}
+
+impl BufferStats {
+    /// Hit ratio in `[0, 1]` (0 for an empty run).
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A fixed-capacity LRU buffer pool tracking page residency (payloads live
+/// in the [`crate::store::PageStore`]; the pool tracks only identity).
+#[derive(Debug)]
+pub struct BufferPool {
+    capacity: usize,
+    /// page → recency stamp of last touch.
+    resident: HashMap<usize, u64>,
+    clock: u64,
+    stats: BufferStats,
+}
+
+impl BufferPool {
+    /// Create a pool with room for `capacity` pages.
+    ///
+    /// # Panics
+    /// Panics on zero capacity (a configuration bug).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "buffer pool needs at least one frame");
+        BufferPool {
+            capacity,
+            resident: HashMap::with_capacity(capacity + 1),
+            clock: 0,
+            stats: BufferStats::default(),
+        }
+    }
+
+    /// Touch a page: returns `true` on a hit, `false` on a miss (after
+    /// which the page is resident, possibly evicting the LRU page).
+    pub fn access(&mut self, page: usize) -> bool {
+        self.clock += 1;
+        if let Some(stamp) = self.resident.get_mut(&page) {
+            *stamp = self.clock;
+            self.stats.hits += 1;
+            return true;
+        }
+        self.stats.misses += 1;
+        if self.resident.len() == self.capacity {
+            // Evict the least recently used frame.
+            let (&victim, _) = self
+                .resident
+                .iter()
+                .min_by_key(|(_, &stamp)| stamp)
+                .expect("pool is non-empty at capacity");
+            self.resident.remove(&victim);
+            self.stats.evictions += 1;
+        }
+        self.resident.insert(page, self.clock);
+        false
+    }
+
+    /// Touch every page of a query, in order; returns (hits, misses) for
+    /// the query.
+    pub fn access_many<I: IntoIterator<Item = usize>>(&mut self, pages: I) -> (usize, usize) {
+        let mut h = 0;
+        let mut m = 0;
+        for p in pages {
+            if self.access(p) {
+                h += 1;
+            } else {
+                m += 1;
+            }
+        }
+        (h, m)
+    }
+
+    /// Number of currently resident pages.
+    pub fn resident_count(&self) -> usize {
+        self.resident.len()
+    }
+
+    /// Whether a page is currently resident (does not count as a touch).
+    pub fn is_resident(&self, page: usize) -> bool {
+        self.resident.contains_key(&page)
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> BufferStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_pool_misses_then_hits() {
+        let mut pool = BufferPool::new(2);
+        assert!(!pool.access(1));
+        assert!(pool.access(1));
+        let s = pool.stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.evictions, 0);
+        assert!((s.hit_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut pool = BufferPool::new(2);
+        pool.access(1);
+        pool.access(2);
+        pool.access(1); // 2 is now LRU
+        pool.access(3); // evicts 2
+        assert!(pool.is_resident(1));
+        assert!(!pool.is_resident(2));
+        assert!(pool.is_resident(3));
+        assert_eq!(pool.stats().evictions, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one frame")]
+    fn zero_capacity_panics() {
+        BufferPool::new(0);
+    }
+
+    #[test]
+    fn access_many_counts_per_query() {
+        let mut pool = BufferPool::new(4);
+        let (h, m) = pool.access_many([1, 2, 1]);
+        assert_eq!((h, m), (1, 2));
+        assert_eq!(pool.resident_count(), 2);
+    }
+
+    #[test]
+    fn empty_stats_ratio_is_zero() {
+        let pool = BufferPool::new(1);
+        assert_eq!(pool.stats().hit_ratio(), 0.0);
+    }
+
+    #[test]
+    fn sequential_scan_with_tiny_pool_never_hits() {
+        let mut pool = BufferPool::new(1);
+        for p in 0..10 {
+            assert!(!pool.access(p));
+        }
+        assert_eq!(pool.stats().hits, 0);
+        assert_eq!(pool.stats().evictions, 9);
+    }
+
+    #[test]
+    fn locality_improves_hit_rate() {
+        // Two interleaved query streams over the same pages: a local
+        // stream (walks pages 0..8 in order, window reuse) vs a scattered
+        // stream (stride-3 permutation). Same page universe, same pool.
+        let local: Vec<usize> = (0..32).map(|i| i / 4).collect();
+        let scattered: Vec<usize> = (0..32).map(|i| (i * 3) % 8).collect();
+        let run = |stream: &[usize]| {
+            let mut pool = BufferPool::new(2);
+            pool.access_many(stream.iter().copied());
+            pool.stats().hit_ratio()
+        };
+        assert!(run(&local) > run(&scattered));
+    }
+}

@@ -1,0 +1,137 @@
+//! The clustering metric of Moon, Jagadish, Faloutsos & Salz (IEEE TKDE
+//! 2001) — the paper's reference \[4\].
+//!
+//! For a query region Q and a linear order π, the **cluster count** is the
+//! number of maximal runs of consecutive 1-D positions occupied by Q's
+//! points. Each cluster is one sequential read; fewer clusters means fewer
+//! seeks. Moon et al. analysed the Hilbert curve through exactly this
+//! metric, which makes it the natural bridge between the paper's span
+//! metric (Figure 6) and real I/O behaviour.
+
+use spectral_lpm::LinearOrder;
+
+/// Number of maximal runs of consecutive ranks among `vertices` under
+/// `order`. Duplicates are ignored. An empty query has 0 clusters.
+pub fn cluster_count<I: IntoIterator<Item = usize>>(order: &LinearOrder, vertices: I) -> usize {
+    let mut ranks: Vec<usize> = vertices.into_iter().map(|v| order.rank_of(v)).collect();
+    ranks.sort_unstable();
+    ranks.dedup();
+    let mut clusters = 0;
+    let mut prev: Option<usize> = None;
+    for r in ranks {
+        if prev != Some(r.wrapping_sub(1)) {
+            clusters += 1;
+        }
+        prev = Some(r);
+    }
+    clusters
+}
+
+/// Cluster count alongside the span (`max − min` rank) for the same query:
+/// span bounds the sequential window, clusters count the seeks within it.
+pub fn cluster_and_span<I: IntoIterator<Item = usize>>(
+    order: &LinearOrder,
+    vertices: I,
+) -> (usize, usize) {
+    let mut ranks: Vec<usize> = vertices.into_iter().map(|v| order.rank_of(v)).collect();
+    ranks.sort_unstable();
+    ranks.dedup();
+    if ranks.is_empty() {
+        return (0, 0);
+    }
+    let span = ranks.last().unwrap() - ranks.first().unwrap();
+    let mut clusters = 1;
+    for w in ranks.windows(2) {
+        if w[1] != w[0] + 1 {
+            clusters += 1;
+        }
+    }
+    (clusters, span)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contiguous_is_one_cluster() {
+        let o = LinearOrder::identity(10);
+        assert_eq!(cluster_count(&o, [3, 4, 5, 6]), 1);
+    }
+
+    #[test]
+    fn gaps_split_clusters() {
+        let o = LinearOrder::identity(10);
+        assert_eq!(cluster_count(&o, [0, 2, 4]), 3);
+        assert_eq!(cluster_count(&o, [0, 1, 3, 4, 9]), 3);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let o = LinearOrder::identity(4);
+        assert_eq!(cluster_count(&o, []), 0);
+        assert_eq!(cluster_count(&o, [2]), 1);
+    }
+
+    #[test]
+    fn duplicates_ignored() {
+        let o = LinearOrder::identity(4);
+        assert_eq!(cluster_count(&o, [1, 1, 2, 2]), 1);
+    }
+
+    #[test]
+    fn respects_order_not_ids() {
+        // Vertices 0..4 scrambled so ids 0,1 are far apart in rank.
+        let o = LinearOrder::from_ranks(vec![0, 3, 1, 2]).unwrap();
+        assert_eq!(cluster_count(&o, [0, 1]), 2); // ranks 0 and 3
+        assert_eq!(cluster_count(&o, [0, 2, 3, 1]), 1); // ranks 0..3
+    }
+
+    #[test]
+    fn cluster_and_span_agree() {
+        let o = LinearOrder::identity(10);
+        let (c, s) = cluster_and_span(&o, [1, 2, 7]);
+        assert_eq!(c, 2);
+        assert_eq!(s, 6);
+        assert_eq!(cluster_and_span(&o, []), (0, 0));
+        let (c1, s1) = cluster_and_span(&o, [5]);
+        assert_eq!((c1, s1), (1, 0));
+    }
+
+    #[test]
+    fn hilbert_clusters_fewer_than_z_order_on_2x2_blocks() {
+        // A classic Moon et al. observation: for small square queries the
+        // Hilbert curve produces fewer clusters on average than Z-order.
+        use slpm_graph::grid::GridSpec;
+        use slpm_sfc::{HilbertCurve, PeanoCurve, SpaceFillingCurve};
+        let spec = GridSpec::cube(8, 2);
+        let to_order = |curve: &dyn SpaceFillingCurve| {
+            let mut codes = vec![0u64; 64];
+            for (i, c) in spec.iter_points().enumerate() {
+                let c32: Vec<u32> = c.iter().map(|&x| x as u32).collect();
+                codes[i] = curve.encode(&c32);
+            }
+            LinearOrder::from_codes(&codes)
+        };
+        let hil = to_order(&HilbertCurve::from_side(2, 8).unwrap());
+        let zor = to_order(&PeanoCurve::from_side(2, 8).unwrap());
+        let mut h_total = 0usize;
+        let mut z_total = 0usize;
+        for x in 0..7 {
+            for y in 0..7 {
+                let q = [
+                    spec.index_of(&[x, y]),
+                    spec.index_of(&[x + 1, y]),
+                    spec.index_of(&[x, y + 1]),
+                    spec.index_of(&[x + 1, y + 1]),
+                ];
+                h_total += cluster_count(&hil, q);
+                z_total += cluster_count(&zor, q);
+            }
+        }
+        assert!(
+            h_total < z_total,
+            "Hilbert clusters {h_total} not fewer than Z-order {z_total}"
+        );
+    }
+}

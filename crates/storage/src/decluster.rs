@@ -1,0 +1,136 @@
+//! Declustering: spreading pages over M parallel disks.
+//!
+//! The paper lists declustering among the applications of locality-
+//! preserving mappings: assign nearby pages to *different* disks so a range
+//! query's pages can be fetched in parallel. With a good 1-D order, a
+//! query's pages are consecutive, and round-robin placement then achieves
+//! near-perfect balance — the response time is `ceil(pages / M)` page
+//! times. A poor order scatters a query's pages, breaking the balance.
+
+use crate::pages::PageMapper;
+use serde::Serialize;
+
+/// A page → disk placement policy.
+pub trait Declustering {
+    /// Number of disks.
+    fn num_disks(&self) -> usize;
+
+    /// Disk of a page.
+    fn disk_of(&self, page: usize) -> usize;
+
+    /// Per-disk page counts for one query, given the pages it touches.
+    fn load_profile<I: IntoIterator<Item = usize>>(&self, pages: I) -> Vec<usize> {
+        let mut load = vec![0usize; self.num_disks()];
+        for p in pages {
+            load[self.disk_of(p)] += 1;
+        }
+        load
+    }
+
+    /// Parallel response time for a query: the maximum per-disk load (in
+    /// page-read units).
+    fn response_time<I: IntoIterator<Item = usize>>(&self, pages: I) -> usize {
+        self.load_profile(pages).into_iter().max().unwrap_or(0)
+    }
+}
+
+/// Round-robin declustering: page `p` lives on disk `p mod M`.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct RoundRobin {
+    /// Number of disks (≥ 1).
+    pub disks: usize,
+}
+
+impl RoundRobin {
+    /// Create a round-robin placement over `disks` disks.
+    ///
+    /// # Panics
+    /// Panics when `disks == 0`.
+    pub fn new(disks: usize) -> Self {
+        assert!(disks >= 1, "declustering needs at least one disk");
+        RoundRobin { disks }
+    }
+}
+
+impl Declustering for RoundRobin {
+    fn num_disks(&self) -> usize {
+        self.disks
+    }
+
+    fn disk_of(&self, page: usize) -> usize {
+        page % self.disks
+    }
+}
+
+/// Response time of a vertex query under mapper + declustering: fetch every
+/// touched page, in parallel across disks.
+pub fn query_response_time<D: Declustering, I: IntoIterator<Item = usize>>(
+    mapper: &PageMapper,
+    decl: &D,
+    vertices: I,
+) -> usize {
+    decl.response_time(mapper.pages_touched(vertices))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pages::PageLayout;
+    use spectral_lpm::LinearOrder;
+
+    #[test]
+    fn round_robin_assigns_cyclically() {
+        let rr = RoundRobin::new(3);
+        assert_eq!(rr.disk_of(0), 0);
+        assert_eq!(rr.disk_of(4), 1);
+        assert_eq!(rr.num_disks(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one disk")]
+    fn zero_disks_panics() {
+        RoundRobin::new(0);
+    }
+
+    #[test]
+    fn consecutive_pages_balance_perfectly() {
+        let rr = RoundRobin::new(4);
+        // 8 consecutive pages over 4 disks: 2 each → response time 2.
+        assert_eq!(rr.response_time(0..8), 2);
+        let profile = rr.load_profile(0..8);
+        assert_eq!(profile, vec![2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn aliased_pages_collide() {
+        let rr = RoundRobin::new(4);
+        // Pages 0, 4, 8: all on disk 0 → response time 3.
+        assert_eq!(rr.response_time([0, 4, 8]), 3);
+    }
+
+    #[test]
+    fn empty_query_zero_response() {
+        let rr = RoundRobin::new(2);
+        assert_eq!(rr.response_time(std::iter::empty()), 0);
+    }
+
+    #[test]
+    fn good_order_beats_bad_order_via_declustering() {
+        // Identity order: a window of 8 vertices occupies 4 consecutive
+        // pages → balanced. A stride-4 order: the same vertices alias onto
+        // the same disk.
+        let layout = PageLayout::new(2);
+        let good = PageMapper::new(&LinearOrder::identity(16), layout);
+        // Order sending vertex v to rank (v * 4) % 16 + v/4 — a scatter.
+        let ranks: Vec<usize> = (0..16).map(|v| (v * 4) % 16 + v / 4).collect();
+        let bad = PageMapper::new(&LinearOrder::from_ranks(ranks).unwrap(), layout);
+        let rr = RoundRobin::new(4);
+        let q: Vec<usize> = (0..8).collect();
+        let good_rt = query_response_time(&good, &rr, q.iter().copied());
+        let bad_rt = query_response_time(&bad, &rr, q.iter().copied());
+        assert!(
+            good_rt <= bad_rt,
+            "good {good_rt} should not exceed bad {bad_rt}"
+        );
+    }
+}

@@ -1,0 +1,167 @@
+//! Minimum bounding rectangles (MBRs) for the packed R-tree.
+
+use serde::Serialize;
+
+/// An axis-aligned minimum bounding rectangle over integer coordinates,
+/// inclusive on both ends.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct Mbr {
+    /// Inclusive lower corner.
+    pub lo: Vec<i64>,
+    /// Inclusive upper corner.
+    pub hi: Vec<i64>,
+}
+
+impl Mbr {
+    /// The MBR of a single point.
+    pub fn point(p: &[i64]) -> Self {
+        Mbr {
+            lo: p.to_vec(),
+            hi: p.to_vec(),
+        }
+    }
+
+    /// The MBR of a non-empty set of points.
+    ///
+    /// # Panics
+    /// Panics on an empty iterator — an empty MBR has no meaning here.
+    pub fn of_points<'a, I: IntoIterator<Item = &'a [i64]>>(points: I) -> Self {
+        let mut it = points.into_iter();
+        let first = it.next().expect("MBR needs at least one point");
+        let mut m = Mbr::point(first);
+        for p in it {
+            m.expand_point(p);
+        }
+        m
+    }
+
+    /// Dimensionality.
+    pub fn ndim(&self) -> usize {
+        self.lo.len()
+    }
+
+    /// Grow to include a point.
+    pub fn expand_point(&mut self, p: &[i64]) {
+        debug_assert_eq!(p.len(), self.ndim());
+        for d in 0..self.lo.len() {
+            self.lo[d] = self.lo[d].min(p[d]);
+            self.hi[d] = self.hi[d].max(p[d]);
+        }
+    }
+
+    /// Grow to include another MBR.
+    pub fn expand_mbr(&mut self, other: &Mbr) {
+        debug_assert_eq!(other.ndim(), self.ndim());
+        for d in 0..self.lo.len() {
+            self.lo[d] = self.lo[d].min(other.lo[d]);
+            self.hi[d] = self.hi[d].max(other.hi[d]);
+        }
+    }
+
+    /// True when the two rectangles overlap (share at least one point).
+    pub fn intersects(&self, other: &Mbr) -> bool {
+        self.lo
+            .iter()
+            .zip(self.hi.iter())
+            .zip(other.lo.iter().zip(other.hi.iter()))
+            .all(|((&slo, &shi), (&olo, &ohi))| slo <= ohi && olo <= shi)
+    }
+
+    /// True when `p` lies inside.
+    pub fn contains_point(&self, p: &[i64]) -> bool {
+        p.iter()
+            .zip(self.lo.iter().zip(self.hi.iter()))
+            .all(|(&c, (&l, &h))| c >= l && c <= h)
+    }
+
+    /// Volume as a count of integer points (product of extents).
+    pub fn volume(&self) -> u128 {
+        self.lo
+            .iter()
+            .zip(self.hi.iter())
+            .map(|(&l, &h)| (h - l + 1) as u128)
+            .product()
+    }
+
+    /// Hyper-surface measure: sum of extents (the margin the R*-tree
+    /// literature minimises); used as a packing-quality diagnostic.
+    pub fn margin(&self) -> i64 {
+        self.lo
+            .iter()
+            .zip(self.hi.iter())
+            .map(|(&l, &h)| h - l)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_mbr() {
+        let m = Mbr::point(&[1, 2]);
+        assert_eq!(m.lo, vec![1, 2]);
+        assert_eq!(m.hi, vec![1, 2]);
+        assert_eq!(m.volume(), 1);
+        assert_eq!(m.margin(), 0);
+        assert!(m.contains_point(&[1, 2]));
+        assert!(!m.contains_point(&[1, 3]));
+    }
+
+    #[test]
+    fn of_points_covers_all() {
+        let pts: Vec<Vec<i64>> = vec![vec![0, 5], vec![3, 1], vec![2, 2]];
+        let m = Mbr::of_points(pts.iter().map(|p| p.as_slice()));
+        assert_eq!(m.lo, vec![0, 1]);
+        assert_eq!(m.hi, vec![3, 5]);
+        assert_eq!(m.volume(), 20);
+        assert_eq!(m.margin(), 3 + 4);
+        for p in &pts {
+            assert!(m.contains_point(p));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one point")]
+    fn empty_mbr_panics() {
+        let empty: Vec<&[i64]> = vec![];
+        Mbr::of_points(empty);
+    }
+
+    #[test]
+    fn intersection_cases() {
+        let a = Mbr {
+            lo: vec![0, 0],
+            hi: vec![2, 2],
+        };
+        let b = Mbr {
+            lo: vec![2, 2],
+            hi: vec![4, 4],
+        }; // corner touch counts
+        let c = Mbr {
+            lo: vec![3, 0],
+            hi: vec![4, 1],
+        };
+        assert!(a.intersects(&b));
+        assert!(b.intersects(&a));
+        // a and c overlap in y ([0,2]∩[0,1]) but not in x ([0,2]∩[3,4]).
+        assert!(!a.intersects(&c));
+        // b and c overlap in x ([2,4]∩[3,4]) but not in y ([2,4]∩[0,1]).
+        assert!(!b.intersects(&c));
+    }
+
+    #[test]
+    fn expand_operations() {
+        let mut m = Mbr::point(&[1, 1]);
+        m.expand_point(&[-1, 3]);
+        assert_eq!(m.lo, vec![-1, 1]);
+        assert_eq!(m.hi, vec![1, 3]);
+        m.expand_mbr(&Mbr {
+            lo: vec![0, -5],
+            hi: vec![9, 0],
+        });
+        assert_eq!(m.lo, vec![-1, -5]);
+        assert_eq!(m.hi, vec![9, 3]);
+    }
+}

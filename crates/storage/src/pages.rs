@@ -1,0 +1,161 @@
+//! Mapping linear positions to disk pages.
+
+use spectral_lpm::LinearOrder;
+use std::collections::BTreeSet;
+
+/// Static description of the page geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageLayout {
+    /// Records per page (≥ 1).
+    pub records_per_page: usize,
+}
+
+impl PageLayout {
+    /// Create a layout.
+    ///
+    /// # Panics
+    /// Panics on a zero page size — a configuration bug, not a runtime
+    /// condition.
+    pub fn new(records_per_page: usize) -> Self {
+        assert!(records_per_page >= 1, "page must hold at least one record");
+        PageLayout { records_per_page }
+    }
+
+    /// Page of a given 1-D position.
+    #[inline]
+    pub fn page_of_position(&self, position: usize) -> usize {
+        position / self.records_per_page
+    }
+
+    /// Number of pages needed for `n` records.
+    pub fn num_pages(&self, n: usize) -> usize {
+        n.div_ceil(self.records_per_page)
+    }
+}
+
+/// A linear order materialised onto pages: point → page in O(1).
+#[derive(Debug, Clone)]
+pub struct PageMapper {
+    layout: PageLayout,
+    /// Page of each vertex (indexed by vertex id).
+    page: Vec<usize>,
+    num_pages: usize,
+}
+
+impl PageMapper {
+    /// Place an order onto pages.
+    pub fn new(order: &LinearOrder, layout: PageLayout) -> Self {
+        let n = order.len();
+        let page: Vec<usize> = (0..n)
+            .map(|v| layout.page_of_position(order.rank_of(v)))
+            .collect();
+        PageMapper {
+            layout,
+            page,
+            num_pages: layout.num_pages(n),
+        }
+    }
+
+    /// The layout in use.
+    pub fn layout(&self) -> PageLayout {
+        self.layout
+    }
+
+    /// Total number of pages.
+    pub fn num_pages(&self) -> usize {
+        self.num_pages
+    }
+
+    /// Page holding vertex `v`.
+    #[inline]
+    pub fn page_of(&self, v: usize) -> usize {
+        self.page[v]
+    }
+
+    /// The set of distinct pages a query's vertices touch.
+    pub fn pages_touched<I: IntoIterator<Item = usize>>(&self, vertices: I) -> BTreeSet<usize> {
+        vertices.into_iter().map(|v| self.page_of(v)).collect()
+    }
+
+    /// Number of distinct pages touched (the basic I/O count).
+    pub fn page_count<I: IntoIterator<Item = usize>>(&self, vertices: I) -> usize {
+        self.pages_touched(vertices).len()
+    }
+
+    /// Number of maximal runs of *consecutive* pages among those touched —
+    /// the number of sequential page reads.
+    pub fn page_runs<I: IntoIterator<Item = usize>>(&self, vertices: I) -> usize {
+        let pages = self.pages_touched(vertices);
+        let mut runs = 0;
+        let mut prev: Option<usize> = None;
+        for p in pages {
+            if prev != Some(p.wrapping_sub(1)) {
+                runs += 1;
+            }
+            prev = Some(p);
+        }
+        runs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_basics() {
+        let l = PageLayout::new(4);
+        assert_eq!(l.page_of_position(0), 0);
+        assert_eq!(l.page_of_position(3), 0);
+        assert_eq!(l.page_of_position(4), 1);
+        assert_eq!(l.num_pages(9), 3);
+        assert_eq!(l.num_pages(8), 2);
+        assert_eq!(l.num_pages(0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one record")]
+    fn zero_page_size_panics() {
+        PageLayout::new(0);
+    }
+
+    #[test]
+    fn mapper_places_by_rank() {
+        // Reversed order of 8 vertices, 4 per page: vertex 0 has rank 7 →
+        // page 1; vertex 7 has rank 0 → page 0.
+        let order = LinearOrder::from_ranks((0..8).rev().collect()).unwrap();
+        let m = PageMapper::new(&order, PageLayout::new(4));
+        assert_eq!(m.num_pages(), 2);
+        assert_eq!(m.page_of(0), 1);
+        assert_eq!(m.page_of(7), 0);
+    }
+
+    #[test]
+    fn pages_touched_and_count() {
+        let order = LinearOrder::identity(12);
+        let m = PageMapper::new(&order, PageLayout::new(4));
+        let pages = m.pages_touched([0, 1, 5, 11]);
+        assert_eq!(pages.into_iter().collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(m.page_count([0, 1, 2, 3]), 1);
+        assert_eq!(m.page_count(std::iter::empty()), 0);
+    }
+
+    #[test]
+    fn page_runs_counts_gaps() {
+        let order = LinearOrder::identity(20);
+        let m = PageMapper::new(&order, PageLayout::new(2));
+        // Pages 0,1 contiguous; page 5 separate.
+        assert_eq!(m.page_runs([0, 2, 10]), 2);
+        // Single run.
+        assert_eq!(m.page_runs([0, 1, 2, 3]), 1);
+        // Empty query.
+        assert_eq!(m.page_runs(std::iter::empty()), 0);
+    }
+
+    #[test]
+    fn duplicate_vertices_dedupe() {
+        let order = LinearOrder::identity(8);
+        let m = PageMapper::new(&order, PageLayout::new(2));
+        assert_eq!(m.page_count([0, 0, 1, 1]), 1);
+    }
+}

@@ -1,0 +1,299 @@
+//! A packed (bulk-loaded) R-tree over a linear order.
+//!
+//! The paper lists *R-tree packing* among the applications of locality-
+//! preserving mappings, after Kamel & Faloutsos' Hilbert-packed R-trees:
+//! sort the data by a 1-D order, fill leaves with consecutive runs, and
+//! build the index bottom-up. The better the order preserves spatial
+//! locality, the tighter the leaf MBRs and the fewer nodes a range query
+//! must visit. This module implements exactly that pipeline for *any*
+//! [`LinearOrder`], so the spectral order can be compared against the
+//! fractals on the application the paper only gestures at.
+
+use crate::mbr::Mbr;
+use serde::Serialize;
+use spectral_lpm::LinearOrder;
+
+/// One node of the packed R-tree.
+#[derive(Debug, Clone, Serialize)]
+struct Node {
+    mbr: Mbr,
+    /// Children: either node indices (internal) or point ids (leaf).
+    children: Vec<usize>,
+    is_leaf: bool,
+}
+
+/// A packed R-tree: bulk-loaded, never updated (the classic static index).
+#[derive(Debug, Clone, Serialize)]
+pub struct PackedRTree {
+    nodes: Vec<Node>,
+    root: usize,
+    height: usize,
+    fanout: usize,
+    /// The indexed points (id = position in this vector).
+    points: Vec<Vec<i64>>,
+}
+
+/// Access counts of one range query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct QueryCost {
+    /// Internal + leaf nodes whose MBR intersected the query.
+    pub nodes_visited: usize,
+    /// Leaf nodes visited (page reads in the classic model).
+    pub leaves_visited: usize,
+    /// Matching points returned.
+    pub results: usize,
+}
+
+impl PackedRTree {
+    /// Bulk-load a tree over `points`, packing leaves with `fanout`
+    /// consecutive points of `order` (and internal levels with `fanout`
+    /// consecutive children).
+    ///
+    /// # Panics
+    /// Panics when `fanout < 2`, `points` is empty, or `order.len()`
+    /// differs from `points.len()` — all caller bugs.
+    pub fn pack(points: &[Vec<i64>], order: &LinearOrder, fanout: usize) -> Self {
+        assert!(fanout >= 2, "R-tree fanout must be at least 2");
+        assert!(!points.is_empty(), "cannot pack an empty point set");
+        assert_eq!(order.len(), points.len(), "order/point-set mismatch");
+
+        let mut nodes: Vec<Node> = Vec::new();
+        // Leaf level: consecutive runs of the order.
+        let mut level: Vec<usize> = Vec::new();
+        let mut position = 0usize;
+        while position < points.len() {
+            let end = (position + fanout).min(points.len());
+            let ids: Vec<usize> = (position..end).map(|p| order.vertex_at(p)).collect();
+            let mbr = Mbr::of_points(ids.iter().map(|&i| points[i].as_slice()));
+            nodes.push(Node {
+                mbr,
+                children: ids,
+                is_leaf: true,
+            });
+            level.push(nodes.len() - 1);
+            position = end;
+        }
+        let mut height = 1usize;
+        // Internal levels.
+        while level.len() > 1 {
+            let mut next: Vec<usize> = Vec::new();
+            let mut i = 0usize;
+            while i < level.len() {
+                let end = (i + fanout).min(level.len());
+                let children: Vec<usize> = level[i..end].to_vec();
+                let mut mbr = nodes[children[0]].mbr.clone();
+                for &c in &children[1..] {
+                    mbr.expand_mbr(&nodes[c].mbr.clone());
+                }
+                nodes.push(Node {
+                    mbr,
+                    children,
+                    is_leaf: false,
+                });
+                next.push(nodes.len() - 1);
+                i = end;
+            }
+            level = next;
+            height += 1;
+        }
+
+        PackedRTree {
+            root: level[0],
+            nodes,
+            height,
+            fanout,
+            points: points.to_vec(),
+        }
+    }
+
+    /// Number of nodes (all levels).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of leaf nodes.
+    pub fn num_leaves(&self) -> usize {
+        self.nodes.iter().filter(|n| n.is_leaf).count()
+    }
+
+    /// Tree height (leaf level = 1).
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Leaf fanout used at pack time.
+    pub fn fanout(&self) -> usize {
+        self.fanout
+    }
+
+    /// Sum of leaf MBR volumes — the classic packing-quality metric
+    /// (smaller = tighter leaves = fewer false node visits).
+    pub fn total_leaf_volume(&self) -> u128 {
+        self.nodes
+            .iter()
+            .filter(|n| n.is_leaf)
+            .map(|n| n.mbr.volume())
+            .sum()
+    }
+
+    /// Sum of leaf MBR margins (the R*-tree quality proxy).
+    pub fn total_leaf_margin(&self) -> i64 {
+        self.nodes
+            .iter()
+            .filter(|n| n.is_leaf)
+            .map(|n| n.mbr.margin())
+            .sum()
+    }
+
+    /// Answer a range query, counting node accesses.
+    pub fn range_query(&self, query: &Mbr) -> (Vec<usize>, QueryCost) {
+        let mut results = Vec::new();
+        let mut cost = QueryCost {
+            nodes_visited: 0,
+            leaves_visited: 0,
+            results: 0,
+        };
+        let mut stack = vec![self.root];
+        while let Some(id) = stack.pop() {
+            let node = &self.nodes[id];
+            if !node.mbr.intersects(query) {
+                continue;
+            }
+            cost.nodes_visited += 1;
+            if node.is_leaf {
+                cost.leaves_visited += 1;
+                for &pid in &node.children {
+                    if query.contains_point(&self.points[pid]) {
+                        results.push(pid);
+                    }
+                }
+            } else {
+                stack.extend(node.children.iter().copied());
+            }
+        }
+        results.sort_unstable();
+        cost.results = results.len();
+        (results, cost)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A 4×4 grid of points, id = row-major index.
+    fn grid_points(side: i64) -> Vec<Vec<i64>> {
+        let mut pts = Vec::new();
+        for x in 0..side {
+            for y in 0..side {
+                pts.push(vec![x, y]);
+            }
+        }
+        pts
+    }
+
+    #[test]
+    fn pack_shapes() {
+        let pts = grid_points(4);
+        let t = PackedRTree::pack(&pts, &LinearOrder::identity(16), 4);
+        assert_eq!(t.num_leaves(), 4);
+        assert_eq!(t.height(), 2);
+        assert_eq!(t.num_nodes(), 5);
+        assert_eq!(t.fanout(), 4);
+    }
+
+    #[test]
+    fn uneven_last_leaf() {
+        let pts = grid_points(3); // 9 points, fanout 4 → leaves 4+4+1
+        let t = PackedRTree::pack(&pts, &LinearOrder::identity(9), 4);
+        assert_eq!(t.num_leaves(), 3);
+    }
+
+    #[test]
+    fn range_query_returns_exact_results() {
+        let pts = grid_points(4);
+        let t = PackedRTree::pack(&pts, &LinearOrder::identity(16), 4);
+        let q = Mbr {
+            lo: vec![1, 1],
+            hi: vec![2, 2],
+        };
+        let (res, cost) = t.range_query(&q);
+        assert_eq!(cost.results, 4);
+        assert_eq!(res.len(), 4);
+        for &pid in &res {
+            assert!(q.contains_point(&pts[pid]));
+        }
+        // And nothing outside was returned: brute force check.
+        let brute: Vec<usize> = (0..16).filter(|&i| q.contains_point(&pts[i])).collect();
+        assert_eq!(res, brute);
+    }
+
+    #[test]
+    fn whole_space_query_visits_everything() {
+        let pts = grid_points(4);
+        let t = PackedRTree::pack(&pts, &LinearOrder::identity(16), 4);
+        let q = Mbr {
+            lo: vec![0, 0],
+            hi: vec![3, 3],
+        };
+        let (res, cost) = t.range_query(&q);
+        assert_eq!(res.len(), 16);
+        assert_eq!(cost.nodes_visited, t.num_nodes());
+        assert_eq!(cost.leaves_visited, t.num_leaves());
+    }
+
+    #[test]
+    fn empty_region_query_touches_root_only() {
+        let pts = grid_points(4);
+        let t = PackedRTree::pack(&pts, &LinearOrder::identity(16), 4);
+        let q = Mbr {
+            lo: vec![10, 10],
+            hi: vec![12, 12],
+        };
+        let (res, cost) = t.range_query(&q);
+        assert!(res.is_empty());
+        assert_eq!(cost.nodes_visited, 0); // root MBR doesn't intersect
+    }
+
+    #[test]
+    fn better_order_gives_tighter_leaves() {
+        // Row-major (identity) leaves on a 8×8 grid with fanout 8 are full
+        // rows: volume 8 each, total 64. A scrambled order mixes far-apart
+        // points into leaves, inflating total volume.
+        let pts = grid_points(8);
+        let good = PackedRTree::pack(&pts, &LinearOrder::identity(64), 8);
+        let scramble =
+            LinearOrder::from_ranks((0..64).map(|v: usize| (v * 37) % 64).collect()).unwrap();
+        let bad = PackedRTree::pack(&pts, &scramble, 8);
+        assert!(
+            good.total_leaf_volume() < bad.total_leaf_volume(),
+            "good {} vs bad {}",
+            good.total_leaf_volume(),
+            bad.total_leaf_volume()
+        );
+        assert!(good.total_leaf_margin() <= bad.total_leaf_margin());
+    }
+
+    #[test]
+    #[should_panic(expected = "fanout")]
+    fn tiny_fanout_panics() {
+        PackedRTree::pack(&grid_points(2), &LinearOrder::identity(4), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_points_panic() {
+        PackedRTree::pack(&[], &LinearOrder::identity(0), 4);
+    }
+
+    #[test]
+    fn single_point_tree() {
+        let t = PackedRTree::pack(&[vec![5, 5]], &LinearOrder::identity(1), 4);
+        assert_eq!(t.height(), 1);
+        let (res, _) = t.range_query(&Mbr {
+            lo: vec![0, 0],
+            hi: vec![9, 9],
+        });
+        assert_eq!(res, vec![0]);
+    }
+}

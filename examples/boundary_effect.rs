@@ -1,0 +1,53 @@
+//! The Figure 1 story: why fractals disappoint at quadrant boundaries.
+//!
+//! Walks the exact scenario of the paper's Figure 1 — two points that are
+//! Manhattan-distance-1 apart but fall in different quadrants — for every
+//! fractal curve, then shows what Spectral LPM does with the same points.
+//!
+//! Run with: `cargo run --release --example boundary_effect`
+
+use slpm_querysim::experiments::fig1;
+use slpm_querysim::mappings::MappingSet;
+use slpm_querysim::workloads;
+use spectral_lpm_repro::prelude::*;
+
+fn main() {
+    // The paper's drawing is a space split into four quadrants; take the
+    // 8×8 grid so each quadrant is 4×4.
+    let side = 8usize;
+    let spec = GridSpec::cube(side, 2);
+    let set = MappingSet::paper_set(&spec).expect("8 is a power of two");
+
+    println!("Cross-quadrant adjacent pairs on the {side}x{side} grid, per mapping:\n");
+    for (label, order) in set.iter() {
+        // Find the worst adjacent pair that crosses a quadrant boundary.
+        let mut worst = 0usize;
+        let mut pair = None;
+        workloads::for_each_pair_at_distance(&spec, 1, |i, j| {
+            let a = spec.coords_of(i);
+            let b = spec.coords_of(j);
+            let crosses = (a[0] < side / 2) != (b[0] < side / 2)
+                || (a[1] < side / 2) != (b[1] < side / 2);
+            if crosses {
+                let d = order.distance(i, j);
+                if d > worst {
+                    worst = d;
+                    pair = Some((a.clone(), b.clone()));
+                }
+            }
+        });
+        let (a, b) = pair.expect("grid has cross-quadrant pairs");
+        println!(
+            "  {label:>8}: P1 = {a:?}, P2 = {b:?} are neighbours, yet land {worst} apart in 1-D"
+        );
+    }
+
+    println!("\nFull Figure-1 table (worst adjacent stretch anywhere on the grid):\n");
+    println!("{}", fig1::run(side).render());
+    println!(
+        "The fractals exhaust one quadrant before entering the next (a local\n\
+         optimisation), so boundary neighbours pay the full quadrant detour.\n\
+         Spectral LPM optimises over all points at once and keeps every\n\
+         neighbour pair close."
+    );
+}

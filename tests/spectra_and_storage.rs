@@ -1,0 +1,155 @@
+//! Integration tests: closed-form spectra as oracles for the full
+//! pipeline, plus storage-layer consistency on top of real mappings.
+
+use slpm_graph::grid::{Connectivity, GridSpec};
+use slpm_linalg::fiedler::{fiedler_pair, smallest_nonzero_eigenpairs, FiedlerOptions};
+use slpm_querysim::experiments::declustering;
+use slpm_querysim::mappings::MappingSet;
+use slpm_storage::decluster::{Declustering, RoundRobin};
+use slpm_storage::{cluster_count, BufferPool, PageLayout, PageMapper};
+use spectral_lpm_repro::prelude::*;
+use std::f64::consts::PI;
+
+#[test]
+fn torus_lambda2_matches_closed_form() {
+    // C_n × C_m torus: λ₂ = 2 − 2cos(2π / max(n, m)).
+    for (n, m) in [(6usize, 6usize), (8, 5), (4, 10)] {
+        let spec = GridSpec::new(&[n, m]);
+        let g = spec.torus_graph();
+        let pair = fiedler_pair(&g.laplacian(), &FiedlerOptions::default()).unwrap();
+        let expect = 2.0 - 2.0 * (2.0 * PI / n.max(m) as f64).cos();
+        assert!(
+            (pair.lambda2 - expect).abs() < 1e-7,
+            "torus {n}x{m}: {} vs {expect}",
+            pair.lambda2
+        );
+    }
+}
+
+#[test]
+fn grid_lambda2_matches_closed_form() {
+    // P_n × P_m grid: λ₂ = 4 sin²(π / (2·max(n,m))).
+    for (n, m) in [(8usize, 8usize), (12, 5), (3, 9)] {
+        let spec = GridSpec::new(&[n, m]);
+        let g = spec.graph(Connectivity::Orthogonal);
+        let pair = fiedler_pair(&g.laplacian(), &FiedlerOptions::default()).unwrap();
+        let expect = 4.0 * (PI / (2.0 * n.max(m) as f64)).sin().powi(2);
+        assert!(
+            (pair.lambda2 - expect).abs() < 1e-7,
+            "grid {n}x{m}: {} vs {expect}",
+            pair.lambda2
+        );
+    }
+}
+
+#[test]
+fn grid_spectrum_prefix_matches_closed_form() {
+    // The k smallest nonzero eigenvalues of an 8×3 grid are sums
+    // 4sin²(iπ/16) + 4sin²(jπ/6); check the first three against the
+    // iterative multi-pair solver.
+    let spec = GridSpec::new(&[8, 3]);
+    let lap = spec.graph(Connectivity::Orthogonal).laplacian();
+    let mut all = Vec::new();
+    for i in 0..8 {
+        for j in 0..3 {
+            let v = 4.0 * (PI * i as f64 / 16.0).sin().powi(2)
+                + 4.0 * (PI * j as f64 / 6.0).sin().powi(2);
+            all.push(v);
+        }
+    }
+    all.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let pairs = smallest_nonzero_eigenpairs(&lap, 3, &FiedlerOptions::default()).unwrap();
+    for (k, (lambda, _)) in pairs.iter().enumerate() {
+        assert!(
+            (lambda - all[k + 1]).abs() < 1e-7,
+            "pair {k}: {} vs {}",
+            lambda,
+            all[k + 1]
+        );
+    }
+}
+
+#[test]
+fn page_runs_and_clusters_consistent_across_mappings() {
+    let spec = GridSpec::cube(8, 2);
+    let set = MappingSet::paper_set(&spec).unwrap();
+    for (label, order) in set.iter() {
+        let mapper = PageMapper::new(order, PageLayout::new(4));
+        // A 3×3 window query.
+        let vertices: Vec<usize> = (2..5)
+            .flat_map(|x| (2..5).map(move |y| (x, y)))
+            .map(|(x, y)| spec.index_of(&[x, y]))
+            .collect();
+        let clusters = cluster_count(order, vertices.iter().copied());
+        let pages = mapper.page_count(vertices.iter().copied());
+        let runs = mapper.page_runs(vertices.iter().copied());
+        assert!(runs <= clusters, "{label}: runs {runs} > clusters {clusters}");
+        assert!(runs <= pages, "{label}");
+        assert!(pages <= vertices.len(), "{label}");
+    }
+}
+
+#[test]
+fn declustering_response_bounded_by_pages_and_ideal() {
+    let rows = declustering::run(&declustering::DeclusterConfig::quick());
+    for r in &rows {
+        assert!(r.mean_response + 1e-9 >= r.mean_ideal, "{}", r.mapping);
+        assert!(r.mean_imbalance < 3.0, "{}: pathological imbalance", r.mapping);
+    }
+}
+
+#[test]
+fn round_robin_is_fair_for_contiguous_spectral_windows() {
+    // Take the spectral order; any window of consecutive ranks maps to
+    // consecutive pages, which round-robin spreads perfectly.
+    let spec = GridSpec::cube(8, 2);
+    let mapping = SpectralMapper::new(SpectralConfig::default())
+        .map_grid(&spec)
+        .unwrap();
+    let mapper = PageMapper::new(&mapping.order, PageLayout::new(4));
+    let rr = RoundRobin::new(4);
+    // Vertices at ranks 8..24 → pages 2..6 → 4 consecutive pages.
+    let vertices: Vec<usize> = (8..24).map(|p| mapping.order.vertex_at(p)).collect();
+    let pages = mapper.pages_touched(vertices.iter().copied());
+    assert_eq!(pages.len(), 4);
+    assert_eq!(rr.response_time(pages), 1);
+}
+
+#[test]
+fn buffer_pool_rewards_rank_coherent_replay() {
+    // Replaying queries in spectral-rank order gives a strictly better hit
+    // ratio than replaying the same queries in a scrambled order.
+    let spec = GridSpec::cube(8, 2);
+    let mapping = SpectralMapper::new(SpectralConfig::default())
+        .map_grid(&spec)
+        .unwrap();
+    let mapper = PageMapper::new(&mapping.order, PageLayout::new(4));
+    // Queries: sliding windows of 8 consecutive ranks.
+    let windows: Vec<Vec<usize>> = (0..56)
+        .map(|start| ((start..start + 8).map(|p| mapping.order.vertex_at(p)).collect()))
+        .collect();
+    let replay = |idx: Vec<usize>| {
+        let mut pool = BufferPool::new(3);
+        for i in idx {
+            pool.access_many(mapper.pages_touched(windows[i].iter().copied()));
+        }
+        pool.stats().hit_ratio()
+    };
+    let coherent = replay((0..56).collect());
+    let scrambled = replay((0..56).map(|i| (i * 23) % 56).collect());
+    assert!(
+        coherent > scrambled,
+        "coherent {coherent} not better than scrambled {scrambled}"
+    );
+}
+
+#[test]
+fn extended_set_runs_on_4d() {
+    // All seven mappings co-exist on a 2⁴ grid; sanity for dimensions > 2.
+    let spec = GridSpec::cube(2, 4);
+    let set = MappingSet::extended_set(&spec).unwrap();
+    assert_eq!(set.len(), 7);
+    for (label, order) in set.iter() {
+        assert_eq!(order.len(), 16, "{label}");
+    }
+}
