@@ -19,17 +19,13 @@ fn bench(c: &mut Criterion) {
             ("dense", FiedlerMethod::Dense),
         ] {
             // Dense at 24^2=576 is already slow-ish but fine for n=10.
-            g.bench_with_input(
-                BenchmarkId::new(name, side * side),
-                &lap,
-                |b, lap| {
-                    let opts = FiedlerOptions {
-                        method,
-                        ..Default::default()
-                    };
-                    b.iter(|| fiedler_pair(std::hint::black_box(lap), &opts).unwrap());
-                },
-            );
+            g.bench_with_input(BenchmarkId::new(name, side * side), &lap, |b, lap| {
+                let opts = FiedlerOptions {
+                    method,
+                    ..Default::default()
+                };
+                b.iter(|| fiedler_pair(std::hint::black_box(lap), &opts).unwrap());
+            });
         }
     }
     g.finish();

@@ -20,12 +20,21 @@ fn bench(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("rsb", side), &graph, |b, graph| {
             b.iter(|| rsb_order(std::hint::black_box(graph), &RsbOptions::default()).unwrap());
         });
-        g.bench_with_input(BenchmarkId::new("multi_vector", side), &graph, |b, graph| {
-            b.iter(|| {
-                multi_vector_order(std::hint::black_box(graph), 3, 1e-8, &SpectralConfig::default())
+        g.bench_with_input(
+            BenchmarkId::new("multi_vector", side),
+            &graph,
+            |b, graph| {
+                b.iter(|| {
+                    multi_vector_order(
+                        std::hint::black_box(graph),
+                        3,
+                        1e-8,
+                        &SpectralConfig::default(),
+                    )
                     .unwrap()
-            });
-        });
+                });
+            },
+        );
     }
     g.finish();
 }

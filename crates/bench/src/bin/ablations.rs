@@ -12,7 +12,10 @@ fn main() {
             format!("{:.1}", r.two_sum),
         ]);
     }
-    println!("== Ablation: eigensolver strategies (16x16 grid) ==\n{}", t.render());
+    println!(
+        "== Ablation: eigensolver strategies (16x16 grid) ==\n{}",
+        t.render()
+    );
 
     let mut t = TextTable::new(["graph model", "lambda2", "worst adj.", "mean adj."]);
     for r in ablation::connectivity_comparison(8) {
@@ -23,7 +26,10 @@ fn main() {
             format!("{:.2}", r.mean_adjacent),
         ]);
     }
-    println!("== Ablation: graph connectivity (8x8 grid) ==\n{}", t.render());
+    println!(
+        "== Ablation: graph connectivity (8x8 grid) ==\n{}",
+        t.render()
+    );
 
     let mut t = TextTable::new(["affinity weight", "pair 1-D distance", "base 2-sum"]);
     for r in ablation::affinity_sweep(8, &[0.0, 0.5, 1.0, 2.0, 4.0, 8.0]) {
@@ -33,7 +39,10 @@ fn main() {
             format!("{:.1}", r.base_two_sum),
         ]);
     }
-    println!("== Ablation: affinity edge weight (8x8 grid, corner pair) ==\n{}", t.render());
+    println!(
+        "== Ablation: affinity edge weight (8x8 grid, corner pair) ==\n{}",
+        t.render()
+    );
 
     let mut t = TextTable::new(["ordering strategy", "2-sum", "bandwidth", "mean adj."]);
     for r in ablation::ordering_comparison(16) {
@@ -44,5 +53,8 @@ fn main() {
             format!("{:.2}", r.mean_adjacent),
         ]);
     }
-    println!("== Ablation: ordering strategies (16x16 grid) ==\n{}", t.render());
+    println!(
+        "== Ablation: ordering strategies (16x16 grid) ==\n{}",
+        t.render()
+    );
 }

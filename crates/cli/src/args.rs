@@ -122,11 +122,7 @@ pub fn parse_dims(s: &str) -> Result<Vec<usize>, ParseError> {
 }
 
 /// Extract the value following a `--flag`.
-fn take_value<'a>(
-    args: &'a [String],
-    i: &mut usize,
-    flag: &str,
-) -> Result<&'a str, ParseError> {
+fn take_value<'a>(args: &'a [String], i: &mut usize, flag: &str) -> Result<&'a str, ParseError> {
     *i += 1;
     args.get(*i)
         .map(String::as_str)
@@ -165,8 +161,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             }
             Ok(Command::Order {
                 dims: dims.ok_or_else(|| ParseError("order requires --grid".into()))?,
-                mapping: mapping
-                    .ok_or_else(|| ParseError("order requires --mapping".into()))?,
+                mapping: mapping.ok_or_else(|| ParseError("order requires --mapping".into()))?,
                 csv,
             })
         }
@@ -234,9 +229,10 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                     "--grid" => dims = Some(parse_dims(take_value(args, &mut i, "--grid")?)?),
                     "--mapping" => {
                         let v = take_value(args, &mut i, "--mapping")?;
-                        mapping = Some(MappingChoice::parse(v).ok_or_else(|| {
-                            ParseError(format!("unknown mapping '{v}'"))
-                        })?);
+                        mapping = Some(
+                            MappingChoice::parse(v)
+                                .ok_or_else(|| ParseError(format!("unknown mapping '{v}'")))?,
+                        );
                     }
                     other => return Err(ParseError(format!("unknown flag '{other}'"))),
                 }
@@ -244,8 +240,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             }
             Ok(Command::Report {
                 dims: dims.ok_or_else(|| ParseError("report requires --grid".into()))?,
-                mapping: mapping
-                    .ok_or_else(|| ParseError("report requires --mapping".into()))?,
+                mapping: mapping.ok_or_else(|| ParseError("report requires --mapping".into()))?,
             })
         }
         other => Err(ParseError(format!(
@@ -301,8 +296,15 @@ mod tests {
                 csv: false
             }
         );
-        let c = parse(&argv(&["order", "--grid", "4x4", "--mapping", "spectral", "--csv"]))
-            .unwrap();
+        let c = parse(&argv(&[
+            "order",
+            "--grid",
+            "4x4",
+            "--mapping",
+            "spectral",
+            "--csv",
+        ]))
+        .unwrap();
         assert!(matches!(c, Command::Order { csv: true, .. }));
     }
 

@@ -8,9 +8,7 @@ use slpm_querysim::experiments::{
     storage_io,
 };
 use slpm_querysim::mappings::curve_order;
-use slpm_sfc::{
-    GrayCurve, HilbertCurve, PeanoCurve, SnakeCurve, SweepCurve, TruePeanoCurve,
-};
+use slpm_sfc::{GrayCurve, HilbertCurve, PeanoCurve, SnakeCurve, SweepCurve, TruePeanoCurve};
 use spectral_lpm::{LinearOrder, SpectralConfig, SpectralMapper};
 
 /// Build the requested order over the grid.
@@ -98,8 +96,7 @@ pub fn execute(cmd: &Command) -> Result<String, ParseError> {
             let mut out = String::new();
             if *csv {
                 // point coordinates, then rank.
-                let header: Vec<String> =
-                    (0..dims.len()).map(|d| format!("x{d}")).collect();
+                let header: Vec<String> = (0..dims.len()).map(|d| format!("x{d}")).collect();
                 out.push_str(&header.join(","));
                 out.push_str(",rank\n");
                 for (i, coords) in spec.iter_points().enumerate() {
@@ -108,7 +105,10 @@ pub fn execute(cmd: &Command) -> Result<String, ParseError> {
                     out.push_str(&format!(",{}\n", order.rank_of(i)));
                 }
             } else if dims.len() == 2 {
-                out.push_str(&format!("{mapping} order on a {}x{} grid:\n", dims[0], dims[1]));
+                out.push_str(&format!(
+                    "{mapping} order on a {}x{} grid:\n",
+                    dims[0], dims[1]
+                ));
                 for x in 0..dims[0] {
                     let row: Vec<String> = (0..dims[1])
                         .map(|y| format!("{:>4}", order.rank_of(spec.index_of(&[x, y]))))
@@ -117,7 +117,10 @@ pub fn execute(cmd: &Command) -> Result<String, ParseError> {
                     out.push('\n');
                 }
             } else {
-                out.push_str(&format!("{mapping} order ({} points):\n", spec.num_points()));
+                out.push_str(&format!(
+                    "{mapping} order ({} points):\n",
+                    spec.num_points()
+                ));
                 for (i, coords) in spec.iter_points().enumerate() {
                     out.push_str(&format!("{:?} -> {}\n", coords, order.rank_of(i)));
                 }
@@ -200,12 +203,9 @@ pub fn execute(cmd: &Command) -> Result<String, ParseError> {
             let spec = GridSpec::new(dims);
             let graph = spec.graph(Connectivity::Orthogonal);
             let order = build_order(dims, *mapping)?;
-            let report = spectral_lpm::OrderReport::compute(
-                &graph,
-                &order,
-                &SpectralConfig::default(),
-            )
-            .map_err(|e| ParseError(e.to_string()))?;
+            let report =
+                spectral_lpm::OrderReport::compute(&graph, &order, &SpectralConfig::default())
+                    .map_err(|e| ParseError(e.to_string()))?;
             Ok(report.render(&mapping.to_string()))
         }
     }

@@ -54,7 +54,11 @@ pub fn apply_affinity(base: &Graph, edges: &[AffinityEdge]) -> Result<Graph, Gra
 /// to that pair's affinity. This is the "from experience" statistics
 /// gathering the paper alludes to, made concrete for the examples and
 /// benchmarks.
-pub fn affinity_from_trace(num_vertices: usize, trace: &[usize], window: usize) -> Vec<AffinityEdge> {
+pub fn affinity_from_trace(
+    num_vertices: usize,
+    trace: &[usize],
+    window: usize,
+) -> Vec<AffinityEdge> {
     use std::collections::BTreeMap;
     let mut acc: BTreeMap<(usize, usize), f64> = BTreeMap::new();
     for (i, &a) in trace.iter().enumerate() {

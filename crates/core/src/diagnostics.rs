@@ -98,8 +98,7 @@ mod tests {
         let mapping = SpectralMapper::new(SpectralConfig::default())
             .map_graph(&g)
             .unwrap();
-        let report =
-            OrderReport::compute(&g, &mapping.order, &SpectralConfig::default()).unwrap();
+        let report = OrderReport::compute(&g, &mapping.order, &SpectralConfig::default()).unwrap();
         assert!(report.sigma >= report.lambda2 - 1e-9);
         assert!(report.optimality_gap() >= 1.0 - 1e-9);
         assert_eq!(report.num_vertices, 16);
@@ -114,12 +113,9 @@ mod tests {
         for i in 0..5 {
             g.add_edge(i, i + 1).unwrap();
         }
-        let report = OrderReport::compute(
-            &g,
-            &LinearOrder::identity(6),
-            &SpectralConfig::default(),
-        )
-        .unwrap();
+        let report =
+            OrderReport::compute(&g, &LinearOrder::identity(6), &SpectralConfig::default())
+                .unwrap();
         assert_eq!(report.bandwidth, 1);
         assert_eq!(report.two_sum, 5.0);
         assert_eq!(report.linear_arrangement, 5.0);
@@ -143,12 +139,9 @@ mod tests {
     #[test]
     fn render_contains_metrics() {
         let (_, g) = grid_and_graph();
-        let report = OrderReport::compute(
-            &g,
-            &LinearOrder::identity(16),
-            &SpectralConfig::default(),
-        )
-        .unwrap();
+        let report =
+            OrderReport::compute(&g, &LinearOrder::identity(16), &SpectralConfig::default())
+                .unwrap();
         let s = report.render("sweep");
         assert!(s.contains("lambda2"));
         assert!(s.contains("bandwidth"));

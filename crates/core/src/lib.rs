@@ -61,8 +61,8 @@ pub mod partition;
 pub mod recursive;
 
 pub use affinity::AffinityEdge;
-pub use mapper::{MappingError, SpectralConfig, SpectralMapper, SpectralMapping};
 pub use diagnostics::OrderReport;
+pub use mapper::{MappingError, SpectralConfig, SpectralMapper, SpectralMapping};
 pub use order::LinearOrder;
 pub use partition::{spectral_bisection, Bisection};
 pub use recursive::{multi_vector_order, rsb_order, RsbOptions};

@@ -31,11 +31,7 @@ use slpm_graph::Graph;
 /// Panics if `x.len() != g.num_vertices()` — callers construct both from
 /// the same vertex set.
 pub fn quadratic_form(g: &Graph, x: &[f64]) -> f64 {
-    assert_eq!(
-        x.len(),
-        g.num_vertices(),
-        "vector/graph dimension mismatch"
-    );
+    assert_eq!(x.len(), g.num_vertices(), "vector/graph dimension mismatch");
     let mut acc = 0.0;
     for (u, v, w) in g.edges() {
         let d = x[u] - x[v];
@@ -69,8 +65,8 @@ pub fn normalize_to_feasible(x: &[f64]) -> Option<Vec<f64>> {
 /// a discrete arrangement against the λ₂ lower bound.
 pub fn order_quadratic_form(g: &Graph, order: &LinearOrder) -> f64 {
     let pos: Vec<f64> = order.ranks().iter().map(|&r| r as f64).collect();
-    let feasible = normalize_to_feasible(&pos)
-        .expect("orders with ≥ 2 vertices have non-constant positions");
+    let feasible =
+        normalize_to_feasible(&pos).expect("orders with ≥ 2 vertices have non-constant positions");
     quadratic_form(g, &feasible)
 }
 
@@ -171,7 +167,7 @@ mod tests {
         let spec = GridSpec::new(&[3, 3]);
         let g = spec.graph(Connectivity::Orthogonal);
         let lambda2 = 1.0; // known for the 3×3 grid (paper Figure 3d)
-        // Try several arbitrary orders including identity and a scramble.
+                           // Try several arbitrary orders including identity and a scramble.
         let orders = [
             LinearOrder::identity(9),
             LinearOrder::from_ranks(vec![8, 7, 6, 5, 4, 3, 2, 1, 0]).unwrap(),

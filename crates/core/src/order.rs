@@ -109,6 +109,38 @@ impl LinearOrder {
         Ok(LinearOrder { rank, perm })
     }
 
+    /// Like [`LinearOrder::from_keys`], but keys that differ by at most
+    /// `tolerance` are treated as tied, so the vertex-index tie-break
+    /// actually decides them. Plain `from_keys` only ties on *exact*
+    /// equality, which lets eigensolver round-off (noise ~1e-10 on values
+    /// that are equal in exact arithmetic, e.g. one grid row sharing one
+    /// Fiedler value) scramble tied groups nondeterministically.
+    ///
+    /// Grouping walks the keys in sorted order, opening a group at the
+    /// first ungrouped key and extending it while keys stay within
+    /// `tolerance` **of the group's first key** (anchored, not chained —
+    /// chaining would let a run of near-tolerance gaps merge keys whose
+    /// total spread far exceeds the tolerance); each group is then ordered
+    /// by vertex index.
+    pub fn from_keys_snapped(keys: &[f64], tolerance: f64) -> Result<Self, OrderError> {
+        let mut order = Self::from_keys(keys)?;
+        let n = keys.len();
+        let mut i = 0;
+        while i < n {
+            let anchor = keys[order.perm[i]];
+            let mut j = i + 1;
+            while j < n && keys[order.perm[j]] - anchor <= tolerance {
+                j += 1;
+            }
+            order.perm[i..j].sort_unstable();
+            i = j;
+        }
+        for (p, &v) in order.perm.iter().enumerate() {
+            order.rank[v] = p;
+        }
+        Ok(order)
+    }
+
     /// Build by sorting vertices on integer codes (e.g. space-filling-curve
     /// ranks). Codes need not be dense; ties broken by vertex index.
     pub fn from_codes(codes: &[u64]) -> Self {
@@ -230,6 +262,46 @@ mod tests {
     #[test]
     fn from_keys_rejects_nan() {
         assert!(LinearOrder::from_keys(&[0.0, f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn from_keys_snapped_ties_near_values_by_index() {
+        // Vertices 1 and 3 tie at ~0 (within tolerance), 0 and 2 at ~1;
+        // round-off noise on the keys must not override the index order.
+        let keys = [1.0, 1e-9, 1.0 - 1e-9, 0.0];
+        let plain = LinearOrder::from_keys(&keys).unwrap();
+        assert_eq!(plain.permutation(), &[3, 1, 2, 0]); // noise decides
+        let snapped = LinearOrder::from_keys_snapped(&keys, 1e-7).unwrap();
+        assert_eq!(snapped.permutation(), &[1, 3, 0, 2]); // index decides
+        for (p, &v) in snapped.permutation().iter().enumerate() {
+            assert_eq!(snapped.rank_of(v), p, "rank array rebuilt");
+        }
+    }
+
+    #[test]
+    fn from_keys_snapped_groups_are_anchored_not_chained() {
+        // Sorted keys are 0 (v1), 0.6t (v2), 1.2t (v0): consecutive gaps
+        // are each 0.6·tol, so *chained* grouping would merge all three and
+        // index order would emit [0, 1, 2]. Anchored grouping merges only
+        // [0, 0.6t] (1.2t is > tol from the anchor 0), keeping v0 last.
+        let t = 1e-3;
+        let keys = [1.2 * t, 0.0, 0.6 * t];
+        let o = LinearOrder::from_keys_snapped(&keys, t).unwrap();
+        assert_eq!(o.permutation(), &[1, 2, 0]);
+
+        // Strictly within one tolerance of the anchor: all three merge and
+        // index order wins.
+        let keys = [0.9 * t, 0.0, 0.6 * t];
+        let o = LinearOrder::from_keys_snapped(&keys, t).unwrap();
+        assert_eq!(o.permutation(), &[0, 1, 2]);
+    }
+
+    #[test]
+    fn from_keys_snapped_zero_tolerance_matches_from_keys() {
+        let keys = [0.25, -1.0, 0.5, 0.25, 3.0];
+        let a = LinearOrder::from_keys(&keys).unwrap();
+        let b = LinearOrder::from_keys_snapped(&keys, 0.0).unwrap();
+        assert_eq!(a.permutation(), b.permutation());
     }
 
     #[test]

@@ -176,7 +176,7 @@ mod tests {
     fn rsb_is_a_permutation() {
         let (_, g) = grid(6);
         let order = rsb_order(&g, &RsbOptions::default()).unwrap();
-        let mut seen = vec![false; 36];
+        let mut seen = [false; 36];
         for v in 0..36 {
             let p = order.rank_of(v);
             assert!(!seen[p]);
@@ -227,10 +227,8 @@ mod tests {
             "RSB 2-sum {c_rsb} vs direct {c_direct}"
         );
         // Bit-interleave scramble as the pessimal comparison.
-        let scramble = LinearOrder::from_ranks(
-            (0..64).map(|v: usize| (v * 37) % 64).collect(),
-        )
-        .unwrap();
+        let scramble =
+            LinearOrder::from_ranks((0..64).map(|v: usize| (v * 37) % 64).collect()).unwrap();
         assert!(c_rsb < objective::two_sum_cost(&g, &scramble));
     }
 

@@ -41,8 +41,14 @@ pub enum GraphError {
 impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            GraphError::VertexOutOfRange { vertex, num_vertices } => {
-                write!(f, "vertex {vertex} out of range (graph has {num_vertices} vertices)")
+            GraphError::VertexOutOfRange {
+                vertex,
+                num_vertices,
+            } => {
+                write!(
+                    f,
+                    "vertex {vertex} out of range (graph has {num_vertices} vertices)"
+                )
             }
             GraphError::SelfLoop { vertex } => write!(f, "self-loop at vertex {vertex}"),
             GraphError::BadWeight { weight } => {

@@ -117,10 +117,7 @@ impl GridSpec {
     /// Manhattan (L1) distance between two coordinate tuples.
     pub fn manhattan(a: &[usize], b: &[usize]) -> usize {
         debug_assert_eq!(a.len(), b.len());
-        a.iter()
-            .zip(b.iter())
-            .map(|(&x, &y)| x.abs_diff(y))
-            .sum()
+        a.iter().zip(b.iter()).map(|(&x, &y)| x.abs_diff(y)).sum()
     }
 
     /// Chebyshev (L∞) distance between two coordinate tuples.
@@ -315,10 +312,7 @@ mod tests {
     fn iter_points_row_major() {
         let g = GridSpec::new(&[2, 2]);
         let pts: Vec<_> = g.iter_points().collect();
-        assert_eq!(
-            pts,
-            vec![vec![0, 0], vec![0, 1], vec![1, 0], vec![1, 1]]
-        );
+        assert_eq!(pts, vec![vec![0, 0], vec![0, 1], vec![1, 0], vec![1, 1]]);
         assert_eq!(g.iter_points().size_hint(), (4, Some(4)));
     }
 
@@ -435,8 +429,14 @@ mod tests {
         let spec = GridSpec::new(&[2, 3]);
         let g = spec.torus_graph();
         // dim0 (extent 2): plain path edges; dim1 (extent 3): cycles.
-        assert_eq!(g.edge_weight(spec.index_of(&[0, 0]), spec.index_of(&[1, 0])), 1.0);
-        assert_eq!(g.edge_weight(spec.index_of(&[0, 0]), spec.index_of(&[0, 2])), 1.0);
+        assert_eq!(
+            g.edge_weight(spec.index_of(&[0, 0]), spec.index_of(&[1, 0])),
+            1.0
+        );
+        assert_eq!(
+            g.edge_weight(spec.index_of(&[0, 0]), spec.index_of(&[0, 2])),
+            1.0
+        );
         g.require_connected().unwrap();
     }
 

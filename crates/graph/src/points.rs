@@ -38,7 +38,10 @@ impl std::fmt::Display for PointSetError {
         match self {
             PointSetError::Empty => write!(f, "point set must not be empty"),
             PointSetError::MixedDimensions { expected, found } => {
-                write!(f, "mixed dimensionality: expected {expected}, found {found}")
+                write!(
+                    f,
+                    "mixed dimensionality: expected {expected}, found {found}"
+                )
             }
         }
     }

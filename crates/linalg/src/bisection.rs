@@ -38,12 +38,7 @@ pub fn count_eigenvalues_below(diag: &[f64], off: &[f64], x: f64) -> usize {
 
 /// Locate the `k`-th smallest eigenvalue (0-based) of a symmetric
 /// tridiagonal matrix by Sturm bisection, to absolute tolerance `tol`.
-pub fn kth_eigenvalue(
-    diag: &[f64],
-    off: &[f64],
-    k: usize,
-    tol: f64,
-) -> Result<f64, LinalgError> {
+pub fn kth_eigenvalue(diag: &[f64], off: &[f64], k: usize, tol: f64) -> Result<f64, LinalgError> {
     let n = diag.len();
     if off.len() != n {
         return Err(LinalgError::DimensionMismatch {

@@ -60,7 +60,9 @@ pub fn solve<A: LinearOperator + ?Sized>(
         });
     }
     if !vector::all_finite(b) {
-        return Err(LinalgError::NonFiniteInput { context: "cg::solve rhs" });
+        return Err(LinalgError::NonFiniteInput {
+            context: "cg::solve rhs",
+        });
     }
 
     let max_iters = opts.max_iterations.unwrap_or(10 * n + 100);

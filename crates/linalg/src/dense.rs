@@ -66,7 +66,11 @@ impl DenseMatrix {
             }
             data.extend_from_slice(row);
         }
-        Ok(DenseMatrix { rows: r, cols: c, data })
+        Ok(DenseMatrix {
+            rows: r,
+            cols: c,
+            data,
+        })
     }
 
     /// Number of rows.

@@ -148,10 +148,7 @@ mod tests {
 
     #[test]
     fn display_not_symmetric_and_not_pd() {
-        let s = LinalgError::NotSymmetric {
-            max_asymmetry: 0.5,
-        }
-        .to_string();
+        let s = LinalgError::NotSymmetric { max_asymmetry: 0.5 }.to_string();
         assert!(s.contains("symmetric"));
         let s = LinalgError::NotPositiveDefinite { curvature: -1.0 }.to_string();
         assert!(s.contains("positive definite"));

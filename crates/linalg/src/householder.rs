@@ -124,7 +124,11 @@ pub fn tridiagonalize(a: &DenseMatrix) -> Result<Tridiagonal, LinalgError> {
         }
     }
 
-    Ok(Tridiagonal { diag: d, off: e, q: z })
+    Ok(Tridiagonal {
+        diag: d,
+        off: e,
+        q: z,
+    })
 }
 
 #[cfg(test)]

@@ -141,8 +141,7 @@ pub fn largest_eigenpairs<A: LinearOperator + ?Sized>(
         if should_check {
             let (vals, vecs, resids) = ritz_pairs(a, &basis, &alphas, &betas, k.min(m))?;
             let scale = vals.first().map(|v| v.abs()).unwrap_or(1.0).max(1.0);
-            let converged =
-                vals.len() >= k && resids.iter().all(|&r| r <= opts.tolerance * scale);
+            let converged = vals.len() >= k && resids.iter().all(|&r| r <= opts.tolerance * scale);
             if converged {
                 return Ok(LanczosResult {
                     eigenvalues: vals,
@@ -205,6 +204,9 @@ pub fn largest_eigenpairs<A: LinearOperator + ?Sized>(
     }
 }
 
+/// `(Ritz values, Ritz vectors, per-pair residuals)` from [`ritz_pairs`].
+type RitzPairs = (Vec<f64>, Vec<Vec<f64>>, Vec<f64>);
+
 /// Solve the tridiagonal Ritz problem and map the top-`k` Ritz vectors back
 /// to the original space, computing true residuals.
 fn ritz_pairs<A: LinearOperator + ?Sized>(
@@ -213,14 +215,12 @@ fn ritz_pairs<A: LinearOperator + ?Sized>(
     alphas: &[f64],
     betas: &[f64],
     k: usize,
-) -> Result<(Vec<f64>, Vec<Vec<f64>>, Vec<f64>), LinalgError> {
+) -> Result<RitzPairs, LinalgError> {
     let m = basis.len();
     let n = basis[0].len();
     // EISPACK convention: off[0] = 0, off[i] couples i-1,i.
     let mut off = vec![0.0; m];
-    for i in 1..m {
-        off[i] = betas[i - 1];
-    }
+    off[1..m].copy_from_slice(&betas[..m - 1]);
     let eig = tql::tridiagonal_eigen(alphas.to_vec(), off)?;
 
     // Top-k by eigenvalue (descending).

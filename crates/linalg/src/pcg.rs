@@ -31,11 +31,7 @@ pub struct PcgOutcome {
 /// diagonal. With `opts.deflate_mean` the solve runs in the zero-mean
 /// subspace exactly like plain CG (the standard treatment for singular
 /// Laplacians).
-pub fn solve_jacobi(
-    a: &CsrMatrix,
-    b: &[f64],
-    opts: &CgOptions,
-) -> Result<PcgOutcome, LinalgError> {
+pub fn solve_jacobi(a: &CsrMatrix, b: &[f64], opts: &CgOptions) -> Result<PcgOutcome, LinalgError> {
     let n = a.dim();
     if b.len() != n {
         return Err(LinalgError::DimensionMismatch {
@@ -163,12 +159,9 @@ mod tests {
 
     #[test]
     fn solves_spd_system() {
-        let a = CsrMatrix::from_triplets(
-            2,
-            2,
-            &[(0, 0, 4.0), (0, 1, 1.0), (1, 0, 1.0), (1, 1, 3.0)],
-        )
-        .unwrap();
+        let a =
+            CsrMatrix::from_triplets(2, 2, &[(0, 0, 4.0), (0, 1, 1.0), (1, 0, 1.0), (1, 1, 3.0)])
+                .unwrap();
         let out = solve_jacobi(&a, &[1.0, 2.0], &CgOptions::default()).unwrap();
         assert!((out.solution[0] - 1.0 / 11.0).abs() < 1e-10);
         assert!((out.solution[1] - 7.0 / 11.0).abs() < 1e-10);

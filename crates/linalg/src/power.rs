@@ -228,7 +228,11 @@ mod tests {
         let lap = path_laplacian(n);
         let r = fiedler_by_inverse_iteration(&lap, &PowerOptions::default()).unwrap();
         let expect = 4.0 * (std::f64::consts::PI / (2.0 * n as f64)).sin().powi(2);
-        assert!((r.eigenvalue - expect).abs() < 1e-7, "{} vs {expect}", r.eigenvalue);
+        assert!(
+            (r.eigenvalue - expect).abs() < 1e-7,
+            "{} vs {expect}",
+            r.eigenvalue
+        );
         assert!(r.residual < 1e-7);
         // Orthogonal to the kernel.
         let ones = ones_direction(n);

@@ -95,11 +95,7 @@ impl CsrMatrix {
     /// Build a diagonal matrix from its diagonal entries.
     pub fn from_diagonal(diag: &[f64]) -> Self {
         let n = diag.len();
-        let triplets: Vec<_> = diag
-            .iter()
-            .enumerate()
-            .map(|(i, &v)| (i, i, v))
-            .collect();
+        let triplets: Vec<_> = diag.iter().enumerate().map(|(i, &v)| (i, i, v)).collect();
         // Constructing from in-range triplets cannot fail.
         Self::from_triplets(n, n, &triplets).expect("diagonal triplets are in range")
     }

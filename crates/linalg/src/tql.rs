@@ -220,7 +220,10 @@ mod tests {
         }
         let eig = symmetric_eigen(&a).unwrap();
         for k in 0..n {
-            let expect = 4.0 * (std::f64::consts::PI * k as f64 / (2 * n) as f64).sin().powi(2);
+            let expect = 4.0
+                * (std::f64::consts::PI * k as f64 / (2 * n) as f64)
+                    .sin()
+                    .powi(2);
             assert!(
                 (eig.eigenvalues[k] - expect).abs() < 1e-10,
                 "eigenvalue {k}: {} vs {}",

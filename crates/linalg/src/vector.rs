@@ -131,19 +131,25 @@ pub fn fill_random<R: rand::Rng>(rng: &mut R, x: &mut [f64]) {
 }
 
 /// Canonical sign convention used across the crate: flip the vector so its
-/// first entry of largest magnitude is positive. Eigenvectors are only
+/// first *significant* entry (the first whose magnitude is within a small
+/// relative tolerance of the maximum) is positive. Eigenvectors are only
 /// defined up to sign; fixing the sign makes orders reproducible.
+///
+/// The tolerance matters: picking the strictly-largest entry is unstable
+/// when two entries tie in magnitude up to rounding (e.g. the first and
+/// last components of a path graph's Fiedler vector are `±cos(π/2n)`), and
+/// different solvers would then canonicalise the same eigenvector to
+/// opposite signs.
 pub fn canonicalize_sign(x: &mut [f64]) {
-    let mut best = 0usize;
-    let mut best_abs = 0.0f64;
-    for (i, v) in x.iter().enumerate() {
-        if v.abs() > best_abs {
-            best_abs = v.abs();
-            best = i;
-        }
+    let max_abs = x.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+    if max_abs == 0.0 {
+        return;
     }
-    if best_abs > 0.0 && x[best] < 0.0 {
-        scale(-1.0, x);
+    let threshold = max_abs * (1.0 - 1e-9);
+    if let Some(first) = x.iter().find(|v| v.abs() >= threshold) {
+        if *first < 0.0 {
+            scale(-1.0, x);
+        }
     }
 }
 

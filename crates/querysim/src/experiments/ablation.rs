@@ -179,8 +179,7 @@ pub fn ordering_comparison(side: usize) -> Vec<OrderingRow> {
         .expect("connected")
         .order;
     let rsb = rsb_order(&graph, &RsbOptions::default()).expect("connected");
-    let multi =
-        multi_vector_order(&graph, 3, 1e-8, &SpectralConfig::default()).expect("connected");
+    let multi = multi_vector_order(&graph, 3, 1e-8, &SpectralConfig::default()).expect("connected");
     let hilbert = crate::mappings::curve_order(
         &spec,
         &slpm_sfc::HilbertCurve::from_side(2, side as u64).expect("power of two"),

@@ -47,7 +47,11 @@ impl Fig1Result {
 
     /// Render as a text table.
     pub fn render(&self) -> String {
-        let mut t = crate::table::TextTable::new(["mapping", "worst adjacent 1-D distance", "witness pair"]);
+        let mut t = crate::table::TextTable::new([
+            "mapping",
+            "worst adjacent 1-D distance",
+            "witness pair",
+        ]);
         for r in &self.rows {
             t.push_row([
                 r.mapping.clone(),
@@ -125,10 +129,7 @@ mod tests {
         let spectral = r.row("Spectral").unwrap().worst_stretch;
         for name in ["Peano", "Gray", "Hilbert"] {
             let v = r.row(name).unwrap().worst_stretch;
-            assert!(
-                spectral <= v,
-                "Spectral {spectral} worse than {name} {v}"
-            );
+            assert!(spectral <= v, "Spectral {spectral} worse than {name} {v}");
         }
     }
 

@@ -46,7 +46,11 @@ impl Fig3Result {
             s.push_str(&format!("  [{}]\n", cells.join(" ")));
         }
         s.push_str(&format!("lambda_2 = {:.6}\n", self.lambda2));
-        let xs: Vec<String> = self.fiedler_vector.iter().map(|v| format!("{v:.2}")).collect();
+        let xs: Vec<String> = self
+            .fiedler_vector
+            .iter()
+            .map(|v| format!("{v:.2}"))
+            .collect();
         s.push_str(&format!("X = ({})\n", xs.join(", ")));
         s.push_str(&format!("S = {:?}\n", self.visit_sequence));
         s.push_str(&format!(

@@ -152,10 +152,7 @@ pub fn run_fairness(cfg: &Fig5Config) -> FigureData {
 
     FigureData {
         id: "fig5b".into(),
-        title: format!(
-            "Nearest-neighbour fairness, {0}×{0} grid",
-            cfg.side_2d
-        ),
+        title: format!("Nearest-neighbour fairness, {0}×{0} grid", cfg.side_2d),
         x_label: "Manhattan distance (percent)".into(),
         y_label: "Max 1-D distance".into(),
         series,
@@ -173,7 +170,7 @@ mod tests {
         for s in &f.series {
             assert_eq!(s.points.len(), 2);
             for &(_, y) in &s.points {
-                assert!(y.is_finite() && y >= 0.0 && y <= 100.0);
+                assert!(y.is_finite() && (0.0..=100.0).contains(&y));
             }
         }
     }
@@ -182,7 +179,10 @@ mod tests {
     fn fairness_has_four_series() {
         let f = run_fairness(&Fig5Config::quick());
         let labels: Vec<&str> = f.series.iter().map(|s| s.label.as_str()).collect();
-        assert_eq!(labels, vec!["Sweep-X", "Sweep-Y", "Spectral-X", "Spectral-Y"]);
+        assert_eq!(
+            labels,
+            vec!["Sweep-X", "Sweep-Y", "Spectral-X", "Spectral-Y"]
+        );
     }
 
     #[test]

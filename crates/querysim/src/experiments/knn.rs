@@ -84,12 +84,8 @@ pub fn knn_window(
 }
 
 /// Window statistics over every grid point for one `k`.
-pub fn knn_window_stats(
-    spec: &GridSpec,
-    order: &spectral_lpm::LinearOrder,
-    k: usize,
-) -> SpanStats {
-    SpanStats::from_iter((0..spec.num_points()).map(|c| knn_window(spec, order, c, k)))
+pub fn knn_window_stats(spec: &GridSpec, order: &spectral_lpm::LinearOrder, k: usize) -> SpanStats {
+    SpanStats::from_observations((0..spec.num_points()).map(|c| knn_window(spec, order, c, k)))
 }
 
 /// Run the kNN window experiment: mean window size per `k`, per mapping.

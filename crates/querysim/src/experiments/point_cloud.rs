@@ -146,7 +146,7 @@ fn evaluate(name: &str, order: &LinearOrder, points: &PointSet, graph: &Graph) -
         dsum += w * d as f64;
         max_stretch = max_stretch.max(d);
     }
-    let windows = SpanStats::from_iter((0..points.len()).map(|c| {
+    let windows = SpanStats::from_observations((0..points.len()).map(|c| {
         let r = order.rank_of(c);
         knn_of(points, c, 4)
             .into_iter()

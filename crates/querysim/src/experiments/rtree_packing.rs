@@ -149,7 +149,11 @@ mod tests {
         assert_eq!(rows.len(), 5);
         let expect = rows[0].results;
         for r in &rows {
-            assert_eq!(r.results, expect, "{} returned different results", r.mapping);
+            assert_eq!(
+                r.results, expect,
+                "{} returned different results",
+                r.mapping
+            );
         }
     }
 

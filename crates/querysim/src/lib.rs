@@ -11,13 +11,13 @@
 //!
 //! Modules:
 //! * [`mappings`] — builds the full comparison set (Sweep / Snake / Peano /
-//!    Gray / Hilbert / Spectral) as uniform [`spectral_lpm::LinearOrder`]s
-//!    over one grid;
+//!   Gray / Hilbert / Spectral) as uniform [`spectral_lpm::LinearOrder`]s
+//!   over one grid;
 //! * [`workloads`] — exhaustive and sampled pair/range-query generators;
 //! * [`metrics`] — the distance and span statistics the figures plot;
 //! * [`table`] — plain-text table rendering for the `fig*` binaries;
 //! * [`experiments`] — one runner per paper figure (1, 3, 4, 5a, 5b, 6a,
-//!    6b) plus the ablation studies, each returning serialisable rows.
+//!   6b) plus the ablation studies, each returning serialisable rows.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

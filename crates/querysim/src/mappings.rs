@@ -90,25 +90,28 @@ impl MappingSet {
         let side = spec.dim(0) as u64;
         let uniform = spec.dims().iter().all(|&d| d as u64 == side);
         if !uniform {
-            return Err(MappingSetError::Curve(CurveError::NotPowerOfTwo { side: 0 }));
+            return Err(MappingSetError::Curve(CurveError::NotPowerOfTwo {
+                side: 0,
+            }));
         }
-        let mut entries = Vec::new();
-        entries.push((
-            MappingLabel::Curve(CurveKind::Sweep),
-            curve_order(spec, &SweepCurve::new(&vec![side; k])?),
-        ));
-        entries.push((
-            MappingLabel::Curve(CurveKind::Peano),
-            curve_order(spec, &PeanoCurve::from_side(k, side)?),
-        ));
-        entries.push((
-            MappingLabel::Curve(CurveKind::Gray),
-            curve_order(spec, &GrayCurve::from_side(k, side)?),
-        ));
-        entries.push((
-            MappingLabel::Curve(CurveKind::Hilbert),
-            curve_order(spec, &HilbertCurve::from_side(k, side)?),
-        ));
+        let entries = vec![
+            (
+                MappingLabel::Curve(CurveKind::Sweep),
+                curve_order(spec, &SweepCurve::new(&vec![side; k])?),
+            ),
+            (
+                MappingLabel::Curve(CurveKind::Peano),
+                curve_order(spec, &PeanoCurve::from_side(k, side)?),
+            ),
+            (
+                MappingLabel::Curve(CurveKind::Gray),
+                curve_order(spec, &GrayCurve::from_side(k, side)?),
+            ),
+            (
+                MappingLabel::Curve(CurveKind::Hilbert),
+                curve_order(spec, &HilbertCurve::from_side(k, side)?),
+            ),
+        ];
         Ok(MappingSet {
             spec: spec.clone(),
             entries,
@@ -197,7 +200,10 @@ mod tests {
         assert_eq!(set.len(), 5);
         assert!(!set.is_empty());
         let labels: Vec<String> = set.iter().map(|(l, _)| l.to_string()).collect();
-        assert_eq!(labels, vec!["Sweep", "Peano", "Gray", "Hilbert", "Spectral"]);
+        assert_eq!(
+            labels,
+            vec!["Sweep", "Peano", "Gray", "Hilbert", "Spectral"]
+        );
     }
 
     #[test]
@@ -207,7 +213,7 @@ mod tests {
         assert_eq!(set.len(), 7);
         for (label, order) in set.iter() {
             assert_eq!(order.len(), 16, "{label}");
-            let mut seen = vec![false; 16];
+            let mut seen = [false; 16];
             for v in 0..16 {
                 let p = order.rank_of(v);
                 assert!(!seen[p], "{label}: position {p} duplicated");

@@ -22,7 +22,7 @@ pub struct SpanStats {
 impl SpanStats {
     /// Aggregate an iterator of observations. Returns a zeroed struct for
     /// an empty population.
-    pub fn from_iter<I: IntoIterator<Item = usize>>(values: I) -> SpanStats {
+    pub fn from_observations<I: IntoIterator<Item = usize>>(values: I) -> SpanStats {
         let mut count = 0usize;
         let mut max = 0usize;
         let mut min = usize::MAX;
@@ -64,7 +64,7 @@ pub fn pair_distance_stats(spec: &GridSpec, order: &LinearOrder, d: usize) -> Sp
     workloads::for_each_pair_at_distance(spec, d, |i, j| {
         values.push(order.distance(i, j));
     });
-    SpanStats::from_iter(values)
+    SpanStats::from_observations(values)
 }
 
 /// **Figure 5b metric.** Statistics of the 1-D distance over pairs
@@ -79,7 +79,7 @@ pub fn axis_pair_distance_stats(
     workloads::for_each_axis_pair(spec, dim, d, |i, j| {
         values.push(order.distance(i, j));
     });
-    SpanStats::from_iter(values)
+    SpanStats::from_observations(values)
 }
 
 /// 1-D span of one range query: `max rank − min rank` over the points
@@ -109,7 +109,7 @@ pub fn range_span_stats(spec: &GridSpec, order: &LinearOrder, side: usize) -> Sp
     workloads::for_each_box(spec, &sides, |b| {
         values.push(range_span(spec, order, b));
     });
-    SpanStats::from_iter(values)
+    SpanStats::from_observations(values)
 }
 
 /// **Figure 6 metric (partial range queries).** Span statistics over every
@@ -129,7 +129,7 @@ pub fn partial_range_span_stats(
             values.push(range_span(spec, order, b));
         });
     }
-    SpanStats::from_iter(values)
+    SpanStats::from_observations(values)
 }
 
 /// Span statistics over a *sampled* set of boxes (large grids).
@@ -142,7 +142,7 @@ pub fn sampled_range_span_stats(
 ) -> SpanStats {
     let sides = vec![side; spec.ndim()];
     let boxes = workloads::sample_boxes(spec, &sides, samples, seed);
-    SpanStats::from_iter(boxes.iter().map(|b| range_span(spec, order, b)))
+    SpanStats::from_observations(boxes.iter().map(|b| range_span(spec, order, b)))
 }
 
 /// The *boundary stretch* of an order: the maximum 1-D distance across any
@@ -163,13 +163,13 @@ mod tests {
 
     #[test]
     fn stats_basics() {
-        let s = SpanStats::from_iter([1usize, 2, 3, 4]);
+        let s = SpanStats::from_observations([1usize, 2, 3, 4]);
         assert_eq!(s.count, 4);
         assert_eq!(s.max, 4);
         assert_eq!(s.min, 1);
         assert!((s.mean - 2.5).abs() < 1e-12);
         assert!((s.stddev - (1.25f64).sqrt()).abs() < 1e-12);
-        let empty = SpanStats::from_iter(std::iter::empty());
+        let empty = SpanStats::from_observations(std::iter::empty());
         assert_eq!(empty.count, 0);
         assert_eq!(empty.max, 0);
     }
@@ -249,7 +249,7 @@ mod tests {
 
     #[test]
     fn hilbert_boundary_stretch_smaller_than_sweep_on_square() {
-        use crate::mappings::{curve_order};
+        use crate::mappings::curve_order;
         use slpm_sfc::HilbertCurve;
         let spec = GridSpec::cube(8, 2);
         let h = curve_order(&spec, &HilbertCurve::from_side(2, 8).unwrap());

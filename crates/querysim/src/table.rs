@@ -23,11 +23,7 @@ impl TextTable {
     /// Append a row (cells are stringified by the caller).
     pub fn push_row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, row: I) {
         let row: Vec<String> = row.into_iter().map(Into::into).collect();
-        assert_eq!(
-            row.len(),
-            self.header.len(),
-            "row arity must match header"
-        );
+        assert_eq!(row.len(), self.header.len(), "row arity must match header");
         self.rows.push(row);
     }
 

@@ -56,9 +56,7 @@ impl RangeBox {
                 d -= 1;
                 if cur[d] < self.hi[d] {
                     cur[d] += 1;
-                    for dd in d + 1..k {
-                        cur[dd] = self.lo[dd];
-                    }
+                    cur[(d + 1)..k].copy_from_slice(&self.lo[(d + 1)..k]);
                     break;
                 }
             }
@@ -156,7 +154,11 @@ pub fn for_each_box<F: FnMut(&RangeBox)>(spec: &GridSpec, sides: &[usize], mut f
     let k = spec.ndim();
     let mut lo = vec![0usize; k];
     loop {
-        let hi: Vec<usize> = lo.iter().zip(sides.iter()).map(|(&l, &s)| l + s - 1).collect();
+        let hi: Vec<usize> = lo
+            .iter()
+            .zip(sides.iter())
+            .map(|(&l, &s)| l + s - 1)
+            .collect();
         f(&RangeBox { lo: lo.clone(), hi });
         // Odometer over valid lower corners.
         let mut d = k;
@@ -185,7 +187,10 @@ pub fn side_for_volume_percent(spec: &GridSpec, percent: f64) -> usize {
     let k = spec.ndim() as f64;
     let target = (percent / 100.0 * n).max(1.0);
     let side = target.powf(1.0 / k).round() as usize;
-    side.clamp(1, spec.dims().iter().copied().min().expect("non-empty dims"))
+    side.clamp(
+        1,
+        spec.dims().iter().copied().min().expect("non-empty dims"),
+    )
 }
 
 /// All box *shapes* (per-dimension side tuples) whose volume is within a
@@ -197,11 +202,7 @@ pub fn side_for_volume_percent(spec: &GridSpec, percent: f64) -> usize {
 ///
 /// The tolerance window is widened automatically until at least one shape
 /// qualifies, so the function always returns a non-empty set.
-pub fn shapes_for_volume_percent(
-    spec: &GridSpec,
-    percent: f64,
-    tolerance: f64,
-) -> Vec<Vec<usize>> {
+pub fn shapes_for_volume_percent(spec: &GridSpec, percent: f64, tolerance: f64) -> Vec<Vec<usize>> {
     assert!(tolerance >= 1.0, "tolerance is a multiplicative factor ≥ 1");
     let n = spec.num_points() as f64;
     let target = (percent / 100.0 * n).max(1.0);
@@ -236,7 +237,15 @@ pub fn shapes_for_volume_percent(
     loop {
         let mut shapes = Vec::new();
         let mut cur = Vec::with_capacity(k);
-        enumerate(spec, 0, target / tol, target * tol, &mut cur, 1.0, &mut shapes);
+        enumerate(
+            spec,
+            0,
+            target / tol,
+            target * tol,
+            &mut cur,
+            1.0,
+            &mut shapes,
+        );
         if !shapes.is_empty() {
             return shapes;
         }
@@ -254,7 +263,11 @@ pub fn sample_boxes(spec: &GridSpec, sides: &[usize], count: usize, seed: u64) -
             let lo: Vec<usize> = (0..k)
                 .map(|d| rng.gen_range(0..=spec.dim(d) - sides[d]))
                 .collect();
-            let hi: Vec<usize> = lo.iter().zip(sides.iter()).map(|(&l, &s)| l + s - 1).collect();
+            let hi: Vec<usize> = lo
+                .iter()
+                .zip(sides.iter())
+                .map(|(&l, &s)| l + s - 1)
+                .collect();
             RangeBox { lo, hi }
         })
         .collect()

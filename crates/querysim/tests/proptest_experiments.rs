@@ -28,7 +28,7 @@ proptest! {
             let s = metrics::pair_distance_stats(&spec, order, d);
             if s.count > 0 {
                 prop_assert!(s.min >= 1, "{}", label);
-                prop_assert!(s.max <= n - 1, "{}", label);
+                prop_assert!(s.max < n, "{}", label);
                 prop_assert!(s.mean >= s.min as f64 - 1e-9);
                 prop_assert!(s.mean <= s.max as f64 + 1e-9);
                 prop_assert!(s.stddev <= (s.max - s.min) as f64 + 1e-9);
@@ -69,7 +69,7 @@ proptest! {
         let n = spec.num_points();
         for (label, order) in set.iter() {
             let s = metrics::partial_range_span_stats(&spec, order, pct, 1.25);
-            prop_assert!(s.max <= n - 1, "{}", label);
+            prop_assert!(s.max < n, "{}", label);
         }
     }
 }

@@ -209,10 +209,7 @@ mod tests {
         // Bijection over the 2×2 grid with unit steps.
         let mut sorted = cells.clone();
         sorted.sort();
-        assert_eq!(
-            sorted,
-            vec![vec![0, 0], vec![0, 1], vec![1, 0], vec![1, 1]]
-        );
+        assert_eq!(sorted, vec![vec![0, 0], vec![0, 1], vec![1, 0], vec![1, 1]]);
         for w in cells.windows(2) {
             assert_eq!(manhattan(&w[0], &w[1]), 1);
         }
@@ -221,7 +218,7 @@ mod tests {
     #[test]
     fn curve_is_a_bijection() {
         let c = HilbertCurve::new(2, 3).unwrap();
-        let mut seen = vec![false; 64];
+        let mut seen = [false; 64];
         for x in 0..8u32 {
             for y in 0..8u32 {
                 let r = c.encode(&[x, y]) as usize;

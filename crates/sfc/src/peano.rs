@@ -131,8 +131,14 @@ mod tests {
 
     #[test]
     fn construction_errors() {
-        assert_eq!(PeanoCurve::new(0, 2).unwrap_err(), CurveError::DegenerateSpace);
-        assert_eq!(PeanoCurve::new(2, 0).unwrap_err(), CurveError::DegenerateSpace);
+        assert_eq!(
+            PeanoCurve::new(0, 2).unwrap_err(),
+            CurveError::DegenerateSpace
+        );
+        assert_eq!(
+            PeanoCurve::new(2, 0).unwrap_err(),
+            CurveError::DegenerateSpace
+        );
         assert!(matches!(
             PeanoCurve::new(8, 8),
             Err(CurveError::TooManyBits { .. })

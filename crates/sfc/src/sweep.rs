@@ -157,7 +157,10 @@ mod tests {
 
     #[test]
     fn sweep_rejects_degenerate() {
-        assert_eq!(SweepCurve::new(&[]).unwrap_err(), CurveError::DegenerateSpace);
+        assert_eq!(
+            SweepCurve::new(&[]).unwrap_err(),
+            CurveError::DegenerateSpace
+        );
         assert_eq!(
             SweepCurve::new(&[4, 0]).unwrap_err(),
             CurveError::DegenerateSpace
@@ -206,7 +209,12 @@ mod tests {
                     .zip(b.iter())
                     .map(|(&x, &y)| (x as i64 - y as i64).unsigned_abs())
                     .sum();
-                assert_eq!(dist, 1, "dims {dims:?}: ranks {} and {r} not adjacent", r - 1);
+                assert_eq!(
+                    dist,
+                    1,
+                    "dims {dims:?}: ranks {} and {r} not adjacent",
+                    r - 1
+                );
             }
         }
     }

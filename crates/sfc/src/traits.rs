@@ -80,7 +80,10 @@ impl fmt::Display for CurveError {
                 write!(f, "grid side {side} is not a power of two")
             }
             CurveError::TooManyBits { ndim, bits } => {
-                write!(f, "{ndim} dims × {bits} bits exceeds the 63-bit code budget")
+                write!(
+                    f,
+                    "{ndim} dims × {bits} bits exceeds the 63-bit code budget"
+                )
             }
             CurveError::DegenerateSpace => write!(f, "curve space must be non-degenerate"),
         }

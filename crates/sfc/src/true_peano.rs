@@ -33,10 +33,7 @@ impl TruePeanoCurve {
         // 3^(ndim·levels) must fit in u64 (≈ 3^40 max).
         let total_digits = ndim as u32 * levels;
         if total_digits > 39 {
-            return Err(CurveError::TooManyBits {
-                ndim,
-                bits: levels,
-            });
+            return Err(CurveError::TooManyBits { ndim, bits: levels });
         }
         Ok(TruePeanoCurve { ndim, levels })
     }
@@ -191,11 +188,7 @@ mod tests {
             let mut prev = c.decode(0);
             for r in 1..c.num_points() {
                 let cur = c.decode(r);
-                assert_eq!(
-                    manhattan(&prev, &cur),
-                    1,
-                    "k={k} p={p}: jump at rank {r}"
-                );
+                assert_eq!(manhattan(&prev, &cur), 1, "k={k} p={p}: jump at rank {r}");
                 prev = cur;
             }
         }

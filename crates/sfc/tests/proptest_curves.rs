@@ -2,9 +2,7 @@
 //! shape the paper's experiments use.
 
 use proptest::prelude::*;
-use slpm_sfc::{
-    GrayCurve, HilbertCurve, PeanoCurve, SnakeCurve, SpaceFillingCurve, SweepCurve,
-};
+use slpm_sfc::{GrayCurve, HilbertCurve, PeanoCurve, SnakeCurve, SpaceFillingCurve, SweepCurve};
 
 /// Strategy over (ndim, bits) pairs that stay within a small total budget so
 /// exhaustive checks stay fast.

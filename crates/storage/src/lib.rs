@@ -39,8 +39,8 @@ pub mod clustering;
 pub mod decluster;
 pub mod io;
 pub mod mbr;
-pub mod rtree;
 pub mod pages;
+pub mod rtree;
 pub mod store;
 
 pub use buffer::{BufferPool, BufferStats};
@@ -48,6 +48,6 @@ pub use clustering::cluster_count;
 pub use decluster::{Declustering, RoundRobin};
 pub use io::{IoCost, IoModel};
 pub use mbr::Mbr;
-pub use rtree::{PackedRTree, QueryCost};
 pub use pages::{PageLayout, PageMapper};
+pub use rtree::{PackedRTree, QueryCost};
 pub use store::PageStore;

@@ -36,8 +36,9 @@ impl PageStore {
     /// record `record_size` bytes.
     pub fn build(mapper: &PageMapper, order_len: usize, record_size: usize) -> Self {
         let rpp = mapper.layout().records_per_page;
-        let mut page_bufs: Vec<BytesMut> =
-            (0..mapper.num_pages()).map(|_| BytesMut::zeroed(rpp * record_size)).collect();
+        let mut page_bufs: Vec<BytesMut> = (0..mapper.num_pages())
+            .map(|_| BytesMut::zeroed(rpp * record_size))
+            .collect();
         let mut placement = vec![(0usize, 0usize); order_len];
         // Slot within page = position within page (derived from the rank
         // the mapper used). Reconstruct by counting records per page in

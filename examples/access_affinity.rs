@@ -67,7 +67,11 @@ fn main() {
         .expect("connected");
 
     let extended = apply_affinity(&base, &edges).expect("edges validated");
-    println!("\nGraph: {} base edges, {} with affinity", base.num_edges(), extended.num_edges());
+    println!(
+        "\nGraph: {} base edges, {} with affinity",
+        base.num_edges(),
+        extended.num_edges()
+    );
     println!(
         "\n1-D distance of the hot pair {:?} <-> {:?}:",
         spec.coords_of(p),

@@ -26,8 +26,8 @@ fn main() {
         workloads::for_each_pair_at_distance(&spec, 1, |i, j| {
             let a = spec.coords_of(i);
             let b = spec.coords_of(j);
-            let crosses = (a[0] < side / 2) != (b[0] < side / 2)
-                || (a[1] < side / 2) != (b[1] < side / 2);
+            let crosses =
+                (a[0] < side / 2) != (b[0] < side / 2) || (a[1] < side / 2) != (b[1] < side / 2);
             if crosses {
                 let d = order.distance(i, j);
                 if d > worst {

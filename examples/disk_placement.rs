@@ -40,8 +40,8 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(2003);
     let mut queries: Vec<RangeBox> = Vec::new();
     for _ in 0..64 {
-        let w = rng.gen_range(2..=5);
-        let h = rng.gen_range(2..=5);
+        let w = rng.gen_range(2usize..=5);
+        let h = rng.gen_range(2usize..=5);
         // Bias the window towards the hot spot at (4, 4).
         let cx = (rng.gen_range(0..side - w) + 4) / 2;
         let cy = (rng.gen_range(0..side - h) + 4) / 2;
@@ -123,10 +123,7 @@ fn main() {
             seeks += io.runs;
             cost += io.total;
         }
-        println!(
-            "{:>10}  {:>11}  {:>9}  {:>12.1}",
-            name, pages, seeks, cost
-        );
+        println!("{:>10}  {:>11}  {:>9}  {:>12.1}", name, pages, seeks, cost);
     }
 
     println!(

@@ -34,7 +34,11 @@ fn main() {
         "{:>10}  {:>12}  {:>12}  {:>8}  {:>14}",
         "order", "leaf volume", "leaf margin", "height", "nodes visited"
     );
-    for (name, order) in [("Sweep", &sweep), ("Hilbert", &hilbert), ("Spectral", &spectral)] {
+    for (name, order) in [
+        ("Sweep", &sweep),
+        ("Hilbert", &hilbert),
+        ("Spectral", &spectral),
+    ] {
         let tree = PackedRTree::pack(&points, order, 8);
         // Query workload: every 4×4 window.
         let mut visited = 0usize;

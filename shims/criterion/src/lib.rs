@@ -1,0 +1,286 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Benches are written against Criterion's API (`criterion_group!` /
+//! `criterion_main!`, `Criterion::benchmark_group`, `Bencher::iter`,
+//! `BenchmarkId`, `black_box`) and run under `cargo bench` with
+//! `harness = false`. This shim keeps that API and measures wall-clock
+//! time with a simple calibrated loop: warm up briefly, pick an iteration
+//! count that fills the measurement window, then report mean ns/iter over
+//! `sample_size` samples. No statistics, plots, or saved baselines — swap
+//! in the real crates.io `criterion` for those.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity, mirroring `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Measurement settings shared by [`Criterion`] and [`BenchmarkGroup`].
+#[derive(Clone, Debug)]
+struct Settings {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings {
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+}
+
+/// The top-level bench context handed to `criterion_group!` targets.
+#[derive(Default)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Criterion {
+    /// Benchmark a closure under `id`.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(id, &self.settings, f);
+        self
+    }
+
+    /// Open a named group of related benchmarks. The group starts from the
+    /// `Criterion`-level settings and can override them per group.
+    pub fn benchmark_group(&mut self, group_name: &str) -> BenchmarkGroup<'_> {
+        let settings = self.settings.clone();
+        BenchmarkGroup {
+            _criterion: self,
+            name: group_name.to_string(),
+            settings,
+        }
+    }
+}
+
+/// A named group of benchmarks with its own measurement settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    settings: Settings,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n;
+        self
+    }
+
+    /// How long to warm up before timing.
+    pub fn warm_up_time(&mut self, dur: Duration) -> &mut Self {
+        self.settings.warm_up_time = dur;
+        self
+    }
+
+    /// Target total measurement time.
+    pub fn measurement_time(&mut self, dur: Duration) -> &mut Self {
+        self.settings.measurement_time = dur;
+        self
+    }
+
+    /// Benchmark a closure under `id` within this group.
+    pub fn bench_function<F, I>(&mut self, id: I, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+        I: IntoBenchmarkId,
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_benchmark(&full, &self.settings, f);
+        self
+    }
+
+    /// Benchmark a closure that receives `input` by reference.
+    pub fn bench_with_input<F, I, N>(&mut self, id: N, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+        I: ?Sized,
+        N: IntoBenchmarkId,
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_benchmark(&full, &self.settings, |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (a no-op here; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: either a bare string or `BenchmarkId::new`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A two-part id `function_name/parameter`.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id from the parameter alone.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion of the various id forms benches pass to `bench_function`.
+pub trait IntoBenchmarkId {
+    /// Render the id.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Passed to the bench closure; `iter` does the actual timing.
+pub struct Bencher<'a> {
+    settings: &'a Settings,
+    /// (total elapsed, total iterations) accumulated by `iter`.
+    result: Option<(Duration, u64)>,
+}
+
+impl<'a> Bencher<'a> {
+    /// Time `routine`, running it enough times to fill the measurement
+    /// window.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm-up: also calibrates how many iterations fit in the window.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        loop {
+            black_box(routine());
+            warm_iters += 1;
+            if warm_start.elapsed() >= self.settings.warm_up_time {
+                break;
+            }
+        }
+        // Floor at 1ns/iter: a zero elapsed reading (coarse clocks) would
+        // otherwise make budget/per_iter infinite and the cast below
+        // saturate to u64::MAX, hanging the measurement loop.
+        let per_iter = (warm_start.elapsed().as_secs_f64() / warm_iters as f64).max(1e-9);
+        let budget = self.settings.measurement_time.as_secs_f64();
+        let samples = self.settings.sample_size.max(1) as u64;
+        let iters_per_sample = ((budget / per_iter / samples as f64) as u64).max(1);
+
+        let mut total = Duration::ZERO;
+        let mut total_iters = 0u64;
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            total += start.elapsed();
+            total_iters += iters_per_sample;
+        }
+        self.result = Some((total, total_iters));
+    }
+}
+
+fn run_benchmark<F>(id: &str, settings: &Settings, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher {
+        settings,
+        result: None,
+    };
+    f(&mut bencher);
+    match bencher.result {
+        Some((total, iters)) if iters > 0 => {
+            let ns = total.as_nanos() as f64 / iters as f64;
+            println!("{id:<50} {:>14} ns/iter ({iters} iters)", format_ns(ns));
+        }
+        _ => println!("{id:<50} (no measurement: bencher.iter was not called)"),
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3}e9", ns / 1e9)
+    } else if ns >= 1_000_000.0 {
+        format!("{:.1}M", ns / 1e6)
+    } else if ns >= 1_000.0 {
+        format!("{:.1}k", ns / 1e3)
+    } else {
+        format!("{ns:.1}")
+    }
+}
+
+/// Mirror of `criterion_group!`: defines a function running each target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Mirror of `criterion_main!`: defines `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(2);
+        g.warm_up_time(Duration::from_millis(1));
+        g.measurement_time(Duration::from_millis(5));
+        let mut ran = false;
+        g.bench_function("noop", |b| {
+            b.iter(|| black_box(1 + 1));
+            ran = true;
+        });
+        g.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 32).into_benchmark_id(), "f/32");
+        assert_eq!(BenchmarkId::from_parameter("x").into_benchmark_id(), "x");
+    }
+}

@@ -1,0 +1,213 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset the repository's property tests use: the
+//! [`Strategy`](strategy::Strategy) trait over ranges, tuples and `Just`;
+//! the `prop_map` / `prop_flat_map` / `prop_filter` combinators;
+//! `collection::vec`; `prop_oneof!`; and the `proptest!` /
+//! `prop_assert!` / `prop_assert_eq!` macros. Values are generated from a
+//! deterministic seeded RNG so failures reproduce run-to-run.
+//!
+//! Deliberately missing versus the real crate: shrinking (a failing case
+//! is reported as-is, not minimised), persisted failure files, and the
+//! `any::<T>()` arbitrary machinery. Swap in crates.io `proptest` to get
+//! those back; the test sources need no changes.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Strategies over collections, mirroring `proptest::collection`.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Inclusive bounds on generated collection sizes.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of values from an element strategy.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.usize_in(self.size.min, self.size.max);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `proptest::collection::vec`: a strategy for vectors whose length is
+    /// drawn from `size` and whose elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// One-stop imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Union of same-valued strategies: `prop_oneof![a, b, c]`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Assertion inside `proptest!` bodies. The shim has no failure-value
+/// machinery, so this is `assert!` with the same signature.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($arg:tt)*) => { assert!($($arg)*) };
+}
+
+/// Equality assertion inside `proptest!` bodies.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($arg:tt)*) => { assert_eq!($($arg)*) };
+}
+
+/// Inequality assertion inside `proptest!` bodies.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($arg:tt)*) => { assert_ne!($($arg)*) };
+}
+
+/// The test-defining macro. Accepts the real crate's common form:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///
+///     #[test]
+///     fn my_property((a, b) in my_strategy(), n in 0usize..10) { ... }
+/// }
+/// ```
+///
+/// Each function becomes a `#[test]` that draws `cases` inputs from the
+/// strategies and runs the body on each.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@expand ($config) $($rest)*);
+    };
+    (@expand ($config:expr)
+        $(
+            $(#[$meta:meta])+
+            fn $name:ident ( $($pat:pat in $strategy:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+                for case in 0..config.cases {
+                    let _ = case;
+                    $(let $pat = $crate::strategy::Strategy::generate(&($strategy), &mut rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@expand ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn pair() -> impl Strategy<Value = (usize, usize)> {
+        (1usize..=8, 1usize..=8).prop_filter("distinct", |&(a, b)| a != b)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_respect_bounds(n in 3usize..10, f in -1.0f64..1.0) {
+            prop_assert!((3..10).contains(&n));
+            prop_assert!((-1.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn filter_holds((a, b) in pair()) {
+            prop_assert_ne!(a, b);
+        }
+
+        #[test]
+        fn vec_sizes(v in crate::collection::vec(0u64..5, 2..=4)) {
+            prop_assert!(v.len() >= 2 && v.len() <= 4);
+            prop_assert!(v.iter().all(|&x| x < 5));
+        }
+
+        #[test]
+        fn oneof_and_just(x in prop_oneof![Just(1usize), Just(2), Just(3)]) {
+            prop_assert!((1..=3).contains(&x));
+        }
+
+        #[test]
+        fn map_and_flat_map(v in (2usize..=5).prop_flat_map(|n| {
+            crate::collection::vec(0usize..10, n).prop_map(move |v| (n, v))
+        })) {
+            let (n, v) = v;
+            prop_assert_eq!(v.len(), n);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_test_name() {
+        use crate::strategy::Strategy;
+        let mut a = crate::test_runner::TestRng::for_test("t");
+        let mut b = crate::test_runner::TestRng::for_test("t");
+        let s = 0usize..1000;
+        for _ in 0..50 {
+            assert_eq!(s.generate(&mut a), s.generate(&mut b));
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! Test configuration and the deterministic RNG behind the shim.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SampleRange, SeedableRng};
+
+/// Per-`proptest!` settings, mirroring `proptest::test_runner::ProptestConfig`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test function.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The real crate defaults to 256; the shim halves that to keep the
+        // exhaustive-check-heavy suites in this tree fast.
+        ProptestConfig { cases: 128 }
+    }
+}
+
+/// Deterministic generator handed to strategies. Seeded from the test's
+/// name so each test gets an independent, reproducible stream. All actual
+/// sampling delegates to the `rand` shim so the two never diverge.
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// RNG for the named test (FNV-1a of the name as seed).
+    pub fn for_test(name: &str) -> Self {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            hash ^= b as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng {
+            inner: StdRng::seed_from_u64(hash),
+        }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Uniform sample from an integer or float range, via the `rand`
+    /// shim's [`SampleRange`] implementations.
+    pub fn sample<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_from(&mut self.inner)
+    }
+
+    /// Uniform `usize` in `[min, max]` (inclusive).
+    pub fn usize_in(&mut self, min: usize, max: usize) -> usize {
+        debug_assert!(min <= max);
+        self.sample(min..=max)
+    }
+}

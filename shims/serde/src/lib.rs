@@ -1,0 +1,15 @@
+//! Offline stand-in for the `serde` facade crate.
+//!
+//! Mirrors the real crate's shape — a `Serialize` name that is both a trait
+//! and a derive macro — so `use serde::Serialize;` plus
+//! `#[derive(Serialize)]` compile unchanged. The traits are markers only;
+//! in-tree output goes through hand-written CSV/table renderers, so no
+//! serializer exists here. Swap in the real crates.io `serde` to get one.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de> {}

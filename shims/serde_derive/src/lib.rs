@@ -1,0 +1,21 @@
+//! Offline stand-in for the `serde_derive` proc-macro crate.
+//!
+//! The reproduction only uses `#[derive(Serialize)]` as machine-readable
+//! documentation of which structs are row types; nothing in-tree serializes
+//! through serde yet. The derives therefore expand to nothing. When a real
+//! serialization backend lands, replace this shim with the crates.io
+//! `serde`/`serde_derive` pair — no source changes needed.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -24,7 +24,7 @@ pub use spectral_lpm as core;
 
 /// One-stop imports for examples and tests.
 pub mod prelude {
-    pub use slpm_graph::grid::{GridSpec, Connectivity};
+    pub use slpm_graph::grid::{Connectivity, GridSpec};
     pub use slpm_graph::Graph;
     pub use slpm_linalg::{FiedlerMethod, FiedlerOptions};
     pub use slpm_sfc::{

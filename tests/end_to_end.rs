@@ -4,8 +4,8 @@
 use slpm_querysim::mappings::{curve_order, MappingSet};
 use slpm_querysim::workloads::RangeBox;
 use slpm_querysim::{metrics, workloads};
-use slpm_storage::{cluster_count, IoModel, PageLayout, PageMapper, RoundRobin};
 use slpm_storage::decluster::{query_response_time, Declustering};
+use slpm_storage::{cluster_count, IoModel, PageLayout, PageMapper, RoundRobin};
 use spectral_lpm_repro::prelude::*;
 
 #[test]

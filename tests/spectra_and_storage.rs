@@ -83,7 +83,10 @@ fn page_runs_and_clusters_consistent_across_mappings() {
         let clusters = cluster_count(order, vertices.iter().copied());
         let pages = mapper.page_count(vertices.iter().copied());
         let runs = mapper.page_runs(vertices.iter().copied());
-        assert!(runs <= clusters, "{label}: runs {runs} > clusters {clusters}");
+        assert!(
+            runs <= clusters,
+            "{label}: runs {runs} > clusters {clusters}"
+        );
         assert!(runs <= pages, "{label}");
         assert!(pages <= vertices.len(), "{label}");
     }
@@ -94,7 +97,11 @@ fn declustering_response_bounded_by_pages_and_ideal() {
     let rows = declustering::run(&declustering::DeclusterConfig::quick());
     for r in &rows {
         assert!(r.mean_response + 1e-9 >= r.mean_ideal, "{}", r.mapping);
-        assert!(r.mean_imbalance < 3.0, "{}: pathological imbalance", r.mapping);
+        assert!(
+            r.mean_imbalance < 3.0,
+            "{}: pathological imbalance",
+            r.mapping
+        );
     }
 }
 
@@ -126,7 +133,11 @@ fn buffer_pool_rewards_rank_coherent_replay() {
     let mapper = PageMapper::new(&mapping.order, PageLayout::new(4));
     // Queries: sliding windows of 8 consecutive ranks.
     let windows: Vec<Vec<usize>> = (0..56)
-        .map(|start| ((start..start + 8).map(|p| mapping.order.vertex_at(p)).collect()))
+        .map(|start| {
+            (start..start + 8)
+                .map(|p| mapping.order.vertex_at(p))
+                .collect()
+        })
         .collect();
     let replay = |idx: Vec<usize>| {
         let mut pool = BufferPool::new(3);
