@@ -1,0 +1,217 @@
+//! End-to-end pipeline scaling: dense QL vs shift-invert Lanczos vs the
+//! multilevel solver, 32x32 up to 512x512.
+//!
+//! Unlike `scaling` (which times the bare eigensolver), this runs the whole
+//! Spectral LPM pipeline per method — grid graph, Laplacian, degeneracy-
+//! aware Fiedler solve, linear order — so the numbers are what a user of
+//! `SpectralMapper` actually pays. Each method only runs up to the size it
+//! is sensible at (dense is O(n^3); Lanczos shift-invert re-solves the full
+//! graph every iteration); the multilevel path covers every size.
+//!
+//! Usage:
+//!   pipeline_scale [--max-side N] [--json] [--out PATH]
+//!
+//! `--json` additionally writes the machine-readable benchmark trajectory
+//! (schema `slpm.pipeline_scale.v1`) to PATH (default BENCH_pipeline.json);
+//! CI uploads that file as a build artifact on every push. The process
+//! exits nonzero if any attempted solver path fails.
+
+use slpm_graph::grid::{Connectivity, GridSpec};
+use slpm_linalg::fiedler::{FiedlerMethod, FiedlerOptions};
+use spectral_lpm::{objective, SpectralConfig, SpectralMapper};
+use std::time::Instant;
+
+/// Grid sides exercised (squares, 4-connectivity).
+const SIDES: [usize; 5] = [32, 64, 128, 256, 512];
+/// Dense QL is O(n^3): cap it at 32x32.
+const DENSE_MAX_VERTICES: usize = 1_100;
+/// Shift-invert Lanczos iterates full-graph CG solves: cap at 256x256.
+const LANCZOS_MAX_VERTICES: usize = 66_000;
+
+struct Entry {
+    side: usize,
+    vertices: usize,
+    edges: usize,
+    method: &'static str,
+    seconds: f64,
+    lambda2: f64,
+    residual: f64,
+    two_sum: f64,
+}
+
+fn method_name(m: FiedlerMethod) -> &'static str {
+    match m {
+        FiedlerMethod::Dense => "dense",
+        FiedlerMethod::ShiftedDirect => "shifted-direct",
+        FiedlerMethod::ShiftInvert => "shift-invert",
+        FiedlerMethod::Multilevel => "multilevel",
+    }
+}
+
+fn run_one(spec: &GridSpec, method: FiedlerMethod) -> Result<Entry, String> {
+    let mapper = SpectralMapper::new(SpectralConfig {
+        fiedler: FiedlerOptions {
+            method,
+            ..Default::default()
+        },
+        ..Default::default()
+    });
+    let graph = spec.graph(Connectivity::Orthogonal);
+    let start = Instant::now();
+    let mapping = mapper
+        .map_grid(spec)
+        .map_err(|e| format!("{} on {:?}: {e}", method_name(method), spec.dims()))?;
+    let seconds = start.elapsed().as_secs_f64();
+    Ok(Entry {
+        side: spec.dim(0),
+        vertices: spec.num_points(),
+        edges: mapping.num_edges,
+        method: method_name(method),
+        seconds,
+        lambda2: mapping.fiedler.lambda2,
+        residual: mapping.fiedler.residual,
+        two_sum: objective::two_sum_cost(&graph, &mapping.order),
+    })
+}
+
+fn to_json(max_side: usize, entries: &[Entry]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": \"slpm.pipeline_scale.v1\",\n");
+    out.push_str(
+        "  \"description\": \"End-to-end Spectral LPM pipeline wall time per eigensolver\",\n",
+    );
+    out.push_str(&format!("  \"max_side\": {max_side},\n"));
+    out.push_str("  \"entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"side\": {}, \"vertices\": {}, \"edges\": {}, \"method\": \"{}\", \
+             \"seconds\": {:.6}, \"lambda2\": {:.9e}, \"residual\": {:.3e}, \
+             \"two_sum\": {:.1}}}{}\n",
+            e.side,
+            e.vertices,
+            e.edges,
+            e.method,
+            e.seconds,
+            e.lambda2,
+            e.residual,
+            e.two_sum,
+            if i + 1 == entries.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n");
+    // Headline speedup: multilevel vs the best other path, per side.
+    out.push_str("  \"speedups\": [\n");
+    let mut lines = Vec::new();
+    for &side in SIDES.iter().filter(|&&s| s <= max_side) {
+        let ml = entries
+            .iter()
+            .find(|e| e.side == side && e.method == "multilevel");
+        let best_other = entries
+            .iter()
+            .filter(|e| e.side == side && e.method != "multilevel")
+            .min_by(|a, b| a.seconds.partial_cmp(&b.seconds).expect("finite times"));
+        if let (Some(ml), Some(other)) = (ml, best_other) {
+            lines.push(format!(
+                "    {{\"side\": {side}, \"baseline\": \"{}\", \"baseline_seconds\": {:.6}, \
+                 \"multilevel_seconds\": {:.6}, \"speedup\": {:.2}}}",
+                other.method,
+                other.seconds,
+                ml.seconds,
+                other.seconds / ml.seconds
+            ));
+        }
+    }
+    out.push_str(&lines.join(",\n"));
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut max_side = 512usize;
+    let mut json = false;
+    let mut out_path = String::from("BENCH_pipeline.json");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--json" => json = true,
+            "--max-side" => {
+                i += 1;
+                max_side = args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--max-side requires a positive integer");
+                    std::process::exit(2);
+                });
+            }
+            "--out" => {
+                i += 1;
+                out_path = args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("--out requires a path");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!("unknown flag '{other}' (try --max-side N, --json, --out PATH)");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    if !SIDES.iter().any(|&s| s <= max_side) {
+        // A too-small (or zero) --max-side would otherwise record an empty
+        // trajectory and exit 0 — exactly the silent success the CI
+        // perf-smoke job must not produce.
+        eprintln!(
+            "--max-side {max_side} selects no grids (smallest is {}x{})",
+            SIDES[0], SIDES[0]
+        );
+        std::process::exit(2);
+    }
+
+    println!(
+        "{:>6}  {:>8}  {:>14}  {:>10}  {:>12}  {:>9}  {:>14}",
+        "grid", "vertices", "method", "time", "lambda2", "residual", "2-sum"
+    );
+    let mut entries: Vec<Entry> = Vec::new();
+    let mut failed = false;
+    for &side in SIDES.iter().filter(|&&s| s <= max_side) {
+        let spec = GridSpec::cube(side, 2);
+        let n = spec.num_points();
+        let mut methods = Vec::new();
+        if n <= DENSE_MAX_VERTICES {
+            methods.push(FiedlerMethod::Dense);
+        }
+        if n <= LANCZOS_MAX_VERTICES {
+            methods.push(FiedlerMethod::ShiftInvert);
+        }
+        methods.push(FiedlerMethod::Multilevel);
+        for method in methods {
+            match run_one(&spec, method) {
+                Ok(e) => {
+                    println!(
+                        "{:>4}^2  {:>8}  {:>14}  {:>9.3}s  {:>12.4e}  {:>9.1e}  {:>14.0}",
+                        e.side, e.vertices, e.method, e.seconds, e.lambda2, e.residual, e.two_sum
+                    );
+                    entries.push(e);
+                }
+                Err(msg) => {
+                    eprintln!("FAILED: {msg}");
+                    failed = true;
+                }
+            }
+        }
+    }
+
+    if json {
+        let body = to_json(max_side, &entries);
+        if let Err(e) = std::fs::write(&out_path, &body) {
+            eprintln!("cannot write {out_path}: {e}");
+            failed = true;
+        } else {
+            println!("\nwrote {out_path}");
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

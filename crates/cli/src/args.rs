@@ -68,7 +68,8 @@ pub enum Command {
         /// Emit CSV instead of a grid/point listing.
         csv: bool,
     },
-    /// `slpm fiedler --grid AxBx… [--method dense|shift-invert|shifted-direct]`
+    /// `slpm fiedler --grid AxBx…
+    /// [--method dense|shift-invert|shifted-direct|multilevel|auto]`
     Fiedler {
         /// Grid extents.
         dims: Vec<usize>,
@@ -177,9 +178,18 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 }
                 i += 1;
             }
-            if !["dense", "shift-invert", "shifted-direct"].contains(&method.as_str()) {
+            if ![
+                "dense",
+                "shift-invert",
+                "shifted-direct",
+                "multilevel",
+                "auto",
+            ]
+            .contains(&method.as_str())
+            {
                 return Err(ParseError(format!(
-                    "unknown method '{method}' (dense, shift-invert, shifted-direct)"
+                    "unknown method '{method}' (dense, shift-invert, shifted-direct, \
+                     multilevel, auto)"
                 )));
             }
             Ok(Command::Fiedler {
@@ -255,7 +265,7 @@ slpm — Spectral LPM reproduction CLI
 
 USAGE:
   slpm order   --grid 8x8 --mapping spectral [--csv]
-  slpm fiedler --grid 8x8 [--method dense|shift-invert|shifted-direct]
+  slpm fiedler --grid 8x8 [--method dense|shift-invert|shifted-direct|multilevel|auto]
   slpm figure  <fig1|fig3|fig4|fig5a|fig5b|fig6a|fig6b>
   slpm experiment <knn|storage|rtree|decluster|pointcloud|ablations>
   slpm report  --grid 8x8 --mapping hilbert
@@ -265,6 +275,8 @@ Mappings: sweep, snake, peano (Z-order), truepeano, gray, hilbert,
           spectral (4-connectivity), spectral8 (8-connectivity).
 Grids for the recursive curves need power-of-two sides (truepeano: powers
 of three); sweep/snake/spectral accept any extents.
+Spectral mappings pick their eigensolver automatically by grid size (dense
+-> shift-invert Lanczos -> multilevel); `slpm fiedler --method` overrides.
 ";
 
 #[cfg(test)]
@@ -327,6 +339,12 @@ mod tests {
             }
         );
         assert!(parse(&argv(&["fiedler", "--grid", "4x4", "--method", "qr"])).is_err());
+        for m in ["multilevel", "auto", "dense", "shifted-direct"] {
+            assert!(
+                parse(&argv(&["fiedler", "--grid", "4x4", "--method", m])).is_ok(),
+                "method {m} should parse"
+            );
+        }
     }
 
     #[test]

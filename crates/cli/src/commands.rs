@@ -74,8 +74,13 @@ fn build_order(dims: &[usize], mapping: MappingChoice) -> Result<LinearOrder, Pa
             } else {
                 Connectivity::Full
             };
+            // Automatic eigensolver selection: dense on tiny grids,
+            // shift-invert in the mid range, multilevel at scale — so
+            // `slpm order --mapping spectral` stays fast from 3x3 up to
+            // production-sized grids.
             let mapper = SpectralMapper::new(SpectralConfig {
                 connectivity,
+                auto_method: true,
                 ..Default::default()
             });
             Ok(mapper
@@ -133,6 +138,8 @@ pub fn execute(cmd: &Command) -> Result<String, ParseError> {
             let m = match method.as_str() {
                 "dense" => FiedlerMethod::Dense,
                 "shifted-direct" => FiedlerMethod::ShiftedDirect,
+                "multilevel" => FiedlerMethod::Multilevel,
+                "auto" => SpectralConfig::method_for_size(spec.num_points()),
                 _ => FiedlerMethod::ShiftInvert,
             };
             let pair = fiedler_pair(
@@ -261,6 +268,16 @@ mod tests {
         let out = run(&["fiedler", "--grid", "3x3", "--method", "dense"]).unwrap();
         assert!(out.contains("lambda_2 = 1.000000"), "{out}");
         assert!(out.contains("fiedler vector"));
+    }
+
+    #[test]
+    fn fiedler_multilevel_and_auto_methods_run() {
+        // Small grids route multilevel through its exact dense fallback, so
+        // λ₂ matches the closed form tightly.
+        let out = run(&["fiedler", "--grid", "3x3", "--method", "multilevel"]).unwrap();
+        assert!(out.contains("lambda_2 = 1.000000"), "{out}");
+        let out = run(&["fiedler", "--grid", "4x4", "--method", "auto"]).unwrap();
+        assert!(out.contains("lambda_2"), "{out}");
     }
 
     #[test]

@@ -5,7 +5,7 @@ use crate::order::LinearOrder;
 use slpm_graph::grid::{Connectivity, GridSpec};
 use slpm_graph::points::PointSet;
 use slpm_graph::{Graph, GraphError};
-use slpm_linalg::fiedler::{fiedler_pair_balanced, FiedlerOptions, FiedlerPair};
+use slpm_linalg::fiedler::{fiedler_pair_balanced, FiedlerMethod, FiedlerOptions, FiedlerPair};
 use slpm_linalg::LinalgError;
 use std::fmt;
 
@@ -48,6 +48,56 @@ pub struct SpectralConfig {
     pub connectivity: Connectivity,
     /// Eigensolver options for step 3.
     pub fiedler: FiedlerOptions,
+    /// When set, ignore `fiedler.method` and pick the eigensolver per input
+    /// size via [`SpectralConfig::method_for_size`] — dense QL on tiny
+    /// graphs, shift-invert Lanczos in the mid range, multilevel at scale.
+    pub auto_method: bool,
+}
+
+/// Largest vertex count still solved by the exact dense path under
+/// automatic method selection.
+pub const AUTO_DENSE_MAX: usize = 96;
+/// Largest vertex count still solved by shift-invert Lanczos under
+/// automatic method selection; beyond it the multilevel scheme wins.
+pub const AUTO_SHIFT_INVERT_MAX: usize = 4096;
+
+impl SpectralConfig {
+    /// A configuration with [`SpectralConfig::auto_method`] enabled.
+    pub fn auto() -> Self {
+        SpectralConfig {
+            auto_method: true,
+            ..Default::default()
+        }
+    }
+
+    /// The eigensolver automatic selection uses for an `n`-vertex graph:
+    /// dense QL for `n ≤ `[`AUTO_DENSE_MAX`] (exact and instant), Lanczos
+    /// shift-invert up to [`AUTO_SHIFT_INVERT_MAX`], multilevel beyond —
+    /// the crossover points measured by the `pipeline_scale` benchmark.
+    pub fn method_for_size(n: usize) -> FiedlerMethod {
+        if n <= AUTO_DENSE_MAX {
+            FiedlerMethod::Dense
+        } else if n <= AUTO_SHIFT_INVERT_MAX {
+            FiedlerMethod::ShiftInvert
+        } else {
+            FiedlerMethod::Multilevel
+        }
+    }
+
+    /// The eigensolver options to use for an `n`-vertex solve: a copy of
+    /// [`SpectralConfig::fiedler`], with the method overridden per
+    /// [`SpectralConfig::method_for_size`] when
+    /// [`SpectralConfig::auto_method`] is set. Every solve in this crate
+    /// (mapper, bisection, recursive ordering, diagnostics) resolves its
+    /// options through here so `auto_method` means the same thing
+    /// everywhere — including per-subgraph sizes during recursion.
+    pub fn resolved_fiedler(&self, n: usize) -> FiedlerOptions {
+        let mut opts = self.fiedler.clone();
+        if self.auto_method {
+            opts.method = SpectralConfig::method_for_size(n);
+        }
+        opts
+    }
 }
 
 /// The Spectral Locality-Preserving Mapping algorithm.
@@ -106,7 +156,8 @@ impl SpectralMapper {
         // > 1 and the balanced entry point picks a canonical mixed
         // representative instead of an arbitrary (possibly axis-pure,
         // sweep-like) element of the eigenspace.
-        let fiedler = fiedler_pair_balanced(&laplacian, &self.config.fiedler)?;
+        let fiedler_opts = self.config.resolved_fiedler(graph.num_vertices());
+        let fiedler = fiedler_pair_balanced(&laplacian, &fiedler_opts)?;
         // Steps 4–5: sort on the Fiedler values. Snap values that agree up
         // to solver round-off so ties (grid rows share one value in exact
         // arithmetic) are broken by the documented vertex-index rule, not
@@ -284,6 +335,53 @@ mod tests {
         assert!(
             same.min(flip) < 1e-6,
             "vectors differ: {same:.2e}/{flip:.2e}"
+        );
+    }
+
+    #[test]
+    fn auto_method_selects_by_size() {
+        assert_eq!(
+            SpectralConfig::method_for_size(AUTO_DENSE_MAX),
+            FiedlerMethod::Dense
+        );
+        assert_eq!(
+            SpectralConfig::method_for_size(AUTO_DENSE_MAX + 1),
+            FiedlerMethod::ShiftInvert
+        );
+        assert_eq!(
+            SpectralConfig::method_for_size(AUTO_SHIFT_INVERT_MAX + 1),
+            FiedlerMethod::Multilevel
+        );
+        // auto() actually routes a tiny grid through the dense path and
+        // reports it in the diagnostics.
+        let m = SpectralMapper::new(SpectralConfig::auto())
+            .map_grid(&GridSpec::new(&[3, 3]))
+            .unwrap();
+        assert_eq!(m.fiedler.method, FiedlerMethod::Dense);
+        assert!((m.fiedler.lambda2 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multilevel_method_maps_grid() {
+        // End-to-end pipeline through the multilevel solver on a grid big
+        // enough to build a real hierarchy.
+        let spec = GridSpec::new(&[24, 24]);
+        let m = SpectralMapper::new(SpectralConfig {
+            fiedler: FiedlerOptions {
+                method: FiedlerMethod::Multilevel,
+                ..Default::default()
+            },
+            ..Default::default()
+        })
+        .map_grid(&spec)
+        .unwrap();
+        assert_eq!(m.order.len(), 576);
+        assert_eq!(m.fiedler.method, FiedlerMethod::Multilevel);
+        let expect = 4.0 * (std::f64::consts::PI / 48.0).sin().powi(2);
+        assert!(
+            (m.fiedler.lambda2 - expect).abs() < 1e-6,
+            "λ₂ {} vs {expect}",
+            m.fiedler.lambda2
         );
     }
 

@@ -44,7 +44,7 @@ impl Bisection {
 /// component, put the lower half in part A.
 pub fn spectral_bisection(g: &Graph, config: &SpectralConfig) -> Result<Bisection, MappingError> {
     g.require_connected()?;
-    let pair = fiedler_pair(&g.laplacian(), &config.fiedler)?;
+    let pair = fiedler_pair(&g.laplacian(), &config.resolved_fiedler(g.num_vertices()))?;
     let order = crate::order::LinearOrder::from_keys(&pair.vector).expect("finite eigenvector");
     let n = g.num_vertices();
     let half = n / 2;

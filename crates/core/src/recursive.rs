@@ -89,7 +89,10 @@ fn place(
         // Base case: single-vector spectral order of the fragment (or the
         // trivial order for fragments the eigensolver is too small for).
         let local = if sub.num_vertices() >= 2 && sub.num_edges() >= 1 {
-            let pair = fiedler_pair(&sub.laplacian(), &opts.config.fiedler)?;
+            let pair = fiedler_pair(
+                &sub.laplacian(),
+                &opts.config.resolved_fiedler(sub.num_vertices()),
+            )?;
             orient(LinearOrder::from_keys(&pair.vector).expect("finite eigenvector"))
         } else {
             LinearOrder::identity(sub.num_vertices())
@@ -103,7 +106,10 @@ fn place(
 
     // Median cut on the Fiedler vector (Chan–Ciarlet–Szeto optimal
     // bisection point).
-    let pair = fiedler_pair(&sub.laplacian(), &opts.config.fiedler)?;
+    let pair = fiedler_pair(
+        &sub.laplacian(),
+        &opts.config.resolved_fiedler(sub.num_vertices()),
+    )?;
     let local = orient(LinearOrder::from_keys(&pair.vector).expect("finite eigenvector"));
     let half = vertices.len() / 2;
     let low: Vec<usize> = (0..half).map(|p| back[local.vertex_at(p)]).collect();
@@ -141,7 +147,11 @@ pub fn multi_vector_order(
     config: &SpectralConfig,
 ) -> Result<LinearOrder, MappingError> {
     graph.require_connected()?;
-    let pairs = smallest_nonzero_eigenpairs(&graph.laplacian(), num_vectors, &config.fiedler)?;
+    let pairs = smallest_nonzero_eigenpairs(
+        &graph.laplacian(),
+        num_vectors,
+        &config.resolved_fiedler(graph.num_vertices()),
+    )?;
     let n = graph.num_vertices();
     let mut perm: Vec<usize> = (0..n).collect();
     perm.sort_by(|&a, &b| {

@@ -19,10 +19,12 @@
 //! * [`FiedlerMethod::Dense`] — Householder + QL on the materialised
 //!   Laplacian, O(n³); the reference for tests and small graphs.
 
-use crate::cg::{self, CgOptions};
+use crate::cg::CgOptions;
 use crate::error::LinalgError;
 use crate::lanczos::{self, LanczosOptions};
+use crate::multilevel::{self, MultilevelOptions};
 use crate::operator::{ones_direction, DeflatedOperator, LinearOperator, ShiftedOperator};
+use crate::pcg;
 use crate::sparse::CsrMatrix;
 use crate::tql;
 use crate::vector;
@@ -41,6 +43,11 @@ pub enum FiedlerMethod {
     ShiftedDirect,
     /// Dense Householder + QL (exact, O(n³)); only sensible for n ≲ 2000.
     Dense,
+    /// Coarsen–project–refine multilevel scheme (see [`crate::multilevel`]):
+    /// heavy-edge coarsening to a small graph, dense coarse solve, then
+    /// block inverse-iteration refinement per level. The only path that is
+    /// practical at 10⁵–10⁶ vertices.
+    Multilevel,
 }
 
 /// Options for [`fiedler_pair`].
@@ -54,6 +61,9 @@ pub struct FiedlerOptions {
     pub seed: u64,
     /// Iteration/subspace cap forwarded to Lanczos (`None` = default).
     pub max_subspace: Option<usize>,
+    /// Tuning knobs for [`FiedlerMethod::Multilevel`] (ignored by the other
+    /// methods).
+    pub multilevel: MultilevelOptions,
 }
 
 impl Default for FiedlerOptions {
@@ -63,6 +73,7 @@ impl Default for FiedlerOptions {
             tolerance: 1e-9,
             seed: 0xF1ED_1EB2,
             max_subspace: None,
+            multilevel: MultilevelOptions::default(),
         }
     }
 }
@@ -89,13 +100,28 @@ pub struct LaplacianPseudoInverse<'a> {
 }
 
 impl<'a> LaplacianPseudoInverse<'a> {
-    /// Wrap a Laplacian. `tolerance` is the inner CG tolerance, which must
-    /// be tighter than the outer Lanczos tolerance for residuals to settle.
+    /// Wrap a Laplacian. `tolerance` is the inner solve tolerance, which
+    /// must be tighter than the outer Lanczos tolerance for residuals to
+    /// settle. The requested tolerance is floored at the round-off level a
+    /// conjugate-gradient solve can actually attain on this matrix — scaled
+    /// by the diagonal spread, a cheap condition-number proxy — so large
+    /// weighted Laplacians converge instead of spinning to the iteration
+    /// cap on an unreachable fixed target.
     pub fn new(laplacian: &'a CsrMatrix, tolerance: f64) -> Self {
+        let n = laplacian.rows();
+        let mut max_d = 0.0f64;
+        let mut min_d = f64::INFINITY;
+        for i in 0..n {
+            let d = laplacian.get(i, i);
+            max_d = max_d.max(d);
+            min_d = min_d.min(d.abs().max(f64::MIN_POSITIVE));
+        }
+        let spread = if max_d > 0.0 { max_d / min_d } else { 1.0 };
+        let floor = f64::EPSILON * 16.0 * spread.sqrt();
         LaplacianPseudoInverse {
             laplacian,
             cg_opts: CgOptions {
-                tolerance,
+                tolerance: tolerance.max(floor),
                 max_iterations: None,
                 deflate_mean: true,
             },
@@ -109,9 +135,12 @@ impl LinearOperator for LaplacianPseudoInverse<'_> {
     }
 
     fn apply(&self, x: &[f64], y: &mut [f64]) {
-        // CG with mean deflation computes L⁺ applied to the centred input.
-        let out = cg::solve(self.laplacian, x, &self.cg_opts)
-            .expect("inner CG solve failed: Laplacian not PSD or graph disconnected");
+        // Jacobi-PCG with mean deflation computes L⁺ applied to the centred
+        // input; the diagonal preconditioner keeps the iteration count flat
+        // on Section 4's weighted graphs whose degrees vary by orders of
+        // magnitude.
+        let out = pcg::solve_jacobi(self.laplacian, x, &self.cg_opts)
+            .expect("inner PCG solve failed: Laplacian not PSD or graph disconnected");
         y.copy_from_slice(&out.solution);
     }
 }
@@ -121,16 +150,17 @@ impl LinearOperator for LaplacianPseudoInverse<'_> {
 /// through this, so an adjacency matrix (or a shifted Laplacian) passed by
 /// mistake fails loudly instead of yielding a meaningless "eigenpair".
 fn require_laplacian(laplacian: &CsrMatrix) -> Result<(), LinalgError> {
-    laplacian.require_symmetric(1e-9)?;
+    // Both the symmetry and the zero-row-sum tolerances are scaled to the
+    // matrix magnitude: weighted affinity Laplacians with large
+    // degrees/weights accumulate round-off proportional to their entries,
+    // and a fixed absolute bound would reject valid library-built inputs
+    // at scale.
+    let scale = laplacian.gershgorin_upper_bound().max(1.0);
+    laplacian.require_symmetric(1e-9 * scale)?;
     let worst_row_sum = laplacian
         .row_sums()
         .into_iter()
         .fold(0.0f64, |m, s| m.max(s.abs()));
-    // Scale the zero-row-sum tolerance to the matrix magnitude: weighted
-    // affinity Laplacians with large degrees/weights accumulate row-sum
-    // round-off proportional to their entries, and a fixed absolute bound
-    // would reject valid library-built inputs at scale.
-    let scale = laplacian.gershgorin_upper_bound().max(1.0);
     if worst_row_sum > 1e-9 * scale {
         return Err(LinalgError::NonFiniteInput {
             context: "matrix is not a Laplacian (nonzero row sums)",
@@ -163,6 +193,9 @@ pub fn fiedler_pair(
         FiedlerMethod::Dense => dense_fiedler(laplacian)?,
         FiedlerMethod::ShiftedDirect => shifted_direct_fiedler(laplacian, opts)?,
         FiedlerMethod::ShiftInvert => shift_invert_fiedler(laplacian, opts)?,
+        FiedlerMethod::Multilevel => {
+            multilevel::fiedler_pair(laplacian, opts.tolerance, opts.seed, &opts.multilevel)?
+        }
     };
 
     // Normalise the representative: zero mean, unit norm, canonical sign.
@@ -213,19 +246,21 @@ pub fn smallest_nonzero_eigenpairs(
         return Ok(vec![]);
     }
     if opts.method == FiedlerMethod::Dense {
-        let eig = tql::symmetric_eigen(&laplacian.to_dense())?;
-        return Ok((1..=k)
-            .map(|i| {
-                let mut v = eig.eigenvector(i);
-                vector::center(&mut v);
-                vector::normalize(&mut v);
-                vector::canonicalize_sign(&mut v);
-                (eig.eigenvalues[i], v)
-            })
-            .collect());
+        return multilevel::dense_smallest(laplacian, k);
+    }
+    if opts.method == FiedlerMethod::Multilevel {
+        // The multilevel driver already returns canonical-form pairs,
+        // ascending, with Rayleigh-refined eigenvalues.
+        return multilevel::smallest_nonzero_eigenpairs(
+            laplacian,
+            k,
+            opts.tolerance,
+            opts.seed,
+            &opts.multilevel,
+        );
     }
     let res = match opts.method {
-        FiedlerMethod::Dense => unreachable!("handled above"),
+        FiedlerMethod::Dense | FiedlerMethod::Multilevel => unreachable!("handled above"),
         // Top-k of cI − L (ones deflated) are c − λ₂ ≥ … ≥ c − λ_{k+1}.
         FiedlerMethod::ShiftedDirect => {
             let c = laplacian.gershgorin_upper_bound() + 1.0;

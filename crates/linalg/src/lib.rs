@@ -21,9 +21,12 @@
 //!   cross-check in tests.
 //! * [`cg`] — conjugate gradients for SPD (optionally deflated) systems.
 //! * [`lanczos`] — Lanczos iteration with full reorthogonalisation.
+//! * [`multilevel`] — heavy-edge coarsening plus a coarsen–project–refine
+//!   driver, the path that scales the Fiedler computation to 10⁵–10⁶
+//!   vertices.
 //! * [`fiedler`] — the high-level entry point: compute the Fiedler pair of a
-//!   Laplacian by shift-invert Lanczos (default), shifted direct Lanczos, or
-//!   the dense path.
+//!   Laplacian by shift-invert Lanczos (default), shifted direct Lanczos,
+//!   the dense path, or the multilevel scheme.
 //!
 //! All algorithms are deterministic given the caller-supplied RNG seed.
 //!
@@ -52,6 +55,7 @@ pub mod fiedler;
 pub mod householder;
 pub mod jacobi;
 pub mod lanczos;
+pub mod multilevel;
 pub mod operator;
 pub mod pcg;
 pub mod power;
@@ -64,5 +68,6 @@ pub use dense::DenseMatrix;
 pub use error::LinalgError;
 pub use fiedler::{FiedlerMethod, FiedlerOptions, FiedlerPair};
 pub use lanczos::{LanczosOptions, LanczosResult};
+pub use multilevel::{Coarsening, MultilevelOptions};
 pub use operator::LinearOperator;
 pub use sparse::CsrMatrix;

@@ -1,0 +1,795 @@
+//! Multilevel (coarsen → project → refine) Fiedler solver.
+//!
+//! The dense QL path is O(n³) and even the Lanczos shift-invert path runs
+//! every inner CG solve on the *full* graph, which makes step 3 of the
+//! paper's pipeline the scalability bottleneck. This module implements the
+//! classic multilevel scheme from the same relaxation lineage the paper
+//! cites (Hall 1970 / Fiedler 1973; popularised for spectral partitioning
+//! by Barnard & Simon):
+//!
+//! 1. **Coarsen** — contract the Laplacian by heavy-edge matching
+//!    ([`coarsen_laplacian`]) until the graph has at most
+//!    [`MultilevelOptions::coarsest_size`] vertices. The coarse operator is
+//!    the Galerkin product `PᵀLP` for the piecewise-constant prolongation
+//!    `P`, which is again a combinatorial Laplacian of a weighted graph —
+//!    exactly the Section 4 weighted-graph extension.
+//! 2. **Solve** — compute the bottom eigenpairs of the coarsest Laplacian
+//!    with the existing dense Householder + QL path.
+//! 3. **Prolong + refine** — interpolate each eigenvector back up one level
+//!    and refine it with block inverse iteration (warm-started Jacobi-PCG
+//!    solves, see [`crate::pcg`]) plus a Rayleigh–Ritz projection per step.
+//!
+//! Only a handful of loosely-converged solves ever touch the finest graph,
+//! which is what makes spectral ordering at 10⁵–10⁶ points practical.
+
+use crate::cg::CgOptions;
+use crate::dense::DenseMatrix;
+use crate::error::LinalgError;
+use crate::pcg;
+use crate::sparse::CsrMatrix;
+use crate::tql;
+use crate::vector;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Tuning knobs for the multilevel solver (carried inside
+/// [`crate::fiedler::FiedlerOptions::multilevel`]).
+#[derive(Debug, Clone)]
+pub struct MultilevelOptions {
+    /// Stop coarsening once a level has at most this many vertices; the
+    /// coarsest level is handed to the dense eigensolver.
+    pub coarsest_size: usize,
+    /// Extra "guard" vectors refined alongside the requested eigenpairs.
+    /// A block of `k + guard_vectors` widens the spectral gap the block
+    /// iteration contracts with (λ_k / λ_{k+guard+1} instead of
+    /// λ_k / λ_{k+1}), which matters on grids whose low eigenvalues
+    /// cluster.
+    pub guard_vectors: usize,
+    /// Refinement sweeps on the **finest** level before giving up.
+    pub max_refine_steps: usize,
+    /// Refinement sweeps on each intermediate level (prolongation error
+    /// dominates there, so a couple of sweeps suffice).
+    pub intermediate_steps: usize,
+    /// Weighted-Jacobi smoothing passes applied to each vector right after
+    /// prolongation. Piecewise-constant interpolation injects *blocky*,
+    /// high-frequency error, which a smoother damps at the cost of one
+    /// matvec per pass — far cheaper than an extra inverse-iteration sweep.
+    pub smoothing_passes: usize,
+    /// Relative tolerance of each inner Jacobi-PCG correction solve.
+    /// Loose on purpose: inverse iteration converges with inexact solves,
+    /// and the correction form keeps the effective accuracy improving as
+    /// the eigenvector does.
+    pub inner_tolerance: f64,
+    /// Abort coarsening when a level shrinks by less than this factor
+    /// (pathological graphs — stars, cliques — defeat matching; the
+    /// hierarchy then just stops early and the coarse solve is bigger).
+    pub min_shrink: f64,
+}
+
+impl Default for MultilevelOptions {
+    fn default() -> Self {
+        MultilevelOptions {
+            coarsest_size: 256,
+            guard_vectors: 2,
+            max_refine_steps: 40,
+            intermediate_steps: 3,
+            smoothing_passes: 3,
+            inner_tolerance: 0.15,
+            min_shrink: 0.95,
+        }
+    }
+}
+
+/// One coarsening step: the Galerkin-contracted Laplacian plus the
+/// fine-vertex → coarse-vertex map that defines the prolongation.
+#[derive(Debug, Clone)]
+pub struct Coarsening {
+    /// The coarse Laplacian `PᵀLP` (a combinatorial Laplacian of the
+    /// contracted weighted graph).
+    pub coarse: CsrMatrix,
+    /// `parent[v]` is the coarse vertex that fine vertex `v` was merged
+    /// into. Prolongation is `x_fine[v] = x_coarse[parent[v]]`.
+    pub parent: Vec<usize>,
+}
+
+impl Coarsening {
+    /// Number of coarse vertices.
+    pub fn coarse_len(&self) -> usize {
+        self.coarse.rows()
+    }
+
+    /// Interpolate a coarse-level vector back to the fine level
+    /// (piecewise-constant prolongation).
+    pub fn prolong(&self, coarse_values: &[f64]) -> Vec<f64> {
+        self.parent.iter().map(|&p| coarse_values[p]).collect()
+    }
+}
+
+/// Contract a Laplacian one level by heavy-edge matching.
+///
+/// Edges are visited in order of **decreasing weight** (ties broken by the
+/// smaller endpoint pair, so the result is deterministic); an edge whose
+/// endpoints are both unmatched contracts them into one coarse vertex —
+/// the classic greedy ½-approximation of the maximum-weight matching.
+/// Vertices left unmatched become singletons. The contracted operator is
+/// the Galerkin product `PᵀLP`, computed directly by re-mapping the fine
+/// triplets — merged-pair internal edges cancel into the diagonal, and
+/// parallel coarse edges sum their weights, preserving Laplacian structure
+/// (symmetry and zero row sums) exactly.
+pub fn coarsen_laplacian(laplacian: &CsrMatrix) -> Result<Coarsening, LinalgError> {
+    let n = laplacian.rows();
+    if laplacian.cols() != n {
+        return Err(LinalgError::DimensionMismatch {
+            context: "coarsen_laplacian: matrix not square",
+            expected: n,
+            found: laplacian.cols(),
+        });
+    }
+    // Off-diagonal Laplacian entries are −w for edge weight w > 0; collect
+    // each undirected edge once from the upper triangle.
+    let mut edges: Vec<(f64, usize, usize)> = Vec::with_capacity(laplacian.nnz() / 2);
+    for u in 0..n {
+        for (v, entry) in laplacian.row_iter(u) {
+            if v > u && -entry > 0.0 {
+                edges.push((-entry, u, v));
+            }
+        }
+    }
+    edges.sort_unstable_by(|a, b| {
+        b.0.partial_cmp(&a.0)
+            .expect("finite weights by CSR invariant")
+            .then_with(|| (a.1, a.2).cmp(&(b.1, b.2)))
+    });
+
+    const UNMATCHED: usize = usize::MAX;
+    let mut mate = vec![UNMATCHED; n];
+    for &(_, u, v) in &edges {
+        if mate[u] == UNMATCHED && mate[v] == UNMATCHED {
+            mate[u] = v;
+            mate[v] = u;
+        }
+    }
+    for (u, m) in mate.iter_mut().enumerate() {
+        if *m == UNMATCHED {
+            *m = u; // singleton
+        }
+    }
+
+    // Assign coarse ids in order of each pair's smaller endpoint.
+    let mut parent = vec![UNMATCHED; n];
+    let mut next = 0usize;
+    for u in 0..n {
+        if parent[u] != UNMATCHED {
+            continue;
+        }
+        parent[u] = next;
+        let m = mate[u];
+        if m != u {
+            parent[m] = next;
+        }
+        next += 1;
+    }
+
+    // Galerkin triplets: every fine entry (i, j, v) lands at
+    // (parent[i], parent[j]); from_triplets sums duplicates.
+    let mut triplets = Vec::with_capacity(laplacian.nnz());
+    for i in 0..n {
+        for (j, v) in laplacian.row_iter(i) {
+            triplets.push((parent[i], parent[j], v));
+        }
+    }
+    let coarse = CsrMatrix::from_triplets(next, next, &triplets)?;
+    Ok(Coarsening { coarse, parent })
+}
+
+/// The `k` smallest **nonzero** eigenpairs of a connected Laplacian by the
+/// multilevel scheme, ascending: `(λ₂, v₂), …, (λ_{k+1}, v_{k+1})`.
+///
+/// Each representative is mean-centred, unit-norm and sign-canonicalised,
+/// with its eigenvalue refreshed as a Rayleigh quotient against the input
+/// Laplacian — the same canonical form the dense and Lanczos paths return.
+///
+/// Preconditions are the caller's (see [`crate::fiedler::fiedler_pair`]):
+/// the matrix must be an actual Laplacian of a **connected** graph. The
+/// convergence target is `‖Lv − λv‖ ≤ tolerance · max(gershgorin, 1)`,
+/// scaled to the matrix magnitude so large weighted graphs converge.
+pub fn smallest_nonzero_eigenpairs(
+    laplacian: &CsrMatrix,
+    k: usize,
+    tolerance: f64,
+    seed: u64,
+    opts: &MultilevelOptions,
+) -> Result<Vec<(f64, Vec<f64>)>, LinalgError> {
+    let n = laplacian.rows();
+    if n < k + 1 {
+        return Err(LinalgError::ProblemTooSmall {
+            dimension: n,
+            minimum: k + 1,
+        });
+    }
+    if k == 0 {
+        return Ok(vec![]);
+    }
+
+    // Small problems skip the hierarchy entirely: the coarse solver *is*
+    // the exact dense path.
+    let coarsest_size = opts.coarsest_size.max(k + 2);
+    if n <= coarsest_size {
+        return dense_smallest(laplacian, k);
+    }
+
+    // Block width: requested pairs plus guard vectors, capped so the
+    // coarsest dense solve can supply them all.
+    let block = (k + opts.guard_vectors).min(coarsest_size - 1);
+
+    // --- 1. Coarsen until the graph is small (or matching stalls). ---
+    let mut levels: Vec<Coarsening> = Vec::new();
+    {
+        let mut current = laplacian;
+        while current.rows() > coarsest_size {
+            let step = coarsen_laplacian(current)?;
+            let shrunk = step.coarse_len() < (current.rows() as f64 * opts.min_shrink) as usize;
+            if !shrunk || step.coarse_len() <= block {
+                break;
+            }
+            levels.push(step);
+            current = &levels.last().expect("just pushed").coarse;
+        }
+    }
+
+    // --- 2. Solve the coarsest level. ---
+    // Matching can stall far above `coarsest_size` (hub/clique-like graphs
+    // defeat edge matching); materialising such a level densely would cost
+    // O(n²) memory, so past a small multiple of the intended coarsest size
+    // the bottom pairs come from shift-invert Lanczos instead.
+    let coarsest = levels.last().map_or(laplacian, |c| &c.coarse);
+    let dense_cap = coarsest_size.saturating_mul(4);
+    let coarse_pairs = if coarsest.rows() <= dense_cap {
+        dense_smallest(coarsest, block)?
+    } else {
+        crate::fiedler::smallest_nonzero_eigenpairs(
+            coarsest,
+            block,
+            &crate::fiedler::FiedlerOptions {
+                method: crate::fiedler::FiedlerMethod::ShiftInvert,
+                tolerance,
+                seed,
+                ..Default::default()
+            },
+        )?
+    };
+    if levels.is_empty() {
+        // Matching stalled immediately: the coarse solve already ran on
+        // the input itself.
+        return Ok(coarse_pairs.into_iter().take(k).collect());
+    }
+    let mut lambdas: Vec<f64> = coarse_pairs.iter().map(|(l, _)| *l).collect();
+    let mut vectors: Vec<Vec<f64>> = coarse_pairs.into_iter().map(|(_, v)| v).collect();
+
+    // --- 3. Walk back up: prolong, then refine at every level. ---
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED_C0A2_5E00_0000);
+    let scale = laplacian.gershgorin_upper_bound().max(1.0);
+    let target = tolerance * scale;
+    for depth in (0..levels.len()).rev() {
+        let step = &levels[depth];
+        for v in &mut vectors {
+            *v = step.prolong(v);
+        }
+        let fine = if depth == 0 {
+            laplacian
+        } else {
+            &levels[depth - 1].coarse
+        };
+        smooth_block(fine, &mut vectors, &lambdas, opts.smoothing_passes);
+        let finest = depth == 0;
+        let sweeps = if finest {
+            opts.max_refine_steps
+        } else {
+            opts.intermediate_steps
+        };
+        // Intermediate levels only chase prolongation error; the finest
+        // level must actually hit the convergence target.
+        let level_target = if finest { target } else { f64::INFINITY };
+        lambdas = refine_block(fine, &mut vectors, k, level_target, sweeps, opts, &mut rng)?;
+        if finest {
+            let worst = worst_residual(fine, &vectors, &lambdas, k)?;
+            if worst > target {
+                return Err(LinalgError::NoConvergence {
+                    solver: "multilevel",
+                    iterations: opts.max_refine_steps,
+                    residual: worst,
+                    tolerance: target,
+                });
+            }
+        }
+    }
+
+    let mut out = Vec::with_capacity(k);
+    for (lambda, mut v) in lambdas.into_iter().zip(vectors).take(k) {
+        vector::center(&mut v);
+        if vector::normalize(&mut v) == 0.0 {
+            return Err(LinalgError::NonFiniteInput {
+                context: "multilevel: refined eigenvector collapsed",
+            });
+        }
+        vector::canonicalize_sign(&mut v);
+        out.push((lambda, v));
+    }
+    Ok(out)
+}
+
+/// [`smallest_nonzero_eigenpairs`] specialised to the Fiedler pair.
+pub fn fiedler_pair(
+    laplacian: &CsrMatrix,
+    tolerance: f64,
+    seed: u64,
+    opts: &MultilevelOptions,
+) -> Result<(f64, Vec<f64>), LinalgError> {
+    let mut pairs = smallest_nonzero_eigenpairs(laplacian, 1, tolerance, seed, opts)?;
+    let (lambda, v) = pairs.swap_remove(0);
+    Ok((lambda, v))
+}
+
+/// Exact bottom-of-spectrum solve via the dense Householder + QL path, in
+/// the crate's canonical form (centred, unit, sign-canonical, ascending).
+/// Shared with [`crate::fiedler::smallest_nonzero_eigenpairs`]'s dense
+/// branch so the canonical-form convention lives in exactly one place.
+pub(crate) fn dense_smallest(
+    laplacian: &CsrMatrix,
+    k: usize,
+) -> Result<Vec<(f64, Vec<f64>)>, LinalgError> {
+    let eig = tql::symmetric_eigen(&laplacian.to_dense())?;
+    let mut out = Vec::with_capacity(k);
+    for i in 1..=k {
+        let mut v = eig.eigenvector(i);
+        vector::center(&mut v);
+        if vector::normalize(&mut v) == 0.0 {
+            return Err(LinalgError::NonFiniteInput {
+                context: "dense eigensolve: eigenvector collapsed (disconnected graph?)",
+            });
+        }
+        vector::canonicalize_sign(&mut v);
+        out.push((eig.eigenvalues[i], v));
+    }
+    Ok(out)
+}
+
+/// Worst residual `‖Lvᵢ − λᵢvᵢ‖` over the first `k` block vectors.
+fn worst_residual(
+    laplacian: &CsrMatrix,
+    vectors: &[Vec<f64>],
+    lambdas: &[f64],
+    k: usize,
+) -> Result<f64, LinalgError> {
+    let mut worst = 0.0f64;
+    for i in 0..k {
+        let mut r = laplacian.matvec(&vectors[i])?;
+        vector::axpy(-lambdas[i], &vectors[i], &mut r);
+        worst = worst.max(vector::norm2(&r));
+    }
+    Ok(worst)
+}
+
+/// Damp the high-frequency component of freshly-prolonged vectors with a
+/// few weighted-Jacobi passes on `(L − θI)v`: eigencomponents near θ are
+/// preserved while the blocky interpolation error (which lives at the top
+/// of the spectrum) shrinks by a constant factor per pass, at one matvec
+/// each.
+fn smooth_block(laplacian: &CsrMatrix, vectors: &mut [Vec<f64>], lambdas: &[f64], passes: usize) {
+    if passes == 0 {
+        return;
+    }
+    let n = laplacian.rows();
+    let mut inv_diag = vec![0.0; n];
+    for (i, d) in inv_diag.iter_mut().enumerate() {
+        let v = laplacian.get(i, i);
+        *d = if v > 0.0 { 1.0 / v } else { 0.0 };
+    }
+    const OMEGA: f64 = 0.7;
+    let mut r = vec![0.0; n];
+    for (v, &theta) in vectors.iter_mut().zip(lambdas) {
+        for _ in 0..passes {
+            laplacian.matvec_into(v, &mut r);
+            vector::axpy(-theta, v, &mut r);
+            for i in 0..n {
+                v[i] -= OMEGA * r[i] * inv_diag[i];
+            }
+        }
+    }
+}
+
+/// Block inverse iteration with per-sweep Rayleigh–Ritz projection.
+///
+/// Refines `vectors` in place towards the bottom nonzero eigenspace of
+/// `laplacian` and returns the Ritz values (ascending, aligned with the
+/// block). Stops early once the first `k` residuals are below `target`.
+///
+/// Each sweep: (a) centre + orthonormalise the block, (b) Rayleigh–Ritz on
+/// the b-dimensional subspace, (c) one warm-started inverse-iteration
+/// correction per vector — solve `L d = v − Lv/θ` with Jacobi-PCG and set
+/// `v ← v/θ + d`, which equals the inverse-iteration update `L⁻¹v` but
+/// hands the solver a right-hand side that shrinks with the eigen-residual.
+fn refine_block(
+    laplacian: &CsrMatrix,
+    vectors: &mut [Vec<f64>],
+    k: usize,
+    target: f64,
+    sweeps: usize,
+    opts: &MultilevelOptions,
+    rng: &mut StdRng,
+) -> Result<Vec<f64>, LinalgError> {
+    let n = laplacian.rows();
+    let b = vectors.len();
+    let cg_opts = CgOptions {
+        tolerance: opts.inner_tolerance,
+        max_iterations: None,
+        deflate_mean: true,
+    };
+    let mut lambdas = vec![0.0; b];
+    for sweep in 0..sweeps.max(1) {
+        orthonormalize(vectors, rng);
+
+        // Rayleigh–Ritz: T = VᵀLV, rotate V by T's eigenbasis.
+        let lv: Vec<Vec<f64>> = vectors
+            .iter()
+            .map(|v| laplacian.matvec(v))
+            .collect::<Result<_, _>>()?;
+        let mut t = DenseMatrix::zeros(b, b);
+        for i in 0..b {
+            for j in i..b {
+                let e = vector::dot(&vectors[i], &lv[j]);
+                t.set(i, j, e);
+                t.set(j, i, e);
+            }
+        }
+        let ritz = tql::symmetric_eigen(&t)?;
+        let rotated = rotate(vectors, &ritz);
+        let rotated_lv = rotate(&lv, &ritz);
+        for (dst, src) in vectors.iter_mut().zip(rotated) {
+            *dst = src;
+        }
+        lambdas.copy_from_slice(&ritz.eigenvalues);
+
+        // Residuals of the whole block (we have LV for free); convergence
+        // is gated on the k wanted pairs only.
+        let mut residuals = vec![0.0f64; b];
+        for i in 0..b {
+            let mut r = rotated_lv[i].clone();
+            vector::axpy(-lambdas[i], &vectors[i], &mut r);
+            residuals[i] = vector::norm2(&r);
+        }
+        let worst = residuals[..k].iter().cloned().fold(0.0f64, f64::max);
+        // With a finite target this is a convergence check; on intermediate
+        // levels (infinite target) every sweep but the last runs its
+        // correction, and the trailing Rayleigh–Ritz still leaves the block
+        // orthonormal for prolongation.
+        if (target.is_finite() && worst <= target) || sweep + 1 == sweeps {
+            break;
+        }
+
+        // Inverse-iteration correction per block vector, skipping (locking)
+        // vectors already well below the convergence target — typically the
+        // wanted pairs, whose spectral gaps are widest, leaving only the
+        // guard vectors to pay for solves in late sweeps.
+        let lock_below = if target.is_finite() {
+            0.3 * target
+        } else {
+            0.0
+        };
+        for (i, v) in vectors.iter_mut().enumerate() {
+            if residuals[i] <= lock_below {
+                continue;
+            }
+            let theta = lambdas[i];
+            if !(theta.is_finite() && theta > 0.0) {
+                return Err(LinalgError::NotPositiveDefinite { curvature: theta });
+            }
+            // rhs = v − Lv/θ has norm ‖residual‖/θ, so the relative PCG
+            // tolerance tightens automatically as the pair converges.
+            let mut rhs = rotated_lv[i].clone();
+            vector::scale(-1.0 / theta, &mut rhs);
+            for (ri, vi) in rhs.iter_mut().zip(v.iter()) {
+                *ri += vi;
+            }
+            let correction = pcg::solve_jacobi(laplacian, &rhs, &cg_opts)?;
+            let mut x = vec![0.0; n];
+            vector::axpy(1.0 / theta, v, &mut x);
+            for (xi, di) in x.iter_mut().zip(&correction.solution) {
+                *xi += di;
+            }
+            *v = x;
+        }
+    }
+    Ok(lambdas)
+}
+
+/// Centre every block vector and orthonormalise with modified Gram–Schmidt,
+/// replacing any collapsed vector by a fresh seeded random direction.
+fn orthonormalize(vectors: &mut [Vec<f64>], rng: &mut StdRng) {
+    for i in 0..vectors.len() {
+        let mut attempts = 0;
+        loop {
+            let (done, rest) = vectors.split_at_mut(i);
+            let v = &mut rest[0];
+            vector::center(v);
+            for q in done.iter() {
+                vector::project_out(q, v);
+            }
+            if vector::normalize(v) > 1e-10 || attempts >= 4 {
+                break;
+            }
+            vector::fill_random(rng, v);
+            attempts += 1;
+        }
+    }
+}
+
+/// `V · Y` for the Ritz rotation `Y` (eigenvectors of the projected
+/// operator, ascending).
+fn rotate(vectors: &[Vec<f64>], ritz: &tql::SymmetricEigen) -> Vec<Vec<f64>> {
+    let b = vectors.len();
+    let n = vectors[0].len();
+    let mut out = vec![vec![0.0; n]; b];
+    for (col, dst) in out.iter_mut().enumerate() {
+        let y = ritz.eigenvector(col);
+        for (j, vj) in vectors.iter().enumerate() {
+            vector::axpy(y[j], vj, dst);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_laplacian(n: usize) -> CsrMatrix {
+        let mut t = Vec::new();
+        for i in 0..n {
+            let deg = if i == 0 || i == n - 1 { 1.0 } else { 2.0 };
+            t.push((i, i, deg));
+            if i + 1 < n {
+                t.push((i, i + 1, -1.0));
+                t.push((i + 1, i, -1.0));
+            }
+        }
+        CsrMatrix::from_triplets(n, n, &t).unwrap()
+    }
+
+    fn grid_laplacian(w: usize, h: usize) -> CsrMatrix {
+        let idx = |x: usize, y: usize| x * h + y;
+        let mut t = Vec::new();
+        let mut deg = vec![0.0; w * h];
+        let edge = |t: &mut Vec<(usize, usize, f64)>, deg: &mut Vec<f64>, a: usize, b: usize| {
+            t.push((a, b, -1.0));
+            t.push((b, a, -1.0));
+            deg[a] += 1.0;
+            deg[b] += 1.0;
+        };
+        for x in 0..w {
+            for y in 0..h {
+                if x + 1 < w {
+                    edge(&mut t, &mut deg, idx(x, y), idx(x + 1, y));
+                }
+                if y + 1 < h {
+                    edge(&mut t, &mut deg, idx(x, y), idx(x, y + 1));
+                }
+            }
+        }
+        for (i, d) in deg.into_iter().enumerate() {
+            t.push((i, i, d));
+        }
+        CsrMatrix::from_triplets(w * h, w * h, &t).unwrap()
+    }
+
+    #[test]
+    fn coarsening_preserves_laplacian_structure() {
+        let lap = grid_laplacian(8, 8);
+        let c = coarsen_laplacian(&lap).unwrap();
+        // Roughly halves the vertex count on a grid.
+        assert!(c.coarse_len() <= 40, "coarse size {}", c.coarse_len());
+        assert!(c.coarse_len() >= 16);
+        // Still symmetric with zero row sums.
+        c.coarse.require_symmetric(1e-12).unwrap();
+        for s in c.coarse.row_sums() {
+            assert!(s.abs() < 1e-12);
+        }
+        // Every fine vertex has a parent in range; groups have size ≤ 2.
+        let mut count = vec![0usize; c.coarse_len()];
+        for &p in &c.parent {
+            count[p] += 1;
+        }
+        assert!(count.iter().all(|&c| (1..=2).contains(&c)));
+    }
+
+    #[test]
+    fn coarsening_is_galerkin_product() {
+        // The contracted operator must satisfy (PᵀLP)x = Pᵀ(L(Px)) for any
+        // coarse vector x.
+        let lap = grid_laplacian(5, 4);
+        let c = coarsen_laplacian(&lap).unwrap();
+        let nc = c.coarse_len();
+        let x: Vec<f64> = (0..nc).map(|i| ((i * 13 % 7) as f64) - 3.0).collect();
+        let px = c.prolong(&x);
+        let lpx = lap.matvec(&px).unwrap();
+        let mut ptlpx = vec![0.0; nc];
+        for (v, &p) in c.parent.iter().enumerate() {
+            ptlpx[p] += lpx[v];
+        }
+        let direct = c.coarse.matvec(&x).unwrap();
+        for i in 0..nc {
+            assert!(
+                (ptlpx[i] - direct[i]).abs() < 1e-10,
+                "coarse row {i}: {} vs {}",
+                ptlpx[i],
+                direct[i]
+            );
+        }
+    }
+
+    #[test]
+    fn coarsening_prefers_heavy_edges() {
+        // Path 0-1-2-3 with a heavy middle edge: matching must contract
+        // (1,2) first, leaving 0 and 3 as singletons.
+        let t = [
+            (0usize, 1usize, -1.0),
+            (1, 0, -1.0),
+            (1, 2, -10.0),
+            (2, 1, -10.0),
+            (2, 3, -1.0),
+            (3, 2, -1.0),
+            (0, 0, 1.0),
+            (1, 1, 11.0),
+            (2, 2, 11.0),
+            (3, 3, 11.0 - 10.0),
+        ];
+        let lap = CsrMatrix::from_triplets(4, 4, &t).unwrap();
+        let c = coarsen_laplacian(&lap).unwrap();
+        assert_eq!(c.parent[1], c.parent[2]);
+        assert_ne!(c.parent[0], c.parent[1]);
+        assert_ne!(c.parent[3], c.parent[1]);
+    }
+
+    #[test]
+    fn small_problem_is_exact_dense() {
+        // n below coarsest_size: multilevel must agree with dense QL to
+        // machine precision.
+        let n = 20;
+        let lap = path_laplacian(n);
+        let opts = MultilevelOptions::default();
+        let (lambda, v) = fiedler_pair(&lap, 1e-9, 7, &opts).unwrap();
+        let expect = 4.0 * (std::f64::consts::PI / (2.0 * n as f64)).sin().powi(2);
+        assert!((lambda - expect).abs() < 1e-10, "{lambda} vs {expect}");
+        let mut r = lap.matvec(&v).unwrap();
+        vector::axpy(-lambda, &v, &mut r);
+        assert!(vector::norm2(&r) < 1e-10);
+    }
+
+    #[test]
+    fn multilevel_matches_closed_form_on_long_path() {
+        // n = 1200 forces a real hierarchy (coarsest_size 256 → ~3 levels).
+        let n = 1200;
+        let lap = path_laplacian(n);
+        let opts = MultilevelOptions::default();
+        let (lambda, v) = fiedler_pair(&lap, 1e-9, 7, &opts).unwrap();
+        let expect = 4.0 * (std::f64::consts::PI / (2.0 * n as f64)).sin().powi(2);
+        assert!(
+            (lambda - expect).abs() < 1e-9 * expect.max(1e-3),
+            "{lambda} vs {expect}"
+        );
+        let mut r = lap.matvec(&v).unwrap();
+        vector::axpy(-lambda, &v, &mut r);
+        assert!(vector::norm2(&r) < 1e-8, "residual {}", vector::norm2(&r));
+        // The path's Fiedler vector is monotone.
+        let inc = v.windows(2).all(|w| w[1] > w[0]);
+        let dec = v.windows(2).all(|w| w[1] < w[0]);
+        assert!(inc || dec);
+    }
+
+    #[test]
+    fn multilevel_k_pairs_match_dense_on_grid() {
+        // 24×18 grid (n = 432 > coarsest floor when shrunk): compare the
+        // three smallest nonzero eigenvalues against the dense reference.
+        let lap = grid_laplacian(24, 18);
+        let opts = MultilevelOptions {
+            coarsest_size: 64, // force a real hierarchy at this size
+            ..Default::default()
+        };
+        let ml = smallest_nonzero_eigenpairs(&lap, 3, 1e-10, 1, &opts).unwrap();
+        let eig = tql::symmetric_eigen(&lap.to_dense()).unwrap();
+        for i in 0..3 {
+            let expect = eig.eigenvalues[i + 1];
+            assert!(
+                (ml[i].0 - expect).abs() < 1e-7 * expect.max(1.0),
+                "pair {i}: {} vs {expect}",
+                ml[i].0
+            );
+            // Genuine eigenpair.
+            let mut r = lap.matvec(&ml[i].1).unwrap();
+            vector::axpy(-ml[i].0, &ml[i].1, &mut r);
+            assert!(vector::norm2(&r) < 1e-8);
+        }
+        assert!(ml[0].0 <= ml[1].0 && ml[1].0 <= ml[2].0);
+    }
+
+    #[test]
+    fn weighted_graph_converges() {
+        // Weights spanning six orders of magnitude: the scaled convergence
+        // target and Jacobi preconditioning must still deliver a pair.
+        let n = 600;
+        let mut t = Vec::new();
+        let mut deg = vec![0.0; n];
+        for i in 0..n - 1 {
+            let w = if i % 3 == 0 { 1e6 } else { 1.0 };
+            t.push((i, i + 1, -w));
+            t.push((i + 1, i, -w));
+            deg[i] += w;
+            deg[i + 1] += w;
+        }
+        for (i, d) in deg.into_iter().enumerate() {
+            t.push((i, i, d));
+        }
+        let lap = CsrMatrix::from_triplets(n, n, &t).unwrap();
+        let (lambda, v) = fiedler_pair(&lap, 1e-9, 3, &MultilevelOptions::default()).unwrap();
+        assert!(lambda > 0.0);
+        let mut r = lap.matvec(&v).unwrap();
+        vector::axpy(-lambda, &v, &mut r);
+        let scale = lap.gershgorin_upper_bound();
+        assert!(
+            vector::norm2(&r) <= 1e-8 * scale,
+            "residual {} vs scale {scale}",
+            vector::norm2(&r)
+        );
+    }
+
+    #[test]
+    fn matching_stall_falls_back_to_iterative_coarse_solve() {
+        // Star K_{1,n-1}: edge matching contracts exactly one pair per
+        // level, so the hierarchy stalls at the input itself. The solver
+        // must route the coarse solve through shift-invert Lanczos instead
+        // of materialising an O(n²) dense matrix. λ₂ of a star is 1.
+        let n = 1500; // > 4 × default coarsest_size
+        let mut t = Vec::new();
+        for i in 1..n {
+            t.push((0, i, -1.0));
+            t.push((i, 0, -1.0));
+            t.push((i, i, 1.0));
+        }
+        t.push((0, 0, (n - 1) as f64));
+        let lap = CsrMatrix::from_triplets(n, n, &t).unwrap();
+        let (lambda, v) = fiedler_pair(&lap, 1e-9, 5, &MultilevelOptions::default()).unwrap();
+        assert!((lambda - 1.0).abs() < 1e-6, "star λ₂ {lambda}");
+        let mut r = lap.matvec(&v).unwrap();
+        vector::axpy(-lambda, &v, &mut r);
+        assert!(vector::norm2(&r) < 1e-6);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let lap = grid_laplacian(20, 20);
+        let opts = MultilevelOptions {
+            coarsest_size: 64,
+            ..Default::default()
+        };
+        let a = smallest_nonzero_eigenpairs(&lap, 2, 1e-10, 42, &opts).unwrap();
+        let b = smallest_nonzero_eigenpairs(&lap, 2, 1e-10, 42, &opts).unwrap();
+        for ((la, va), (lb, vb)) in a.iter().zip(&b) {
+            assert_eq!(la, lb);
+            assert_eq!(va, vb);
+        }
+    }
+
+    #[test]
+    fn rejects_tiny_problems_and_k_zero() {
+        let lap = path_laplacian(3);
+        assert!(matches!(
+            smallest_nonzero_eigenpairs(&lap, 4, 1e-9, 0, &MultilevelOptions::default()),
+            Err(LinalgError::ProblemTooSmall { .. })
+        ));
+        assert!(
+            smallest_nonzero_eigenpairs(&lap, 0, 1e-9, 0, &MultilevelOptions::default())
+                .unwrap()
+                .is_empty()
+        );
+    }
+}
