@@ -1,5 +1,5 @@
 //! End-to-end pipeline scaling: dense QL vs shift-invert Lanczos vs the
-//! multilevel solver, 32x32 up to 512x512.
+//! multilevel solver, 32x32 up to 1024x1024 (1,048,576 points).
 //!
 //! Unlike `scaling` (which times the bare eigensolver), this runs the whole
 //! Spectral LPM pipeline per method — grid graph, Laplacian, degeneracy-
@@ -9,20 +9,28 @@
 //! graph every iteration); the multilevel path covers every size.
 //!
 //! Usage:
-//!   pipeline_scale [--max-side N] [--json] [--out PATH]
+//!   pipeline_scale [--max-side N] [--threads N] [--json] [--out PATH]
+//!
+//! `--threads N` (N > 1) additionally runs the multilevel path on N worker
+//! threads at every size and **verifies in-process that the threaded
+//! `LinearOrder` is identical to the serial one** (the parallel kernels
+//! use fixed-chunk deterministic reductions, so any divergence is a bug
+//! and fails the run). Baseline methods always run single-threaded so the
+//! trajectory stays comparable across machines.
 //!
 //! `--json` additionally writes the machine-readable benchmark trajectory
-//! (schema `slpm.pipeline_scale.v1`) to PATH (default BENCH_pipeline.json);
+//! (schema `slpm.pipeline_scale.v2`) to PATH (default BENCH_pipeline.json);
 //! CI uploads that file as a build artifact on every push. The process
-//! exits nonzero if any attempted solver path fails.
+//! exits nonzero if any attempted solver path fails or a threaded run
+//! diverges from serial.
 
 use slpm_graph::grid::{Connectivity, GridSpec};
 use slpm_linalg::fiedler::{FiedlerMethod, FiedlerOptions};
-use spectral_lpm::{objective, SpectralConfig, SpectralMapper};
+use spectral_lpm::{objective, LinearOrder, SpectralConfig, SpectralMapper};
 use std::time::Instant;
 
 /// Grid sides exercised (squares, 4-connectivity).
-const SIDES: [usize; 5] = [32, 64, 128, 256, 512];
+const SIDES: [usize; 6] = [32, 64, 128, 256, 512, 1024];
 /// Dense QL is O(n^3): cap it at 32x32.
 const DENSE_MAX_VERTICES: usize = 1_100;
 /// Shift-invert Lanczos iterates full-graph CG solves: cap at 256x256.
@@ -33,10 +41,14 @@ struct Entry {
     vertices: usize,
     edges: usize,
     method: &'static str,
+    threads: usize,
     seconds: f64,
     lambda2: f64,
     residual: f64,
     two_sum: f64,
+    /// For threaded multilevel runs: rank-for-rank identical to the serial
+    /// order at the same side (always true for serial entries).
+    order_matches_serial: bool,
 }
 
 fn method_name(m: FiedlerMethod) -> &'static str {
@@ -48,10 +60,15 @@ fn method_name(m: FiedlerMethod) -> &'static str {
     }
 }
 
-fn run_one(spec: &GridSpec, method: FiedlerMethod) -> Result<Entry, String> {
+fn run_one(
+    spec: &GridSpec,
+    method: FiedlerMethod,
+    threads: usize,
+) -> Result<(Entry, LinearOrder), String> {
     let mapper = SpectralMapper::new(SpectralConfig {
         fiedler: FiedlerOptions {
             method,
+            threads: Some(threads),
             ..Default::default()
         },
         ..Default::default()
@@ -62,50 +79,60 @@ fn run_one(spec: &GridSpec, method: FiedlerMethod) -> Result<Entry, String> {
         .map_grid(spec)
         .map_err(|e| format!("{} on {:?}: {e}", method_name(method), spec.dims()))?;
     let seconds = start.elapsed().as_secs_f64();
-    Ok(Entry {
+    let entry = Entry {
         side: spec.dim(0),
         vertices: spec.num_points(),
         edges: mapping.num_edges,
         method: method_name(method),
+        threads,
         seconds,
         lambda2: mapping.fiedler.lambda2,
         residual: mapping.fiedler.residual,
         two_sum: objective::two_sum_cost(&graph, &mapping.order),
-    })
+        order_matches_serial: true,
+    };
+    Ok((entry, mapping.order))
 }
 
-fn to_json(max_side: usize, entries: &[Entry]) -> String {
+fn to_json(max_side: usize, threads: usize, entries: &[Entry]) -> String {
     let mut out = String::from("{\n");
-    out.push_str("  \"schema\": \"slpm.pipeline_scale.v1\",\n");
+    out.push_str("  \"schema\": \"slpm.pipeline_scale.v2\",\n");
     out.push_str(
         "  \"description\": \"End-to-end Spectral LPM pipeline wall time per eigensolver\",\n",
     );
     out.push_str(&format!("  \"max_side\": {max_side},\n"));
+    out.push_str(&format!("  \"threads\": {threads},\n"));
+    out.push_str(&format!(
+        "  \"host_parallelism\": {},\n",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    ));
     out.push_str("  \"entries\": [\n");
     for (i, e) in entries.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"side\": {}, \"vertices\": {}, \"edges\": {}, \"method\": \"{}\", \
-             \"seconds\": {:.6}, \"lambda2\": {:.9e}, \"residual\": {:.3e}, \
-             \"two_sum\": {:.1}}}{}\n",
+             \"threads\": {}, \"seconds\": {:.6}, \"lambda2\": {:.9e}, \"residual\": {:.3e}, \
+             \"two_sum\": {:.1}, \"order_matches_serial\": {}}}{}\n",
             e.side,
             e.vertices,
             e.edges,
             e.method,
+            e.threads,
             e.seconds,
             e.lambda2,
             e.residual,
             e.two_sum,
+            e.order_matches_serial,
             if i + 1 == entries.len() { "" } else { "," }
         ));
     }
     out.push_str("  ],\n");
-    // Headline speedup: multilevel vs the best other path, per side.
+    // Headline speedup: serial multilevel vs the best other serial path.
     out.push_str("  \"speedups\": [\n");
     let mut lines = Vec::new();
     for &side in SIDES.iter().filter(|&&s| s <= max_side) {
         let ml = entries
             .iter()
-            .find(|e| e.side == side && e.method == "multilevel");
+            .find(|e| e.side == side && e.method == "multilevel" && e.threads == 1);
         let best_other = entries
             .iter()
             .filter(|e| e.side == side && e.method != "multilevel")
@@ -122,13 +149,39 @@ fn to_json(max_side: usize, entries: &[Entry]) -> String {
         }
     }
     out.push_str(&lines.join(",\n"));
+    out.push_str("\n  ],\n");
+    // Threading speedup: serial vs threaded multilevel, per side.
+    out.push_str("  \"thread_speedups\": [\n");
+    let mut lines = Vec::new();
+    for &side in SIDES.iter().filter(|&&s| s <= max_side) {
+        let serial = entries
+            .iter()
+            .find(|e| e.side == side && e.method == "multilevel" && e.threads == 1);
+        let threaded = entries
+            .iter()
+            .find(|e| e.side == side && e.method == "multilevel" && e.threads > 1);
+        if let (Some(s1), Some(st)) = (serial, threaded) {
+            lines.push(format!(
+                "    {{\"side\": {side}, \"threads\": {}, \"serial_seconds\": {:.6}, \
+                 \"threaded_seconds\": {:.6}, \"speedup\": {:.2}, \
+                 \"order_matches_serial\": {}}}",
+                st.threads,
+                s1.seconds,
+                st.seconds,
+                s1.seconds / st.seconds,
+                st.order_matches_serial
+            ));
+        }
+    }
+    out.push_str(&lines.join(",\n"));
     out.push_str("\n  ]\n}\n");
     out
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut max_side = 512usize;
+    let mut max_side = 1024usize;
+    let mut threads = 1usize;
     let mut json = false;
     let mut out_path = String::from("BENCH_pipeline.json");
     let mut i = 0;
@@ -142,6 +195,17 @@ fn main() {
                     std::process::exit(2);
                 });
             }
+            "--threads" => {
+                i += 1;
+                threads = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&t| t >= 1)
+                    .unwrap_or_else(|| {
+                        eprintln!("--threads requires a positive integer");
+                        std::process::exit(2);
+                    });
+            }
             "--out" => {
                 i += 1;
                 out_path = args.get(i).cloned().unwrap_or_else(|| {
@@ -150,7 +214,9 @@ fn main() {
                 });
             }
             other => {
-                eprintln!("unknown flag '{other}' (try --max-side N, --json, --out PATH)");
+                eprintln!(
+                    "unknown flag '{other}' (try --max-side N, --threads N, --json, --out PATH)"
+                );
                 std::process::exit(2);
             }
         }
@@ -169,11 +235,17 @@ fn main() {
     }
 
     println!(
-        "{:>6}  {:>8}  {:>14}  {:>10}  {:>12}  {:>9}  {:>14}",
-        "grid", "vertices", "method", "time", "lambda2", "residual", "2-sum"
+        "{:>6}  {:>8}  {:>14}  {:>7}  {:>10}  {:>12}  {:>9}  {:>14}",
+        "grid", "vertices", "method", "threads", "time", "lambda2", "residual", "2-sum"
     );
     let mut entries: Vec<Entry> = Vec::new();
     let mut failed = false;
+    let print_entry = |e: &Entry| {
+        println!(
+            "{:>4}^2  {:>8}  {:>14}  {:>7}  {:>9.3}s  {:>12.4e}  {:>9.1e}  {:>14.0}",
+            e.side, e.vertices, e.method, e.threads, e.seconds, e.lambda2, e.residual, e.two_sum
+        );
+    };
     for &side in SIDES.iter().filter(|&&s| s <= max_side) {
         let spec = GridSpec::cube(side, 2);
         let n = spec.num_points();
@@ -184,14 +256,10 @@ fn main() {
         if n <= LANCZOS_MAX_VERTICES {
             methods.push(FiedlerMethod::ShiftInvert);
         }
-        methods.push(FiedlerMethod::Multilevel);
         for method in methods {
-            match run_one(&spec, method) {
-                Ok(e) => {
-                    println!(
-                        "{:>4}^2  {:>8}  {:>14}  {:>9.3}s  {:>12.4e}  {:>9.1e}  {:>14.0}",
-                        e.side, e.vertices, e.method, e.seconds, e.lambda2, e.residual, e.two_sum
-                    );
+            match run_one(&spec, method, 1) {
+                Ok((e, _)) => {
+                    print_entry(&e);
                     entries.push(e);
                 }
                 Err(msg) => {
@@ -200,10 +268,54 @@ fn main() {
                 }
             }
         }
+        // Multilevel: serial always; threaded additionally when requested,
+        // with an order-parity check against the serial run.
+        let serial_order = match run_one(&spec, FiedlerMethod::Multilevel, 1) {
+            Ok((e, order)) => {
+                print_entry(&e);
+                entries.push(e);
+                Some(order)
+            }
+            Err(msg) => {
+                eprintln!("FAILED: {msg}");
+                failed = true;
+                None
+            }
+        };
+        // Without a serial order there is nothing to compare against (the
+        // serial failure was already reported); skip rather than record a
+        // bogus parity verdict for a run whose order never diverged.
+        if threads > 1 {
+            if let Some(serial_order) = &serial_order {
+                match run_one(&spec, FiedlerMethod::Multilevel, threads) {
+                    Ok((mut e, order)) => {
+                        e.order_matches_serial = serial_order.ranks() == order.ranks();
+                        if !e.order_matches_serial {
+                            eprintln!(
+                                "FAILED: threaded ({threads}) multilevel order diverges from \
+                                 serial at {side}x{side}"
+                            );
+                            failed = true;
+                        }
+                        print_entry(&e);
+                        entries.push(e);
+                    }
+                    Err(msg) => {
+                        eprintln!("FAILED: {msg}");
+                        failed = true;
+                    }
+                }
+            } else {
+                eprintln!(
+                    "skipping threaded ({threads}) multilevel at {side}x{side}: \
+                     no serial order to verify against"
+                );
+            }
+        }
     }
 
     if json {
-        let body = to_json(max_side, &entries);
+        let body = to_json(max_side, threads, &entries);
         if let Err(e) = std::fs::write(&out_path, &body) {
             eprintln!("cannot write {out_path}: {e}");
             failed = true;

@@ -59,7 +59,7 @@ impl fmt::Display for MappingChoice {
 /// A parsed command.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Command {
-    /// `slpm order --grid AxBx… --mapping M [--csv]`
+    /// `slpm order --grid AxBx… --mapping M [--csv] [--threads N]`
     Order {
         /// Grid extents.
         dims: Vec<usize>,
@@ -67,14 +67,20 @@ pub enum Command {
         mapping: MappingChoice,
         /// Emit CSV instead of a grid/point listing.
         csv: bool,
+        /// Eigensolver worker threads (spectral mappings only); `None` =
+        /// machine default. Never changes the computed order.
+        threads: Option<usize>,
     },
     /// `slpm fiedler --grid AxBx…
-    /// [--method dense|shift-invert|shifted-direct|multilevel|auto]`
+    /// [--method dense|shift-invert|shifted-direct|multilevel|auto]
+    /// [--threads N]`
     Fiedler {
         /// Grid extents.
         dims: Vec<usize>,
         /// Eigensolver method name.
         method: String,
+        /// Eigensolver worker threads; `None` = machine default.
+        threads: Option<usize>,
     },
     /// `slpm figure <id>` where id ∈ fig1, fig3, fig4, fig5a, fig5b,
     /// fig6a, fig6b.
@@ -130,6 +136,17 @@ fn take_value<'a>(args: &'a [String], i: &mut usize, flag: &str) -> Result<&'a s
         .ok_or_else(|| ParseError(format!("{flag} requires a value")))
 }
 
+/// Parse a `--threads` value (a positive integer).
+fn parse_threads(args: &[String], i: &mut usize) -> Result<usize, ParseError> {
+    let v = take_value(args, i, "--threads")?;
+    match v.parse::<usize>() {
+        Ok(n) if n >= 1 => Ok(n),
+        _ => Err(ParseError(format!(
+            "invalid --threads '{v}': expected a positive integer"
+        ))),
+    }
+}
+
 /// Parse a full argument vector (without the program name).
 pub fn parse(args: &[String]) -> Result<Command, ParseError> {
     let cmd = args
@@ -142,6 +159,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             let mut dims = None;
             let mut mapping = None;
             let mut csv = false;
+            let mut threads = None;
             let mut i = 1;
             while i < args.len() {
                 match args[i].as_str() {
@@ -156,6 +174,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                         })?);
                     }
                     "--csv" => csv = true,
+                    "--threads" => threads = Some(parse_threads(args, &mut i)?),
                     other => return Err(ParseError(format!("unknown flag '{other}'"))),
                 }
                 i += 1;
@@ -164,16 +183,19 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 dims: dims.ok_or_else(|| ParseError("order requires --grid".into()))?,
                 mapping: mapping.ok_or_else(|| ParseError("order requires --mapping".into()))?,
                 csv,
+                threads,
             })
         }
         "fiedler" => {
             let mut dims = None;
             let mut method = "shift-invert".to_string();
+            let mut threads = None;
             let mut i = 1;
             while i < args.len() {
                 match args[i].as_str() {
                     "--grid" => dims = Some(parse_dims(take_value(args, &mut i, "--grid")?)?),
                     "--method" => method = take_value(args, &mut i, "--method")?.to_string(),
+                    "--threads" => threads = Some(parse_threads(args, &mut i)?),
                     other => return Err(ParseError(format!("unknown flag '{other}'"))),
                 }
                 i += 1;
@@ -195,6 +217,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             Ok(Command::Fiedler {
                 dims: dims.ok_or_else(|| ParseError("fiedler requires --grid".into()))?,
                 method,
+                threads,
             })
         }
         "figure" => {
@@ -264,8 +287,9 @@ pub const HELP: &str = "\
 slpm — Spectral LPM reproduction CLI
 
 USAGE:
-  slpm order   --grid 8x8 --mapping spectral [--csv]
+  slpm order   --grid 8x8 --mapping spectral [--csv] [--threads N]
   slpm fiedler --grid 8x8 [--method dense|shift-invert|shifted-direct|multilevel|auto]
+               [--threads N]
   slpm figure  <fig1|fig3|fig4|fig5a|fig5b|fig6a|fig6b>
   slpm experiment <knn|storage|rtree|decluster|pointcloud|ablations>
   slpm report  --grid 8x8 --mapping hilbert
@@ -277,6 +301,9 @@ Grids for the recursive curves need power-of-two sides (truepeano: powers
 of three); sweep/snake/spectral accept any extents.
 Spectral mappings pick their eigensolver automatically by grid size (dense
 -> shift-invert Lanczos -> multilevel); `slpm fiedler --method` overrides.
+--threads N pins the eigensolver's worker threads (default: the machine's
+available parallelism, or the SLPM_THREADS env var); results are bitwise
+identical for every thread count.
 ";
 
 #[cfg(test)]
@@ -305,7 +332,8 @@ mod tests {
             Command::Order {
                 dims: vec![8, 8],
                 mapping: MappingChoice::Hilbert,
-                csv: false
+                csv: false,
+                threads: None
             }
         );
         let c = parse(&argv(&[
@@ -335,7 +363,8 @@ mod tests {
             c,
             Command::Fiedler {
                 dims: vec![4, 4],
-                method: "shift-invert".into()
+                method: "shift-invert".into(),
+                threads: None
             }
         );
         assert!(parse(&argv(&["fiedler", "--grid", "4x4", "--method", "qr"])).is_err());
@@ -345,6 +374,49 @@ mod tests {
                 "method {m} should parse"
             );
         }
+    }
+
+    #[test]
+    fn parse_threads_flag() {
+        let c = parse(&argv(&[
+            "fiedler",
+            "--grid",
+            "4x4",
+            "--method",
+            "multilevel",
+            "--threads",
+            "4",
+        ]))
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Fiedler {
+                dims: vec![4, 4],
+                method: "multilevel".into(),
+                threads: Some(4)
+            }
+        );
+        let c = parse(&argv(&[
+            "order",
+            "--grid",
+            "4x4",
+            "--mapping",
+            "spectral",
+            "--threads",
+            "2",
+        ]))
+        .unwrap();
+        assert!(matches!(
+            c,
+            Command::Order {
+                threads: Some(2),
+                ..
+            }
+        ));
+        // Zero, junk, and missing values are rejected.
+        assert!(parse(&argv(&["fiedler", "--grid", "4x4", "--threads", "0"])).is_err());
+        assert!(parse(&argv(&["fiedler", "--grid", "4x4", "--threads", "two"])).is_err());
+        assert!(parse(&argv(&["fiedler", "--grid", "4x4", "--threads"])).is_err());
     }
 
     #[test]

@@ -11,8 +11,13 @@ use slpm_querysim::mappings::curve_order;
 use slpm_sfc::{GrayCurve, HilbertCurve, PeanoCurve, SnakeCurve, SweepCurve, TruePeanoCurve};
 use spectral_lpm::{LinearOrder, SpectralConfig, SpectralMapper};
 
-/// Build the requested order over the grid.
-fn build_order(dims: &[usize], mapping: MappingChoice) -> Result<LinearOrder, ParseError> {
+/// Build the requested order over the grid. `threads` pins the spectral
+/// eigensolver's worker count (ignored by the curve mappings).
+fn build_order(
+    dims: &[usize],
+    mapping: MappingChoice,
+    threads: Option<usize>,
+) -> Result<LinearOrder, ParseError> {
     let spec = GridSpec::new(dims);
     let err = |e: String| ParseError(e);
     let side = dims[0] as u64;
@@ -81,6 +86,7 @@ fn build_order(dims: &[usize], mapping: MappingChoice) -> Result<LinearOrder, Pa
             let mapper = SpectralMapper::new(SpectralConfig {
                 connectivity,
                 auto_method: true,
+                threads,
                 ..Default::default()
             });
             Ok(mapper
@@ -95,9 +101,14 @@ fn build_order(dims: &[usize], mapping: MappingChoice) -> Result<LinearOrder, Pa
 pub fn execute(cmd: &Command) -> Result<String, ParseError> {
     match cmd {
         Command::Help => Ok(crate::args::HELP.to_string()),
-        Command::Order { dims, mapping, csv } => {
+        Command::Order {
+            dims,
+            mapping,
+            csv,
+            threads,
+        } => {
             let spec = GridSpec::new(dims);
-            let order = build_order(dims, *mapping)?;
+            let order = build_order(dims, *mapping, *threads)?;
             let mut out = String::new();
             if *csv {
                 // point coordinates, then rank.
@@ -132,7 +143,11 @@ pub fn execute(cmd: &Command) -> Result<String, ParseError> {
             }
             Ok(out)
         }
-        Command::Fiedler { dims, method } => {
+        Command::Fiedler {
+            dims,
+            method,
+            threads,
+        } => {
             let spec = GridSpec::new(dims);
             let lap = spec.graph(Connectivity::Orthogonal).laplacian();
             let m = match method.as_str() {
@@ -146,6 +161,7 @@ pub fn execute(cmd: &Command) -> Result<String, ParseError> {
                 &lap,
                 &FiedlerOptions {
                     method: m,
+                    threads: *threads,
                     ..Default::default()
                 },
             )
@@ -209,7 +225,7 @@ pub fn execute(cmd: &Command) -> Result<String, ParseError> {
         Command::Report { dims, mapping } => {
             let spec = GridSpec::new(dims);
             let graph = spec.graph(Connectivity::Orthogonal);
-            let order = build_order(dims, *mapping)?;
+            let order = build_order(dims, *mapping, None)?;
             let report =
                 spectral_lpm::OrderReport::compute(&graph, &order, &SpectralConfig::default())
                     .map_err(|e| ParseError(e.to_string()))?;

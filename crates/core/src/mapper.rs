@@ -52,6 +52,13 @@ pub struct SpectralConfig {
     /// size via [`SpectralConfig::method_for_size`] — dense QL on tiny
     /// graphs, shift-invert Lanczos in the mid range, multilevel at scale.
     pub auto_method: bool,
+    /// Worker threads for the eigensolver's parallel kernels: `Some(t)`
+    /// pins the count, `None` defers to the per-solver knobs and
+    /// ultimately to `slpm_linalg::parallel::default_threads` (the
+    /// `SLPM_THREADS` env override, else the machine's available
+    /// parallelism). Thread count never changes the computed order — the
+    /// parallel kernels are bitwise identical to the serial path.
+    pub threads: Option<usize>,
 }
 
 /// Largest vertex count still solved by the exact dense path under
@@ -95,6 +102,9 @@ impl SpectralConfig {
         let mut opts = self.fiedler.clone();
         if self.auto_method {
             opts.method = SpectralConfig::method_for_size(n);
+        }
+        if self.threads.is_some() {
+            opts.threads = self.threads;
         }
         opts
     }

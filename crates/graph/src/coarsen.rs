@@ -25,6 +25,7 @@
 
 use crate::graph::{Graph, GraphError};
 use slpm_linalg::multilevel;
+use slpm_linalg::Pool;
 
 /// One coarsening step: the contracted weighted graph plus the
 /// fine-vertex → coarse-vertex map defining the prolongation.
@@ -53,7 +54,15 @@ impl GraphCoarsening {
 /// spectral quantities computed on the coarse graph are Rayleigh–Ritz
 /// restrictions of the fine ones.
 pub fn coarsen(graph: &Graph) -> Result<GraphCoarsening, GraphError> {
-    let step = multilevel::coarsen_laplacian(&graph.laplacian())
+    coarsen_pooled(graph, &Pool::default())
+}
+
+/// [`coarsen`] with an explicit worker pool: the edge-rating and Galerkin
+/// remap passes run row-chunked on it (see
+/// [`multilevel::coarsen_laplacian_pooled`]); the result is identical for
+/// every thread count.
+pub fn coarsen_pooled(graph: &Graph, pool: &Pool) -> Result<GraphCoarsening, GraphError> {
+    let step = multilevel::coarsen_laplacian_pooled(&graph.laplacian(), pool)
         .expect("a Graph's Laplacian is square and finite by construction");
     let nc = step.coarse_len();
     let mut coarse = Graph::new(nc);

@@ -61,6 +61,14 @@ pub struct FiedlerOptions {
     pub seed: u64,
     /// Iteration/subspace cap forwarded to Lanczos (`None` = default).
     pub max_subspace: Option<usize>,
+    /// Worker threads for the parallel kernels (inner PCG solves, CSR
+    /// matvec, multilevel smoothing/refinement): `Some(t)` pins the count,
+    /// `None` defers to [`MultilevelOptions::threads`] and ultimately to
+    /// [`crate::parallel::default_threads`] (the `SLPM_THREADS` env
+    /// override, else the machine's available parallelism). Thread count
+    /// never changes results: every parallel reduction uses the
+    /// fixed-chunk deterministic order of [`crate::parallel`].
+    pub threads: Option<usize>,
     /// Tuning knobs for [`FiedlerMethod::Multilevel`] (ignored by the other
     /// methods).
     pub multilevel: MultilevelOptions,
@@ -73,8 +81,22 @@ impl Default for FiedlerOptions {
             tolerance: 1e-9,
             seed: 0xF1ED_1EB2,
             max_subspace: None,
+            threads: None,
             multilevel: MultilevelOptions::default(),
         }
+    }
+}
+
+impl FiedlerOptions {
+    /// The multilevel knobs with the top-level [`FiedlerOptions::threads`]
+    /// override applied (an explicit top-level count wins; otherwise the
+    /// multilevel knobs' own setting stands).
+    fn resolved_multilevel(&self) -> MultilevelOptions {
+        let mut m = self.multilevel.clone();
+        if self.threads.is_some() {
+            m.threads = self.threads;
+        }
+        m
     }
 }
 
@@ -108,6 +130,12 @@ impl<'a> LaplacianPseudoInverse<'a> {
     /// weighted Laplacians converge instead of spinning to the iteration
     /// cap on an unreachable fixed target.
     pub fn new(laplacian: &'a CsrMatrix, tolerance: f64) -> Self {
+        Self::with_threads(laplacian, tolerance, None)
+    }
+
+    /// [`LaplacianPseudoInverse::new`] with an explicit thread knob for
+    /// the inner PCG solves (`None` = machine default).
+    pub fn with_threads(laplacian: &'a CsrMatrix, tolerance: f64, threads: Option<usize>) -> Self {
         let n = laplacian.rows();
         let mut max_d = 0.0f64;
         let mut min_d = f64::INFINITY;
@@ -124,6 +152,7 @@ impl<'a> LaplacianPseudoInverse<'a> {
                 tolerance: tolerance.max(floor),
                 max_iterations: None,
                 deflate_mean: true,
+                threads,
             },
         }
     }
@@ -193,9 +222,12 @@ pub fn fiedler_pair(
         FiedlerMethod::Dense => dense_fiedler(laplacian)?,
         FiedlerMethod::ShiftedDirect => shifted_direct_fiedler(laplacian, opts)?,
         FiedlerMethod::ShiftInvert => shift_invert_fiedler(laplacian, opts)?,
-        FiedlerMethod::Multilevel => {
-            multilevel::fiedler_pair(laplacian, opts.tolerance, opts.seed, &opts.multilevel)?
-        }
+        FiedlerMethod::Multilevel => multilevel::fiedler_pair(
+            laplacian,
+            opts.tolerance,
+            opts.seed,
+            &opts.resolved_multilevel(),
+        )?,
     };
 
     // Normalise the representative: zero mean, unit norm, canonical sign.
@@ -256,7 +288,7 @@ pub fn smallest_nonzero_eigenpairs(
             k,
             opts.tolerance,
             opts.seed,
-            &opts.multilevel,
+            &opts.resolved_multilevel(),
         );
     }
     let res = match opts.method {
@@ -277,7 +309,7 @@ pub fn smallest_nonzero_eigenpairs(
         // Top-k of the deflated pseudo-inverse are 1/λ₂ ≥ … ≥ 1/λ_{k+1}.
         FiedlerMethod::ShiftInvert => {
             let inner_tol = (opts.tolerance * 1e-3).max(1e-14);
-            let pinv = LaplacianPseudoInverse::new(laplacian, inner_tol);
+            let pinv = LaplacianPseudoInverse::with_threads(laplacian, inner_tol, opts.threads);
             let ones = vec![ones_direction(n)];
             let deflated = DeflatedOperator::new(&pinv, &ones);
             let lopts = lanczos::LanczosOptions {
@@ -454,7 +486,7 @@ fn shift_invert_fiedler(
 ) -> Result<(f64, Vec<f64>), LinalgError> {
     let n = laplacian.rows();
     let inner_tol = (opts.tolerance * 1e-3).max(1e-14);
-    let pinv = LaplacianPseudoInverse::new(laplacian, inner_tol);
+    let pinv = LaplacianPseudoInverse::with_threads(laplacian, inner_tol, opts.threads);
     let ones = vec![ones_direction(n)];
     let deflated = DeflatedOperator::new(&pinv, &ones);
     let lopts = LanczosOptions {

@@ -24,6 +24,10 @@
 //! * [`multilevel`] — heavy-edge coarsening plus a coarsen–project–refine
 //!   driver, the path that scales the Fiedler computation to 10⁵–10⁶
 //!   vertices.
+//! * [`parallel`] — a scoped worker pool with chunked `par_for` and
+//!   deterministic tree-reduction primitives; the hot kernels (CSR matvec,
+//!   dot/axpy, Jacobi smoothing, PCG) run on it with results bitwise
+//!   identical to the serial path for every thread count.
 //! * [`fiedler`] — the high-level entry point: compute the Fiedler pair of a
 //!   Laplacian by shift-invert Lanczos (default), shifted direct Lanczos,
 //!   the dense path, or the multilevel scheme.
@@ -57,6 +61,7 @@ pub mod jacobi;
 pub mod lanczos;
 pub mod multilevel;
 pub mod operator;
+pub mod parallel;
 pub mod pcg;
 pub mod power;
 pub mod sparse;
@@ -68,6 +73,7 @@ pub use dense::DenseMatrix;
 pub use error::LinalgError;
 pub use fiedler::{FiedlerMethod, FiedlerOptions, FiedlerPair};
 pub use lanczos::{LanczosOptions, LanczosResult};
-pub use multilevel::{Coarsening, MultilevelOptions};
+pub use multilevel::{Coarsening, MultilevelOptions, Prolongation};
 pub use operator::LinearOperator;
+pub use parallel::Pool;
 pub use sparse::CsrMatrix;

@@ -25,12 +25,31 @@
 use crate::cg::CgOptions;
 use crate::dense::DenseMatrix;
 use crate::error::LinalgError;
+use crate::parallel::Pool;
 use crate::pcg;
 use crate::sparse::CsrMatrix;
 use crate::tql;
 use crate::vector;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// Coarse-to-fine interpolation scheme used when walking back up the
+/// hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Prolongation {
+    /// Edge-weight-scaled interpolation (default): each fine vertex takes
+    /// the weighted average of its neighbours' aggregate values,
+    /// `x[v] = Σ_j w_vj · x_c[parent[j]] / Σ_j w_vj`. The injected error is
+    /// far smoother than piecewise-constant blocks, which cuts the
+    /// refinement sweeps the finest levels need.
+    #[default]
+    Weighted,
+    /// Piecewise-constant injection `x[v] = x_c[parent[v]]` — the classic
+    /// aggregation transfer, kept as an option (it is the transpose of the
+    /// restriction defining the Galerkin coarse operator, and the baseline
+    /// the weighted scheme is measured against).
+    PiecewiseConstant,
+}
 
 /// Tuning knobs for the multilevel solver (carried inside
 /// [`crate::fiedler::FiedlerOptions::multilevel`]).
@@ -64,6 +83,14 @@ pub struct MultilevelOptions {
     /// (pathological graphs — stars, cliques — defeat matching; the
     /// hierarchy then just stops early and the coarse solve is bigger).
     pub min_shrink: f64,
+    /// Coarse-to-fine interpolation scheme (see [`Prolongation`]).
+    pub prolongation: Prolongation,
+    /// Worker threads for the row-parallel kernels (matvec, smoothing,
+    /// PCG, prolongation): `Some(t)` pins the count, `None` uses
+    /// [`crate::parallel::default_threads`]. The thread count never
+    /// changes results — all reductions use the fixed-chunk deterministic
+    /// order of [`crate::parallel`].
+    pub threads: Option<usize>,
 }
 
 impl Default for MultilevelOptions {
@@ -76,6 +103,8 @@ impl Default for MultilevelOptions {
             smoothing_passes: 3,
             inner_tolerance: 0.15,
             min_shrink: 0.95,
+            prolongation: Prolongation::default(),
+            threads: None,
         }
     }
 }
@@ -117,6 +146,19 @@ impl Coarsening {
 /// parallel coarse edges sum their weights, preserving Laplacian structure
 /// (symmetry and zero row sums) exactly.
 pub fn coarsen_laplacian(laplacian: &CsrMatrix) -> Result<Coarsening, LinalgError> {
+    coarsen_laplacian_pooled(laplacian, &Pool::default())
+}
+
+/// [`coarsen_laplacian`] with an explicit worker pool: the edge-rating
+/// pass (collecting and weighting every undirected edge for the greedy
+/// matching) and the Galerkin triplet remap both run row-chunked on the
+/// pool; the matching itself is inherently sequential and stays serial.
+/// Chunk order is fixed, so the result is identical for every thread
+/// count.
+pub fn coarsen_laplacian_pooled(
+    laplacian: &CsrMatrix,
+    pool: &Pool,
+) -> Result<Coarsening, LinalgError> {
     let n = laplacian.rows();
     if laplacian.cols() != n {
         return Err(LinalgError::DimensionMismatch {
@@ -126,15 +168,21 @@ pub fn coarsen_laplacian(laplacian: &CsrMatrix) -> Result<Coarsening, LinalgErro
         });
     }
     // Off-diagonal Laplacian entries are −w for edge weight w > 0; collect
-    // each undirected edge once from the upper triangle.
-    let mut edges: Vec<(f64, usize, usize)> = Vec::with_capacity(laplacian.nnz() / 2);
-    for u in 0..n {
-        for (v, entry) in laplacian.row_iter(u) {
-            if v > u && -entry > 0.0 {
-                edges.push((-entry, u, v));
+    // each undirected edge once from the upper triangle (the edge-rating
+    // pass, row-chunked on the pool).
+    let mut edges: Vec<(f64, usize, usize)> = pool
+        .map_chunks(n, |lo, hi| {
+            let mut local = Vec::new();
+            for u in lo..hi {
+                for (v, entry) in laplacian.row_iter(u) {
+                    if v > u && -entry > 0.0 {
+                        local.push((-entry, u, v));
+                    }
+                }
             }
-        }
-    }
+            local
+        })
+        .concat();
     edges.sort_unstable_by(|a, b| {
         b.0.partial_cmp(&a.0)
             .expect("finite weights by CSR invariant")
@@ -171,13 +219,21 @@ pub fn coarsen_laplacian(laplacian: &CsrMatrix) -> Result<Coarsening, LinalgErro
     }
 
     // Galerkin triplets: every fine entry (i, j, v) lands at
-    // (parent[i], parent[j]); from_triplets sums duplicates.
-    let mut triplets = Vec::with_capacity(laplacian.nnz());
-    for i in 0..n {
-        for (j, v) in laplacian.row_iter(i) {
-            triplets.push((parent[i], parent[j], v));
-        }
-    }
+    // (parent[i], parent[j]); from_triplets sums duplicates. Row-chunked
+    // remap on the pool (the sort/merge inside from_triplets stays
+    // serial).
+    let parent_ref = &parent;
+    let triplets = pool
+        .map_chunks(n, |lo, hi| {
+            let mut local = Vec::new();
+            for i in lo..hi {
+                for (j, v) in laplacian.row_iter(i) {
+                    local.push((parent_ref[i], parent_ref[j], v));
+                }
+            }
+            local
+        })
+        .concat();
     let coarse = CsrMatrix::from_triplets(next, next, &triplets)?;
     Ok(Coarsening { coarse, parent })
 }
@@ -218,6 +274,8 @@ pub fn smallest_nonzero_eigenpairs(
         return dense_smallest(laplacian, k);
     }
 
+    let pool = Pool::new(opts.threads);
+
     // Block width: requested pairs plus guard vectors, capped so the
     // coarsest dense solve can supply them all.
     let block = (k + opts.guard_vectors).min(coarsest_size - 1);
@@ -227,7 +285,7 @@ pub fn smallest_nonzero_eigenpairs(
     {
         let mut current = laplacian;
         while current.rows() > coarsest_size {
-            let step = coarsen_laplacian(current)?;
+            let step = coarsen_laplacian_pooled(current, &pool)?;
             let shrunk = step.coarse_len() < (current.rows() as f64 * opts.min_shrink) as usize;
             if !shrunk || step.coarse_len() <= block {
                 break;
@@ -254,6 +312,7 @@ pub fn smallest_nonzero_eigenpairs(
                 method: crate::fiedler::FiedlerMethod::ShiftInvert,
                 tolerance,
                 seed,
+                threads: Some(pool.threads()),
                 ..Default::default()
             },
         )?
@@ -272,15 +331,15 @@ pub fn smallest_nonzero_eigenpairs(
     let target = tolerance * scale;
     for depth in (0..levels.len()).rev() {
         let step = &levels[depth];
-        for v in &mut vectors {
-            *v = step.prolong(v);
-        }
         let fine = if depth == 0 {
             laplacian
         } else {
             &levels[depth - 1].coarse
         };
-        smooth_block(fine, &mut vectors, &lambdas, opts.smoothing_passes);
+        for v in &mut vectors {
+            *v = prolong_pooled(fine, step, v, opts.prolongation, &pool);
+        }
+        smooth_block(fine, &mut vectors, &lambdas, opts.smoothing_passes, &pool);
         let finest = depth == 0;
         let sweeps = if finest {
             opts.max_refine_steps
@@ -290,9 +349,18 @@ pub fn smallest_nonzero_eigenpairs(
         // Intermediate levels only chase prolongation error; the finest
         // level must actually hit the convergence target.
         let level_target = if finest { target } else { f64::INFINITY };
-        lambdas = refine_block(fine, &mut vectors, k, level_target, sweeps, opts, &mut rng)?;
+        lambdas = refine_block(
+            fine,
+            &mut vectors,
+            k,
+            level_target,
+            sweeps,
+            opts,
+            &mut rng,
+            &pool,
+        )?;
         if finest {
-            let worst = worst_residual(fine, &vectors, &lambdas, k)?;
+            let worst = worst_residual(fine, &vectors, &lambdas, k, &pool)?;
             if worst > target {
                 return Err(LinalgError::NoConvergence {
                     solver: "multilevel",
@@ -354,18 +422,78 @@ pub(crate) fn dense_smallest(
     Ok(out)
 }
 
+/// Interpolate one coarse-level vector to the fine level on the pool.
+///
+/// `fine` is the matrix of the level being prolonged **to** (its row count
+/// equals `step.parent.len()`); the weighted scheme reads its off-diagonal
+/// weights, the piecewise-constant scheme only gathers through
+/// `step.parent`. Elementwise per fine vertex, so bitwise identical for
+/// every thread count.
+fn prolong_pooled(
+    fine: &CsrMatrix,
+    step: &Coarsening,
+    coarse_values: &[f64],
+    scheme: Prolongation,
+    pool: &Pool,
+) -> Vec<f64> {
+    let parent = &step.parent;
+    debug_assert_eq!(fine.rows(), parent.len());
+    let mut out = vec![0.0; parent.len()];
+    match scheme {
+        Prolongation::PiecewiseConstant => {
+            pool.for_each_chunk(&mut out, |off, chunk| {
+                for (j, o) in chunk.iter_mut().enumerate() {
+                    *o = coarse_values[parent[off + j]];
+                }
+            });
+        }
+        Prolongation::Weighted => {
+            pool.for_each_chunk(&mut out, |off, chunk| {
+                for (j, o) in chunk.iter_mut().enumerate() {
+                    let v = off + j;
+                    let mut num = 0.0;
+                    let mut den = 0.0;
+                    for (u, entry) in fine.row_iter(v) {
+                        if u != v && entry < 0.0 {
+                            num += -entry * coarse_values[parent[u]];
+                            den += -entry;
+                        }
+                    }
+                    // Isolated vertices (no edges) fall back to injection.
+                    *o = if den > 0.0 {
+                        num / den
+                    } else {
+                        coarse_values[parent[v]]
+                    };
+                }
+            });
+        }
+    }
+    out
+}
+
 /// Worst residual `‖Lvᵢ − λᵢvᵢ‖` over the first `k` block vectors.
 fn worst_residual(
     laplacian: &CsrMatrix,
     vectors: &[Vec<f64>],
     lambdas: &[f64],
     k: usize,
+    pool: &Pool,
 ) -> Result<f64, LinalgError> {
+    let n = laplacian.rows();
     let mut worst = 0.0f64;
+    let mut r = vec![0.0; n];
     for i in 0..k {
-        let mut r = laplacian.matvec(&vectors[i])?;
-        vector::axpy(-lambdas[i], &vectors[i], &mut r);
-        worst = worst.max(vector::norm2(&r));
+        if vectors[i].len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                context: "multilevel worst_residual",
+                expected: n,
+                found: vectors[i].len(),
+            });
+        }
+        pool.matvec_into(laplacian, &vectors[i], &mut r);
+        pool.axpy(-lambdas[i], &vectors[i], &mut r);
+        worst = worst.max(pool.norm2(&r));
     }
     Ok(worst)
 }
@@ -374,26 +502,36 @@ fn worst_residual(
 /// few weighted-Jacobi passes on `(L − θI)v`: eigencomponents near θ are
 /// preserved while the blocky interpolation error (which lives at the top
 /// of the spectrum) shrinks by a constant factor per pass, at one matvec
-/// each.
-fn smooth_block(laplacian: &CsrMatrix, vectors: &mut [Vec<f64>], lambdas: &[f64], passes: usize) {
+/// each. Row-parallel on the pool; thread count never changes the result.
+fn smooth_block(
+    laplacian: &CsrMatrix,
+    vectors: &mut [Vec<f64>],
+    lambdas: &[f64],
+    passes: usize,
+    pool: &Pool,
+) {
     if passes == 0 {
         return;
     }
     let n = laplacian.rows();
     let mut inv_diag = vec![0.0; n];
-    for (i, d) in inv_diag.iter_mut().enumerate() {
-        let v = laplacian.get(i, i);
-        *d = if v > 0.0 { 1.0 / v } else { 0.0 };
-    }
+    pool.for_each_chunk(&mut inv_diag, |row0, chunk| {
+        for (j, d) in chunk.iter_mut().enumerate() {
+            let v = laplacian.get(row0 + j, row0 + j);
+            *d = if v > 0.0 { 1.0 / v } else { 0.0 };
+        }
+    });
     const OMEGA: f64 = 0.7;
     let mut r = vec![0.0; n];
     for (v, &theta) in vectors.iter_mut().zip(lambdas) {
         for _ in 0..passes {
-            laplacian.matvec_into(v, &mut r);
-            vector::axpy(-theta, v, &mut r);
-            for i in 0..n {
-                v[i] -= OMEGA * r[i] * inv_diag[i];
-            }
+            pool.matvec_into(laplacian, v, &mut r);
+            pool.axpy(-theta, v, &mut r);
+            pool.for_each_chunk(v, |off, chunk| {
+                for (j, vi) in chunk.iter_mut().enumerate() {
+                    *vi -= OMEGA * r[off + j] * inv_diag[off + j];
+                }
+            });
         }
     }
 }
@@ -409,6 +547,7 @@ fn smooth_block(laplacian: &CsrMatrix, vectors: &mut [Vec<f64>], lambdas: &[f64]
 /// correction per vector — solve `L d = v − Lv/θ` with Jacobi-PCG and set
 /// `v ← v/θ + d`, which equals the inverse-iteration update `L⁻¹v` but
 /// hands the solver a right-hand side that shrinks with the eigen-residual.
+#[allow(clippy::too_many_arguments)]
 fn refine_block(
     laplacian: &CsrMatrix,
     vectors: &mut [Vec<f64>],
@@ -417,6 +556,7 @@ fn refine_block(
     sweeps: usize,
     opts: &MultilevelOptions,
     rng: &mut StdRng,
+    pool: &Pool,
 ) -> Result<Vec<f64>, LinalgError> {
     let n = laplacian.rows();
     let b = vectors.len();
@@ -424,27 +564,32 @@ fn refine_block(
         tolerance: opts.inner_tolerance,
         max_iterations: None,
         deflate_mean: true,
+        threads: Some(pool.threads()),
     };
     let mut lambdas = vec![0.0; b];
     for sweep in 0..sweeps.max(1) {
-        orthonormalize(vectors, rng);
+        orthonormalize(vectors, rng, pool);
 
         // Rayleigh–Ritz: T = VᵀLV, rotate V by T's eigenbasis.
         let lv: Vec<Vec<f64>> = vectors
             .iter()
-            .map(|v| laplacian.matvec(v))
-            .collect::<Result<_, _>>()?;
+            .map(|v| {
+                let mut y = vec![0.0; n];
+                pool.matvec_into(laplacian, v, &mut y);
+                y
+            })
+            .collect();
         let mut t = DenseMatrix::zeros(b, b);
         for i in 0..b {
             for j in i..b {
-                let e = vector::dot(&vectors[i], &lv[j]);
+                let e = pool.dot(&vectors[i], &lv[j]);
                 t.set(i, j, e);
                 t.set(j, i, e);
             }
         }
         let ritz = tql::symmetric_eigen(&t)?;
-        let rotated = rotate(vectors, &ritz);
-        let rotated_lv = rotate(&lv, &ritz);
+        let rotated = rotate(vectors, &ritz, pool);
+        let rotated_lv = rotate(&lv, &ritz, pool);
         for (dst, src) in vectors.iter_mut().zip(rotated) {
             *dst = src;
         }
@@ -455,8 +600,8 @@ fn refine_block(
         let mut residuals = vec![0.0f64; b];
         for i in 0..b {
             let mut r = rotated_lv[i].clone();
-            vector::axpy(-lambdas[i], &vectors[i], &mut r);
-            residuals[i] = vector::norm2(&r);
+            pool.axpy(-lambdas[i], &vectors[i], &mut r);
+            residuals[i] = pool.norm2(&r);
         }
         let worst = residuals[..k].iter().cloned().fold(0.0f64, f64::max);
         // With a finite target this is a convergence check; on intermediate
@@ -487,16 +632,11 @@ fn refine_block(
             // rhs = v − Lv/θ has norm ‖residual‖/θ, so the relative PCG
             // tolerance tightens automatically as the pair converges.
             let mut rhs = rotated_lv[i].clone();
-            vector::scale(-1.0 / theta, &mut rhs);
-            for (ri, vi) in rhs.iter_mut().zip(v.iter()) {
-                *ri += vi;
-            }
+            pool.scale(-1.0 / theta, &mut rhs);
+            pool.axpy(1.0, v, &mut rhs);
             let correction = pcg::solve_jacobi(laplacian, &rhs, &cg_opts)?;
-            let mut x = vec![0.0; n];
-            vector::axpy(1.0 / theta, v, &mut x);
-            for (xi, di) in x.iter_mut().zip(&correction.solution) {
-                *xi += di;
-            }
+            let mut x = correction.solution;
+            pool.axpy(1.0 / theta, v, &mut x);
             *v = x;
         }
     }
@@ -505,17 +645,27 @@ fn refine_block(
 
 /// Centre every block vector and orthonormalise with modified Gram–Schmidt,
 /// replacing any collapsed vector by a fresh seeded random direction.
-fn orthonormalize(vectors: &mut [Vec<f64>], rng: &mut StdRng) {
+/// Runs the dots/axpys on the pool (bitwise equal to serial).
+fn orthonormalize(vectors: &mut [Vec<f64>], rng: &mut StdRng, pool: &Pool) {
     for i in 0..vectors.len() {
         let mut attempts = 0;
         loop {
             let (done, rest) = vectors.split_at_mut(i);
             let v = &mut rest[0];
-            vector::center(v);
+            pool.center(v);
             for q in done.iter() {
-                vector::project_out(q, v);
+                let c = pool.dot(q, v);
+                pool.axpy(-c, q, v);
             }
-            if vector::normalize(v) > 1e-10 || attempts >= 4 {
+            let norm = pool.norm2(v);
+            if norm > 1e-10 {
+                pool.scale(1.0 / norm, v);
+                break;
+            }
+            if attempts >= 4 {
+                if norm > 0.0 {
+                    pool.scale(1.0 / norm, v);
+                }
                 break;
             }
             vector::fill_random(rng, v);
@@ -525,15 +675,15 @@ fn orthonormalize(vectors: &mut [Vec<f64>], rng: &mut StdRng) {
 }
 
 /// `V · Y` for the Ritz rotation `Y` (eigenvectors of the projected
-/// operator, ascending).
-fn rotate(vectors: &[Vec<f64>], ritz: &tql::SymmetricEigen) -> Vec<Vec<f64>> {
+/// operator, ascending). Axpys run on the pool.
+fn rotate(vectors: &[Vec<f64>], ritz: &tql::SymmetricEigen, pool: &Pool) -> Vec<Vec<f64>> {
     let b = vectors.len();
     let n = vectors[0].len();
     let mut out = vec![vec![0.0; n]; b];
     for (col, dst) in out.iter_mut().enumerate() {
         let y = ritz.eigenvector(col);
         for (j, vj) in vectors.iter().enumerate() {
-            vector::axpy(y[j], vj, dst);
+            pool.axpy(y[j], vj, dst);
         }
     }
     out
@@ -777,6 +927,106 @@ mod tests {
             assert_eq!(la, lb);
             assert_eq!(va, vb);
         }
+    }
+
+    #[test]
+    fn threaded_solve_bitwise_identical_to_serial() {
+        // The whole multilevel path — pooled coarsening, prolongation,
+        // Jacobi smoothing, block refinement with threaded PCG — must
+        // return bit-identical eigenpairs for 1, 2, and 4 workers.
+        let lap = grid_laplacian(150, 140); // 21,000 vertices > SPAWN_MIN
+        let run = |threads: usize| {
+            let opts = MultilevelOptions {
+                threads: Some(threads),
+                ..Default::default()
+            };
+            smallest_nonzero_eigenpairs(&lap, 2, 1e-8, 11, &opts).unwrap()
+        };
+        let serial = run(1);
+        for threads in [2usize, 4] {
+            let par = run(threads);
+            for ((ls, vs), (lp, vp)) in serial.iter().zip(&par) {
+                assert_eq!(ls.to_bits(), lp.to_bits(), "threads={threads}");
+                assert_eq!(vs, vp, "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn coarsening_identical_across_thread_counts() {
+        let lap = grid_laplacian(160, 160); // 25,600 vertices > SPAWN_MIN
+        let serial = coarsen_laplacian_pooled(&lap, &Pool::serial()).unwrap();
+        for threads in [2usize, 4] {
+            let par = coarsen_laplacian_pooled(&lap, &Pool::new(Some(threads))).unwrap();
+            assert_eq!(par.parent, serial.parent, "threads={threads}");
+            assert_eq!(par.coarse, serial.coarse, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn weighted_prolongation_is_the_default() {
+        assert_eq!(
+            MultilevelOptions::default().prolongation,
+            Prolongation::Weighted
+        );
+    }
+
+    #[test]
+    fn both_prolongation_schemes_match_closed_form() {
+        // Either transfer is only an initial guess for the refinement, so
+        // both must land on the same eigenpair — the path's closed-form λ₂.
+        let n = 1200;
+        let lap = path_laplacian(n);
+        let expect = 4.0 * (std::f64::consts::PI / (2.0 * n as f64)).sin().powi(2);
+        for scheme in [Prolongation::Weighted, Prolongation::PiecewiseConstant] {
+            let opts = MultilevelOptions {
+                prolongation: scheme,
+                ..Default::default()
+            };
+            let (lambda, v) = fiedler_pair(&lap, 1e-9, 7, &opts).unwrap();
+            assert!(
+                (lambda - expect).abs() < 1e-9 * expect.max(1e-3),
+                "{scheme:?}: {lambda} vs {expect}"
+            );
+            let mut r = lap.matvec(&v).unwrap();
+            vector::axpy(-lambda, &v, &mut r);
+            assert!(vector::norm2(&r) < 1e-8, "{scheme:?} residual");
+        }
+    }
+
+    #[test]
+    fn weighted_prolongation_injects_smoother_error() {
+        // The motivation for the weighted transfer: right after
+        // prolongation (before any smoothing/refinement) the Rayleigh
+        // quotient of the interpolated Fiedler guess must not be worse
+        // than piecewise-constant injection's — the blocky injected error
+        // lives at the top of the spectrum and inflates the quotient.
+        let lap = grid_laplacian(30, 30);
+        let step = coarsen_laplacian(&lap).unwrap();
+        // Exact Fiedler vector of the coarse operator as the coarse guess.
+        let coarse_pairs = dense_smallest(&step.coarse, 1).unwrap();
+        let coarse_v = &coarse_pairs[0].1;
+        let pool = Pool::serial();
+        let rq = |v: &[f64]| {
+            let mut lv = vec![0.0; v.len()];
+            lap.matvec_into(v, &mut lv);
+            vector::dot(v, &lv) / vector::dot(v, v)
+        };
+        let mut pc = prolong_pooled(
+            &lap,
+            &step,
+            coarse_v,
+            Prolongation::PiecewiseConstant,
+            &pool,
+        );
+        let mut wt = prolong_pooled(&lap, &step, coarse_v, Prolongation::Weighted, &pool);
+        vector::center(&mut pc);
+        vector::center(&mut wt);
+        let (rq_pc, rq_wt) = (rq(&pc), rq(&wt));
+        assert!(
+            rq_wt <= rq_pc * 1.0001,
+            "weighted transfer worse: {rq_wt} vs {rq_pc}"
+        );
     }
 
     #[test]

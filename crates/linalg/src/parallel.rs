@@ -1,0 +1,429 @@
+//! Scoped worker-pool parallel primitives for the sparse kernels.
+//!
+//! Every hot kernel under the multilevel Fiedler pipeline — CSR matvec,
+//! the level-1 vector reductions, weighted-Jacobi smoothing, the PCG inner
+//! solves — is embarrassingly row-parallel, exactly as multilevel spectral
+//! practice treats them (Barnard & Simon's multilevel spectral bisection,
+//! METIS-style coarsening). This module provides the two primitives they
+//! all reduce to, built on scoped threads (the in-tree `crossbeam` shim's
+//! `thread::scope`, i.e. `std::thread::scope`):
+//!
+//! * [`Pool::for_each_chunk`] — *chunked `par_for`*: split a mutable slice
+//!   into contiguous chunks and run a closure on each, in parallel. Used
+//!   for elementwise updates (axpy, scale, Jacobi sweeps) and row-chunked
+//!   SpMV, all of which compute each output element independently, so the
+//!   result is bitwise identical no matter how the slice is split.
+//! * [`Pool::reduce`] — *deterministic tree reduction*: partial results are
+//!   computed per **fixed-size chunk** (boundaries depend only on the
+//!   problem size, never on the thread count) and combined by a pairwise
+//!   tree in chunk order. A parallel dot product therefore returns the
+//!   **same bits** whether run on 1, 2, or 64 threads — and the serial
+//!   kernels in [`crate::vector`] use the identical chunking, so switching
+//!   threading on or off cannot change a single eigenvalue, residual, or
+//!   linear-order rank downstream.
+//!
+//! Worker threads are *scoped*: each call spawns at most
+//! [`Pool::threads`]` − 1` helpers that borrow the caller's data and are
+//! joined before the call returns — no lifetime gymnastics, no channels,
+//! no shutdown protocol. Spawning costs a few tens of microseconds, so
+//! parallelism only engages above [`SPAWN_MIN`] elements; below that every
+//! primitive runs inline on the calling thread.
+//!
+//! The pool itself is just a resolved thread count. The *default* count is
+//! lazily initialised on first use from the `SLPM_THREADS` environment
+//! variable if set, else [`std::thread::available_parallelism`] — so
+//! `threads: None` everywhere means "use the machine".
+
+use crate::sparse::CsrMatrix;
+use crate::vector;
+use crossbeam::thread;
+use std::sync::OnceLock;
+
+/// Elements per reduction chunk. Chunk boundaries are a function of the
+/// problem size **only**, which is what makes parallel reductions bitwise
+/// reproducible across thread counts (including one).
+pub const REDUCE_CHUNK: usize = 4096;
+
+/// Minimum number of elements before a primitive spawns worker threads;
+/// below this the spawn overhead (~tens of µs) exceeds the kernel cost and
+/// everything runs inline. Has no effect on results, only on scheduling.
+pub const SPAWN_MIN: usize = 16_384;
+
+/// Lazily-resolved default worker count: `SLPM_THREADS` env override, else
+/// the machine's available parallelism, else 1.
+pub fn default_threads() -> usize {
+    static DEFAULT: OnceLock<usize> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        if let Ok(v) = std::env::var("SLPM_THREADS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                return n.max(1);
+            }
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// A scoped worker pool: a resolved thread count plus the spawn/join logic.
+///
+/// Cheap to construct and copy; holds no OS resources. Threads are spawned
+/// per call (scoped) and joined before the call returns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pool {
+    threads: usize,
+}
+
+impl Default for Pool {
+    /// The machine-default pool ([`default_threads`]).
+    fn default() -> Self {
+        Pool::new(None)
+    }
+}
+
+impl Pool {
+    /// Resolve a thread-count knob: `Some(t)` pins the worker count,
+    /// `None` uses [`default_threads`] (env override / machine size).
+    pub fn new(threads: Option<usize>) -> Self {
+        Pool {
+            threads: threads.unwrap_or_else(default_threads).max(1),
+        }
+    }
+
+    /// A single-threaded pool; every primitive runs inline.
+    pub fn serial() -> Self {
+        Pool { threads: 1 }
+    }
+
+    /// Worker count this pool schedules onto.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Number of workers to actually engage for `n` independent elements.
+    fn workers_for(&self, n: usize) -> usize {
+        if self.threads <= 1 || n < SPAWN_MIN {
+            1
+        } else {
+            self.threads.min(n.div_ceil(REDUCE_CHUNK)).max(1)
+        }
+    }
+
+    /// Chunked `par_for`: split `data` into one contiguous chunk per
+    /// engaged worker and run `f(offset, chunk)` on each in parallel.
+    ///
+    /// `f` must compute each element of its chunk from the element's
+    /// *global* index only (`offset + local`), independent of the split —
+    /// then the result is identical for every thread count.
+    pub fn for_each_chunk<T, F>(&self, data: &mut [T], f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut [T]) + Sync,
+    {
+        let n = data.len();
+        let workers = self.workers_for(n);
+        if workers <= 1 {
+            f(0, data);
+            return;
+        }
+        thread::scope(|s| {
+            let mut rest = data;
+            let mut offset = 0usize;
+            // Spawn workers − 1 helpers; the calling thread takes the last
+            // span itself instead of idling at the join.
+            for w in 0..workers - 1 {
+                // Balanced contiguous split of the remaining elements.
+                let count = rest.len() / (workers - w);
+                let (head, tail) = rest.split_at_mut(count);
+                rest = tail;
+                let g = &f;
+                s.spawn(move |_| g(offset, head));
+                offset += count;
+            }
+            f(offset, rest);
+        })
+        .expect("parallel worker panicked");
+    }
+
+    /// Deterministic reduction over `0..n`: `partial(start, end)` is
+    /// evaluated for every fixed [`REDUCE_CHUNK`]-sized chunk (in parallel
+    /// when worthwhile, via [`Pool::map_chunks`]) and the partials are
+    /// combined by a pairwise tree fold in chunk order — bitwise
+    /// reproducible for any thread count.
+    pub fn reduce<F>(&self, n: usize, partial: F) -> f64
+    where
+        F: Fn(usize, usize) -> f64 + Sync,
+    {
+        tree_fold(&mut self.map_chunks(n, partial))
+    }
+
+    /// Evaluate `f(start, end)` for every fixed [`REDUCE_CHUNK`]-sized
+    /// chunk of `0..n` (in parallel when worthwhile) and return the
+    /// per-chunk results **in chunk order** — the gather analogue of
+    /// [`Pool::reduce`], used for passes that collect variable-sized
+    /// output per row range (e.g. the edge-rating pass of heavy-edge
+    /// matching). Chunk boundaries depend only on `n`, so the concatenated
+    /// result is identical for every thread count.
+    pub fn map_chunks<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize, usize) -> T + Sync,
+    {
+        let chunks = n.div_ceil(REDUCE_CHUNK).max(1);
+        let mut out: Vec<Option<T>> = (0..chunks).map(|_| None).collect();
+        let workers = self.workers_for(n);
+        if workers <= 1 {
+            for (c, slot) in out.iter_mut().enumerate() {
+                let start = c * REDUCE_CHUNK;
+                *slot = Some(f(start, (start + REDUCE_CHUNK).min(n)));
+            }
+        } else {
+            thread::scope(|s| {
+                let mut rest: &mut [Option<T>] = &mut out;
+                let mut first = 0usize;
+                for w in 0..workers - 1 {
+                    let count = rest.len() / (workers - w);
+                    let (head, tail) = rest.split_at_mut(count);
+                    rest = tail;
+                    let g = &f;
+                    s.spawn(move |_| {
+                        for (k, slot) in head.iter_mut().enumerate() {
+                            let start = (first + k) * REDUCE_CHUNK;
+                            *slot = Some(g(start, (start + REDUCE_CHUNK).min(n)));
+                        }
+                    });
+                    first += count;
+                }
+                for (k, slot) in rest.iter_mut().enumerate() {
+                    let start = (first + k) * REDUCE_CHUNK;
+                    *slot = Some(f(start, (start + REDUCE_CHUNK).min(n)));
+                }
+            })
+            .expect("parallel worker panicked");
+        }
+        out.into_iter()
+            .map(|slot| slot.expect("every chunk evaluated"))
+            .collect()
+    }
+
+    /// Dot product `xᵀy` — parallel, bitwise equal to [`vector::dot`].
+    pub fn dot(&self, x: &[f64], y: &[f64]) -> f64 {
+        debug_assert_eq!(x.len(), y.len(), "dot: length mismatch");
+        self.reduce(x.len(), |a, b| vector::dot_kernel(&x[a..b], &y[a..b]))
+    }
+
+    /// Euclidean norm `‖x‖₂` — parallel, bitwise equal to
+    /// [`vector::norm2`].
+    pub fn norm2(&self, x: &[f64]) -> f64 {
+        self.dot(x, x).sqrt()
+    }
+
+    /// Entry sum — parallel, bitwise equal to the serial chunked sum
+    /// behind [`vector::mean`].
+    pub fn sum(&self, x: &[f64]) -> f64 {
+        self.reduce(x.len(), |a, b| vector::sum_kernel(&x[a..b]))
+    }
+
+    /// `y ← y + alpha·x` — parallel, elementwise (bitwise equal to
+    /// [`vector::axpy`] for any thread count).
+    pub fn axpy(&self, alpha: f64, x: &[f64], y: &mut [f64]) {
+        debug_assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+        self.for_each_chunk(y, |off, chunk| {
+            vector::axpy(alpha, &x[off..off + chunk.len()], chunk);
+        });
+    }
+
+    /// `x ← alpha·x` — parallel.
+    pub fn scale(&self, alpha: f64, x: &mut [f64]) {
+        self.for_each_chunk(x, |_, chunk| vector::scale(alpha, chunk));
+    }
+
+    /// Subtract the mean from every entry — parallel, bitwise equal to
+    /// [`vector::center`].
+    pub fn center(&self, x: &mut [f64]) {
+        if x.is_empty() {
+            return;
+        }
+        let m = self.sum(x) / x.len() as f64;
+        self.for_each_chunk(x, |_, chunk| {
+            for v in chunk.iter_mut() {
+                *v -= m;
+            }
+        });
+    }
+
+    /// `y = A x` with row-chunked parallelism — each output row is an
+    /// independent sparse dot product, so the result is bitwise equal to
+    /// [`CsrMatrix::matvec_into`] for any thread count.
+    pub fn matvec_into(&self, a: &CsrMatrix, x: &[f64], y: &mut [f64]) {
+        debug_assert_eq!(x.len(), a.cols());
+        debug_assert_eq!(y.len(), a.rows());
+        self.for_each_chunk(y, |row0, chunk| a.matvec_rows_into(row0, x, chunk));
+    }
+}
+
+/// Pairwise tree reduction of `partials` in index order; deterministic for
+/// a given partial list. The serial chunked kernels in [`crate::vector`]
+/// fold their chunk partials through this same function, which is what
+/// pins one summation order across every thread count.
+pub(crate) fn tree_fold(partials: &mut [f64]) -> f64 {
+    if partials.is_empty() {
+        return 0.0;
+    }
+    let mut len = partials.len();
+    while len > 1 {
+        let mut write = 0;
+        let mut read = 0;
+        while read < len {
+            partials[write] = if read + 1 < len {
+                partials[read] + partials[read + 1]
+            } else {
+                partials[read]
+            };
+            write += 1;
+            read += 2;
+        }
+        len = write;
+    }
+    partials[0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn random_vec(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect()
+    }
+
+    fn grid_laplacian(w: usize, h: usize) -> CsrMatrix {
+        let idx = |x: usize, y: usize| x * h + y;
+        let mut t = Vec::new();
+        let mut deg = vec![0.0; w * h];
+        for x in 0..w {
+            for y in 0..h {
+                for (nx, ny) in [(x + 1, y), (x, y + 1)] {
+                    if nx < w && ny < h {
+                        t.push((idx(x, y), idx(nx, ny), -1.0));
+                        t.push((idx(nx, ny), idx(x, y), -1.0));
+                        deg[idx(x, y)] += 1.0;
+                        deg[idx(nx, ny)] += 1.0;
+                    }
+                }
+            }
+        }
+        for (i, d) in deg.into_iter().enumerate() {
+            t.push((i, i, d));
+        }
+        CsrMatrix::from_triplets(w * h, w * h, &t).unwrap()
+    }
+
+    #[test]
+    fn default_pool_resolves_at_least_one_thread() {
+        assert!(default_threads() >= 1);
+        assert!(Pool::default().threads() >= 1);
+        assert_eq!(Pool::new(Some(0)).threads(), 1);
+        assert_eq!(Pool::new(Some(3)).threads(), 3);
+        assert_eq!(Pool::serial().threads(), 1);
+    }
+
+    #[test]
+    fn tree_fold_cases() {
+        assert_eq!(tree_fold(&mut []), 0.0);
+        assert_eq!(tree_fold(&mut [3.5]), 3.5);
+        // ((1+2)+(3+4)) + (5): tree order, not left-to-right.
+        assert_eq!(tree_fold(&mut [1.0, 2.0, 3.0, 4.0, 5.0]), 15.0);
+    }
+
+    #[test]
+    fn dot_bitwise_identical_across_thread_counts() {
+        // Larger than SPAWN_MIN so threads genuinely engage, with an odd
+        // tail so chunk boundaries are exercised.
+        let n = SPAWN_MIN + 3 * REDUCE_CHUNK + 17;
+        let x = random_vec(n, 1);
+        let y = random_vec(n, 2);
+        let serial = vector::dot(&x, &y);
+        for t in [1usize, 2, 4] {
+            let par = Pool::new(Some(t)).dot(&x, &y);
+            assert_eq!(par.to_bits(), serial.to_bits(), "threads={t}");
+        }
+    }
+
+    #[test]
+    fn sum_and_center_bitwise_identical() {
+        let n = SPAWN_MIN + 1234;
+        let base = random_vec(n, 3);
+        let serial_sum: f64 = vector::sum_kernel_chunked(&base);
+        for t in [1usize, 2, 4] {
+            let pool = Pool::new(Some(t));
+            assert_eq!(pool.sum(&base).to_bits(), serial_sum.to_bits());
+            let mut a = base.clone();
+            let mut b = base.clone();
+            vector::center(&mut a);
+            pool.center(&mut b);
+            assert_eq!(a, b, "center differs at threads={t}");
+        }
+    }
+
+    #[test]
+    fn axpy_and_scale_match_serial() {
+        let n = SPAWN_MIN + 77;
+        let x = random_vec(n, 4);
+        let base = random_vec(n, 5);
+        for t in [1usize, 2, 4] {
+            let pool = Pool::new(Some(t));
+            let mut a = base.clone();
+            let mut b = base.clone();
+            vector::axpy(0.37, &x, &mut a);
+            pool.axpy(0.37, &x, &mut b);
+            assert_eq!(a, b, "axpy differs at threads={t}");
+            vector::scale(-1.5, &mut a);
+            pool.scale(-1.5, &mut b);
+            assert_eq!(a, b, "scale differs at threads={t}");
+        }
+    }
+
+    #[test]
+    fn matvec_bitwise_identical_across_thread_counts() {
+        let lap = grid_laplacian(180, 120); // 21,600 rows > SPAWN_MIN
+        let x = random_vec(lap.rows(), 6);
+        let mut serial = vec![0.0; lap.rows()];
+        lap.matvec_into(&x, &mut serial);
+        for t in [1usize, 2, 4] {
+            let mut y = vec![0.0; lap.rows()];
+            Pool::new(Some(t)).matvec_into(&lap, &x, &mut y);
+            assert_eq!(y, serial, "matvec differs at threads={t}");
+        }
+    }
+
+    #[test]
+    fn small_inputs_run_inline() {
+        // Below SPAWN_MIN nothing spawns, but results are still right.
+        let x = random_vec(100, 7);
+        let y = random_vec(100, 8);
+        let pool = Pool::new(Some(8));
+        assert_eq!(pool.dot(&x, &y).to_bits(), vector::dot(&x, &y).to_bits());
+        assert_eq!(pool.norm2(&x).to_bits(), vector::norm2(&x).to_bits());
+    }
+
+    #[test]
+    fn reduce_chunk_boundaries_depend_on_size_only() {
+        // A reduction whose partial records its chunk start: the observed
+        // chunk grid must be the same for 1 and 4 threads.
+        use std::sync::Mutex;
+        let n = SPAWN_MIN * 2 + 5;
+        let collect = |threads: usize| {
+            let starts = Mutex::new(Vec::new());
+            Pool::new(Some(threads)).reduce(n, |a, _b| {
+                starts.lock().unwrap().push(a);
+                0.0
+            });
+            let mut v = starts.into_inner().unwrap();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(collect(1), collect(4));
+    }
+}

@@ -9,6 +9,7 @@
 use crate::cg::CgOptions;
 use crate::error::LinalgError;
 use crate::operator::LinearOperator;
+use crate::parallel::Pool;
 use crate::sparse::CsrMatrix;
 use crate::vector;
 
@@ -31,7 +32,13 @@ pub struct PcgOutcome {
 /// diagonal. With `opts.deflate_mean` the solve runs in the zero-mean
 /// subspace exactly like plain CG (the standard treatment for singular
 /// Laplacians).
+///
+/// The matvec, dot, axpy, and preconditioner kernels run on the scoped
+/// worker pool selected by `opts.threads` ([`crate::parallel`]); the
+/// reductions use fixed chunking, so the returned solution is bitwise
+/// identical for every thread count.
 pub fn solve_jacobi(a: &CsrMatrix, b: &[f64], opts: &CgOptions) -> Result<PcgOutcome, LinalgError> {
+    let pool = Pool::new(opts.threads);
     let n = a.dim();
     if b.len() != n {
         return Err(LinalgError::DimensionMismatch {
@@ -46,20 +53,24 @@ pub fn solve_jacobi(a: &CsrMatrix, b: &[f64], opts: &CgOptions) -> Result<PcgOut
         });
     }
     let mut inv_diag = vec![0.0; n];
-    for i in 0..n {
-        let d = a.get(i, i);
-        if !(d.is_finite() && d > 0.0) {
-            return Err(LinalgError::NotPositiveDefinite { curvature: d });
+    pool.for_each_chunk(&mut inv_diag, |row0, chunk| {
+        for (j, d) in chunk.iter_mut().enumerate() {
+            *d = a.get(row0 + j, row0 + j);
         }
-        inv_diag[i] = 1.0 / d;
+    });
+    for d in inv_diag.iter_mut() {
+        if !(d.is_finite() && *d > 0.0) {
+            return Err(LinalgError::NotPositiveDefinite { curvature: *d });
+        }
+        *d = 1.0 / *d;
     }
 
     let max_iters = opts.max_iterations.unwrap_or(10 * n + 100);
     let mut rhs = b.to_vec();
     if opts.deflate_mean {
-        vector::center(&mut rhs);
+        pool.center(&mut rhs);
     }
-    let b_norm = vector::norm2(&rhs);
+    let b_norm = pool.norm2(&rhs);
     if b_norm == 0.0 {
         return Ok(PcgOutcome {
             solution: vec![0.0; n],
@@ -71,22 +82,27 @@ pub fn solve_jacobi(a: &CsrMatrix, b: &[f64], opts: &CgOptions) -> Result<PcgOut
     let mut x = vec![0.0; n];
     let mut r = rhs;
     // z = M⁻¹ r
-    let mut z: Vec<f64> = r.iter().zip(&inv_diag).map(|(ri, di)| ri * di).collect();
+    let mut z = vec![0.0; n];
+    pool.for_each_chunk(&mut z, |off, chunk| {
+        for (j, zi) in chunk.iter_mut().enumerate() {
+            *zi = r[off + j] * inv_diag[off + j];
+        }
+    });
     if opts.deflate_mean {
-        vector::center(&mut z);
+        pool.center(&mut z);
     }
     let mut p = z.clone();
-    let mut rz_old = vector::dot(&r, &z);
+    let mut rz_old = pool.dot(&r, &z);
     let mut ap = vec![0.0; n];
 
     for iter in 0..max_iters {
-        a.apply(&p, &mut ap);
+        pool.matvec_into(a, &p, &mut ap);
         if opts.deflate_mean {
-            vector::center(&mut ap);
+            pool.center(&mut ap);
         }
-        let curvature = vector::dot(&p, &ap);
+        let curvature = pool.dot(&p, &ap);
         if curvature <= 0.0 {
-            let rel = vector::norm2(&r) / b_norm;
+            let rel = pool.norm2(&r) / b_norm;
             if rel <= opts.tolerance.max(1e-10) {
                 return Ok(PcgOutcome {
                     solution: x,
@@ -97,15 +113,15 @@ pub fn solve_jacobi(a: &CsrMatrix, b: &[f64], opts: &CgOptions) -> Result<PcgOut
             return Err(LinalgError::NotPositiveDefinite { curvature });
         }
         let alpha = rz_old / curvature;
-        vector::axpy(alpha, &p, &mut x);
-        vector::axpy(-alpha, &ap, &mut r);
+        pool.axpy(alpha, &p, &mut x);
+        pool.axpy(-alpha, &ap, &mut r);
         if opts.deflate_mean {
-            vector::center(&mut r);
+            pool.center(&mut r);
         }
-        let rel = vector::norm2(&r) / b_norm;
+        let rel = pool.norm2(&r) / b_norm;
         if rel <= opts.tolerance {
             if opts.deflate_mean {
-                vector::center(&mut x);
+                pool.center(&mut x);
             }
             return Ok(PcgOutcome {
                 solution: x,
@@ -113,24 +129,28 @@ pub fn solve_jacobi(a: &CsrMatrix, b: &[f64], opts: &CgOptions) -> Result<PcgOut
                 relative_residual: rel,
             });
         }
-        for i in 0..n {
-            z[i] = r[i] * inv_diag[i];
-        }
+        pool.for_each_chunk(&mut z, |off, chunk| {
+            for (j, zi) in chunk.iter_mut().enumerate() {
+                *zi = r[off + j] * inv_diag[off + j];
+            }
+        });
         if opts.deflate_mean {
-            vector::center(&mut z);
+            pool.center(&mut z);
         }
-        let rz_new = vector::dot(&r, &z);
+        let rz_new = pool.dot(&r, &z);
         let beta = rz_new / rz_old;
-        for i in 0..n {
-            p[i] = z[i] + beta * p[i];
-        }
+        pool.for_each_chunk(&mut p, |off, chunk| {
+            for (j, pi) in chunk.iter_mut().enumerate() {
+                *pi = z[off + j] + beta * *pi;
+            }
+        });
         rz_old = rz_new;
     }
 
     Err(LinalgError::NoConvergence {
         solver: "pcg-jacobi",
         iterations: max_iters,
-        residual: vector::norm2(&r) / b_norm,
+        residual: pool.norm2(&r) / b_norm,
         tolerance: opts.tolerance,
     })
 }
@@ -263,6 +283,62 @@ mod tests {
         let a = CsrMatrix::from_diagonal(&[1.0, 1.0]);
         assert!(solve_jacobi(&a, &[1.0], &CgOptions::default()).is_err());
         assert!(solve_jacobi(&a, &[f64::NAN, 0.0], &CgOptions::default()).is_err());
+    }
+
+    #[test]
+    fn threaded_solve_bitwise_identical_to_serial() {
+        // A grid Laplacian big enough that the pool genuinely spawns
+        // (n > SPAWN_MIN): every solve — 1, 2, 4 threads — must return the
+        // same bits, iteration count, and residual as the serial run,
+        // because matvec/dot/axpy/center all use fixed-chunk deterministic
+        // kernels.
+        let (w, h) = (160, 120); // 19,200 > parallel::SPAWN_MIN
+        let n = w * h;
+        let idx = |x: usize, y: usize| x * h + y;
+        let mut t = Vec::new();
+        let mut deg = vec![0.0; n];
+        for x in 0..w {
+            for y in 0..h {
+                for (nx, ny) in [(x + 1, y), (x, y + 1)] {
+                    if nx < w && ny < h {
+                        t.push((idx(x, y), idx(nx, ny), -1.0));
+                        t.push((idx(nx, ny), idx(x, y), -1.0));
+                        deg[idx(x, y)] += 1.0;
+                        deg[idx(nx, ny)] += 1.0;
+                    }
+                }
+            }
+        }
+        for (i, d) in deg.into_iter().enumerate() {
+            t.push((i, i, d));
+        }
+        let lap = CsrMatrix::from_triplets(n, n, &t).unwrap();
+        let mut b: Vec<f64> = (0..n).map(|i| ((i * 31 % 97) as f64) - 48.0).collect();
+        vector::center(&mut b);
+        let solve = |threads: usize| {
+            solve_jacobi(
+                &lap,
+                &b,
+                &CgOptions {
+                    deflate_mean: true,
+                    tolerance: 1e-10,
+                    threads: Some(threads),
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+        };
+        let serial = solve(1);
+        for threads in [2usize, 4] {
+            let par = solve(threads);
+            assert_eq!(par.iterations, serial.iterations, "threads={threads}");
+            assert_eq!(
+                par.relative_residual.to_bits(),
+                serial.relative_residual.to_bits(),
+                "threads={threads}"
+            );
+            assert_eq!(par.solution, serial.solution, "threads={threads}");
+        }
     }
 
     #[test]

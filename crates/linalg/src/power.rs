@@ -145,7 +145,7 @@ pub fn fiedler_by_inverse_iteration<A: LinearOperator + ?Sized>(
     let cg_opts = CgOptions {
         tolerance: (opts.tolerance * 1e-2).max(1e-14),
         deflate_mean: true,
-        max_iterations: None,
+        ..Default::default()
     };
     let mut av = vec![0.0; n];
     for iter in 1..=opts.max_iterations {

@@ -142,14 +142,28 @@ impl CsrMatrix {
     pub fn matvec_into(&self, x: &[f64], y: &mut [f64]) {
         debug_assert_eq!(x.len(), self.cols);
         debug_assert_eq!(y.len(), self.rows);
-        for i in 0..self.rows {
+        self.matvec_rows_into(0, x, y);
+    }
+
+    /// The rows `row0 .. row0 + y.len()` of `A x`, written into `y`. This
+    /// is the row-chunk kernel behind both the serial [`matvec_into`] and
+    /// the pool's row-parallel matvec ([`crate::parallel::Pool::
+    /// matvec_into`]); each output row is computed identically regardless
+    /// of how the row range is split, so serial and parallel products are
+    /// bitwise equal.
+    ///
+    /// [`matvec_into`]: CsrMatrix::matvec_into
+    pub fn matvec_rows_into(&self, row0: usize, x: &[f64], y: &mut [f64]) {
+        debug_assert!(row0 + y.len() <= self.rows);
+        for (j, out) in y.iter_mut().enumerate() {
+            let i = row0 + j;
             let lo = self.row_ptr[i];
             let hi = self.row_ptr[i + 1];
             let mut acc = 0.0;
             for k in lo..hi {
                 acc += self.values[k] * x[self.col_idx[k]];
             }
-            y[i] = acc;
+            *out = acc;
         }
     }
 

@@ -6,14 +6,15 @@
 //! conforming lengths in debug builds (solvers guarantee conformance by
 //! construction, so release builds skip the checks).
 
-/// Dot product `xᵀy`.
-///
-/// # Panics
-/// Debug builds panic if the slices have different lengths.
+use crate::parallel::{tree_fold, REDUCE_CHUNK};
+
+/// Single-chunk dot kernel: 4-lane accumulation, deterministic order.
+/// The public [`dot`] (and the parallel pool's dot) apply this per
+/// [`REDUCE_CHUNK`]-sized chunk and tree-fold the partials, so serial and
+/// parallel reductions share one summation order exactly.
 #[inline]
-pub fn dot(x: &[f64], y: &[f64]) -> f64 {
-    debug_assert_eq!(x.len(), y.len(), "dot: length mismatch");
-    // Accumulate in chunks of 4 to give LLVM an easy vectorisation shape
+pub(crate) fn dot_kernel(x: &[f64], y: &[f64]) -> f64 {
+    // Accumulate in lanes of 4 to give LLVM an easy vectorisation shape
     // while keeping summation order deterministic.
     let mut acc = [0.0f64; 4];
     let chunks = x.len() / 4;
@@ -29,6 +30,47 @@ pub fn dot(x: &[f64], y: &[f64]) -> f64 {
         tail += x[i] * y[i];
     }
     acc[0] + acc[1] + acc[2] + acc[3] + tail
+}
+
+/// Single-chunk entry-sum kernel (same role as [`dot_kernel`]).
+/// Deliberately a plain sequential fold: for sub-chunk inputs it is
+/// bit-identical to the pre-chunking `iter().sum()` this crate always
+/// used, so the parallel refactor does not perturb small-problem results.
+#[inline]
+pub(crate) fn sum_kernel(x: &[f64]) -> f64 {
+    x.iter().sum()
+}
+
+/// Chunked deterministic sum: per-[`REDUCE_CHUNK`] partials, tree-folded.
+/// Bitwise equal to the parallel pool's `sum` for every thread count.
+pub(crate) fn sum_kernel_chunked(x: &[f64]) -> f64 {
+    if x.len() <= REDUCE_CHUNK {
+        return sum_kernel(x);
+    }
+    let mut partials: Vec<f64> = x.chunks(REDUCE_CHUNK).map(sum_kernel).collect();
+    tree_fold(&mut partials)
+}
+
+/// Dot product `xᵀy`.
+///
+/// Computed per fixed-size chunk with a tree fold of the partials — the
+/// identical order the parallel pool uses, so threading never changes the
+/// result bits.
+///
+/// # Panics
+/// Debug builds panic if the slices have different lengths.
+#[inline]
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    debug_assert_eq!(x.len(), y.len(), "dot: length mismatch");
+    if x.len() <= REDUCE_CHUNK {
+        return dot_kernel(x, y);
+    }
+    let mut partials: Vec<f64> = x
+        .chunks(REDUCE_CHUNK)
+        .zip(y.chunks(REDUCE_CHUNK))
+        .map(|(a, b)| dot_kernel(a, b))
+        .collect();
+    tree_fold(&mut partials)
 }
 
 /// Euclidean norm `‖x‖₂`.
@@ -79,12 +121,13 @@ pub fn normalize(x: &mut [f64]) -> f64 {
     n
 }
 
-/// Arithmetic mean of the entries (0 for an empty slice).
+/// Arithmetic mean of the entries (0 for an empty slice). Uses the same
+/// chunked deterministic summation as the parallel pool.
 pub fn mean(x: &[f64]) -> f64 {
     if x.is_empty() {
         return 0.0;
     }
-    x.iter().sum::<f64>() / x.len() as f64
+    sum_kernel_chunked(x) / x.len() as f64
 }
 
 /// Subtract the mean from every entry, making the vector orthogonal to the

@@ -120,10 +120,12 @@ mod tests {
         // pages → balanced. A stride-4 order: the same vertices alias onto
         // the same disk.
         let layout = PageLayout::new(2);
-        let good = PageMapper::new(&LinearOrder::identity(16), layout);
+        let good_order = LinearOrder::identity(16);
+        let good = PageMapper::new(&good_order, layout);
         // Order sending vertex v to rank (v * 4) % 16 + v/4 — a scatter.
         let ranks: Vec<usize> = (0..16).map(|v| (v * 4) % 16 + v / 4).collect();
-        let bad = PageMapper::new(&LinearOrder::from_ranks(ranks).unwrap(), layout);
+        let bad_order = LinearOrder::from_ranks(ranks).unwrap();
+        let bad = PageMapper::new(&bad_order, layout);
         let rr = RoundRobin::new(4);
         let q: Vec<usize> = (0..8).collect();
         let good_rt = query_response_time(&good, &rr, q.iter().copied());

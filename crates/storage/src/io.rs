@@ -72,13 +72,14 @@ mod tests {
     use crate::pages::PageLayout;
     use spectral_lpm::LinearOrder;
 
-    fn mapper() -> PageMapper {
-        PageMapper::new(&LinearOrder::identity(16), PageLayout::new(2))
+    fn order16() -> LinearOrder {
+        LinearOrder::identity(16)
     }
 
     #[test]
     fn contiguous_query_costs_one_seek() {
-        let m = mapper();
+        let order = order16();
+        let m = PageMapper::new(&order, PageLayout::new(2));
         let model = IoModel::default();
         let c = model.query_cost(&m, [0, 1, 2, 3]);
         assert_eq!(c.pages, 2);
@@ -88,7 +89,8 @@ mod tests {
 
     #[test]
     fn scattered_query_pays_per_run() {
-        let m = mapper();
+        let order = order16();
+        let m = PageMapper::new(&order, PageLayout::new(2));
         let model = IoModel::default();
         let c = model.query_cost(&m, [0, 6, 12]);
         assert_eq!(c.pages, 3);
@@ -98,7 +100,8 @@ mod tests {
 
     #[test]
     fn empty_query_is_free() {
-        let m = mapper();
+        let order = order16();
+        let m = PageMapper::new(&order, PageLayout::new(2));
         let c = IoModel::default().query_cost(&m, std::iter::empty());
         assert_eq!(c.pages, 0);
         assert_eq!(c.runs, 0);
@@ -116,7 +119,8 @@ mod tests {
     fn better_locality_costs_less() {
         // The same 4 vertices: contiguous under identity, scattered under a
         // permuted order.
-        let contiguous = PageMapper::new(&LinearOrder::identity(8), PageLayout::new(2));
+        let contiguous_order = LinearOrder::identity(8);
+        let contiguous = PageMapper::new(&contiguous_order, PageLayout::new(2));
         let scattered_order = LinearOrder::from_ranks(vec![0, 2, 4, 6, 1, 3, 5, 7]).unwrap();
         let scattered = PageMapper::new(&scattered_order, PageLayout::new(2));
         let model = IoModel::default();

@@ -33,26 +33,33 @@ impl PageLayout {
     }
 }
 
-/// A linear order materialised onto pages: point → page in O(1).
+/// A linear order placed onto pages: point → page in O(1).
+///
+/// Borrows the order's rank array instead of materialising a derived
+/// dense page array — at 10⁶ points the old copy cost 8 MB per mapper and
+/// was the storage layer's "second dense rank array" blocking large-grid
+/// runs; a page lookup is now one division on the borrowed rank.
 #[derive(Debug, Clone)]
-pub struct PageMapper {
+pub struct PageMapper<'a> {
     layout: PageLayout,
-    /// Page of each vertex (indexed by vertex id).
-    page: Vec<usize>,
+    /// Borrowed rank array of the order (`rank[v]` = 1-D position of `v`).
+    rank: &'a [usize],
     num_pages: usize,
 }
 
-impl PageMapper {
-    /// Place an order onto pages.
-    pub fn new(order: &LinearOrder, layout: PageLayout) -> Self {
-        let n = order.len();
-        let page: Vec<usize> = (0..n)
-            .map(|v| layout.page_of_position(order.rank_of(v)))
-            .collect();
+impl<'a> PageMapper<'a> {
+    /// Place an order onto pages (by reference — no per-vertex copy).
+    pub fn new(order: &'a LinearOrder, layout: PageLayout) -> Self {
+        Self::from_ranks(order.ranks(), layout)
+    }
+
+    /// Place a raw rank array onto pages — the iterator/slice-consuming
+    /// form for callers that never build a full [`LinearOrder`].
+    pub fn from_ranks(rank: &'a [usize], layout: PageLayout) -> Self {
         PageMapper {
             layout,
-            page,
-            num_pages: layout.num_pages(n),
+            rank,
+            num_pages: layout.num_pages(rank.len()),
         }
     }
 
@@ -69,7 +76,7 @@ impl PageMapper {
     /// Page holding vertex `v`.
     #[inline]
     pub fn page_of(&self, v: usize) -> usize {
-        self.page[v]
+        self.layout.page_of_position(self.rank[v])
     }
 
     /// The set of distinct pages a query's vertices touch.
