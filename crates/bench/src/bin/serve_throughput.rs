@@ -1,0 +1,311 @@
+//! Serving-engine throughput: serial vs pooled, unsharded vs sharded.
+//!
+//! Replays one reproducible mixed range/kNN workload (seeded, from
+//! `slpm_serve::workload`) through four engine configurations — the
+//! {1, S} shards × {1, T} threads matrix — and records queries/sec,
+//! pages-per-query quantiles, hit ratios and the batch digest for each.
+//! Digests must agree across every configuration (the serving layer's
+//! parity contract); any mismatch fails the run, as does any solver-path
+//! error, so CI cannot record a silently-wrong trajectory.
+//!
+//! Usage:
+//!   serve_throughput [--grid N] [--shards S] [--threads T] [--queries Q]
+//!                    [--repeats R] [--mapping M] [--partition P]
+//!                    [--json] [--out PATH]
+//!
+//! `--json` writes the machine-readable results (schema
+//! `slpm.serve_throughput.v1`) to PATH (default BENCH_serve.json); the CI
+//! `serve-smoke` job uploads that file as a build artifact. The JSON
+//! stamps `host_parallelism` — on a single-core container the pooled
+//! entries measure scheduling overhead, not speedup; read them together
+//! with that field.
+
+use slpm_graph::grid::GridSpec;
+use slpm_querysim::mappings::curve_order_by_name;
+use slpm_serve::engine::{BatchReport, EngineConfig, ServeEngine};
+use slpm_serve::shard::Partition;
+use slpm_serve::workload::{grid_points, mixed_workload, WorkloadConfig};
+use std::time::Instant;
+
+struct Entry {
+    shards: usize,
+    threads: usize,
+    mode: &'static str,
+    seconds_total: f64,
+    qps: f64,
+    pages_p50: usize,
+    pages_p99: usize,
+    /// First repeat: every buffer pool starts empty.
+    hit_ratio_cold: f64,
+    storage_reads_cold: usize,
+    /// Last repeat: pools warmed by the preceding repeats (steady state).
+    hit_ratio_warm: f64,
+    storage_reads_warm: usize,
+    digest: u64,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn to_json(
+    side: usize,
+    mapping: &str,
+    queries: usize,
+    repeats: usize,
+    partition: Partition,
+    cfg: &EngineConfig,
+    entries: &[Entry],
+    parity: bool,
+) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": \"slpm.serve_throughput.v1\",\n");
+    out.push_str(
+        "  \"description\": \"Sharded/batched query serving: serial vs pooled throughput\",\n",
+    );
+    out.push_str(&format!("  \"grid\": [{side}, {side}],\n"));
+    out.push_str(&format!("  \"mapping\": \"{mapping}\",\n"));
+    out.push_str(&format!("  \"queries\": {queries},\n"));
+    out.push_str(&format!("  \"repeats\": {repeats},\n"));
+    out.push_str(&format!("  \"partition\": \"{partition}\",\n"));
+    out.push_str(&format!(
+        "  \"records_per_page\": {},\n  \"buffer_pages\": {},\n",
+        cfg.records_per_page, cfg.buffer_pages
+    ));
+    // Single-core hosts cannot show pooled speedups; stamp the machine so
+    // the recorded trajectory is read in context (as BENCH_pipeline.json
+    // does).
+    out.push_str(&format!(
+        "  \"host_parallelism\": {},\n",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    ));
+    out.push_str(&format!("  \"parity\": {parity},\n"));
+    out.push_str("  \"entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"shards\": {}, \"threads\": {}, \"mode\": \"{}\", \
+             \"seconds_total\": {:.6}, \"qps\": {:.1}, \"pages_p50\": {}, \
+             \"pages_p99\": {}, \"hit_ratio_cold\": {:.4}, \"storage_reads_cold\": {}, \
+             \"hit_ratio_warm\": {:.4}, \"storage_reads_warm\": {}, \
+             \"digest\": \"{:016x}\"}}{}\n",
+            e.shards,
+            e.threads,
+            e.mode,
+            e.seconds_total,
+            e.qps,
+            e.pages_p50,
+            e.pages_p99,
+            e.hit_ratio_cold,
+            e.storage_reads_cold,
+            e.hit_ratio_warm,
+            e.storage_reads_warm,
+            e.digest,
+            if i + 1 == entries.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut side = 256usize;
+    let mut shards = 4usize;
+    let mut threads = 4usize;
+    let mut queries = 1000usize;
+    let mut repeats = 3usize;
+    let mut mapping = String::from("hilbert");
+    let mut partition = Partition::Contiguous;
+    let mut json = false;
+    let mut out_path = String::from("BENCH_serve.json");
+    let mut i = 0;
+    let bad = |flag: &str| -> ! {
+        eprintln!("{flag} requires a positive integer");
+        std::process::exit(2);
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--json" => json = true,
+            "--grid" => {
+                i += 1;
+                side = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 4)
+                    .unwrap_or_else(|| bad("--grid (side >= 4)"));
+            }
+            "--shards" => {
+                i += 1;
+                shards = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| bad("--shards"));
+            }
+            "--threads" => {
+                i += 1;
+                threads = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| bad("--threads"));
+            }
+            "--queries" => {
+                i += 1;
+                queries = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| bad("--queries"));
+            }
+            "--repeats" => {
+                i += 1;
+                repeats = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| bad("--repeats"));
+            }
+            "--mapping" => {
+                i += 1;
+                mapping = args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("--mapping requires a name");
+                    std::process::exit(2);
+                });
+            }
+            "--partition" => {
+                i += 1;
+                partition = args
+                    .get(i)
+                    .and_then(|v| Partition::parse(v))
+                    .unwrap_or_else(|| {
+                        eprintln!("--partition must be contiguous or round-robin");
+                        std::process::exit(2);
+                    });
+            }
+            "--out" => {
+                i += 1;
+                out_path = args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("--out requires a path");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!(
+                    "unknown flag '{other}' (try --grid N, --shards S, --threads T, \
+                     --queries Q, --repeats R, --mapping M, --partition P, --json, --out PATH)"
+                );
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let spec = GridSpec::cube(side, 2);
+    let order = match curve_order_by_name(&spec, &mapping) {
+        Ok(order) => order,
+        Err(msg) => {
+            eprintln!("FAILED: {msg}");
+            std::process::exit(1);
+        }
+    };
+    let points = grid_points(&spec);
+    let workload = mixed_workload(
+        &spec,
+        &WorkloadConfig {
+            queries,
+            ..Default::default()
+        },
+    );
+    let base = EngineConfig {
+        partition,
+        ..Default::default()
+    };
+
+    println!(
+        "{:>7} {:>8} {:>8} {:>10} {:>10} {:>9} {:>9} {:>10} {:>10} {:>18}",
+        "shards",
+        "threads",
+        "mode",
+        "seconds",
+        "q/s",
+        "pages p50",
+        "pages p99",
+        "hit cold",
+        "hit warm",
+        "digest"
+    );
+    let mut entries: Vec<Entry> = Vec::new();
+    // The {1, S} × {1, T} matrix, deduplicated when S or T is 1.
+    let mut combos: Vec<(usize, usize)> =
+        vec![(1, 1), (shards, 1), (1, threads), (shards, threads)];
+    combos.sort_unstable();
+    combos.dedup();
+    for (s, t) in combos {
+        let cfg = EngineConfig {
+            shards: s,
+            threads: t,
+            ..base
+        };
+        let engine = ServeEngine::new(&points, &order, cfg);
+        // Buffer pools persist across repeats: the first replay is cold,
+        // the last is steady-state. Record both, and time the whole loop.
+        let start = Instant::now();
+        let mut cold: Option<BatchReport> = None;
+        let mut last: Option<BatchReport> = None;
+        for r in 0..repeats {
+            let report = engine.run(&workload);
+            if r == 0 {
+                cold = Some(report.clone());
+            }
+            last = Some(report);
+        }
+        let seconds_total = start.elapsed().as_secs_f64();
+        let cold = cold.expect("at least one repeat");
+        let report = last.expect("at least one repeat");
+        let entry = Entry {
+            shards: s,
+            threads: t,
+            mode: if t > 1 { "pooled" } else { "serial" },
+            seconds_total,
+            qps: queries as f64 * repeats as f64 / seconds_total,
+            pages_p50: report.page_quantile(0.5),
+            pages_p99: report.page_quantile(0.99),
+            hit_ratio_cold: cold.buffer_stats().hit_ratio(),
+            storage_reads_cold: cold.total_misses(),
+            hit_ratio_warm: report.buffer_stats().hit_ratio(),
+            storage_reads_warm: report.total_misses(),
+            digest: report.digest,
+        };
+        println!(
+            "{:>7} {:>8} {:>8} {:>9.4}s {:>10.0} {:>9} {:>9} {:>10.4} {:>10.4} {:>18}",
+            entry.shards,
+            entry.threads,
+            entry.mode,
+            entry.seconds_total,
+            entry.qps,
+            entry.pages_p50,
+            entry.pages_p99,
+            entry.hit_ratio_cold,
+            entry.hit_ratio_warm,
+            format!("{:016x}", entry.digest),
+        );
+        entries.push(entry);
+    }
+
+    // The parity contract: every configuration answers identically.
+    let parity = entries.windows(2).all(|w| w[0].digest == w[1].digest);
+    if !parity {
+        eprintln!("FAILED: digests diverge across shard/thread configurations");
+    }
+    if json {
+        let body = to_json(
+            side, &mapping, queries, repeats, partition, &base, &entries, parity,
+        );
+        if let Err(e) = std::fs::write(&out_path, &body) {
+            eprintln!("cannot write {out_path}: {e}");
+            std::process::exit(1);
+        }
+        println!("\nwrote {out_path}");
+    }
+    if !parity {
+        std::process::exit(1);
+    }
+}

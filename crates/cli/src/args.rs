@@ -1,5 +1,6 @@
 //! Hand-rolled argument parsing for the `slpm` binary.
 
+use slpm_serve::shard::Partition;
 use std::fmt;
 
 /// A mapping selectable on the command line.
@@ -101,6 +102,30 @@ pub enum Command {
         /// Which mapping.
         mapping: MappingChoice,
     },
+    /// `slpm serve --grid AxB [--mapping M] [--shards S] [--threads T]
+    /// [--queries Q] [--seed N] [--partition contiguous|round-robin]
+    /// [--buffer-pages N] [--page-records N]` — run a mixed range/kNN
+    /// workload through the sharded serving engine.
+    Serve {
+        /// Grid extents.
+        dims: Vec<usize>,
+        /// Which mapping lays out the store (default Hilbert).
+        mapping: MappingChoice,
+        /// Number of shards.
+        shards: usize,
+        /// Worker threads (1 = serial baseline, no pool).
+        threads: usize,
+        /// Queries in the generated batch.
+        queries: usize,
+        /// Workload seed.
+        seed: u64,
+        /// Page → shard placement.
+        partition: Partition,
+        /// LRU frames per shard.
+        buffer_pages: usize,
+        /// Records per page.
+        page_records: usize,
+    },
     /// `slpm help`
     Help,
 }
@@ -138,11 +163,16 @@ fn take_value<'a>(args: &'a [String], i: &mut usize, flag: &str) -> Result<&'a s
 
 /// Parse a `--threads` value (a positive integer).
 fn parse_threads(args: &[String], i: &mut usize) -> Result<usize, ParseError> {
-    let v = take_value(args, i, "--threads")?;
+    parse_positive(args, i, "--threads")
+}
+
+/// Parse a positive-integer flag value.
+fn parse_positive(args: &[String], i: &mut usize, flag: &str) -> Result<usize, ParseError> {
+    let v = take_value(args, i, flag)?;
     match v.parse::<usize>() {
         Ok(n) if n >= 1 => Ok(n),
         _ => Err(ParseError(format!(
-            "invalid --threads '{v}': expected a positive integer"
+            "invalid {flag} '{v}': expected a positive integer"
         ))),
     }
 }
@@ -253,6 +283,62 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             }
             Ok(Command::Experiment { name: name.clone() })
         }
+        "serve" => {
+            let mut dims = None;
+            let mut mapping = MappingChoice::Hilbert;
+            let mut shards = 2usize;
+            let mut threads = 1usize;
+            let mut queries = 1000usize;
+            let mut seed = 42u64;
+            let mut partition = Partition::Contiguous;
+            let mut buffer_pages = 64usize;
+            let mut page_records = 64usize;
+            let mut i = 1;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--grid" => dims = Some(parse_dims(take_value(args, &mut i, "--grid")?)?),
+                    "--mapping" => {
+                        let v = take_value(args, &mut i, "--mapping")?;
+                        mapping = MappingChoice::parse(v)
+                            .ok_or_else(|| ParseError(format!("unknown mapping '{v}'")))?;
+                    }
+                    "--shards" => shards = parse_positive(args, &mut i, "--shards")?,
+                    "--threads" => threads = parse_threads(args, &mut i)?,
+                    "--queries" => queries = parse_positive(args, &mut i, "--queries")?,
+                    "--seed" => {
+                        let v = take_value(args, &mut i, "--seed")?;
+                        seed = v.parse::<u64>().map_err(|_| {
+                            ParseError(format!("invalid --seed '{v}': expected an integer"))
+                        })?;
+                    }
+                    "--partition" => {
+                        let v = take_value(args, &mut i, "--partition")?;
+                        partition = Partition::parse(v).ok_or_else(|| {
+                            ParseError(format!("unknown partition '{v}' (contiguous, round-robin)"))
+                        })?;
+                    }
+                    "--buffer-pages" => {
+                        buffer_pages = parse_positive(args, &mut i, "--buffer-pages")?
+                    }
+                    "--page-records" => {
+                        page_records = parse_positive(args, &mut i, "--page-records")?
+                    }
+                    other => return Err(ParseError(format!("unknown flag '{other}'"))),
+                }
+                i += 1;
+            }
+            Ok(Command::Serve {
+                dims: dims.ok_or_else(|| ParseError("serve requires --grid".into()))?,
+                mapping,
+                shards,
+                threads,
+                queries,
+                seed,
+                partition,
+                buffer_pages,
+                page_records,
+            })
+        }
         "report" => {
             let mut dims = None;
             let mut mapping = None;
@@ -293,6 +379,9 @@ USAGE:
   slpm figure  <fig1|fig3|fig4|fig5a|fig5b|fig6a|fig6b>
   slpm experiment <knn|storage|rtree|decluster|pointcloud|ablations>
   slpm report  --grid 8x8 --mapping hilbert
+  slpm serve   --grid 256x256 [--mapping hilbert] [--shards 2] [--threads 1]
+               [--queries 1000] [--seed 42] [--partition contiguous|round-robin]
+               [--buffer-pages 64] [--page-records 64]
   slpm help
 
 Mappings: sweep, snake, peano (Z-order), truepeano, gray, hilbert,
@@ -304,6 +393,10 @@ Spectral mappings pick their eigensolver automatically by grid size (dense
 --threads N pins the eigensolver's worker threads (default: the machine's
 available parallelism, or the SLPM_THREADS env var); results are bitwise
 identical for every thread count.
+`slpm serve` replays a seeded mixed range/kNN workload through the sharded
+serving engine (order -> pages -> shards -> worker pool); result sets, page
+counts and the printed digest are bitwise identical for every --shards and
+--threads combination.
 ";
 
 #[cfg(test)]
@@ -431,6 +524,67 @@ mod tests {
             Command::Experiment { name: "knn".into() }
         );
         assert!(parse(&argv(&["experiment", "nope"])).is_err());
+    }
+
+    #[test]
+    fn parse_serve_defaults_and_flags() {
+        let c = parse(&argv(&["serve", "--grid", "64x64"])).unwrap();
+        assert_eq!(
+            c,
+            Command::Serve {
+                dims: vec![64, 64],
+                mapping: MappingChoice::Hilbert,
+                shards: 2,
+                threads: 1,
+                queries: 1000,
+                seed: 42,
+                partition: Partition::Contiguous,
+                buffer_pages: 64,
+                page_records: 64,
+            }
+        );
+        let c = parse(&argv(&[
+            "serve",
+            "--grid",
+            "32x32",
+            "--mapping",
+            "snake",
+            "--shards",
+            "4",
+            "--threads",
+            "4",
+            "--queries",
+            "200",
+            "--seed",
+            "7",
+            "--partition",
+            "round-robin",
+            "--buffer-pages",
+            "16",
+            "--page-records",
+            "32",
+        ]))
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Serve {
+                dims: vec![32, 32],
+                mapping: MappingChoice::Snake,
+                shards: 4,
+                threads: 4,
+                queries: 200,
+                seed: 7,
+                partition: Partition::RoundRobin,
+                buffer_pages: 16,
+                page_records: 32,
+            }
+        );
+        // Missing grid, bad values, bad partition.
+        assert!(parse(&argv(&["serve"])).is_err());
+        assert!(parse(&argv(&["serve", "--grid", "8x8", "--shards", "0"])).is_err());
+        assert!(parse(&argv(&["serve", "--grid", "8x8", "--queries", "none"])).is_err());
+        assert!(parse(&argv(&["serve", "--grid", "8x8", "--partition", "hashed"])).is_err());
+        assert!(parse(&argv(&["serve", "--grid", "8x8", "--seed", "x"])).is_err());
     }
 
     #[test]

@@ -7,8 +7,10 @@ use slpm_querysim::experiments::{
     ablation, declustering, fig1, fig3, fig4, fig5, fig6, knn, point_cloud, rtree_packing,
     storage_io,
 };
-use slpm_querysim::mappings::curve_order;
-use slpm_sfc::{GrayCurve, HilbertCurve, PeanoCurve, SnakeCurve, SweepCurve, TruePeanoCurve};
+use slpm_querysim::mappings::{curve_order, curve_order_by_name};
+use slpm_serve::engine::{EngineConfig, ServeEngine};
+use slpm_serve::workload::{grid_points, mixed_workload, WorkloadConfig};
+use slpm_sfc::TruePeanoCurve;
 use spectral_lpm::{LinearOrder, SpectralConfig, SpectralMapper};
 
 /// Build the requested order over the grid. `threads` pins the spectral
@@ -23,54 +25,21 @@ fn build_order(
     let side = dims[0] as u64;
     let uniform = dims.iter().all(|&d| d as u64 == side);
     let k = dims.len();
-    let need_uniform = |name: &str| -> Result<(), ParseError> {
-        if uniform {
-            Ok(())
-        } else {
-            Err(ParseError(format!("{name} requires a hypercube grid")))
-        }
-    };
     match mapping {
-        MappingChoice::Sweep => {
-            let dims64: Vec<u64> = dims.iter().map(|&d| d as u64).collect();
-            Ok(curve_order(
-                &spec,
-                &SweepCurve::new(&dims64).map_err(|e| err(e.to_string()))?,
-            ))
-        }
-        MappingChoice::Snake => {
-            let dims64: Vec<u64> = dims.iter().map(|&d| d as u64).collect();
-            Ok(curve_order(
-                &spec,
-                &SnakeCurve::new(&dims64).map_err(|e| err(e.to_string()))?,
-            ))
-        }
-        MappingChoice::Peano => {
-            need_uniform("peano")?;
-            Ok(curve_order(
-                &spec,
-                &PeanoCurve::from_side(k, side).map_err(|e| err(e.to_string()))?,
-            ))
-        }
+        // The curve mappings share one name → order dispatch with every
+        // other `--mapping` consumer (e.g. the serve_throughput bench).
+        MappingChoice::Sweep
+        | MappingChoice::Snake
+        | MappingChoice::Peano
+        | MappingChoice::Gray
+        | MappingChoice::Hilbert => curve_order_by_name(&spec, &mapping.to_string()).map_err(err),
         MappingChoice::TruePeano => {
-            need_uniform("truepeano")?;
+            if !uniform {
+                return Err(ParseError("truepeano requires a hypercube grid".into()));
+            }
             Ok(curve_order(
                 &spec,
                 &TruePeanoCurve::from_side(k, side).map_err(|e| err(e.to_string()))?,
-            ))
-        }
-        MappingChoice::Gray => {
-            need_uniform("gray")?;
-            Ok(curve_order(
-                &spec,
-                &GrayCurve::from_side(k, side).map_err(|e| err(e.to_string()))?,
-            ))
-        }
-        MappingChoice::Hilbert => {
-            need_uniform("hilbert")?;
-            Ok(curve_order(
-                &spec,
-                &HilbertCurve::from_side(k, side).map_err(|e| err(e.to_string()))?,
             ))
         }
         MappingChoice::Spectral | MappingChoice::Spectral8 => {
@@ -222,6 +191,85 @@ pub fn execute(cmd: &Command) -> Result<String, ParseError> {
             }
             other => return Err(ParseError(format!("unknown experiment '{other}'"))),
         }),
+        Command::Serve {
+            dims,
+            mapping,
+            shards,
+            threads,
+            queries,
+            seed,
+            partition,
+            buffer_pages,
+            page_records,
+        } => {
+            let spec = GridSpec::new(dims);
+            let order = build_order(dims, *mapping, None)?;
+            let points = grid_points(&spec);
+            let cfg = EngineConfig {
+                records_per_page: *page_records,
+                // Keep the documented one-leaf-per-page geometry when the
+                // page size is overridden.
+                fanout: *page_records,
+                shards: *shards,
+                threads: *threads,
+                partition: *partition,
+                buffer_pages: *buffer_pages,
+                ..Default::default()
+            };
+            let engine = ServeEngine::new(&points, &order, cfg);
+            let workload = mixed_workload(
+                &spec,
+                &WorkloadConfig {
+                    queries: *queries,
+                    seed: *seed,
+                    ..Default::default()
+                },
+            );
+            let report = engine.run(&workload);
+            let buffer = report.buffer_stats();
+            let mut out = String::new();
+            out.push_str(&format!(
+                "serving {} queries over a {:?} grid ({} mapping)\n\
+                 shards: {}  threads: {}  partition: {}  pages: {}  \
+                 buffer: {} frames/shard  page: {} records\n",
+                queries,
+                dims,
+                mapping,
+                shards,
+                threads,
+                partition,
+                engine.num_pages(),
+                buffer_pages,
+                page_records,
+            ));
+            out.push_str(&format!(
+                "results: {}  pages touched: {}  storage reads: {}  hit ratio: {:.3}\n",
+                report.total_results(),
+                report.total_pages(),
+                report.total_misses(),
+                buffer.hit_ratio(),
+            ));
+            out.push_str(&format!(
+                "pages/query p50: {}  p99: {}  elapsed: {:.3}s  throughput: {:.0} q/s\n",
+                report.page_quantile(0.5),
+                report.page_quantile(0.99),
+                report.elapsed_seconds,
+                report.queries_per_second(),
+            ));
+            for s in &report.shards {
+                out.push_str(&format!(
+                    "  shard {}: {} queries, {} pages routed, {} runs, hit ratio {:.3}\n",
+                    s.shard,
+                    s.queries,
+                    s.pages_routed,
+                    s.runs,
+                    s.buffer.hit_ratio(),
+                ));
+            }
+            // The parity witness: identical for every --shards/--threads.
+            out.push_str(&format!("digest: {:016x}\n", report.digest));
+            Ok(out)
+        }
         Command::Report { dims, mapping } => {
             let spec = GridSpec::new(dims);
             let graph = spec.graph(Connectivity::Orthogonal);
@@ -316,6 +364,64 @@ mod tests {
         assert!(out.contains("lambda2"), "{out}");
         assert!(out.contains("bandwidth"));
         assert!(run(&["report", "--grid", "4x4"]).is_err());
+    }
+
+    #[test]
+    fn serve_command_reports_and_is_shard_thread_invariant() {
+        let digest_line = |out: &str| {
+            out.lines()
+                .find(|l| l.starts_with("digest:"))
+                .expect("digest line")
+                .to_string()
+        };
+        let base = run(&[
+            "serve",
+            "--grid",
+            "16x16",
+            "--queries",
+            "40",
+            "--shards",
+            "1",
+            "--threads",
+            "1",
+        ])
+        .unwrap();
+        assert!(base.contains("serving 40 queries"));
+        assert!(base.contains("hit ratio"));
+        assert!(base.contains("shard 0:"));
+        let reference = digest_line(&base);
+        for (shards, threads) in [("4", "1"), ("1", "4"), ("4", "4")] {
+            let out = run(&[
+                "serve",
+                "--grid",
+                "16x16",
+                "--queries",
+                "40",
+                "--shards",
+                shards,
+                "--threads",
+                threads,
+            ])
+            .unwrap();
+            assert_eq!(digest_line(&out), reference, "S={shards} T={threads}");
+        }
+        // Round-robin placement moves reads, never answers.
+        let rr = run(&[
+            "serve",
+            "--grid",
+            "16x16",
+            "--queries",
+            "40",
+            "--shards",
+            "4",
+            "--partition",
+            "round-robin",
+        ])
+        .unwrap();
+        assert_eq!(digest_line(&rr), reference);
+        // A different seed is a different workload.
+        let other = run(&["serve", "--grid", "16x16", "--queries", "40", "--seed", "7"]).unwrap();
+        assert_ne!(digest_line(&other), reference);
     }
 
     #[test]

@@ -189,9 +189,90 @@ pub fn spectral_order(
     Ok(mapper.map_grid(spec)?.order)
 }
 
+/// Build a curve order from its command-line name — the one dispatch table
+/// shared by every binary that takes `--mapping` for a fractal/scan order
+/// (`sweep`, `snake`, `peano`/`z`/`zorder`/`z-order`/`morton`, `gray`,
+/// `hilbert`). Spectral mappings are not covered (they need a
+/// [`SpectralConfig`]; see [`spectral_order`]).
+pub fn curve_order_by_name(spec: &GridSpec, name: &str) -> Result<LinearOrder, String> {
+    let side = spec.dim(0) as u64;
+    let k = spec.ndim();
+    let need_uniform = |name: &str| -> Result<(), String> {
+        if spec.dims().iter().all(|&d| d as u64 == side) {
+            Ok(())
+        } else {
+            Err(format!("{name} requires a hypercube grid"))
+        }
+    };
+    match name.to_ascii_lowercase().as_str() {
+        "sweep" => {
+            let dims: Vec<u64> = spec.dims().iter().map(|&d| d as u64).collect();
+            Ok(curve_order(
+                spec,
+                &SweepCurve::new(&dims).map_err(|e| e.to_string())?,
+            ))
+        }
+        "snake" => {
+            let dims: Vec<u64> = spec.dims().iter().map(|&d| d as u64).collect();
+            Ok(curve_order(
+                spec,
+                &SnakeCurve::new(&dims).map_err(|e| e.to_string())?,
+            ))
+        }
+        "peano" | "z" | "zorder" | "z-order" | "morton" => {
+            need_uniform("peano")?;
+            Ok(curve_order(
+                spec,
+                &PeanoCurve::from_side(k, side).map_err(|e| e.to_string())?,
+            ))
+        }
+        "gray" => {
+            need_uniform("gray")?;
+            Ok(curve_order(
+                spec,
+                &GrayCurve::from_side(k, side).map_err(|e| e.to_string())?,
+            ))
+        }
+        "hilbert" => {
+            need_uniform("hilbert")?;
+            Ok(curve_order(
+                spec,
+                &HilbertCurve::from_side(k, side).map_err(|e| e.to_string())?,
+            ))
+        }
+        other => Err(format!(
+            "unknown curve mapping '{other}' (sweep, snake, peano, gray, hilbert)"
+        )),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn curve_order_by_name_matches_direct_construction() {
+        let spec = GridSpec::cube(8, 2);
+        let direct = curve_order(&spec, &HilbertCurve::from_side(2, 8).unwrap());
+        assert_eq!(
+            curve_order_by_name(&spec, "hilbert").unwrap().ranks(),
+            direct.ranks()
+        );
+        // Aliases and case-insensitivity.
+        assert_eq!(
+            curve_order_by_name(&spec, "Morton").unwrap().ranks(),
+            curve_order(&spec, &PeanoCurve::from_side(2, 8).unwrap()).ranks()
+        );
+        for name in ["sweep", "snake", "peano", "gray", "hilbert"] {
+            assert!(curve_order_by_name(&spec, name).is_ok(), "{name}");
+        }
+        // Unknown names, non-cube grids and non-power-of-two sides error.
+        assert!(curve_order_by_name(&spec, "spectral").is_err());
+        assert!(curve_order_by_name(&GridSpec::new(&[4, 8]), "hilbert").is_err());
+        assert!(curve_order_by_name(&GridSpec::cube(6, 2), "hilbert").is_err());
+        // Scan orders accept any extents.
+        assert!(curve_order_by_name(&GridSpec::new(&[4, 8]), "snake").is_ok());
+    }
 
     #[test]
     fn paper_set_has_five_orders() {

@@ -1,0 +1,790 @@
+//! The batch query executor: plan → route → replay → merge.
+//!
+//! [`ServeEngine`] turns the reproduction's artifacts — a
+//! [`LinearOrder`], the [`PageMapper`] placing it on pages, a
+//! [`PackedRTree`] over the same order, and a fleet of [`Shard`]s — into
+//! a concurrent query engine for batches of range and k-nearest-neighbour
+//! queries. A batch flows through four phases:
+//!
+//! 1. **Plan** (inline): each query runs against the packed R-tree.
+//!    Range queries use [`PackedRTree::range_query_ordered`], so result
+//!    ranks — and the page ids derived from them — are monotone; kNN
+//!    probes expand a Chebyshev ball until `k` matches are guaranteed.
+//! 2. **Route** (inline): result ids become per-query page lists and
+//!    per-shard slices — a pure pass of integer divisions over the
+//!    order's borrowed ranks and the [`ShardMap`], far cheaper than
+//!    shipping ids to the pool.
+//! 3. **Replay** (pooled): one task per shard replays that shard's
+//!    queries **in batch order** against its private LRU pool and store
+//!    slice, producing hit/miss accounting.
+//! 4. **Merge** (inline): per-query outcomes are reassembled in query
+//!    order and folded into a digest plus per-shard aggregates.
+//!
+//! **Determinism.** Every phase is either a pure per-query function or a
+//! per-shard sequential replay in a fixed order, so the report's result
+//! sets, page/run counts and digest are bitwise identical for every
+//! thread count *and* shard count (per-shard buffer statistics are the
+//! one shard-count-dependent quantity: S LRU pools are not one big pool).
+//! The thread count only changes wall-clock time.
+
+use crate::pool::WorkerPool;
+use crate::shard::{Partition, Shard, ShardMap};
+use slpm_storage::{
+    BufferStats, IoCost, IoModel, Mbr, PackedRTree, PageLayout, PageMapper, QueryCost,
+};
+use spectral_lpm::LinearOrder;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// One query of a batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Query {
+    /// All points inside an axis-aligned box (inclusive).
+    Range(Mbr),
+    /// The `k` nearest points to `center` under the Chebyshev (L∞)
+    /// metric, ties broken by point id.
+    Knn {
+        /// Query point.
+        center: Vec<i64>,
+        /// Number of neighbours.
+        k: usize,
+    },
+}
+
+/// Engine geometry and scheduling knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Records per page (page size in records).
+    pub records_per_page: usize,
+    /// Bytes per record payload.
+    pub record_size: usize,
+    /// R-tree leaf fanout (defaults to one leaf per page).
+    pub fanout: usize,
+    /// Number of shards the pages are partitioned over.
+    pub shards: usize,
+    /// Worker threads; `1` executes every phase inline (serial baseline).
+    pub threads: usize,
+    /// Page → shard placement policy.
+    pub partition: Partition,
+    /// LRU frames per shard's buffer pool.
+    pub buffer_pages: usize,
+    /// Seek/transfer model for the per-query I/O cost estimate.
+    pub io: IoModel,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            records_per_page: 64,
+            record_size: 64,
+            fanout: 64,
+            shards: 1,
+            threads: 1,
+            partition: Partition::Contiguous,
+            buffer_pages: 64,
+            io: IoModel::default(),
+        }
+    }
+}
+
+/// Outcome of one query of a batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryOutcome {
+    /// Matching point ids — ranges in linear-order (rank) sequence, kNN
+    /// by ascending (Chebyshev distance, id).
+    pub results: Vec<usize>,
+    /// Distinct pages the query touched.
+    pub pages: usize,
+    /// Maximal runs of consecutive page ids (sequential reads).
+    pub runs: usize,
+    /// Pages served from some shard's buffer pool.
+    pub hits: usize,
+    /// Pages read from backing storage.
+    pub misses: usize,
+    /// Seek/transfer cost estimate for this query.
+    pub io: IoCost,
+    /// R-tree node accounting (cumulative over kNN expansions).
+    pub tree: QueryCost,
+}
+
+/// Per-shard aggregates over one batch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardReport {
+    /// Shard id.
+    pub shard: usize,
+    /// Queries that touched this shard.
+    pub queries: usize,
+    /// Page requests routed here (hits + misses).
+    pub pages_routed: usize,
+    /// Sequential runs within this shard's slices.
+    pub runs: usize,
+    /// Buffer accounting for this batch.
+    pub buffer: BufferStats,
+}
+
+/// The merged result of one batch.
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// Per-query outcomes, in submission order.
+    pub outcomes: Vec<QueryOutcome>,
+    /// Per-shard aggregates (every shard, including idle ones).
+    pub shards: Vec<ShardReport>,
+    /// Wall-clock seconds for the batch (plan through merge).
+    pub elapsed_seconds: f64,
+    /// Order-sensitive FNV-1a digest of (query index, result ids, page
+    /// count, run count) — bitwise identical across shard and thread
+    /// counts for the same order and workload.
+    pub digest: u64,
+}
+
+impl BatchReport {
+    /// Total matching points across the batch.
+    pub fn total_results(&self) -> usize {
+        self.outcomes.iter().map(|o| o.results.len()).sum()
+    }
+
+    /// Total distinct-page touches across the batch.
+    pub fn total_pages(&self) -> usize {
+        self.outcomes.iter().map(|o| o.pages).sum()
+    }
+
+    /// Pages read from backing storage (buffer misses).
+    pub fn total_misses(&self) -> usize {
+        self.outcomes.iter().map(|o| o.misses).sum()
+    }
+
+    /// Fleet-wide buffer statistics (per-shard pools merged).
+    pub fn buffer_stats(&self) -> BufferStats {
+        let mut total = BufferStats::default();
+        for s in &self.shards {
+            total.merge(&s.buffer);
+        }
+        total
+    }
+
+    /// Batch throughput in queries per second.
+    pub fn queries_per_second(&self) -> f64 {
+        if self.elapsed_seconds > 0.0 {
+            self.outcomes.len() as f64 / self.elapsed_seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1) of per-query page counts.
+    pub fn page_quantile(&self, q: f64) -> usize {
+        let mut pages: Vec<usize> = self.outcomes.iter().map(|o| o.pages).collect();
+        pages.sort_unstable();
+        quantile(&pages, q)
+    }
+}
+
+/// Nearest-rank quantile of an ascending sample (0 on an empty batch).
+fn quantile(sorted: &[usize], q: f64) -> usize {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+}
+
+/// FNV-1a over a word stream.
+fn fnv1a64(hash: &mut u64, word: u64) {
+    *hash ^= word;
+    *hash = hash.wrapping_mul(0x100_0000_01b3);
+}
+
+/// A planned query: its result ids plus tree accounting.
+struct Plan {
+    results: Vec<usize>,
+    /// Ranges: results are already in rank order; kNN results are in
+    /// (distance, id) order and need a sort on the page side.
+    rank_ordered: bool,
+    tree: QueryCost,
+}
+
+/// One query's page list routed to one shard.
+struct ShardSlice {
+    shard: usize,
+    pages: Vec<usize>,
+    runs: usize,
+}
+
+/// A routed query: global page profile plus per-shard slices.
+struct Route {
+    pages: usize,
+    runs: usize,
+    slices: Vec<ShardSlice>,
+}
+
+/// The sharded, batched query engine.
+///
+/// Borrows the point set and order (the caller keeps ownership, exactly
+/// like [`PackedRTree::pack`]); owns the shards and the worker pool, so
+/// buffer pools stay warm across batches.
+pub struct ServeEngine<'a> {
+    points: &'a [Vec<i64>],
+    order: &'a LinearOrder,
+    rtree: PackedRTree<'a>,
+    bounds: Mbr,
+    layout: PageLayout,
+    shard_map: ShardMap,
+    shards: Arc<Vec<Mutex<Shard>>>,
+    /// `None` when `threads == 1`: the serial baseline runs inline.
+    pool: Option<WorkerPool>,
+    cfg: EngineConfig,
+}
+
+impl<'a> ServeEngine<'a> {
+    /// Build an engine over `points` laid out by `order`.
+    ///
+    /// # Panics
+    /// Panics when `points` is empty or its length differs from the
+    /// order's (caller bugs), or on zero geometry knobs.
+    pub fn new(points: &'a [Vec<i64>], order: &'a LinearOrder, cfg: EngineConfig) -> Self {
+        assert_eq!(points.len(), order.len(), "order/point-set mismatch");
+        let layout = PageLayout::new(cfg.records_per_page);
+        let mapper = PageMapper::new(order, layout);
+        let shard_map = ShardMap::new(cfg.shards, mapper.num_pages(), cfg.partition);
+        // One placement shared by the whole fleet (the store-side analogue
+        // of the rank-borrowing PageMapper — no per-shard dense copies).
+        let placement = slpm_storage::PageStore::placement_of(&mapper);
+        let shards: Vec<Mutex<Shard>> = (0..cfg.shards)
+            .map(|id| {
+                Mutex::new(Shard::build(
+                    id,
+                    &shard_map,
+                    &mapper,
+                    Arc::clone(&placement),
+                    cfg.record_size,
+                    cfg.buffer_pages,
+                ))
+            })
+            .collect();
+        let bounds = Mbr::of_points(points.iter().map(|p| p.as_slice()));
+        ServeEngine {
+            points,
+            order,
+            rtree: PackedRTree::pack(points, order, cfg.fanout.max(2)),
+            bounds,
+            layout,
+            shard_map,
+            shards: Arc::new(shards),
+            pool: (cfg.threads > 1).then(|| WorkerPool::new(cfg.threads)),
+            cfg,
+        }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// The linear order being served.
+    pub fn order(&self) -> &LinearOrder {
+        self.order
+    }
+
+    /// The page → shard assignment.
+    pub fn shard_map(&self) -> &ShardMap {
+        &self.shard_map
+    }
+
+    /// Total pages of the underlying store.
+    pub fn num_pages(&self) -> usize {
+        self.shard_map.num_pages()
+    }
+
+    /// Execute a batch; per-query outcomes come back in submission order.
+    pub fn run(&self, queries: &[Query]) -> BatchReport {
+        let start = Instant::now();
+        // Phase 1 — plan against the R-tree (borrows, so inline).
+        let plans: Vec<Plan> = queries.iter().map(|q| self.plan(q)).collect();
+
+        // Phase 2 — route: result ids → page lists → shard slices. A pure
+        // per-query pass of integer divisions over the borrowed rank
+        // array; orders of magnitude cheaper than planning or replay, so
+        // it runs inline (copying ids into 'static pool tasks would cost
+        // more than the routing itself).
+        let rpp = self.layout.records_per_page;
+        let shard_map = self.shard_map;
+        let routes: Vec<Route> = plans
+            .iter()
+            .map(|p| {
+                route_query(
+                    &p.results,
+                    p.rank_ordered,
+                    self.order.ranks(),
+                    rpp,
+                    &shard_map,
+                )
+            })
+            .collect();
+
+        // Phase 3 — replay: per-shard page reads, one task per shard, the
+        // shard's queries in batch order.
+        let mut per_shard: Vec<Vec<(usize, Vec<usize>)>> = vec![Vec::new(); self.cfg.shards];
+        for (qidx, route) in routes.iter().enumerate() {
+            for slice in &route.slices {
+                per_shard[slice.shard].push((qidx, slice.pages.clone()));
+            }
+        }
+        let shard_outcomes: Vec<ShardOutcome> = match &self.pool {
+            Some(pool) => {
+                let tasks: Vec<_> = per_shard
+                    .iter_mut()
+                    .enumerate()
+                    .map(|(shard_id, work)| {
+                        let work = std::mem::take(work);
+                        let shards = Arc::clone(&self.shards);
+                        move || replay_shard(shard_id, work, shards.as_slice())
+                    })
+                    .collect();
+                pool.run_batch(tasks)
+            }
+            None => per_shard
+                .into_iter()
+                .enumerate()
+                .map(|(shard_id, work)| replay_shard(shard_id, work, self.shards.as_slice()))
+                .collect(),
+        };
+
+        // Phase 4 — merge in query order.
+        let mut hits = vec![0usize; queries.len()];
+        let mut misses = vec![0usize; queries.len()];
+        let mut shard_reports: Vec<ShardReport> = (0..self.cfg.shards)
+            .map(|shard| ShardReport {
+                shard,
+                queries: 0,
+                pages_routed: 0,
+                runs: 0,
+                buffer: BufferStats::default(),
+            })
+            .collect();
+        for (shard_id, rows, delta) in shard_outcomes {
+            let report = &mut shard_reports[shard_id];
+            report.queries = rows.len();
+            report.buffer = delta;
+            for (qidx, h, m) in rows {
+                hits[qidx] += h;
+                misses[qidx] += m;
+                report.pages_routed += h + m;
+            }
+        }
+        for route in &routes {
+            for slice in &route.slices {
+                shard_reports[slice.shard].runs += slice.runs;
+            }
+        }
+        let mut digest = 0xcbf2_9ce4_8422_2325u64;
+        let outcomes: Vec<QueryOutcome> = plans
+            .into_iter()
+            .zip(routes)
+            .enumerate()
+            .map(|(qidx, (plan, route))| {
+                fnv1a64(&mut digest, qidx as u64);
+                fnv1a64(&mut digest, plan.results.len() as u64);
+                for &id in &plan.results {
+                    fnv1a64(&mut digest, id as u64);
+                }
+                fnv1a64(&mut digest, route.pages as u64);
+                fnv1a64(&mut digest, route.runs as u64);
+                QueryOutcome {
+                    results: plan.results,
+                    pages: route.pages,
+                    runs: route.runs,
+                    hits: hits[qidx],
+                    misses: misses[qidx],
+                    io: IoCost {
+                        pages: route.pages,
+                        runs: route.runs,
+                        total: route.runs as f64 * self.cfg.io.seek_cost
+                            + route.pages as f64 * self.cfg.io.transfer_cost,
+                    },
+                    tree: plan.tree,
+                }
+            })
+            .collect();
+        BatchReport {
+            outcomes,
+            shards: shard_reports,
+            elapsed_seconds: start.elapsed().as_secs_f64(),
+            digest,
+        }
+    }
+
+    /// Plan one query against the R-tree.
+    fn plan(&self, query: &Query) -> Plan {
+        match query {
+            Query::Range(mbr) => {
+                let (results, tree) = self.rtree.range_query_ordered(mbr);
+                Plan {
+                    results,
+                    rank_ordered: true,
+                    tree,
+                }
+            }
+            Query::Knn { center, k } => {
+                let (results, tree) = self.knn(center, *k);
+                Plan {
+                    results,
+                    rank_ordered: false,
+                    tree,
+                }
+            }
+        }
+    }
+
+    /// Exact k-nearest-neighbour search under the Chebyshev (L∞) metric:
+    /// grow a box of radius `r` around the centre (doubling) until it
+    /// holds ≥ `k` points or covers the data bounds — under L∞ the box of
+    /// radius `r` *is* the metric ball, so once `k` candidates are inside
+    /// the `k` nearest are among them. Node costs accumulate over the
+    /// expansion rounds (re-visits are genuinely re-paid, as an iterative
+    /// server would).
+    fn knn(&self, center: &[i64], k: usize) -> (Vec<usize>, QueryCost) {
+        let mut tree = QueryCost {
+            nodes_visited: 0,
+            leaves_visited: 0,
+            results: 0,
+        };
+        let k = k.min(self.points.len());
+        if k == 0 {
+            return (Vec::new(), tree);
+        }
+        let mut radius: i64 = 1;
+        loop {
+            let query = Mbr {
+                lo: center.iter().map(|&c| c - radius).collect(),
+                hi: center.iter().map(|&c| c + radius).collect(),
+            };
+            let (ids, cost) = self.rtree.range_query_ordered(&query);
+            tree.nodes_visited += cost.nodes_visited;
+            tree.leaves_visited += cost.leaves_visited;
+            let covers_all = query.lo.iter().zip(&self.bounds.lo).all(|(q, b)| q <= b)
+                && query.hi.iter().zip(&self.bounds.hi).all(|(q, b)| q >= b);
+            if ids.len() >= k || covers_all {
+                let mut scored: Vec<(i64, usize)> = ids
+                    .into_iter()
+                    .map(|id| (chebyshev(center, &self.points[id]), id))
+                    .collect();
+                scored.sort_unstable();
+                scored.truncate(k);
+                let results: Vec<usize> = scored.into_iter().map(|(_, id)| id).collect();
+                tree.results = results.len();
+                return (results, tree);
+            }
+            radius *= 2;
+        }
+    }
+}
+
+/// One shard's replay result: `(shard, per-query (query index, hits,
+/// misses), buffer-stat delta for this batch)`.
+type ShardOutcome = (usize, Vec<(usize, usize, usize)>, BufferStats);
+
+/// Replay one shard's share of a batch, in batch order. The shard lock is
+/// held for the whole replay: within a batch exactly one task touches a
+/// shard, so the lock is uncontended and the LRU state evolves in a fixed
+/// sequence for every thread count.
+fn replay_shard(
+    shard_id: usize,
+    work: Vec<(usize, Vec<usize>)>,
+    shards: &[Mutex<Shard>],
+) -> ShardOutcome {
+    let mut shard = shards[shard_id].lock().expect("shard lock");
+    let before = shard.buffer_stats();
+    let mut rows = Vec::with_capacity(work.len());
+    for (qidx, pages) in work {
+        let (h, m) = shard.replay(&pages);
+        rows.push((qidx, h, m));
+    }
+    let after = shard.buffer_stats();
+    let delta = BufferStats {
+        hits: after.hits - before.hits,
+        misses: after.misses - before.misses,
+        evictions: after.evictions - before.evictions,
+    };
+    (shard_id, rows, delta)
+}
+
+/// Chebyshev (L∞) distance between two points.
+fn chebyshev(a: &[i64], b: &[i64]) -> i64 {
+    a.iter()
+        .zip(b.iter())
+        .map(|(&x, &y)| (x - y).abs())
+        .max()
+        .unwrap_or(0)
+}
+
+/// Route one query's result ids to pages and shard slices — a pure
+/// function of the rank array, page size and shard map.
+fn route_query(
+    ids: &[usize],
+    rank_ordered: bool,
+    ranks: &[usize],
+    records_per_page: usize,
+    shard_map: &ShardMap,
+) -> Route {
+    let mut pages: Vec<usize> = ids.iter().map(|&id| ranks[id] / records_per_page).collect();
+    if !rank_ordered {
+        pages.sort_unstable();
+    }
+    pages.dedup();
+    let runs = count_runs(&pages);
+    let mut slices: Vec<ShardSlice> = Vec::new();
+    for &page in &pages {
+        let shard = shard_map.shard_of(page);
+        match slices.iter_mut().find(|s| s.shard == shard) {
+            Some(slice) => slice.pages.push(page),
+            None => slices.push(ShardSlice {
+                shard,
+                pages: vec![page],
+                runs: 0,
+            }),
+        }
+    }
+    // Deterministic shard visit order (slices appear in first-touch order
+    // above; normalise to ascending shard id) and per-slice run counts.
+    slices.sort_by_key(|s| s.shard);
+    for slice in &mut slices {
+        slice.runs = count_runs(&slice.pages);
+    }
+    Route {
+        pages: pages.len(),
+        runs,
+        slices,
+    }
+}
+
+/// Maximal runs of consecutive ids in an ascending list.
+fn count_runs(pages: &[usize]) -> usize {
+    let mut runs = 0;
+    let mut prev: Option<usize> = None;
+    for &p in pages {
+        if prev != Some(p.wrapping_sub(1)) {
+            runs += 1;
+        }
+        prev = Some(p);
+    }
+    runs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slpm_graph::grid::GridSpec;
+
+    use crate::workload::grid_points;
+
+    fn small_engine() -> (Vec<Vec<i64>>, LinearOrder) {
+        let spec = GridSpec::cube(8, 2);
+        (grid_points(&spec), LinearOrder::identity(64))
+    }
+
+    fn queries() -> Vec<Query> {
+        vec![
+            Query::Range(Mbr {
+                lo: vec![1, 1],
+                hi: vec![3, 4],
+            }),
+            Query::Knn {
+                center: vec![4, 4],
+                k: 5,
+            },
+            Query::Range(Mbr {
+                lo: vec![0, 0],
+                hi: vec![7, 7],
+            }),
+            Query::Range(Mbr {
+                lo: vec![20, 20],
+                hi: vec![30, 30],
+            }),
+        ]
+    }
+
+    #[test]
+    fn range_results_match_brute_force() {
+        let (points, order) = small_engine();
+        let cfg = EngineConfig {
+            records_per_page: 4,
+            fanout: 4,
+            ..Default::default()
+        };
+        let engine = ServeEngine::new(&points, &order, cfg);
+        let report = engine.run(&queries());
+        let q0 = Mbr {
+            lo: vec![1, 1],
+            hi: vec![3, 4],
+        };
+        let mut got = report.outcomes[0].results.clone();
+        got.sort_unstable();
+        let want: Vec<usize> = (0..points.len())
+            .filter(|&i| q0.contains_point(&points[i]))
+            .collect();
+        assert_eq!(got, want);
+        // Range results stream in rank order.
+        for w in report.outcomes[0].results.windows(2) {
+            assert!(order.rank_of(w[0]) < order.rank_of(w[1]));
+        }
+        // Whole-grid query returns everything; empty box returns nothing.
+        assert_eq!(report.outcomes[2].results.len(), 64);
+        assert!(report.outcomes[3].results.is_empty());
+        assert_eq!(report.outcomes[3].pages, 0);
+    }
+
+    #[test]
+    fn knn_results_match_brute_force() {
+        let (points, order) = small_engine();
+        let cfg = EngineConfig {
+            records_per_page: 4,
+            fanout: 4,
+            ..Default::default()
+        };
+        let engine = ServeEngine::new(&points, &order, cfg);
+        for (center, k) in [(vec![4i64, 4], 5usize), (vec![0, 0], 3), (vec![7, 7], 64)] {
+            let report = engine.run(&[Query::Knn {
+                center: center.clone(),
+                k,
+            }]);
+            let got = &report.outcomes[0].results;
+            let mut want: Vec<(i64, usize)> = (0..points.len())
+                .map(|i| (chebyshev(&center, &points[i]), i))
+                .collect();
+            want.sort_unstable();
+            let want: Vec<usize> = want.into_iter().take(k).map(|(_, id)| id).collect();
+            assert_eq!(got, &want, "center {center:?} k {k}");
+        }
+        // k larger than the point set clamps.
+        let report = engine.run(&[Query::Knn {
+            center: vec![3, 3],
+            k: 1000,
+        }]);
+        assert_eq!(report.outcomes[0].results.len(), 64);
+    }
+
+    #[test]
+    fn digest_and_outcomes_invariant_across_shards_and_threads() {
+        let (points, order) = small_engine();
+        let base = EngineConfig {
+            records_per_page: 4,
+            fanout: 4,
+            buffer_pages: 4,
+            ..Default::default()
+        };
+        let qs = queries();
+        let reference = ServeEngine::new(&points, &order, base).run(&qs);
+        for shards in [1usize, 2, 4] {
+            for threads in [1usize, 2, 4] {
+                for partition in [Partition::Contiguous, Partition::RoundRobin] {
+                    let cfg = EngineConfig {
+                        shards,
+                        threads,
+                        partition,
+                        ..base
+                    };
+                    let engine = ServeEngine::new(&points, &order, cfg);
+                    let report = engine.run(&qs);
+                    assert_eq!(
+                        report.digest, reference.digest,
+                        "digest diverged at S={shards} T={threads} {partition}"
+                    );
+                    for (a, b) in report.outcomes.iter().zip(&reference.outcomes) {
+                        assert_eq!(a.results, b.results);
+                        assert_eq!(a.pages, b.pages);
+                        assert_eq!(a.runs, b.runs);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn page_reads_match_unsharded_store_accounting() {
+        // Total distinct-page touches must equal what PageStore::serve_query
+        // would read per query on the full store.
+        let (points, order) = small_engine();
+        let cfg = EngineConfig {
+            records_per_page: 4,
+            fanout: 4,
+            shards: 2,
+            ..Default::default()
+        };
+        let engine = ServeEngine::new(&points, &order, cfg);
+        let report = engine.run(&queries());
+        let layout = PageLayout::new(4);
+        let mapper = PageMapper::new(&order, layout);
+        let store = slpm_storage::PageStore::build(&mapper, order.len(), 8);
+        for (q, outcome) in queries().iter().zip(&report.outcomes) {
+            let sorted_ids = {
+                let mut ids = outcome.results.clone();
+                ids.sort_unstable();
+                ids
+            };
+            let direct = store.serve_query(sorted_ids.iter().copied());
+            assert_eq!(outcome.pages, direct, "query {q:?}");
+        }
+    }
+
+    #[test]
+    fn buffer_reuse_across_batches_warms_up() {
+        let (points, order) = small_engine();
+        let cfg = EngineConfig {
+            records_per_page: 4,
+            fanout: 4,
+            buffer_pages: 32,
+            ..Default::default()
+        };
+        let engine = ServeEngine::new(&points, &order, cfg);
+        let qs = queries();
+        let cold = engine.run(&qs);
+        let warm = engine.run(&qs);
+        assert!(warm.buffer_stats().hits >= cold.buffer_stats().hits);
+        // Second identical batch with a big enough pool: everything hits.
+        assert_eq!(warm.total_misses(), 0);
+        assert_eq!(warm.digest, cold.digest);
+    }
+
+    #[test]
+    fn shard_reports_cover_routed_pages() {
+        let (points, order) = small_engine();
+        let cfg = EngineConfig {
+            records_per_page: 4,
+            fanout: 4,
+            shards: 4,
+            partition: Partition::RoundRobin,
+            ..Default::default()
+        };
+        let engine = ServeEngine::new(&points, &order, cfg);
+        let report = engine.run(&queries());
+        let routed: usize = report.shards.iter().map(|s| s.pages_routed).sum();
+        assert_eq!(routed, report.total_pages());
+        let hits_misses: usize = report.outcomes.iter().map(|o| o.hits + o.misses).sum();
+        assert_eq!(routed, hits_misses);
+        // Round-robin spreads the whole-grid query across all shards.
+        assert!(report.shards.iter().all(|s| s.queries >= 1));
+    }
+
+    #[test]
+    fn quantiles_and_throughput_helpers() {
+        assert_eq!(quantile(&[], 0.5), 0);
+        assert_eq!(quantile(&[7], 0.5), 7);
+        assert_eq!(quantile(&[1, 2, 3, 4], 0.5), 2);
+        assert_eq!(quantile(&[1, 2, 3, 4], 0.99), 4);
+        assert_eq!(quantile(&[1, 2, 3, 4], 0.0), 1);
+        let (points, order) = small_engine();
+        let engine = ServeEngine::new(
+            &points,
+            &order,
+            EngineConfig {
+                records_per_page: 4,
+                fanout: 4,
+                ..Default::default()
+            },
+        );
+        let report = engine.run(&queries());
+        assert!(report.page_quantile(0.99) >= report.page_quantile(0.5));
+        assert!(report.queries_per_second() > 0.0);
+        assert_eq!(report.outcomes.len(), 4);
+    }
+}

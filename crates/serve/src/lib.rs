@@ -1,0 +1,60 @@
+//! `slpm_serve` — the sharded, batched query-serving engine.
+//!
+//! The paper's point is that a spectral linear order makes *query
+//! serving* cheap: range and nearest-neighbour queries touch few,
+//! contiguous pages. This crate is the layer that actually serves those
+//! queries at scale, turning the reproduction's artifacts
+//! ([`spectral_lpm::LinearOrder`] → [`slpm_storage::PageMapper`] →
+//! [`slpm_storage::PackedRTree`] / [`slpm_storage::PageStore`] →
+//! [`slpm_storage::BufferPool`]) into a concurrent engine:
+//!
+//! * [`pool`] — a persistent [`pool::WorkerPool`]: long-lived threads fed
+//!   by the `crossbeam` shim's MPMC channels, amortising the per-call
+//!   spawn cost that dominates scoped threads below ~64k work items.
+//! * [`shard`] — partitioning one order's pages across shards
+//!   ([`shard::Partition::Contiguous`] rank ranges, or the declustered
+//!   [`shard::Partition::RoundRobin`] reusing
+//!   [`slpm_storage::decluster`]), each shard owning a
+//!   [`slpm_storage::PageStore`] slice plus its own LRU buffer pool.
+//! * [`engine`] — the batch executor: plan each query on the packed
+//!   R-tree, route page reads to shards through the pool, merge outcomes
+//!   in deterministic query order with I/O-cost, buffer and latency
+//!   accounting.
+//! * [`workload`] — reproducible mixed range/kNN batches built on
+//!   [`slpm_querysim::workloads::sample_boxes`].
+//!
+//! **The serving contract:** result sets, page counts, run counts and the
+//! batch digest are bitwise identical for every shard count and thread
+//! count — scheduling moves work, never answers.
+//!
+//! ```
+//! use slpm_serve::engine::{EngineConfig, ServeEngine};
+//! use slpm_serve::workload::{grid_points, mixed_workload, WorkloadConfig};
+//! use slpm_graph::grid::GridSpec;
+//! use spectral_lpm::LinearOrder;
+//!
+//! let spec = GridSpec::cube(16, 2);
+//! let points = grid_points(&spec);
+//! let order = LinearOrder::identity(points.len());
+//! let engine = ServeEngine::new(
+//!     &points,
+//!     &order,
+//!     EngineConfig { shards: 2, threads: 2, ..Default::default() },
+//! );
+//! let batch = mixed_workload(&spec, &WorkloadConfig { queries: 32, ..Default::default() });
+//! let report = engine.run(&batch);
+//! assert_eq!(report.outcomes.len(), 32);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod pool;
+pub mod shard;
+pub mod workload;
+
+pub use engine::{BatchReport, EngineConfig, Query, QueryOutcome, ServeEngine, ShardReport};
+pub use pool::WorkerPool;
+pub use shard::{Partition, Shard, ShardMap};
+pub use workload::{grid_points, mixed_workload, WorkloadConfig};

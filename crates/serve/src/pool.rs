@@ -1,0 +1,246 @@
+//! A persistent worker pool: long-lived threads fed by an MPMC channel.
+//!
+//! The parallel kernels in `slpm_linalg::parallel` spawn *scoped* threads
+//! per call; spawning costs a few tens of microseconds, which dominates
+//! below ~64k work items — exactly the regime query serving lives in (a
+//! batch fans out into a handful of per-shard replay tasks and per-chunk
+//! planning tasks, each far smaller than an eigensolve). [`WorkerPool`]
+//! amortises that cost: threads are spawned **once**, park on a shared
+//! [`crossbeam::channel`] receiver (the MPMC clone-able receiver is why
+//! the shim grew channel support), and execute boxed jobs until the pool
+//! is dropped.
+//!
+//! Scheduling never influences results: [`WorkerPool::run_batch`] returns
+//! results **in task order** regardless of which worker ran what when, so
+//! any deterministic set of tasks yields a deterministic batch result for
+//! every thread count.
+
+use crossbeam::channel::{self, Receiver, Sender};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A unit of work shipped to a worker thread.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size pool of long-lived worker threads.
+///
+/// Dropping the pool closes the job channel and joins every worker.
+pub struct WorkerPool {
+    /// `None` only during drop (taken to disconnect the channel).
+    sender: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    /// Jobs submitted via [`WorkerPool::submit`] that panicked (batch
+    /// tasks re-raise their panics in the caller instead).
+    panicked: Arc<AtomicUsize>,
+}
+
+impl WorkerPool {
+    /// Spawn a pool of `threads` workers (at least one).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let (sender, receiver): (Sender<Job>, Receiver<Job>) = channel::unbounded();
+        let panicked = Arc::new(AtomicUsize::new(0));
+        let workers = (0..threads)
+            .map(|i| {
+                let rx = receiver.clone();
+                let panicked = Arc::clone(&panicked);
+                std::thread::Builder::new()
+                    .name(format!("slpm-serve-{i}"))
+                    .spawn(move || {
+                        while let Ok(job) = rx.recv() {
+                            // A panicking job must not take the worker (and
+                            // the pool's capacity) down with it; count it
+                            // and keep serving.
+                            if catch_unwind(AssertUnwindSafe(job)).is_err() {
+                                panicked.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    })
+                    .expect("spawning a pool worker failed")
+            })
+            .collect();
+        WorkerPool {
+            sender: Some(sender),
+            workers,
+            panicked,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Fire-and-forget: queue a job for whichever worker frees up first.
+    pub fn submit<F: FnOnce() + Send + 'static>(&self, job: F) {
+        self.sender
+            .as_ref()
+            .expect("pool is live until drop")
+            .send(Box::new(job))
+            .expect("pool workers outlive the sender");
+    }
+
+    /// Count of submitted (fire-and-forget) jobs that panicked.
+    pub fn panicked_jobs(&self) -> usize {
+        self.panicked.load(Ordering::Relaxed)
+    }
+
+    /// Run a batch of tasks on the pool and return their results **in
+    /// task order**. The calling thread blocks (it only collects; with a
+    /// single worker this degenerates to serial execution on the worker).
+    /// Do not call from *inside* a pool job: the job would block its own
+    /// worker waiting for capacity it occupies (a single-worker pool
+    /// deadlocks outright).
+    ///
+    /// A panicking task is re-raised here, after the rest of the batch
+    /// has drained — the first panic in task order wins.
+    pub fn run_batch<T, F>(&self, tasks: Vec<F>) -> Vec<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let n = tasks.len();
+        let (tx, rx) = channel::unbounded();
+        for (index, task) in tasks.into_iter().enumerate() {
+            let tx = tx.clone();
+            self.submit(move || {
+                let outcome = catch_unwind(AssertUnwindSafe(task));
+                // The collector may have unwound already; a dead receiver
+                // just discards the result.
+                let _ = tx.send((index, outcome));
+            });
+        }
+        drop(tx);
+        let mut slots: Vec<Option<std::thread::Result<T>>> = (0..n).map(|_| None).collect();
+        for _ in 0..n {
+            let (index, outcome) = rx.recv().expect("one result per task");
+            slots[index] = Some(outcome);
+        }
+        let mut results = Vec::with_capacity(n);
+        let mut first_panic = None;
+        for slot in slots {
+            match slot.expect("every slot filled") {
+                Ok(value) => results.push(value),
+                Err(payload) => {
+                    if first_panic.is_none() {
+                        first_panic = Some(payload);
+                    }
+                }
+            }
+        }
+        if let Some(payload) = first_panic {
+            resume_unwind(payload);
+        }
+        results
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Disconnect the channel; workers drain remaining jobs, then exit.
+        drop(self.sender.take());
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Mutex;
+
+    #[test]
+    fn batch_results_arrive_in_task_order() {
+        let pool = WorkerPool::new(4);
+        // Reverse sleep times so completion order inverts task order.
+        let tasks: Vec<_> = (0..8u64)
+            .map(|i| {
+                move || {
+                    std::thread::sleep(std::time::Duration::from_millis((8 - i) * 3));
+                    i * i
+                }
+            })
+            .collect();
+        let results = pool.run_batch(tasks);
+        assert_eq!(results, (0..8u64).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_worker_pool_is_serial_but_correct() {
+        let pool = WorkerPool::new(1);
+        let results = pool.run_batch((0..16).map(|i| move || i + 1).collect::<Vec<_>>());
+        assert_eq!(results, (1..17).collect::<Vec<i32>>());
+        assert_eq!(pool.threads(), 1);
+        assert_eq!(WorkerPool::new(0).threads(), 1);
+    }
+
+    #[test]
+    fn pool_is_reused_across_batches() {
+        // The point of persistence: many small batches on the same
+        // threads. Track distinct worker threads observed.
+        let pool = WorkerPool::new(2);
+        let seen = Arc::new(Mutex::new(std::collections::HashSet::new()));
+        for round in 0..10 {
+            let tasks: Vec<_> = (0..4)
+                .map(|i| {
+                    let seen = Arc::clone(&seen);
+                    move || {
+                        seen.lock().unwrap().insert(std::thread::current().id());
+                        round * 4 + i
+                    }
+                })
+                .collect();
+            let got = pool.run_batch(tasks);
+            assert_eq!(got, (round * 4..round * 4 + 4).collect::<Vec<_>>());
+        }
+        // 40 tasks landed on at most 2 (long-lived) threads.
+        assert!(seen.lock().unwrap().len() <= 2);
+    }
+
+    #[test]
+    fn submit_runs_and_pool_drains_on_drop() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = WorkerPool::new(3);
+            for _ in 0..50 {
+                let counter = Arc::clone(&counter);
+                pool.submit(move || {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            // Drop joins the workers after the queue drains.
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 50);
+    }
+
+    #[test]
+    fn batch_panic_is_propagated_to_the_caller() {
+        let pool = WorkerPool::new(2);
+        let tasks: Vec<Box<dyn FnOnce() -> usize + Send>> = vec![
+            Box::new(|| 1),
+            Box::new(|| panic!("task exploded")),
+            Box::new(|| 3),
+        ];
+        let outcome = catch_unwind(AssertUnwindSafe(|| pool.run_batch(tasks)));
+        assert!(outcome.is_err());
+        // The pool survives the panic and keeps serving.
+        let results = pool.run_batch(vec![
+            Box::new(|| 7usize) as Box<dyn FnOnce() -> usize + Send>
+        ]);
+        assert_eq!(results, vec![7]);
+    }
+
+    #[test]
+    fn submitted_panics_are_counted_not_fatal() {
+        let pool = WorkerPool::new(1);
+        pool.submit(|| panic!("fire-and-forget failure"));
+        // A later batch still runs on the same worker.
+        let results = pool.run_batch(vec![|| 11usize]);
+        assert_eq!(results, vec![11]);
+        assert_eq!(pool.panicked_jobs(), 1);
+    }
+}

@@ -1,0 +1,287 @@
+//! Sharding the page store: partitioning one linear order's pages.
+//!
+//! A shard owns a subset of the global pages ([`slpm_storage::PageStore`]
+//! shard slices) plus its own LRU [`BufferPool`]. Two placements are
+//! provided:
+//!
+//! * [`Partition::Contiguous`] — shard `s` owns one contiguous run of
+//!   page ids. With a locality-preserving order a query's pages are
+//!   consecutive, so most queries hit **one** shard and read it
+//!   sequentially — the clustering story of the paper, sharded.
+//! * [`Partition::RoundRobin`] — page `p` lives on shard `p mod S`,
+//!   reusing [`slpm_storage::decluster::RoundRobin`]: consecutive pages
+//!   spread across *all* shards, so one query fans out S-ways — the
+//!   paper's declustering use-case, where per-query parallelism is worth
+//!   more than per-shard sequentiality.
+//!
+//! Shard placement never changes *what* is read (global page ids and
+//! record bytes are shard-invariant); it only changes *where* the reads
+//! land, which is exactly what the engine's parity guarantees rely on.
+
+use slpm_storage::decluster::Declustering;
+use slpm_storage::{BufferPool, BufferStats, PageMapper, PageStore, RoundRobin};
+use std::fmt;
+use std::sync::Arc;
+
+/// How global pages are assigned to shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Partition {
+    /// Contiguous, balanced runs of page ids per shard.
+    Contiguous,
+    /// Declustered: page `p` on shard `p mod S` ([`RoundRobin`]).
+    RoundRobin,
+}
+
+impl Partition {
+    /// Parse a partition name (case-insensitive).
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s.to_ascii_lowercase().as_str() {
+            "contiguous" | "range" => Partition::Contiguous,
+            "round-robin" | "roundrobin" | "rr" => Partition::RoundRobin,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Partition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Partition::Contiguous => "contiguous",
+            Partition::RoundRobin => "round-robin",
+        })
+    }
+}
+
+/// The page → shard assignment for one store geometry.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardMap {
+    shards: usize,
+    num_pages: usize,
+    partition: Partition,
+    /// Contiguous split: the first `rem` shards own `base + 1` pages.
+    base: usize,
+    rem: usize,
+}
+
+impl ShardMap {
+    /// Assign `num_pages` global pages to `shards` shards.
+    ///
+    /// # Panics
+    /// Panics when `shards == 0`.
+    pub fn new(shards: usize, num_pages: usize, partition: Partition) -> Self {
+        assert!(shards >= 1, "need at least one shard");
+        ShardMap {
+            shards,
+            num_pages,
+            partition,
+            base: num_pages / shards,
+            rem: num_pages % shards,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Total pages assigned.
+    pub fn num_pages(&self) -> usize {
+        self.num_pages
+    }
+
+    /// The placement policy.
+    pub fn partition(&self) -> Partition {
+        self.partition
+    }
+
+    /// Shard owning global page `page`.
+    ///
+    /// # Panics
+    /// Panics on a page id outside the map.
+    pub fn shard_of(&self, page: usize) -> usize {
+        assert!(page < self.num_pages, "page {page} out of range");
+        match self.partition {
+            Partition::Contiguous => {
+                // First `rem` shards own `base + 1` pages each.
+                let wide = self.rem * (self.base + 1);
+                if page < wide {
+                    page / (self.base + 1)
+                } else {
+                    self.rem + (page - wide) / self.base
+                }
+            }
+            Partition::RoundRobin => RoundRobin::new(self.shards).disk_of(page),
+        }
+    }
+
+    /// Global page ids owned by `shard`, ascending.
+    pub fn pages_of(&self, shard: usize) -> Vec<usize> {
+        assert!(shard < self.shards, "shard {shard} out of range");
+        match self.partition {
+            Partition::Contiguous => {
+                let start = shard * self.base + shard.min(self.rem);
+                let len = self.base + usize::from(shard < self.rem);
+                (start..start + len).collect()
+            }
+            Partition::RoundRobin => (shard..self.num_pages).step_by(self.shards).collect(),
+        }
+    }
+}
+
+/// One shard: a slice of the page store plus its private LRU pool.
+pub struct Shard {
+    id: usize,
+    store: PageStore,
+    buffer: BufferPool,
+}
+
+impl Shard {
+    /// Build shard `id` of the map: a [`PageStore`] slice over the owned
+    /// pages and a fresh LRU pool of `buffer_pages` frames. `placement`
+    /// is the store's shared record placement
+    /// ([`PageStore::placement_of`]), computed once per fleet so S shards
+    /// hold one copy, not S.
+    pub fn build(
+        id: usize,
+        map: &ShardMap,
+        mapper: &PageMapper,
+        placement: Arc<Vec<(usize, usize)>>,
+        record_size: usize,
+        buffer_pages: usize,
+    ) -> Self {
+        let owned = map.pages_of(id);
+        Shard {
+            id,
+            store: PageStore::build_shard_placed(mapper, record_size, &owned, placement),
+            buffer: BufferPool::new(buffer_pages.max(1)),
+        }
+    }
+
+    /// Shard id.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The underlying store slice.
+    pub fn store(&self) -> &PageStore {
+        &self.store
+    }
+
+    /// Replay one query's page list against this shard: pages served from
+    /// the LRU pool are hits; misses go to the store (counted reads).
+    /// Returns `(hits, misses)`.
+    ///
+    /// Replay order is the caller's page order — the engine routes each
+    /// shard's queries in deterministic batch order, which is what makes
+    /// hit/miss accounting reproducible for every thread count.
+    pub fn replay(&mut self, pages: &[usize]) -> (usize, usize) {
+        let mut hits = 0;
+        let mut misses = 0;
+        for &page in pages {
+            if self.buffer.access(page) {
+                hits += 1;
+            } else {
+                let _ = self.store.read_page(page);
+                misses += 1;
+            }
+        }
+        (hits, misses)
+    }
+
+    /// Cumulative buffer statistics.
+    pub fn buffer_stats(&self) -> BufferStats {
+        self.buffer.stats()
+    }
+
+    /// Pages read from backing storage (i.e. buffer misses) so far.
+    pub fn storage_reads(&self) -> usize {
+        self.store.total_reads()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slpm_storage::PageLayout;
+    use spectral_lpm::LinearOrder;
+
+    #[test]
+    fn contiguous_partition_is_balanced_and_exhaustive() {
+        // 10 pages over 4 shards: 3, 3, 2, 2.
+        let map = ShardMap::new(4, 10, Partition::Contiguous);
+        let sizes: Vec<usize> = (0..4).map(|s| map.pages_of(s).len()).collect();
+        assert_eq!(sizes, vec![3, 3, 2, 2]);
+        // pages_of and shard_of agree, and runs are contiguous.
+        for s in 0..4 {
+            let pages = map.pages_of(s);
+            for w in pages.windows(2) {
+                assert_eq!(w[1], w[0] + 1);
+            }
+            for &p in &pages {
+                assert_eq!(map.shard_of(p), s);
+            }
+        }
+        let total: usize = sizes.iter().sum();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn round_robin_partition_matches_modulo() {
+        let map = ShardMap::new(3, 10, Partition::RoundRobin);
+        for p in 0..10 {
+            assert_eq!(map.shard_of(p), p % 3);
+        }
+        assert_eq!(map.pages_of(1), vec![1, 4, 7]);
+    }
+
+    #[test]
+    fn more_shards_than_pages() {
+        let map = ShardMap::new(5, 3, Partition::Contiguous);
+        for p in 0..3 {
+            assert_eq!(map.shard_of(p), p);
+        }
+        assert!(map.pages_of(4).is_empty());
+        let rr = ShardMap::new(5, 3, Partition::RoundRobin);
+        assert_eq!(rr.pages_of(4), Vec::<usize>::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_panics() {
+        ShardMap::new(0, 4, Partition::Contiguous);
+    }
+
+    #[test]
+    fn single_shard_owns_everything() {
+        for partition in [Partition::Contiguous, Partition::RoundRobin] {
+            let map = ShardMap::new(1, 7, partition);
+            assert_eq!(map.pages_of(0), (0..7).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn shard_replay_counts_hits_and_storage_reads() {
+        let order = LinearOrder::identity(16);
+        let mapper = PageMapper::new(&order, PageLayout::new(4)); // 4 pages
+        let map = ShardMap::new(2, mapper.num_pages(), Partition::Contiguous);
+        let placement = PageStore::placement_of(&mapper);
+        let mut shard = Shard::build(0, &map, &mapper, placement, 8, 8);
+        // Shard 0 owns pages {0, 1}.
+        let (h, m) = shard.replay(&[0, 1, 0]);
+        assert_eq!((h, m), (1, 2));
+        assert_eq!(shard.storage_reads(), 2); // only misses hit the store
+        assert_eq!(shard.buffer_stats().hits, 1);
+        assert_eq!(shard.id(), 0);
+        assert_eq!(shard.store().page_ids(), &[0, 1]);
+    }
+
+    #[test]
+    fn partition_parse_and_display() {
+        assert_eq!(Partition::parse("contiguous"), Some(Partition::Contiguous));
+        assert_eq!(Partition::parse("RR"), Some(Partition::RoundRobin));
+        assert_eq!(Partition::parse("Round-Robin"), Some(Partition::RoundRobin));
+        assert_eq!(Partition::parse("hashed"), None);
+        assert_eq!(Partition::Contiguous.to_string(), "contiguous");
+        assert_eq!(Partition::RoundRobin.to_string(), "round-robin");
+    }
+}

@@ -1,0 +1,179 @@
+//! Reproducible mixed workloads for the serving layer.
+//!
+//! Builds batches of range and kNN queries from
+//! [`slpm_querysim::workloads::sample_boxes`] — the same seeded generator
+//! the evaluation figures use — so a workload is a pure function of
+//! `(grid, count, seed)`: two processes, machines, or shard/thread
+//! configurations replay byte-for-byte the same queries.
+
+use crate::engine::Query;
+use slpm_graph::grid::GridSpec;
+use slpm_querysim::workloads::{sample_boxes, RangeBox};
+use slpm_storage::Mbr;
+
+/// Shape of a generated workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkloadConfig {
+    /// Number of queries in the batch.
+    pub queries: usize,
+    /// Seed for the box sampler.
+    pub seed: u64,
+    /// Every `knn_every`-th query becomes a kNN probe at the box centre
+    /// (`0` disables kNN entirely).
+    pub knn_every: usize,
+    /// Neighbours per kNN probe.
+    pub k: usize,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            queries: 1000,
+            seed: 42,
+            knn_every: 4,
+            k: 8,
+        }
+    }
+}
+
+/// The grid's points as integer coordinates, id = row-major index — the
+/// point set every engine over a [`GridSpec`] serves.
+pub fn grid_points(spec: &GridSpec) -> Vec<Vec<i64>> {
+    spec.iter_points()
+        .map(|c| c.iter().map(|&x| x as i64).collect())
+        .collect()
+}
+
+/// Convert a grid-coordinate box to the store's integer MBR.
+fn to_mbr(b: &RangeBox) -> Mbr {
+    Mbr {
+        lo: b.lo.iter().map(|&x| x as i64).collect(),
+        hi: b.hi.iter().map(|&x| x as i64).collect(),
+    }
+}
+
+/// Generate a reproducible mixed batch: three selectivity classes of
+/// range boxes (sides ≈ 1/32, 1/16 and 1/8 of the smallest grid extent)
+/// interleaved round-robin, with every `knn_every`-th query replaced by a
+/// kNN probe anchored at its box's centre.
+pub fn mixed_workload(spec: &GridSpec, cfg: &WorkloadConfig) -> Vec<Query> {
+    let min_extent = spec.dims().iter().copied().min().expect("non-empty grid");
+    let classes: Vec<usize> = [32, 16, 8]
+        .iter()
+        .map(|&frac| (min_extent / frac).max(1))
+        .collect();
+    let per_class = cfg.queries.div_ceil(classes.len());
+    // One seeded stream per class; interleaving consumes them round-robin
+    // so the batch mixes selectivities the way live traffic would.
+    let streams: Vec<Vec<RangeBox>> = classes
+        .iter()
+        .enumerate()
+        .map(|(c, &side)| {
+            let sides = vec![side; spec.ndim()];
+            sample_boxes(spec, &sides, per_class, cfg.seed.wrapping_add(c as u64))
+        })
+        .collect();
+    (0..cfg.queries)
+        .map(|i| {
+            let class = i % classes.len();
+            let b = &streams[class][i / classes.len()];
+            let knn_due = cfg.knn_every > 0 && (i + 1) % cfg.knn_every == 0;
+            if knn_due && cfg.k > 0 {
+                let center: Vec<i64> =
+                    b.lo.iter()
+                        .zip(b.hi.iter())
+                        .map(|(&l, &h)| ((l + h) / 2) as i64)
+                        .collect();
+                Query::Knn { center, k: cfg.k }
+            } else {
+                Query::Range(to_mbr(b))
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_is_reproducible() {
+        let spec = GridSpec::cube(64, 2);
+        let cfg = WorkloadConfig {
+            queries: 100,
+            ..Default::default()
+        };
+        let a = mixed_workload(&spec, &cfg);
+        let b = mixed_workload(&spec, &cfg);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 100);
+        let other = mixed_workload(&spec, &WorkloadConfig { seed: 7, ..cfg });
+        assert_ne!(a, other);
+    }
+
+    #[test]
+    fn workload_mixes_ranges_and_knn() {
+        let spec = GridSpec::cube(64, 2);
+        let cfg = WorkloadConfig {
+            queries: 40,
+            knn_every: 4,
+            ..Default::default()
+        };
+        let batch = mixed_workload(&spec, &cfg);
+        let knn = batch
+            .iter()
+            .filter(|q| matches!(q, Query::Knn { .. }))
+            .count();
+        assert_eq!(knn, 10);
+        // Boxes stay inside the grid; kNN centres too.
+        for q in &batch {
+            match q {
+                Query::Range(m) => {
+                    assert!(m.lo.iter().all(|&x| x >= 0));
+                    assert!(m.hi.iter().all(|&x| x < 64));
+                }
+                Query::Knn { center, k } => {
+                    assert!(center.iter().all(|&x| (0..64).contains(&x)));
+                    assert_eq!(*k, 8);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn knn_disabled_yields_pure_ranges() {
+        let spec = GridSpec::cube(32, 2);
+        let cfg = WorkloadConfig {
+            queries: 30,
+            knn_every: 0,
+            ..Default::default()
+        };
+        assert!(mixed_workload(&spec, &cfg)
+            .iter()
+            .all(|q| matches!(q, Query::Range(_))));
+    }
+
+    #[test]
+    fn grid_points_are_row_major() {
+        let spec = GridSpec::new(&[2, 3]);
+        let pts = grid_points(&spec);
+        assert_eq!(pts.len(), 6);
+        assert_eq!(pts[0], vec![0, 0]);
+        assert_eq!(pts[5], vec![1, 2]);
+        for (i, p) in pts.iter().enumerate() {
+            let coords: Vec<usize> = p.iter().map(|&x| x as usize).collect();
+            assert_eq!(spec.index_of(&coords), i);
+        }
+    }
+
+    #[test]
+    fn tiny_grid_degenerates_gracefully() {
+        let spec = GridSpec::cube(4, 2);
+        let cfg = WorkloadConfig {
+            queries: 10,
+            ..Default::default()
+        };
+        let batch = mixed_workload(&spec, &cfg);
+        assert_eq!(batch.len(), 10);
+    }
+}

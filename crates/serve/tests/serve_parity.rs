@@ -1,0 +1,119 @@
+//! Shard- and thread-count invariance of the serving engine.
+//!
+//! The engine's contract (the serving analogue of PR 3's threading-parity
+//! guarantee): replaying the same deterministic workload over the same
+//! linear order must produce **identical per-query result sets, page
+//! counts, run counts and batch digest** for every combination of shard
+//! count, thread count and partition policy — scheduling moves work,
+//! never answers. Additionally, the engine's per-query distinct-page
+//! accounting must equal what the plain unsharded
+//! [`slpm_storage::PageStore::serve_query`] loop reads for the same
+//! queries.
+//!
+//! Debug builds run a small grid; the release (tier-2) run adds a
+//! 256×256 grid with the full 1 000-query acceptance workload, matching
+//! `threading_parity.rs`'s release gating.
+
+use slpm_graph::grid::GridSpec;
+use slpm_querysim::mappings::curve_order;
+use slpm_serve::engine::{EngineConfig, ServeEngine};
+use slpm_serve::shard::Partition;
+use slpm_serve::workload::{grid_points, mixed_workload, WorkloadConfig};
+use slpm_sfc::HilbertCurve;
+use slpm_storage::{PageLayout, PageMapper, PageStore};
+use spectral_lpm::LinearOrder;
+
+/// `(grid side, queries)` cases; sides are powers of two for Hilbert.
+#[cfg(debug_assertions)]
+const CASES: &[(usize, usize)] = &[(32, 120)];
+#[cfg(not(debug_assertions))]
+const CASES: &[(usize, usize)] = &[(64, 300), (256, 1000)];
+
+fn hilbert_order(spec: &GridSpec) -> LinearOrder {
+    let side = spec.dim(0) as u64;
+    curve_order(
+        spec,
+        &HilbertCurve::from_side(spec.ndim(), side).expect("power-of-two side"),
+    )
+}
+
+#[test]
+fn results_identical_across_shards_threads_and_partitions() {
+    for &(side, queries) in CASES {
+        let spec = GridSpec::cube(side, 2);
+        let points = grid_points(&spec);
+        let order = hilbert_order(&spec);
+        let workload = mixed_workload(
+            &spec,
+            &WorkloadConfig {
+                queries,
+                ..Default::default()
+            },
+        );
+        let base = EngineConfig {
+            buffer_pages: 32,
+            ..Default::default()
+        };
+        let reference = ServeEngine::new(&points, &order, base).run(&workload);
+        assert_eq!(reference.outcomes.len(), queries);
+        assert!(reference.total_results() > 0, "degenerate workload");
+        for shards in [1usize, 4] {
+            for threads in [1usize, 4] {
+                for partition in [Partition::Contiguous, Partition::RoundRobin] {
+                    let cfg = EngineConfig {
+                        shards,
+                        threads,
+                        partition,
+                        ..base
+                    };
+                    let engine = ServeEngine::new(&points, &order, cfg);
+                    let report = engine.run(&workload);
+                    let label = format!("{side}x{side} S={shards} T={threads} {partition}");
+                    assert_eq!(report.digest, reference.digest, "digest: {label}");
+                    for (q, (a, b)) in report.outcomes.iter().zip(&reference.outcomes).enumerate() {
+                        assert_eq!(a.results, b.results, "results of query {q}: {label}");
+                        assert_eq!(a.pages, b.pages, "pages of query {q}: {label}");
+                        assert_eq!(a.runs, b.runs, "runs of query {q}: {label}");
+                    }
+                    // Shard stats partition the batch exactly.
+                    let routed: usize = report.shards.iter().map(|s| s.pages_routed).sum();
+                    assert_eq!(routed, report.total_pages(), "routed pages: {label}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn engine_page_accounting_matches_plain_store_replay() {
+    for &(side, queries) in CASES {
+        let spec = GridSpec::cube(side, 2);
+        let points = grid_points(&spec);
+        let order = hilbert_order(&spec);
+        let workload = mixed_workload(
+            &spec,
+            &WorkloadConfig {
+                queries: queries.min(300),
+                ..Default::default()
+            },
+        );
+        let cfg = EngineConfig {
+            shards: 4,
+            threads: 4,
+            ..Default::default()
+        };
+        let engine = ServeEngine::new(&points, &order, cfg);
+        let report = engine.run(&workload);
+        // The classic single-threaded, single-shard accounting loop.
+        let mapper = PageMapper::new(&order, PageLayout::new(cfg.records_per_page));
+        let store = PageStore::build(&mapper, order.len(), 8);
+        let mut direct_total = 0usize;
+        for (outcome, _q) in report.outcomes.iter().zip(&workload) {
+            let direct = store.serve_query(outcome.results.iter().copied());
+            assert_eq!(outcome.pages, direct);
+            direct_total += direct;
+        }
+        assert_eq!(report.total_pages(), direct_total);
+        assert_eq!(store.total_reads(), direct_total);
+    }
+}

@@ -19,14 +19,30 @@ pub struct BufferStats {
 }
 
 impl BufferStats {
-    /// Hit ratio in `[0, 1]` (0 for an empty run).
+    /// Total page requests (hits + misses).
+    pub fn accesses(&self) -> usize {
+        self.hits + self.misses
+    }
+
+    /// Hit ratio in `[0, 1]`. Guarded against the zero-access case: a run
+    /// that never touched the pool reports `0.0`, not `NaN` — callers
+    /// aggregating per-shard ratios (some shards may receive no queries)
+    /// rely on this.
     pub fn hit_ratio(&self) -> f64 {
-        let total = self.hits + self.misses;
+        let total = self.accesses();
         if total == 0 {
             0.0
         } else {
             self.hits as f64 / total as f64
         }
+    }
+
+    /// Accumulate another run's counters into this one — used to fold
+    /// per-shard pool statistics into a fleet-wide total.
+    pub fn merge(&mut self, other: &BufferStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.evictions += other.evictions;
     }
 }
 
@@ -158,6 +174,82 @@ mod tests {
     fn empty_stats_ratio_is_zero() {
         let pool = BufferPool::new(1);
         assert_eq!(pool.stats().hit_ratio(), 0.0);
+        assert_eq!(pool.stats().accesses(), 0);
+        // The zero-access guard must hold for the bare default too (the
+        // engine reports ratios for shards that served no queries).
+        assert_eq!(BufferStats::default().hit_ratio(), 0.0);
+        assert!(BufferStats::default().hit_ratio().is_finite());
+    }
+
+    #[test]
+    fn access_many_under_capacity_pressure() {
+        // Capacity 2, three distinct pages cycling: every access past the
+        // warm-up misses because the pool always just evicted the page
+        // that comes back two steps later.
+        let mut pool = BufferPool::new(2);
+        let (h, m) = pool.access_many([1, 2, 3, 1, 2, 3]);
+        assert_eq!((h, m), (0, 6));
+        let s = pool.stats();
+        assert_eq!(s.misses, 6);
+        assert_eq!(s.evictions, 4);
+        assert_eq!(s.hit_ratio(), 0.0);
+        assert_eq!(pool.resident_count(), 2);
+    }
+
+    #[test]
+    fn access_many_working_set_within_capacity_hits() {
+        // The same stream with capacity 3 keeps the whole working set
+        // resident: second round is all hits, nothing evicted.
+        let mut pool = BufferPool::new(3);
+        let (h1, m1) = pool.access_many([1, 2, 3]);
+        assert_eq!((h1, m1), (0, 3));
+        let (h2, m2) = pool.access_many([1, 2, 3]);
+        assert_eq!((h2, m2), (3, 0));
+        let s = pool.stats();
+        assert_eq!((s.hits, s.misses, s.evictions), (3, 3, 0));
+        assert!((s.hit_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn access_many_mixed_reuse_at_the_eviction_boundary() {
+        // Capacity 2: [5, 6, 5] hits the middle reuse, then 7 evicts the
+        // LRU page 6; the returns to 6 and 5 each miss and evict in turn,
+        // leaving {6, 5} resident.
+        let mut pool = BufferPool::new(2);
+        let (h, m) = pool.access_many([5, 6, 5, 7, 6, 5]);
+        assert_eq!((h, m), (1, 5));
+        let s = pool.stats();
+        assert_eq!(s.evictions, 3);
+        assert!(pool.is_resident(5) && pool.is_resident(6));
+        assert!(!pool.is_resident(7));
+    }
+
+    #[test]
+    fn merge_accumulates_counters() {
+        let mut a = BufferStats {
+            hits: 3,
+            misses: 1,
+            evictions: 0,
+        };
+        let b = BufferStats {
+            hits: 1,
+            misses: 3,
+            evictions: 2,
+        };
+        a.merge(&b);
+        assert_eq!(
+            a,
+            BufferStats {
+                hits: 4,
+                misses: 4,
+                evictions: 2
+            }
+        );
+        assert!((a.hit_ratio() - 0.5).abs() < 1e-12);
+        // Merging into a zero run keeps the zero-access guard meaningful.
+        let mut z = BufferStats::default();
+        z.merge(&BufferStats::default());
+        assert_eq!(z.hit_ratio(), 0.0);
     }
 
     #[test]

@@ -79,6 +79,17 @@ impl<'a> PageMapper<'a> {
         self.layout.page_of_position(self.rank[v])
     }
 
+    /// 1-D position (rank) of vertex `v`.
+    #[inline]
+    pub fn position_of(&self, v: usize) -> usize {
+        self.rank[v]
+    }
+
+    /// Number of records placed (the order's length).
+    pub fn num_records(&self) -> usize {
+        self.rank.len()
+    }
+
     /// The set of distinct pages a query's vertices touch.
     pub fn pages_touched<I: IntoIterator<Item = usize>>(&self, vertices: I) -> BTreeSet<usize> {
         vertices.into_iter().map(|v| self.page_of(v)).collect()

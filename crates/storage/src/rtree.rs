@@ -152,7 +152,29 @@ impl<'a> PackedRTree<'a> {
     }
 
     /// Answer a range query, counting node accesses.
+    ///
+    /// Results are sorted by **point id** (ascending), which is generally
+    /// *not* the packed linear order — downstream page reads derived from
+    /// this list can jump back and forth across the order. Use
+    /// [`PackedRTree::range_query_ordered`] when the consumer streams the
+    /// results to storage.
     pub fn range_query(&self, query: &Mbr) -> (Vec<usize>, QueryCost) {
+        let (mut results, cost) = self.range_query_ordered(query);
+        results.sort_unstable();
+        (results, cost)
+    }
+
+    /// Answer a range query returning matches in **packed (linear-order)
+    /// sequence**: leaves hold consecutive runs of the order and are
+    /// visited left-to-right, so result ranks — and therefore the page
+    /// ids any [`crate::PageMapper`] over the same order derives from
+    /// them — are monotonically non-decreasing. That turns the query's
+    /// page reads into a forward-only sweep (sequential I/O), which is
+    /// what the serving layer feeds to its shards.
+    ///
+    /// Node-access counts are identical to [`PackedRTree::range_query`]
+    /// (same nodes, different visit order).
+    pub fn range_query_ordered(&self, query: &Mbr) -> (Vec<usize>, QueryCost) {
         let mut results = Vec::new();
         let mut cost = QueryCost {
             nodes_visited: 0,
@@ -174,10 +196,12 @@ impl<'a> PackedRTree<'a> {
                     }
                 }
             } else {
-                stack.extend(node.children.iter().copied());
+                // Children are packed left-to-right over the order; push
+                // them reversed so the leftmost pops first and leaves are
+                // visited in packed order.
+                stack.extend(node.children.iter().rev().copied());
             }
         }
-        results.sort_unstable();
         cost.results = results.len();
         (results, cost)
     }
@@ -278,6 +302,43 @@ mod tests {
             bad.total_leaf_volume()
         );
         assert!(good.total_leaf_margin() <= bad.total_leaf_margin());
+    }
+
+    #[test]
+    fn ordered_query_yields_monotone_ranks_and_pages() {
+        use crate::pages::{PageLayout, PageMapper};
+        // A boustrophedon (snake) order on an 8×8 grid: nontrivial but
+        // locality-preserving, so a box query spans several leaves.
+        let side = 8usize;
+        let pts = grid_points(side as i64);
+        let ranks: Vec<usize> = (0..side * side)
+            .map(|i| {
+                let (x, y) = (i / side, i % side);
+                x * side + if x % 2 == 1 { side - 1 - y } else { y }
+            })
+            .collect();
+        let order = LinearOrder::from_ranks(ranks).unwrap();
+        let t = PackedRTree::pack(&pts, &order, 4);
+        let mapper = PageMapper::new(&order, PageLayout::new(4));
+        let q = Mbr {
+            lo: vec![1, 2],
+            hi: vec![6, 5],
+        };
+        let (ordered, cost) = t.range_query_ordered(&q);
+        assert!(!ordered.is_empty());
+        // Ranks strictly increase along the ordered result stream, so the
+        // derived page ids never move backwards: a forward-only sweep.
+        for w in ordered.windows(2) {
+            assert!(order.rank_of(w[0]) < order.rank_of(w[1]));
+            assert!(mapper.page_of(w[0]) <= mapper.page_of(w[1]));
+        }
+        // Same result set and identical node accounting as the id-sorted
+        // variant.
+        let (plain, plain_cost) = t.range_query(&q);
+        let mut resorted = ordered.clone();
+        resorted.sort_unstable();
+        assert_eq!(resorted, plain);
+        assert_eq!(cost, plain_cost);
     }
 
     #[test]

@@ -4,10 +4,18 @@
 //! cheaply shareable) for a record set laid out by a [`PageMapper`], and
 //! counts page reads so examples and tests can report true I/O numbers for
 //! a workload rather than analytic estimates.
+//!
+//! A store can also hold only a *slice* of the global page set
+//! ([`PageStore::build_shard`]): the serving layer partitions the pages of
+//! one linear order across shards, and each shard materialises payloads
+//! for its owned pages only, while keeping the **global** page ids and
+//! record ids — so a record read through any shard returns exactly the
+//! bytes the unsharded store would.
 
 use crate::pages::PageMapper;
 use bytes::{Bytes, BytesMut};
 use std::cell::Cell;
+use std::sync::Arc;
 
 /// A fixed-size record payload generator: record `v`'s bytes are a
 /// deterministic function of its id, so tests can verify reads return the
@@ -20,13 +28,22 @@ fn record_payload(v: usize, record_size: usize) -> Vec<u8> {
 
 /// An in-memory page store: pages hold the records assigned by a
 /// [`PageMapper`], reads are counted.
+///
+/// Pages are addressed by their **global** id everywhere; a shard-slice
+/// store (see [`PageStore::build_shard`]) simply owns payloads for a
+/// subset of those ids.
 pub struct PageStore {
-    /// Page payloads.
+    /// Payloads of the owned pages, in ascending global-id order.
     pages: Vec<Bytes>,
+    /// Global id of each owned page (`page_ids[local] = global`).
+    page_ids: Vec<usize>,
+    /// Global page id → owned-slot index (`usize::MAX` = not owned).
+    local_of: Vec<usize>,
     /// Records per page and record size (geometry).
     record_size: usize,
-    /// Vertex → (page, slot) placement.
-    placement: Vec<(usize, usize)>,
+    /// Vertex → (global page, slot) placement; `Arc`-shared so S shard
+    /// slices of one store hold one copy, not S.
+    placement: Arc<Vec<(usize, usize)>>,
     /// Number of page reads served.
     reads: Cell<usize>,
 }
@@ -35,43 +52,133 @@ impl PageStore {
     /// Build a store for `order_len` records laid out by `mapper`, each
     /// record `record_size` bytes.
     pub fn build(mapper: &PageMapper, order_len: usize, record_size: usize) -> Self {
+        let all: Vec<usize> = (0..mapper.num_pages()).collect();
+        PageStore::build_shard(mapper, order_len, record_size, &all)
+    }
+
+    /// The global vertex → (page, slot) placement of `mapper`'s layout:
+    /// records sit **in linear order within their page** (slot = rank mod
+    /// page size). Computed in O(n) and `Arc`-shared so a fleet of shard
+    /// slices can reuse one copy via [`PageStore::build_shard_placed`].
+    pub fn placement_of(mapper: &PageMapper) -> Arc<Vec<(usize, usize)>> {
         let rpp = mapper.layout().records_per_page;
-        let mut page_bufs: Vec<BytesMut> = (0..mapper.num_pages())
+        Arc::new(
+            (0..mapper.num_records())
+                .map(|v| {
+                    let position = mapper.position_of(v);
+                    (position / rpp, position % rpp)
+                })
+                .collect(),
+        )
+    }
+
+    /// Build a store holding only the pages `owned` (global page ids) of
+    /// the layout described by `mapper` — one shard's slice of the store.
+    ///
+    /// Record ids, page ids, slots and payloads are identical to the full
+    /// store's; only the materialised subset differs, so a sharded fleet
+    /// whose owned sets partition `0..mapper.num_pages()` serves exactly
+    /// the bytes of the unsharded store. Reading a page outside `owned`
+    /// panics (a routing bug in the caller). When building many slices of
+    /// one store, compute the placement once with
+    /// [`PageStore::placement_of`] and use
+    /// [`PageStore::build_shard_placed`] instead.
+    ///
+    /// # Panics
+    /// Panics when `owned` names a page `≥ mapper.num_pages()` or
+    /// `order_len` differs from the mapper's record count.
+    pub fn build_shard(
+        mapper: &PageMapper,
+        order_len: usize,
+        record_size: usize,
+        owned: &[usize],
+    ) -> Self {
+        assert_eq!(
+            order_len,
+            mapper.num_records(),
+            "order length differs from the mapper's record count"
+        );
+        PageStore::build_shard_placed(mapper, record_size, owned, PageStore::placement_of(mapper))
+    }
+
+    /// [`PageStore::build_shard`] with a precomputed, shared placement
+    /// (must be `mapper`'s own, i.e. [`PageStore::placement_of`]).
+    ///
+    /// # Panics
+    /// Panics when `owned` names a page `≥ mapper.num_pages()` or the
+    /// placement's length differs from the mapper's record count.
+    pub fn build_shard_placed(
+        mapper: &PageMapper,
+        record_size: usize,
+        owned: &[usize],
+        placement: Arc<Vec<(usize, usize)>>,
+    ) -> Self {
+        let num_global = mapper.num_pages();
+        assert_eq!(
+            placement.len(),
+            mapper.num_records(),
+            "placement does not cover the mapper's records"
+        );
+        let mut page_ids: Vec<usize> = owned.to_vec();
+        page_ids.sort_unstable();
+        page_ids.dedup();
+        if let Some(&last) = page_ids.last() {
+            assert!(last < num_global, "owned page {last} ≥ {num_global} pages");
+        }
+        let mut local_of = vec![usize::MAX; num_global];
+        for (local, &global) in page_ids.iter().enumerate() {
+            local_of[global] = local;
+        }
+        let rpp = mapper.layout().records_per_page;
+        let mut page_bufs: Vec<BytesMut> = (0..page_ids.len())
             .map(|_| BytesMut::zeroed(rpp * record_size))
             .collect();
-        let mut placement = vec![(0usize, 0usize); order_len];
-        // Slot within page = position within page (derived from the rank
-        // the mapper used). Reconstruct by counting records per page in
-        // vertex order of ascending page-local placement.
-        let mut next_slot = vec![0usize; mapper.num_pages()];
-        // Vertices sorted by page then id give deterministic slots.
-        let mut by_page: Vec<usize> = (0..order_len).collect();
-        by_page.sort_by_key(|&v| (mapper.page_of(v), v));
-        for v in by_page {
-            let p = mapper.page_of(v);
-            let slot = next_slot[p];
-            next_slot[p] += 1;
-            placement[v] = (p, slot);
-            let payload = record_payload(v, record_size);
-            page_bufs[p][slot * record_size..(slot + 1) * record_size].copy_from_slice(&payload);
+        // Placement is global; payloads materialise for owned pages only.
+        for (v, &(p, slot)) in placement.iter().enumerate() {
+            if local_of[p] != usize::MAX {
+                let payload = record_payload(v, record_size);
+                page_bufs[local_of[p]][slot * record_size..(slot + 1) * record_size]
+                    .copy_from_slice(&payload);
+            }
         }
         PageStore {
             pages: page_bufs.into_iter().map(BytesMut::freeze).collect(),
+            page_ids,
+            local_of,
             record_size,
             placement,
             reads: Cell::new(0),
         }
     }
 
-    /// Number of pages in the store.
+    /// Number of pages this store owns (= all pages for a full build).
     pub fn num_pages(&self) -> usize {
         self.pages.len()
     }
 
-    /// Read one page (counted), returning its payload.
+    /// Whether this store owns (materialises) global page `page`.
+    pub fn owns_page(&self, page: usize) -> bool {
+        self.local_of.get(page).is_some_and(|&l| l != usize::MAX)
+    }
+
+    /// Global ids of the owned pages, ascending.
+    pub fn page_ids(&self) -> &[usize] {
+        &self.page_ids
+    }
+
+    /// Read one page by **global** id (counted), returning its payload.
+    ///
+    /// # Panics
+    /// Panics when this store slice does not own `page`.
     pub fn read_page(&self, page: usize) -> Bytes {
+        let local = self
+            .local_of
+            .get(page)
+            .copied()
+            .filter(|&l| l != usize::MAX)
+            .unwrap_or_else(|| panic!("page {page} not owned by this store slice"));
         self.reads.set(self.reads.get() + 1);
-        self.pages[page].clone()
+        self.pages[local].clone()
     }
 
     /// Fetch one record by vertex id, reading its page.
@@ -83,6 +190,9 @@ impl PageStore {
 
     /// Serve a query over vertex ids: reads each distinct page once,
     /// returns the number of pages read for this query.
+    ///
+    /// On a shard slice, every queried vertex must live on an owned page
+    /// (the sharded engine routes per-shard page lists instead).
     pub fn serve_query<I: IntoIterator<Item = usize>>(&self, vertices: I) -> usize {
         let mut pages: Vec<usize> = vertices.into_iter().map(|v| self.placement[v].0).collect();
         pages.sort_unstable();
@@ -149,6 +259,71 @@ mod tests {
         assert_eq!(s.total_reads(), 1);
         let n = s.serve_query([0, 5, 9]);
         assert_eq!(n, 3);
+    }
+
+    #[test]
+    fn shard_slice_serves_global_ids_and_bytes() {
+        // 10 records, 4 per page → pages {0,1,2}; a shard owning {0,2}
+        // must return exactly the full store's bytes for those pages.
+        let order = LinearOrder::identity(10);
+        let mapper = PageMapper::new(&order, PageLayout::new(4));
+        let full = PageStore::build(&mapper, 10, 8);
+        let shard = PageStore::build_shard(&mapper, 10, 8, &[2, 0]);
+        assert_eq!(shard.num_pages(), 2);
+        assert_eq!(shard.page_ids(), &[0, 2]);
+        assert!(shard.owns_page(0) && !shard.owns_page(1) && shard.owns_page(2));
+        for page in [0usize, 2] {
+            assert_eq!(&shard.read_page(page)[..], &full.read_page(page)[..]);
+        }
+        // Records on owned pages read back with their global ids.
+        for v in [0usize, 1, 2, 3, 8, 9] {
+            assert_eq!(&shard.read_record(v)[..], &shard.expected_record(v)[..]);
+        }
+        assert_eq!(shard.total_reads(), 2 + 6);
+    }
+
+    #[test]
+    fn shard_slices_share_one_placement() {
+        // A fleet of slices built from one placement_of holds ONE copy of
+        // the dense placement array, and records sit in linear order
+        // within their page (slot = rank mod page size).
+        let order = LinearOrder::from_ranks((0..10).rev().collect()).unwrap();
+        let mapper = PageMapper::new(&order, PageLayout::new(4));
+        let placement = PageStore::placement_of(&mapper);
+        assert_eq!(placement.len(), 10);
+        for v in 0..10 {
+            let rank = order.rank_of(v);
+            assert_eq!(placement[v], (rank / 4, rank % 4));
+        }
+        let a = PageStore::build_shard_placed(&mapper, 8, &[0, 1], Arc::clone(&placement));
+        let b = PageStore::build_shard_placed(&mapper, 8, &[2], Arc::clone(&placement));
+        assert!(Arc::ptr_eq(&a.placement, &placement));
+        assert!(Arc::ptr_eq(&b.placement, &placement));
+        for v in 0..10 {
+            let s = if a.owns_page(mapper.page_of(v)) {
+                &a
+            } else {
+                &b
+            };
+            assert_eq!(&s.read_record(v)[..], &s.expected_record(v)[..]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not owned")]
+    fn shard_slice_rejects_unowned_page() {
+        let order = LinearOrder::identity(10);
+        let mapper = PageMapper::new(&order, PageLayout::new(4));
+        let shard = PageStore::build_shard(&mapper, 10, 8, &[0]);
+        let _ = shard.read_page(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "≥")]
+    fn shard_slice_rejects_out_of_range_page() {
+        let order = LinearOrder::identity(10);
+        let mapper = PageMapper::new(&order, PageLayout::new(4));
+        let _ = PageStore::build_shard(&mapper, 10, 8, &[3]);
     }
 
     #[test]

@@ -1,11 +1,18 @@
 //! Offline stand-in for the `crossbeam` crate.
 //!
-//! Only the `thread::scope` / `Scope::spawn` / `ScopedJoinHandle::join`
-//! surface the experiment runners use is provided, implemented on top of
-//! `std::thread::scope` (stable since Rust 1.63, which postdates
-//! crossbeam's scoped-thread API). Semantics match crossbeam's: `scope`
-//! returns `Ok(r)` when no spawned thread panicked, and spawn closures
-//! receive the scope so they could spawn nested threads.
+//! Two surfaces are provided, each only as wide as the tree needs:
+//!
+//! * [`thread`] — `thread::scope` / `Scope::spawn` /
+//!   `ScopedJoinHandle::join`, implemented on top of `std::thread::scope`
+//!   (stable since Rust 1.63, which postdates crossbeam's scoped-thread
+//!   API). Semantics match crossbeam's: `scope` returns `Ok(r)` when no
+//!   spawned thread panicked, and spawn closures receive the scope so they
+//!   could spawn nested threads.
+//! * [`channel`] — cloneable MPMC channels (`unbounded` / `bounded`,
+//!   blocking `send`/`recv`, `try_recv`, `iter`) over `Mutex` + `Condvar`,
+//!   feeding the persistent worker pool in `slpm_serve`.
+
+pub mod channel;
 
 /// Scoped threads, mirroring `crossbeam::thread`.
 pub mod thread {

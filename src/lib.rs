@@ -13,11 +13,13 @@
 //! * [`sfc`] — Sweep/Snake/Peano/Gray/Hilbert space-filling curves;
 //! * [`core`] — the Spectral LPM algorithm itself;
 //! * [`querysim`] — the paper's evaluation workloads and metrics;
-//! * [`storage`] — page placement, clustering metric, declustering.
+//! * [`storage`] — page placement, clustering metric, declustering;
+//! * [`serve`] — the sharded, batched query-serving engine.
 
 pub use slpm_graph as graph;
 pub use slpm_linalg as linalg;
 pub use slpm_querysim as querysim;
+pub use slpm_serve as serve;
 pub use slpm_sfc as sfc;
 pub use slpm_storage as storage;
 pub use spectral_lpm as core;
@@ -27,6 +29,7 @@ pub mod prelude {
     pub use slpm_graph::grid::{Connectivity, GridSpec};
     pub use slpm_graph::Graph;
     pub use slpm_linalg::{FiedlerMethod, FiedlerOptions};
+    pub use slpm_serve::{EngineConfig, Partition, Query, ServeEngine, WorkerPool};
     pub use slpm_sfc::{
         CurveKind, GrayCurve, HilbertCurve, PeanoCurve, SnakeCurve, SpaceFillingCurve, SweepCurve,
     };
