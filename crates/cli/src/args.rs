@@ -1,5 +1,6 @@
 //! Hand-rolled argument parsing for the `slpm` binary.
 
+use slpm_serve::engine::KnnPlanner;
 use slpm_serve::shard::Partition;
 use std::fmt;
 
@@ -104,7 +105,8 @@ pub enum Command {
     },
     /// `slpm serve --grid AxB [--mapping M] [--shards S] [--threads T]
     /// [--queries Q] [--seed N] [--partition contiguous|round-robin]
-    /// [--buffer-pages N] [--page-records N]` — run a mixed range/kNN
+    /// [--buffer-pages N] [--page-records N] [--inflight B]
+    /// [--knn-planner best-first|expanding-ball]` — run a mixed range/kNN
     /// workload through the sharded serving engine.
     Serve {
         /// Grid extents.
@@ -125,6 +127,11 @@ pub enum Command {
         buffer_pages: usize,
         /// Records per page.
         page_records: usize,
+        /// Concurrently admitted batches the workload is split into
+        /// (1 = one batch, the serial-admission baseline).
+        inflight: usize,
+        /// kNN planning algorithm.
+        planner: KnnPlanner,
     },
     /// `slpm help`
     Help,
@@ -293,6 +300,8 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             let mut partition = Partition::Contiguous;
             let mut buffer_pages = 64usize;
             let mut page_records = 64usize;
+            let mut inflight = 1usize;
+            let mut planner = KnnPlanner::BestFirst;
             let mut i = 1;
             while i < args.len() {
                 match args[i].as_str() {
@@ -323,6 +332,15 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                     "--page-records" => {
                         page_records = parse_positive(args, &mut i, "--page-records")?
                     }
+                    "--inflight" => inflight = parse_positive(args, &mut i, "--inflight")?,
+                    "--knn-planner" => {
+                        let v = take_value(args, &mut i, "--knn-planner")?;
+                        planner = KnnPlanner::parse(v).ok_or_else(|| {
+                            ParseError(format!(
+                                "unknown kNN planner '{v}' (best-first, expanding-ball)"
+                            ))
+                        })?;
+                    }
                     other => return Err(ParseError(format!("unknown flag '{other}'"))),
                 }
                 i += 1;
@@ -337,6 +355,8 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 partition,
                 buffer_pages,
                 page_records,
+                inflight,
+                planner,
             })
         }
         "report" => {
@@ -381,7 +401,8 @@ USAGE:
   slpm report  --grid 8x8 --mapping hilbert
   slpm serve   --grid 256x256 [--mapping hilbert] [--shards 2] [--threads 1]
                [--queries 1000] [--seed 42] [--partition contiguous|round-robin]
-               [--buffer-pages 64] [--page-records 64]
+               [--buffer-pages 64] [--page-records 64] [--inflight 1]
+               [--knn-planner best-first|expanding-ball]
   slpm help
 
 Mappings: sweep, snake, peano (Z-order), truepeano, gray, hilbert,
@@ -395,8 +416,11 @@ available parallelism, or the SLPM_THREADS env var); results are bitwise
 identical for every thread count.
 `slpm serve` replays a seeded mixed range/kNN workload through the sharded
 serving engine (order -> pages -> shards -> worker pool); result sets, page
-counts and the printed digest are bitwise identical for every --shards and
---threads combination.
+counts and the printed digest are bitwise identical for every --shards,
+--threads, --inflight and --knn-planner combination. --inflight B splits
+the workload into B concurrently admitted batches (per-shard FIFO queues,
+round-robin fairness); --knn-planner picks best-first branch-and-bound
+(default) or the expanding-ball baseline.
 ";
 
 #[cfg(test)]
@@ -541,6 +565,8 @@ mod tests {
                 partition: Partition::Contiguous,
                 buffer_pages: 64,
                 page_records: 64,
+                inflight: 1,
+                planner: KnnPlanner::BestFirst,
             }
         );
         let c = parse(&argv(&[
@@ -563,6 +589,10 @@ mod tests {
             "16",
             "--page-records",
             "32",
+            "--inflight",
+            "4",
+            "--knn-planner",
+            "expanding-ball",
         ]))
         .unwrap();
         assert_eq!(
@@ -577,14 +607,18 @@ mod tests {
                 partition: Partition::RoundRobin,
                 buffer_pages: 16,
                 page_records: 32,
+                inflight: 4,
+                planner: KnnPlanner::ExpandingBall,
             }
         );
-        // Missing grid, bad values, bad partition.
+        // Missing grid, bad values, bad partition, bad planner/inflight.
         assert!(parse(&argv(&["serve"])).is_err());
         assert!(parse(&argv(&["serve", "--grid", "8x8", "--shards", "0"])).is_err());
         assert!(parse(&argv(&["serve", "--grid", "8x8", "--queries", "none"])).is_err());
         assert!(parse(&argv(&["serve", "--grid", "8x8", "--partition", "hashed"])).is_err());
         assert!(parse(&argv(&["serve", "--grid", "8x8", "--seed", "x"])).is_err());
+        assert!(parse(&argv(&["serve", "--grid", "8x8", "--inflight", "0"])).is_err());
+        assert!(parse(&argv(&["serve", "--grid", "8x8", "--knn-planner", "astar"])).is_err());
     }
 
     #[test]

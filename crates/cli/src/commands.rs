@@ -201,6 +201,8 @@ pub fn execute(cmd: &Command) -> Result<String, ParseError> {
             partition,
             buffer_pages,
             page_records,
+            inflight,
+            planner,
         } => {
             let spec = GridSpec::new(dims);
             let order = build_order(dims, *mapping, None)?;
@@ -214,6 +216,7 @@ pub fn execute(cmd: &Command) -> Result<String, ParseError> {
                 threads: *threads,
                 partition: *partition,
                 buffer_pages: *buffer_pages,
+                knn_planner: *planner,
                 ..Default::default()
             };
             let engine = ServeEngine::new(&points, &order, cfg);
@@ -225,13 +228,14 @@ pub fn execute(cmd: &Command) -> Result<String, ParseError> {
                     ..Default::default()
                 },
             );
-            let report = engine.run(&workload);
+            let report = engine.run_inflight(&workload, *inflight);
             let buffer = report.buffer_stats();
             let mut out = String::new();
             out.push_str(&format!(
                 "serving {} queries over a {:?} grid ({} mapping)\n\
                  shards: {}  threads: {}  partition: {}  pages: {}  \
-                 buffer: {} frames/shard  page: {} records\n",
+                 buffer: {} frames/shard  page: {} records\n\
+                 knn planner: {}  in-flight batches: {}\n",
                 queries,
                 dims,
                 mapping,
@@ -241,6 +245,8 @@ pub fn execute(cmd: &Command) -> Result<String, ParseError> {
                 engine.num_pages(),
                 buffer_pages,
                 page_records,
+                planner,
+                inflight,
             ));
             out.push_str(&format!(
                 "results: {}  pages touched: {}  storage reads: {}  hit ratio: {:.3}\n",
@@ -255,6 +261,12 @@ pub fn execute(cmd: &Command) -> Result<String, ParseError> {
                 report.page_quantile(0.99),
                 report.elapsed_seconds,
                 report.queries_per_second(),
+            ));
+            out.push_str(&format!(
+                "latency/query p50: {:.1}us  p99: {:.1}us  shard balance (max/mean pages): {:.2}\n",
+                report.latency_quantile(0.5) * 1e6,
+                report.latency_quantile(0.99) * 1e6,
+                report.shard_balance(),
             ));
             for s in &report.shards {
                 out.push_str(&format!(
@@ -419,6 +431,28 @@ mod tests {
         ])
         .unwrap();
         assert_eq!(digest_line(&rr), reference);
+        // Concurrent admission and the baseline planner move work and
+        // cost, never answers.
+        for extra in [
+            ["--inflight", "4"],
+            ["--knn-planner", "expanding-ball"],
+            ["--threads", "4"],
+        ] {
+            let mut argv = vec![
+                "serve",
+                "--grid",
+                "16x16",
+                "--queries",
+                "40",
+                "--inflight",
+                "2",
+            ];
+            argv.extend(extra);
+            let out = run(&argv).unwrap();
+            assert_eq!(digest_line(&out), reference, "extra {extra:?}");
+            assert!(out.contains("shard balance"));
+            assert!(out.contains("latency/query"));
+        }
         // A different seed is a different workload.
         let other = run(&["serve", "--grid", "16x16", "--queries", "40", "--seed", "7"]).unwrap();
         assert_ne!(digest_line(&other), reference);

@@ -75,5 +75,5 @@ pub use fiedler::{FiedlerMethod, FiedlerOptions, FiedlerPair};
 pub use lanczos::{LanczosOptions, LanczosResult};
 pub use multilevel::{Coarsening, MultilevelOptions, Prolongation};
 pub use operator::LinearOperator;
-pub use parallel::Pool;
+pub use parallel::{Pool, ScopeExecutor};
 pub use sparse::CsrMatrix;

@@ -65,34 +65,83 @@ pub fn default_threads() -> usize {
     })
 }
 
-/// A scoped worker pool: a resolved thread count plus the spawn/join logic.
+/// An executor that can run a batch of **borrowing** jobs to completion —
+/// the seam that lets the scoped kernels borrow a *persistent* thread pool
+/// (e.g. `slpm_serve`'s `WorkerPool`) instead of spawning fresh scoped
+/// threads on every call, so one pool abstraction serves both the
+/// eigensolver and the query engine.
 ///
-/// Cheap to construct and copy; holds no OS resources. Threads are spawned
-/// per call (scoped) and joined before the call returns.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct Pool {
-    threads: usize,
+/// # Contract
+/// `run_jobs` must execute **every** job before returning (order and
+/// placement are free — the kernels built on it are bitwise independent of
+/// both) and must propagate a job panic to the caller. The crossbeam
+/// shim's `thread::run_scoped` implements exactly this contract over any
+/// `'static` job sink.
+pub trait ScopeExecutor: Sync {
+    /// Run every job to completion, then return.
+    fn run_jobs(&self, jobs: Vec<Box<dyn FnOnce() + Send + '_>>);
 }
 
-impl Default for Pool {
+/// A scoped worker pool: a resolved thread count plus the spawn/join logic.
+///
+/// Cheap to construct and copy; holds no OS resources of its own. By
+/// default threads are spawned per call (scoped) and joined before the
+/// call returns; [`Pool::with_executor`] instead borrows a persistent
+/// [`ScopeExecutor`], which amortises the per-call spawn cost for the
+/// many-small-kernel regime. The executor never changes results — every
+/// kernel is bitwise identical for any thread count and either backend.
+#[derive(Clone, Copy)]
+pub struct Pool<'e> {
+    threads: usize,
+    /// `None`: scoped threads per call. `Some`: persistent executor.
+    executor: Option<&'e dyn ScopeExecutor>,
+}
+
+impl std::fmt::Debug for Pool<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pool")
+            .field("threads", &self.threads)
+            .field("executor", &self.executor.map(|_| "persistent"))
+            .finish()
+    }
+}
+
+impl Default for Pool<'static> {
     /// The machine-default pool ([`default_threads`]).
     fn default() -> Self {
         Pool::new(None)
     }
 }
 
-impl Pool {
+impl Pool<'static> {
     /// Resolve a thread-count knob: `Some(t)` pins the worker count,
     /// `None` uses [`default_threads`] (env override / machine size).
     pub fn new(threads: Option<usize>) -> Self {
         Pool {
             threads: threads.unwrap_or_else(default_threads).max(1),
+            executor: None,
         }
     }
 
     /// A single-threaded pool; every primitive runs inline.
     pub fn serial() -> Self {
-        Pool { threads: 1 }
+        Pool {
+            threads: 1,
+            executor: None,
+        }
+    }
+}
+
+impl<'e> Pool<'e> {
+    /// Opt-in: schedule parallel work onto a persistent [`ScopeExecutor`]
+    /// with `threads` workers instead of spawning scoped threads per
+    /// call. Chunking (and therefore every result bit) is identical to
+    /// the scoped backend at the same thread count.
+    pub fn with_executor(threads: usize, executor: &'e dyn ScopeExecutor) -> Pool<'e> {
+        Pool {
+            threads: threads.max(1),
+            executor: Some(executor),
+        }
     }
 
     /// Worker count this pool schedules onto.
@@ -124,6 +173,23 @@ impl Pool {
         let workers = self.workers_for(n);
         if workers <= 1 {
             f(0, data);
+            return;
+        }
+        if let Some(executor) = self.executor {
+            // Persistent backend: same balanced split, shipped as boxed
+            // borrowing jobs (the executor blocks until all complete).
+            let mut jobs: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(workers);
+            let mut rest = data;
+            let mut offset = 0usize;
+            for w in 0..workers {
+                let count = rest.len() / (workers - w);
+                let (head, tail) = rest.split_at_mut(count);
+                rest = tail;
+                let g = &f;
+                jobs.push(Box::new(move || g(offset, head)));
+                offset += count;
+            }
+            executor.run_jobs(jobs);
             return;
         }
         thread::scope(|s| {
@@ -177,6 +243,24 @@ impl Pool {
                 let start = c * REDUCE_CHUNK;
                 *slot = Some(f(start, (start + REDUCE_CHUNK).min(n)));
             }
+        } else if let Some(executor) = self.executor {
+            let mut jobs: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(workers);
+            let mut rest: &mut [Option<T>] = &mut out;
+            let mut first = 0usize;
+            for w in 0..workers {
+                let count = rest.len() / (workers - w);
+                let (head, tail) = rest.split_at_mut(count);
+                rest = tail;
+                let g = &f;
+                jobs.push(Box::new(move || {
+                    for (k, slot) in head.iter_mut().enumerate() {
+                        let start = (first + k) * REDUCE_CHUNK;
+                        *slot = Some(g(start, (start + REDUCE_CHUNK).min(n)));
+                    }
+                }));
+                first += count;
+            }
+            executor.run_jobs(jobs);
         } else {
             thread::scope(|s| {
                 let mut rest: &mut [Option<T>] = &mut out;
@@ -406,6 +490,71 @@ mod tests {
         let pool = Pool::new(Some(8));
         assert_eq!(pool.dot(&x, &y).to_bits(), vector::dot(&x, &y).to_bits());
         assert_eq!(pool.norm2(&x).to_bits(), vector::norm2(&x).to_bits());
+    }
+
+    /// A toy persistent executor: runs the borrowed jobs on plain std
+    /// scoped threads. Exercises the executor dispatch path (boxed jobs,
+    /// no calling-thread participation) without needing `slpm_serve`.
+    struct SpawningExecutor;
+    impl ScopeExecutor for SpawningExecutor {
+        fn run_jobs(&self, jobs: Vec<Box<dyn FnOnce() + Send + '_>>) {
+            std::thread::scope(|s| {
+                for job in jobs {
+                    s.spawn(job);
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn executor_backend_is_bitwise_identical_to_scoped() {
+        let n = SPAWN_MIN + 3 * REDUCE_CHUNK + 29;
+        let x = random_vec(n, 11);
+        let y = random_vec(n, 12);
+        let executor = SpawningExecutor;
+        for t in [2usize, 4] {
+            let scoped = Pool::new(Some(t));
+            let pooled = Pool::with_executor(t, &executor);
+            assert_eq!(pooled.threads(), t);
+            assert_eq!(
+                pooled.dot(&x, &y).to_bits(),
+                scoped.dot(&x, &y).to_bits(),
+                "dot differs at threads={t}"
+            );
+            let mut a = y.clone();
+            let mut b = y.clone();
+            scoped.axpy(0.73, &x, &mut a);
+            pooled.axpy(0.73, &x, &mut b);
+            assert_eq!(a, b, "axpy differs at threads={t}");
+            scoped.center(&mut a);
+            pooled.center(&mut b);
+            assert_eq!(a, b, "center differs at threads={t}");
+        }
+        // Matvec through the executor too.
+        let lap = grid_laplacian(170, 130);
+        let v = random_vec(lap.rows(), 13);
+        let mut serial = vec![0.0; lap.rows()];
+        lap.matvec_into(&v, &mut serial);
+        let mut pooled = vec![0.0; lap.rows()];
+        Pool::with_executor(4, &executor).matvec_into(&lap, &v, &mut pooled);
+        assert_eq!(pooled, serial);
+    }
+
+    #[test]
+    fn executor_pool_runs_small_inputs_inline() {
+        // Below SPAWN_MIN the executor is never consulted.
+        struct PanickingExecutor;
+        impl ScopeExecutor for PanickingExecutor {
+            fn run_jobs(&self, _jobs: Vec<Box<dyn FnOnce() + Send + '_>>) {
+                panic!("executor must not be used for tiny inputs");
+            }
+        }
+        let x = random_vec(64, 14);
+        let pool = Pool::with_executor(8, &PanickingExecutor);
+        assert_eq!(
+            pool.sum(&x).to_bits(),
+            vector::sum_kernel_chunked(&x).to_bits()
+        );
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! The batch query executor: plan → route → replay → merge.
+//! The batch query executor: plan → route → replay → merge, with
+//! concurrent batch admission.
 //!
 //! [`ServeEngine`] turns the reproduction's artifacts — a
 //! [`LinearOrder`], the [`PageMapper`] placing it on pages, a
@@ -6,34 +7,52 @@
 //! a concurrent query engine for batches of range and k-nearest-neighbour
 //! queries. A batch flows through four phases:
 //!
-//! 1. **Plan** (inline): each query runs against the packed R-tree.
-//!    Range queries use [`PackedRTree::range_query_ordered`], so result
-//!    ranks — and the page ids derived from them — are monotone; kNN
-//!    probes expand a Chebyshev ball until `k` matches are guaranteed.
-//! 2. **Route** (inline): result ids become per-query page lists and
-//!    per-shard slices — a pure pass of integer divisions over the
-//!    order's borrowed ranks and the [`ShardMap`], far cheaper than
-//!    shipping ids to the pool.
-//! 3. **Replay** (pooled): one task per shard replays that shard's
-//!    queries **in batch order** against its private LRU pool and store
-//!    slice, producing hit/miss accounting.
-//! 4. **Merge** (inline): per-query outcomes are reassembled in query
-//!    order and folded into a digest plus per-shard aggregates.
+//! 1. **Plan** (at [`ServeEngine::submit`], chunk-parallel on the pool):
+//!    each query runs against the packed R-tree. Range queries use
+//!    [`PackedRTree::range_query_ordered`], so result ranks — and the
+//!    page ids derived from them — are monotone; kNN queries run the
+//!    [`KnnPlanner`] of the engine's configuration (best-first
+//!    branch-and-bound by default, the expanding-ball probe as the
+//!    retained baseline).
+//! 2. **Route** (with planning): result ids become per-query page lists
+//!    and per-shard slices — a pure pass of integer divisions over the
+//!    order's borrowed ranks and the [`ShardMap`].
+//! 3. **Replay** (pooled, admission-queued): each shard owns a FIFO work
+//!    queue. A submitted batch enqueues one work unit per (query, shard)
+//!    slice, **in batch order**; at most one runner per shard drains its
+//!    queue on the [`WorkerPool`], taking one unit per queued batch in
+//!    turn (round-robin fairness across in-flight batches) so a huge
+//!    batch cannot starve a small one. Within a batch, a shard's units
+//!    replay in batch order — the sequence the digest contract relies on.
+//! 4. **Merge** (at [`BatchHandle::wait`]): per-query outcomes are
+//!    reassembled in query order and folded into a digest plus per-shard
+//!    aggregates.
 //!
-//! **Determinism.** Every phase is either a pure per-query function or a
-//! per-shard sequential replay in a fixed order, so the report's result
-//! sets, page/run counts and digest are bitwise identical for every
-//! thread count *and* shard count (per-shard buffer statistics are the
-//! one shard-count-dependent quantity: S LRU pools are not one big pool).
-//! The thread count only changes wall-clock time.
+//! **Admission.** [`ServeEngine::submit`] returns a [`BatchHandle`]
+//! without waiting for replay, so any number of batches can be in flight
+//! at once; [`ServeEngine::run`] is submit-then-wait, and
+//! [`ServeEngine::run_inflight`] splits one workload into several
+//! concurrently admitted batches and merges the reports.
+//!
+//! **Determinism.** Planning and routing are pure per-query functions,
+//! and a batch's replay sequence on each shard is internally ordered, so
+//! result sets, page counts, run counts and the digest are bitwise
+//! identical for every shard count, thread count, kNN planner and
+//! in-flight batch count ([`digest_outcomes`] is invariant under batch
+//! splitting). Buffer hit/miss statistics are the one scheduling-
+//! dependent quantity under *concurrent* admission: interleaving changes
+//! which batch finds a page warm (totals per shard still add up) —
+//! exactly as in any shared-cache server.
 
 use crate::pool::WorkerPool;
 use crate::shard::{Partition, Shard, ShardMap};
 use slpm_storage::{
-    BufferStats, IoCost, IoModel, Mbr, PackedRTree, PageLayout, PageMapper, QueryCost,
+    chebyshev, BufferStats, IoCost, IoModel, Mbr, PackedRTree, PageLayout, PageMapper, QueryCost,
 };
 use spectral_lpm::LinearOrder;
-use std::sync::{Arc, Mutex};
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
 /// One query of a batch.
@@ -49,6 +68,41 @@ pub enum Query {
         /// Number of neighbours.
         k: usize,
     },
+}
+
+/// Which exact-kNN planner the engine runs. Both return the identical
+/// result list (ascending `(distance, id)`), so digests never depend on
+/// the choice; only the tree-access cost differs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KnnPlanner {
+    /// Best-first branch-and-bound on the packed R-tree
+    /// ([`PackedRTree::knn_best_first`]): visits each node at most once.
+    /// The default.
+    BestFirst,
+    /// The doubling expanding-ball probe: re-runs a growing range query
+    /// until `k` matches are guaranteed, re-paying shared nodes every
+    /// round. Retained as the measured baseline.
+    ExpandingBall,
+}
+
+impl KnnPlanner {
+    /// Parse a planner name (case-insensitive).
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s.to_ascii_lowercase().as_str() {
+            "best-first" | "bestfirst" | "bf" => KnnPlanner::BestFirst,
+            "expanding" | "expanding-ball" | "ball" => KnnPlanner::ExpandingBall,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for KnnPlanner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            KnnPlanner::BestFirst => "best-first",
+            KnnPlanner::ExpandingBall => "expanding-ball",
+        })
+    }
 }
 
 /// Engine geometry and scheduling knobs.
@@ -70,6 +124,8 @@ pub struct EngineConfig {
     pub buffer_pages: usize,
     /// Seek/transfer model for the per-query I/O cost estimate.
     pub io: IoModel,
+    /// kNN planning algorithm.
+    pub knn_planner: KnnPlanner,
 }
 
 impl Default for EngineConfig {
@@ -83,6 +139,7 @@ impl Default for EngineConfig {
             partition: Partition::Contiguous,
             buffer_pages: 64,
             io: IoModel::default(),
+            knn_planner: KnnPlanner::BestFirst,
         }
     }
 }
@@ -103,8 +160,13 @@ pub struct QueryOutcome {
     pub misses: usize,
     /// Seek/transfer cost estimate for this query.
     pub io: IoCost,
-    /// R-tree node accounting (cumulative over kNN expansions).
+    /// R-tree node accounting (cumulative over kNN expansions for the
+    /// expanding-ball planner; at-most-once visits for best-first).
     pub tree: QueryCost,
+    /// Admission-to-completion latency in seconds: from batch submission
+    /// until the query's last shard unit replayed (`0.0` for queries that
+    /// touch no pages). Scheduling-dependent — never part of the digest.
+    pub seconds: f64,
 }
 
 /// Per-shard aggregates over one batch.
@@ -118,8 +180,20 @@ pub struct ShardReport {
     pub pages_routed: usize,
     /// Sequential runs within this shard's slices.
     pub runs: usize,
-    /// Buffer accounting for this batch.
+    /// Buffer accounting attributable to this batch.
     pub buffer: BufferStats,
+}
+
+impl ShardReport {
+    fn idle(shard: usize) -> Self {
+        ShardReport {
+            shard,
+            queries: 0,
+            pages_routed: 0,
+            runs: 0,
+            buffer: BufferStats::default(),
+        }
+    }
 }
 
 /// The merged result of one batch.
@@ -129,11 +203,11 @@ pub struct BatchReport {
     pub outcomes: Vec<QueryOutcome>,
     /// Per-shard aggregates (every shard, including idle ones).
     pub shards: Vec<ShardReport>,
-    /// Wall-clock seconds for the batch (plan through merge).
+    /// Wall-clock seconds from submission through merge.
     pub elapsed_seconds: f64,
-    /// Order-sensitive FNV-1a digest of (query index, result ids, page
-    /// count, run count) — bitwise identical across shard and thread
-    /// counts for the same order and workload.
+    /// Order-sensitive FNV-1a digest of (query position, result ids, page
+    /// count, run count) — see [`digest_outcomes`]; bitwise identical
+    /// across shard counts, thread counts, planners and batch splits.
     pub digest: u64,
 }
 
@@ -177,6 +251,38 @@ impl BatchReport {
         pages.sort_unstable();
         quantile(&pages, q)
     }
+
+    /// The `q`-quantile of per-query admission-to-completion latency
+    /// (seconds). `0.0` on an empty batch.
+    pub fn latency_quantile(&self, q: f64) -> f64 {
+        let mut lats: Vec<f64> = self.outcomes.iter().map(|o| o.seconds).collect();
+        lats.sort_by(f64::total_cmp);
+        if lats.is_empty() {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * lats.len() as f64).ceil() as usize;
+        lats[rank.saturating_sub(1).min(lats.len() - 1)]
+    }
+
+    /// Shard-balance skew: max/mean of per-shard routed pages — `1.0` is
+    /// a perfectly balanced fleet, `S` means one shard absorbed
+    /// everything. `0.0` when the batch routed no pages at all. The
+    /// diagnostic that shows where contiguous partitioning needs
+    /// splitting under hot-spot (Zipf) traffic.
+    pub fn shard_balance(&self) -> f64 {
+        let total: usize = self.shards.iter().map(|s| s.pages_routed).sum();
+        if total == 0 || self.shards.is_empty() {
+            return 0.0;
+        }
+        let mean = total as f64 / self.shards.len() as f64;
+        let max = self
+            .shards
+            .iter()
+            .map(|s| s.pages_routed)
+            .max()
+            .unwrap_or(0) as f64;
+        max / mean
+    }
 }
 
 /// Nearest-rank quantile of an ascending sample (0 on an empty batch).
@@ -194,6 +300,31 @@ fn fnv1a64(hash: &mut u64, word: u64) {
     *hash = hash.wrapping_mul(0x100_0000_01b3);
 }
 
+/// The batch digest: an order-sensitive FNV-1a fold of every outcome's
+/// (position, result count, result ids, page count, run count).
+///
+/// Defined over a *sequence* of outcomes rather than a batch, so the
+/// digest of one N-query batch equals the digest of the concatenated
+/// outcomes of the same N queries split across any number of in-flight
+/// batches — the invariant the `{1,4}` in-flight parity gate checks.
+/// Scheduling-dependent fields (hits, misses, latency) never enter.
+pub fn digest_outcomes<'a, I>(outcomes: I) -> u64
+where
+    I: IntoIterator<Item = &'a QueryOutcome>,
+{
+    let mut digest = 0xcbf2_9ce4_8422_2325u64;
+    for (qidx, outcome) in outcomes.into_iter().enumerate() {
+        fnv1a64(&mut digest, qidx as u64);
+        fnv1a64(&mut digest, outcome.results.len() as u64);
+        for &id in &outcome.results {
+            fnv1a64(&mut digest, id as u64);
+        }
+        fnv1a64(&mut digest, outcome.pages as u64);
+        fnv1a64(&mut digest, outcome.runs as u64);
+    }
+    digest
+}
+
 /// A planned query: its result ids plus tree accounting.
 struct Plan {
     results: Vec<usize>,
@@ -206,7 +337,11 @@ struct Plan {
 /// One query's page list routed to one shard.
 struct ShardSlice {
     shard: usize,
+    /// Routed page ids; [`ServeEngine::submit`] moves this list into the
+    /// shard's replay [`Unit`] (no second copy lives for the in-flight
+    /// window), leaving `page_count` behind for the merge accounting.
     pages: Vec<usize>,
+    page_count: usize,
     runs: usize,
 }
 
@@ -215,6 +350,267 @@ struct Route {
     pages: usize,
     runs: usize,
     slices: Vec<ShardSlice>,
+}
+
+/// One (query, shard) replay unit of a batch.
+struct Unit {
+    qidx: usize,
+    pages: Vec<usize>,
+}
+
+/// A batch's pending units on one shard, FIFO in batch order.
+struct BatchWork {
+    state: Arc<BatchState>,
+    units: VecDeque<Unit>,
+}
+
+/// One shard's admission queue: in-flight batches, each with its ordered
+/// remaining units, plus the is-a-runner-scheduled flag.
+#[derive(Default)]
+struct ShardQueue {
+    batches: VecDeque<BatchWork>,
+    running: bool,
+}
+
+impl ShardQueue {
+    fn default_vec(shards: usize) -> Vec<Mutex<ShardQueue>> {
+        (0..shards)
+            .map(|_| Mutex::new(ShardQueue::default()))
+            .collect()
+    }
+}
+
+/// State shared between the engine, its shard runners and outstanding
+/// batch handles (everything the pool's `'static` jobs need).
+struct EngineShared {
+    shards: Vec<Mutex<Shard>>,
+    queues: Vec<Mutex<ShardQueue>>,
+}
+
+/// Mutable replay progress of one in-flight batch.
+struct BatchProgress {
+    /// Units not yet replayed (0 = batch complete).
+    pending_units: usize,
+    /// Remaining units per query; a query completes when its count hits 0.
+    units_left: Vec<usize>,
+    hits: Vec<usize>,
+    misses: Vec<usize>,
+    /// Per-shard buffer-stat deltas attributable to this batch.
+    shard_buffers: Vec<BufferStats>,
+    /// Per-query completion latency (seconds since submission).
+    latency: Vec<f64>,
+    /// Units whose replay panicked; re-raised at the waiter (never a
+    /// silent hang).
+    failed_units: usize,
+}
+
+/// Completion tracking for one submitted batch.
+struct BatchState {
+    started: Instant,
+    progress: Mutex<BatchProgress>,
+    done: Condvar,
+}
+
+impl BatchState {
+    /// Fold one replayed unit into the batch's progress; wakes waiters
+    /// when the last unit lands.
+    fn record_unit(
+        &self,
+        shard: usize,
+        qidx: usize,
+        hits: usize,
+        misses: usize,
+        delta: BufferStats,
+    ) {
+        let mut progress = self.progress.lock().expect("batch progress lock");
+        progress.hits[qidx] += hits;
+        progress.misses[qidx] += misses;
+        progress.shard_buffers[shard].merge(&delta);
+        progress.units_left[qidx] -= 1;
+        if progress.units_left[qidx] == 0 {
+            progress.latency[qidx] = self.started.elapsed().as_secs_f64();
+        }
+        progress.pending_units -= 1;
+        if progress.pending_units == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    /// A unit's replay panicked: count the failure and still retire the
+    /// unit, so waiters always wake (the failure is re-raised at
+    /// [`BatchHandle::wait`] instead of hanging the batch).
+    fn record_failure(&self, qidx: usize) {
+        let mut progress = self.progress.lock().expect("batch progress lock");
+        progress.failed_units += 1;
+        progress.units_left[qidx] -= 1;
+        progress.pending_units -= 1;
+        if progress.pending_units == 0 {
+            self.done.notify_all();
+        }
+    }
+}
+
+/// Drain one shard's queue: repeatedly take the front batch's next unit,
+/// rotate that batch to the back of the line (round-robin fairness across
+/// in-flight batches), and replay the unit against the shard. Exactly one
+/// runner is active per shard (the `running` flag), which is what keeps
+/// each batch's units on a shard in batch order.
+fn run_shard_queue(shared: &EngineShared, shard_id: usize) {
+    loop {
+        let (state, unit) = {
+            let mut queue = shared.queues[shard_id].lock().expect("shard queue lock");
+            match queue.batches.pop_front() {
+                None => {
+                    // Queue drained; clear the flag under the same lock a
+                    // submitter checks it, so no work is ever stranded.
+                    queue.running = false;
+                    return;
+                }
+                Some(mut work) => {
+                    let unit = work.units.pop_front().expect("queued batches have work");
+                    let state = Arc::clone(&work.state);
+                    if !work.units.is_empty() {
+                        queue.batches.push_back(work);
+                    }
+                    (state, unit)
+                }
+            }
+        };
+        // A panicking replay (routing bug, poisoned shard lock, …) must
+        // not kill the runner silently: on the pool that would strand the
+        // batch (waiters hang forever) and wedge the shard behind a
+        // `running` flag nobody clears. Catch it, retire the unit as
+        // failed, and keep draining; the waiter re-raises at wait().
+        let replayed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut shard = shared.shards[shard_id].lock().expect("shard lock");
+            let before = shard.buffer_stats();
+            let (h, m) = shard.replay(&unit.pages);
+            let after = shard.buffer_stats();
+            (
+                h,
+                m,
+                BufferStats {
+                    hits: after.hits - before.hits,
+                    misses: after.misses - before.misses,
+                    evictions: after.evictions - before.evictions,
+                },
+            )
+        }));
+        match replayed {
+            Ok((hits, misses, delta)) => {
+                state.record_unit(shard_id, unit.qidx, hits, misses, delta)
+            }
+            Err(_) => state.record_failure(unit.qidx),
+        }
+    }
+}
+
+/// A submitted batch: resolves to its [`BatchReport`] via
+/// [`BatchHandle::wait`]. Owns the batch's plans and routes, so it
+/// borrows nothing from the engine and any number of handles can be in
+/// flight while further batches are submitted.
+pub struct BatchHandle {
+    state: Arc<BatchState>,
+    plans: Vec<Plan>,
+    routes: Vec<Route>,
+    io: IoModel,
+    shards: usize,
+}
+
+impl BatchHandle {
+    /// Number of queries in this batch.
+    pub fn queries(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// True once every replay unit has completed (never blocks).
+    pub fn is_complete(&self) -> bool {
+        self.state
+            .progress
+            .lock()
+            .expect("batch progress lock")
+            .pending_units
+            == 0
+    }
+
+    /// Block until the batch completes, then merge per-query outcomes (in
+    /// submission order), per-shard aggregates and the digest.
+    pub fn wait(self) -> BatchReport {
+        let (outcomes, shards, elapsed_seconds) = self.finish();
+        let digest = digest_outcomes(&outcomes);
+        BatchReport {
+            outcomes,
+            shards,
+            elapsed_seconds,
+            digest,
+        }
+    }
+
+    /// [`BatchHandle::wait`] without the digest fold — the merge kernel
+    /// [`ServeEngine::run_inflight`] builds on, so a split workload pays
+    /// for exactly one digest pass over the concatenated outcomes.
+    fn finish(self) -> (Vec<QueryOutcome>, Vec<ShardReport>, f64) {
+        let BatchHandle {
+            state,
+            plans,
+            routes,
+            io,
+            shards,
+        } = self;
+        let (hits, misses, shard_buffers, latency) = {
+            let mut progress = state.progress.lock().expect("batch progress lock");
+            while progress.pending_units > 0 {
+                progress = state.done.wait(progress).expect("batch progress lock");
+            }
+            assert!(
+                progress.failed_units == 0,
+                "{} replay unit(s) panicked during this batch (see worker logs)",
+                progress.failed_units
+            );
+            (
+                std::mem::take(&mut progress.hits),
+                std::mem::take(&mut progress.misses),
+                std::mem::take(&mut progress.shard_buffers),
+                std::mem::take(&mut progress.latency),
+            )
+        };
+        let mut shard_reports: Vec<ShardReport> = (0..shards).map(ShardReport::idle).collect();
+        for route in &routes {
+            for slice in &route.slices {
+                let report = &mut shard_reports[slice.shard];
+                report.queries += 1;
+                report.pages_routed += slice.page_count;
+                report.runs += slice.runs;
+            }
+        }
+        for (shard, buffer) in shard_buffers.into_iter().enumerate() {
+            shard_reports[shard].buffer = buffer;
+        }
+        let outcomes: Vec<QueryOutcome> = plans
+            .into_iter()
+            .zip(routes)
+            .enumerate()
+            .map(|(qidx, (plan, route))| QueryOutcome {
+                results: plan.results,
+                pages: route.pages,
+                runs: route.runs,
+                hits: hits[qidx],
+                misses: misses[qidx],
+                io: IoCost {
+                    pages: route.pages,
+                    runs: route.runs,
+                    total: route.runs as f64 * io.seek_cost + route.pages as f64 * io.transfer_cost,
+                },
+                tree: plan.tree,
+                seconds: latency[qidx],
+            })
+            .collect();
+        (
+            outcomes,
+            shard_reports,
+            state.started.elapsed().as_secs_f64(),
+        )
+    }
 }
 
 /// The sharded, batched query engine.
@@ -229,7 +625,7 @@ pub struct ServeEngine<'a> {
     bounds: Mbr,
     layout: PageLayout,
     shard_map: ShardMap,
-    shards: Arc<Vec<Mutex<Shard>>>,
+    shared: Arc<EngineShared>,
     /// `None` when `threads == 1`: the serial baseline runs inline.
     pool: Option<WorkerPool>,
     cfg: EngineConfig,
@@ -269,7 +665,10 @@ impl<'a> ServeEngine<'a> {
             bounds,
             layout,
             shard_map,
-            shards: Arc::new(shards),
+            shared: Arc::new(EngineShared {
+                shards,
+                queues: ShardQueue::default_vec(cfg.shards),
+            }),
             pool: (cfg.threads > 1).then(|| WorkerPool::new(cfg.threads)),
             cfg,
         }
@@ -295,121 +694,186 @@ impl<'a> ServeEngine<'a> {
         self.shard_map.num_pages()
     }
 
-    /// Execute a batch; per-query outcomes come back in submission order.
+    /// The engine's persistent worker pool, when pooled (`threads > 1`) —
+    /// exposed so callers can borrow the same workers for eigensolver
+    /// kernels via [`WorkerPool::linalg_pool`] (one pool abstraction for
+    /// compute and serving).
+    pub fn worker_pool(&self) -> Option<&WorkerPool> {
+        self.pool.as_ref()
+    }
+
+    /// Execute a batch to completion; per-query outcomes come back in
+    /// submission order. Equivalent to `submit(queries).wait()`.
     pub fn run(&self, queries: &[Query]) -> BatchReport {
+        self.submit(queries).wait()
+    }
+
+    /// Split one workload into `inflight` contiguous sub-batches, admit
+    /// them all concurrently, and merge the reports in submission order:
+    /// outcomes concatenate, per-shard aggregates sum, and the digest is
+    /// recomputed over the concatenation — by [`digest_outcomes`]'s
+    /// split-invariance it equals the single-batch digest of the same
+    /// workload.
+    pub fn run_inflight(&self, queries: &[Query], inflight: usize) -> BatchReport {
+        let inflight = inflight.max(1).min(queries.len().max(1));
+        if inflight <= 1 {
+            return self.run(queries);
+        }
         let start = Instant::now();
-        // Phase 1 — plan against the R-tree (borrows, so inline).
-        let plans: Vec<Plan> = queries.iter().map(|q| self.plan(q)).collect();
-
-        // Phase 2 — route: result ids → page lists → shard slices. A pure
-        // per-query pass of integer divisions over the borrowed rank
-        // array; orders of magnitude cheaper than planning or replay, so
-        // it runs inline (copying ids into 'static pool tasks would cost
-        // more than the routing itself).
-        let rpp = self.layout.records_per_page;
-        let shard_map = self.shard_map;
-        let routes: Vec<Route> = plans
-            .iter()
-            .map(|p| {
-                route_query(
-                    &p.results,
-                    p.rank_ordered,
-                    self.order.ranks(),
-                    rpp,
-                    &shard_map,
-                )
-            })
-            .collect();
-
-        // Phase 3 — replay: per-shard page reads, one task per shard, the
-        // shard's queries in batch order.
-        let mut per_shard: Vec<Vec<(usize, Vec<usize>)>> = vec![Vec::new(); self.cfg.shards];
-        for (qidx, route) in routes.iter().enumerate() {
-            for slice in &route.slices {
-                per_shard[slice.shard].push((qidx, slice.pages.clone()));
+        let chunk = queries.len().div_ceil(inflight);
+        let handles: Vec<BatchHandle> = queries.chunks(chunk).map(|c| self.submit(c)).collect();
+        let mut outcomes: Vec<QueryOutcome> = Vec::with_capacity(queries.len());
+        let mut shard_reports: Vec<ShardReport> =
+            (0..self.cfg.shards).map(ShardReport::idle).collect();
+        for handle in handles {
+            let (sub_outcomes, sub_shards, _elapsed) = handle.finish();
+            for sub in &sub_shards {
+                let merged = &mut shard_reports[sub.shard];
+                merged.queries += sub.queries;
+                merged.pages_routed += sub.pages_routed;
+                merged.runs += sub.runs;
+                merged.buffer.merge(&sub.buffer);
             }
+            outcomes.extend(sub_outcomes);
         }
-        let shard_outcomes: Vec<ShardOutcome> = match &self.pool {
-            Some(pool) => {
-                let tasks: Vec<_> = per_shard
-                    .iter_mut()
-                    .enumerate()
-                    .map(|(shard_id, work)| {
-                        let work = std::mem::take(work);
-                        let shards = Arc::clone(&self.shards);
-                        move || replay_shard(shard_id, work, shards.as_slice())
-                    })
-                    .collect();
-                pool.run_batch(tasks)
-            }
-            None => per_shard
-                .into_iter()
-                .enumerate()
-                .map(|(shard_id, work)| replay_shard(shard_id, work, self.shards.as_slice()))
-                .collect(),
-        };
-
-        // Phase 4 — merge in query order.
-        let mut hits = vec![0usize; queries.len()];
-        let mut misses = vec![0usize; queries.len()];
-        let mut shard_reports: Vec<ShardReport> = (0..self.cfg.shards)
-            .map(|shard| ShardReport {
-                shard,
-                queries: 0,
-                pages_routed: 0,
-                runs: 0,
-                buffer: BufferStats::default(),
-            })
-            .collect();
-        for (shard_id, rows, delta) in shard_outcomes {
-            let report = &mut shard_reports[shard_id];
-            report.queries = rows.len();
-            report.buffer = delta;
-            for (qidx, h, m) in rows {
-                hits[qidx] += h;
-                misses[qidx] += m;
-                report.pages_routed += h + m;
-            }
-        }
-        for route in &routes {
-            for slice in &route.slices {
-                shard_reports[slice.shard].runs += slice.runs;
-            }
-        }
-        let mut digest = 0xcbf2_9ce4_8422_2325u64;
-        let outcomes: Vec<QueryOutcome> = plans
-            .into_iter()
-            .zip(routes)
-            .enumerate()
-            .map(|(qidx, (plan, route))| {
-                fnv1a64(&mut digest, qidx as u64);
-                fnv1a64(&mut digest, plan.results.len() as u64);
-                for &id in &plan.results {
-                    fnv1a64(&mut digest, id as u64);
-                }
-                fnv1a64(&mut digest, route.pages as u64);
-                fnv1a64(&mut digest, route.runs as u64);
-                QueryOutcome {
-                    results: plan.results,
-                    pages: route.pages,
-                    runs: route.runs,
-                    hits: hits[qidx],
-                    misses: misses[qidx],
-                    io: IoCost {
-                        pages: route.pages,
-                        runs: route.runs,
-                        total: route.runs as f64 * self.cfg.io.seek_cost
-                            + route.pages as f64 * self.cfg.io.transfer_cost,
-                    },
-                    tree: plan.tree,
-                }
-            })
-            .collect();
+        let digest = digest_outcomes(&outcomes);
         BatchReport {
             outcomes,
             shards: shard_reports,
             elapsed_seconds: start.elapsed().as_secs_f64(),
             digest,
+        }
+    }
+
+    /// Admit a batch: plan and route every query (chunk-parallel on the
+    /// pool when available), enqueue its replay units on the per-shard
+    /// FIFO queues, schedule runners for newly idle shards, and return a
+    /// completion handle **without waiting for replay**. Any number of
+    /// batches may be in flight; each shard round-robins across them.
+    pub fn submit(&self, queries: &[Query]) -> BatchHandle {
+        let started = Instant::now();
+        let (plans, mut routes) = self.plan_and_route(queries);
+
+        // Build the per-shard unit queues, each in batch (query) order.
+        // Page lists move out of the routes (page_count stays behind for
+        // the merge), so only one copy exists while the batch is in
+        // flight.
+        let mut per_shard: Vec<VecDeque<Unit>> =
+            (0..self.cfg.shards).map(|_| VecDeque::new()).collect();
+        let mut units_left = vec![0usize; queries.len()];
+        for (qidx, route) in routes.iter_mut().enumerate() {
+            units_left[qidx] = route.slices.len();
+            for slice in &mut route.slices {
+                per_shard[slice.shard].push_back(Unit {
+                    qidx,
+                    pages: std::mem::take(&mut slice.pages),
+                });
+            }
+        }
+        let pending_units: usize = units_left.iter().sum();
+        let state = Arc::new(BatchState {
+            started,
+            progress: Mutex::new(BatchProgress {
+                pending_units,
+                units_left,
+                hits: vec![0; queries.len()],
+                misses: vec![0; queries.len()],
+                shard_buffers: vec![BufferStats::default(); self.cfg.shards],
+                latency: vec![0.0; queries.len()],
+                failed_units: 0,
+            }),
+            done: Condvar::new(),
+        });
+
+        // Enqueue, collecting shards that need a runner scheduled. The
+        // running flag flips under the queue lock, so a concurrent
+        // runner draining to empty either sees this work or leaves
+        // `running == false` for us to claim.
+        let mut to_run: Vec<usize> = Vec::new();
+        for (shard_id, units) in per_shard.into_iter().enumerate() {
+            if units.is_empty() {
+                continue;
+            }
+            let mut queue = self.shared.queues[shard_id]
+                .lock()
+                .expect("shard queue lock");
+            queue.batches.push_back(BatchWork {
+                state: Arc::clone(&state),
+                units,
+            });
+            if !queue.running {
+                queue.running = true;
+                to_run.push(shard_id);
+            }
+        }
+        match &self.pool {
+            Some(pool) => {
+                for shard_id in to_run {
+                    let shared = Arc::clone(&self.shared);
+                    pool.submit(move || run_shard_queue(&shared, shard_id));
+                }
+            }
+            // Serial baseline: drain inline before returning, so the
+            // handle is already complete (and replay order is the batch
+            // order — the deterministic buffer-accounting baseline).
+            None => {
+                for shard_id in to_run {
+                    run_shard_queue(&self.shared, shard_id);
+                }
+            }
+        }
+        BatchHandle {
+            state,
+            plans,
+            routes,
+            io: self.cfg.io,
+            shards: self.cfg.shards,
+        }
+    }
+
+    /// Plan and route every query of a batch — pure per-query work,
+    /// chunked across the pool when one exists (the planning half of the
+    /// hot path; replay overlaps it across in-flight batches).
+    fn plan_and_route(&self, queries: &[Query]) -> (Vec<Plan>, Vec<Route>) {
+        let rpp = self.layout.records_per_page;
+        let shard_map = self.shard_map;
+        let plan_route = |q: &Query| {
+            let plan = self.plan(q);
+            let route = route_query(
+                &plan.results,
+                plan.rank_ordered,
+                self.order.ranks(),
+                rpp,
+                &shard_map,
+            );
+            (plan, route)
+        };
+        match &self.pool {
+            Some(pool) if queries.len() > 1 => {
+                let mut slots: Vec<Option<(Plan, Route)>> =
+                    (0..queries.len()).map(|_| None).collect();
+                // A few chunks per worker for load balance; chunking never
+                // affects results (pure per-query functions).
+                let chunk = queries.len().div_ceil(pool.threads() * 4).max(1);
+                let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = slots
+                    .chunks_mut(chunk)
+                    .zip(queries.chunks(chunk))
+                    .map(|(out, qs)| {
+                        let pr = &plan_route;
+                        Box::new(move || {
+                            for (slot, q) in out.iter_mut().zip(qs) {
+                                *slot = Some(pr(q));
+                            }
+                        }) as Box<dyn FnOnce() + Send + '_>
+                    })
+                    .collect();
+                pool.run_scoped(jobs);
+                slots
+                    .into_iter()
+                    .map(|slot| slot.expect("every query planned"))
+                    .unzip()
+            }
+            _ => queries.iter().map(plan_route).unzip(),
         }
     }
 
@@ -425,7 +889,10 @@ impl<'a> ServeEngine<'a> {
                 }
             }
             Query::Knn { center, k } => {
-                let (results, tree) = self.knn(center, *k);
+                let (results, tree) = match self.cfg.knn_planner {
+                    KnnPlanner::BestFirst => self.rtree.knn_best_first(center, *k),
+                    KnnPlanner::ExpandingBall => self.knn_expanding(center, *k),
+                };
                 Plan {
                     results,
                     rank_ordered: false,
@@ -435,32 +902,33 @@ impl<'a> ServeEngine<'a> {
         }
     }
 
-    /// Exact k-nearest-neighbour search under the Chebyshev (L∞) metric:
-    /// grow a box of radius `r` around the centre (doubling) until it
-    /// holds ≥ `k` points or covers the data bounds — under L∞ the box of
+    /// The baseline exact kNN probe under the Chebyshev (L∞) metric: grow
+    /// a box of radius `r` around the centre (doubling) until it holds
+    /// ≥ `k` points or covers the data bounds — under L∞ the box of
     /// radius `r` *is* the metric ball, so once `k` candidates are inside
     /// the `k` nearest are among them. Node costs accumulate over the
     /// expansion rounds (re-visits are genuinely re-paid, as an iterative
-    /// server would).
-    fn knn(&self, center: &[i64], k: usize) -> (Vec<usize>, QueryCost) {
-        let mut tree = QueryCost {
-            nodes_visited: 0,
-            leaves_visited: 0,
-            results: 0,
-        };
+    /// server would; [`QueryCost::absorb`] saturates rather than
+    /// overflowing on adversarial workloads). The query box is allocated
+    /// once and resized in place across rounds.
+    fn knn_expanding(&self, center: &[i64], k: usize) -> (Vec<usize>, QueryCost) {
+        let mut tree = QueryCost::ZERO;
         let k = k.min(self.points.len());
         if k == 0 {
             return (Vec::new(), tree);
         }
         let mut radius: i64 = 1;
+        let mut query = Mbr {
+            lo: center.to_vec(),
+            hi: center.to_vec(),
+        };
         loop {
-            let query = Mbr {
-                lo: center.iter().map(|&c| c - radius).collect(),
-                hi: center.iter().map(|&c| c + radius).collect(),
-            };
+            for d in 0..center.len() {
+                query.lo[d] = center[d] - radius;
+                query.hi[d] = center[d] + radius;
+            }
             let (ids, cost) = self.rtree.range_query_ordered(&query);
-            tree.nodes_visited += cost.nodes_visited;
-            tree.leaves_visited += cost.leaves_visited;
+            tree.absorb(&cost);
             let covers_all = query.lo.iter().zip(&self.bounds.lo).all(|(q, b)| q <= b)
                 && query.hi.iter().zip(&self.bounds.hi).all(|(q, b)| q >= b);
             if ids.len() >= k || covers_all {
@@ -477,44 +945,6 @@ impl<'a> ServeEngine<'a> {
             radius *= 2;
         }
     }
-}
-
-/// One shard's replay result: `(shard, per-query (query index, hits,
-/// misses), buffer-stat delta for this batch)`.
-type ShardOutcome = (usize, Vec<(usize, usize, usize)>, BufferStats);
-
-/// Replay one shard's share of a batch, in batch order. The shard lock is
-/// held for the whole replay: within a batch exactly one task touches a
-/// shard, so the lock is uncontended and the LRU state evolves in a fixed
-/// sequence for every thread count.
-fn replay_shard(
-    shard_id: usize,
-    work: Vec<(usize, Vec<usize>)>,
-    shards: &[Mutex<Shard>],
-) -> ShardOutcome {
-    let mut shard = shards[shard_id].lock().expect("shard lock");
-    let before = shard.buffer_stats();
-    let mut rows = Vec::with_capacity(work.len());
-    for (qidx, pages) in work {
-        let (h, m) = shard.replay(&pages);
-        rows.push((qidx, h, m));
-    }
-    let after = shard.buffer_stats();
-    let delta = BufferStats {
-        hits: after.hits - before.hits,
-        misses: after.misses - before.misses,
-        evictions: after.evictions - before.evictions,
-    };
-    (shard_id, rows, delta)
-}
-
-/// Chebyshev (L∞) distance between two points.
-fn chebyshev(a: &[i64], b: &[i64]) -> i64 {
-    a.iter()
-        .zip(b.iter())
-        .map(|(&x, &y)| (x - y).abs())
-        .max()
-        .unwrap_or(0)
 }
 
 /// Route one query's result ids to pages and shard slices — a pure
@@ -540,6 +970,7 @@ fn route_query(
             None => slices.push(ShardSlice {
                 shard,
                 pages: vec![page],
+                page_count: 0,
                 runs: 0,
             }),
         }
@@ -548,6 +979,7 @@ fn route_query(
     // above; normalise to ascending shard id) and per-slice run counts.
     slices.sort_by_key(|s| s.shard);
     for slice in &mut slices {
+        slice.page_count = slice.pages.len();
         slice.runs = count_runs(&slice.pages);
     }
     Route {
@@ -631,36 +1063,95 @@ mod tests {
         assert_eq!(report.outcomes[2].results.len(), 64);
         assert!(report.outcomes[3].results.is_empty());
         assert_eq!(report.outcomes[3].pages, 0);
+        assert_eq!(report.outcomes[3].seconds, 0.0);
     }
 
     #[test]
-    fn knn_results_match_brute_force() {
+    fn knn_results_match_brute_force_under_both_planners() {
         let (points, order) = small_engine();
-        let cfg = EngineConfig {
+        for planner in [KnnPlanner::BestFirst, KnnPlanner::ExpandingBall] {
+            let cfg = EngineConfig {
+                records_per_page: 4,
+                fanout: 4,
+                knn_planner: planner,
+                ..Default::default()
+            };
+            let engine = ServeEngine::new(&points, &order, cfg);
+            for (center, k) in [(vec![4i64, 4], 5usize), (vec![0, 0], 3), (vec![7, 7], 64)] {
+                let report = engine.run(&[Query::Knn {
+                    center: center.clone(),
+                    k,
+                }]);
+                let got = &report.outcomes[0].results;
+                let mut want: Vec<(i64, usize)> = (0..points.len())
+                    .map(|i| (chebyshev(&center, &points[i]), i))
+                    .collect();
+                want.sort_unstable();
+                let want: Vec<usize> = want.into_iter().take(k).map(|(_, id)| id).collect();
+                assert_eq!(got, &want, "planner {planner} center {center:?} k {k}");
+            }
+            // k larger than the point set clamps.
+            let report = engine.run(&[Query::Knn {
+                center: vec![3, 3],
+                k: 1000,
+            }]);
+            assert_eq!(report.outcomes[0].results.len(), 64);
+        }
+    }
+
+    #[test]
+    fn planners_agree_on_results_and_digest_but_not_cost() {
+        let (points, order) = small_engine();
+        let base = EngineConfig {
             records_per_page: 4,
             fanout: 4,
             ..Default::default()
         };
-        let engine = ServeEngine::new(&points, &order, cfg);
-        for (center, k) in [(vec![4i64, 4], 5usize), (vec![0, 0], 3), (vec![7, 7], 64)] {
-            let report = engine.run(&[Query::Knn {
-                center: center.clone(),
-                k,
-            }]);
-            let got = &report.outcomes[0].results;
-            let mut want: Vec<(i64, usize)> = (0..points.len())
-                .map(|i| (chebyshev(&center, &points[i]), i))
-                .collect();
-            want.sort_unstable();
-            let want: Vec<usize> = want.into_iter().take(k).map(|(_, id)| id).collect();
-            assert_eq!(got, &want, "center {center:?} k {k}");
+        // kNN probes whose first unit-radius ball is far short of k, so
+        // the expanding ball needs several doubling rounds (re-paying the
+        // root path each time) while best-first still visits each node at
+        // most once.
+        let mut qs = queries();
+        qs.push(Query::Knn {
+            center: vec![0, 0],
+            k: 30,
+        });
+        qs.push(Query::Knn {
+            center: vec![7, 0],
+            k: 20,
+        });
+        let best = ServeEngine::new(
+            &points,
+            &order,
+            EngineConfig {
+                knn_planner: KnnPlanner::BestFirst,
+                ..base
+            },
+        )
+        .run(&qs);
+        let ball = ServeEngine::new(
+            &points,
+            &order,
+            EngineConfig {
+                knn_planner: KnnPlanner::ExpandingBall,
+                ..base
+            },
+        )
+        .run(&qs);
+        assert_eq!(best.digest, ball.digest);
+        let mut best_nodes = 0usize;
+        let mut ball_nodes = 0usize;
+        for (b, e) in best.outcomes.iter().zip(&ball.outcomes) {
+            assert_eq!(b.results, e.results);
+            assert_eq!(b.pages, e.pages);
+            best_nodes += b.tree.nodes_visited;
+            ball_nodes += e.tree.nodes_visited;
         }
-        // k larger than the point set clamps.
-        let report = engine.run(&[Query::Knn {
-            center: vec![3, 3],
-            k: 1000,
-        }]);
-        assert_eq!(report.outcomes[0].results.len(), 64);
+        // The kNN query re-pays nodes under the expanding ball.
+        assert!(
+            best_nodes < ball_nodes,
+            "best-first {best_nodes} vs expanding-ball {ball_nodes}"
+        );
     }
 
     #[test]
@@ -697,6 +1188,103 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn inflight_splits_preserve_outcomes_and_digest() {
+        let (points, order) = small_engine();
+        let base = EngineConfig {
+            records_per_page: 4,
+            fanout: 4,
+            buffer_pages: 8,
+            ..Default::default()
+        };
+        let qs = queries();
+        let reference = ServeEngine::new(&points, &order, base).run(&qs);
+        for threads in [1usize, 4] {
+            for shards in [1usize, 4] {
+                for inflight in [1usize, 2, 4] {
+                    let cfg = EngineConfig {
+                        shards,
+                        threads,
+                        ..base
+                    };
+                    let engine = ServeEngine::new(&points, &order, cfg);
+                    let report = engine.run_inflight(&qs, inflight);
+                    assert_eq!(
+                        report.digest, reference.digest,
+                        "digest diverged at S={shards} T={threads} inflight={inflight}"
+                    );
+                    assert_eq!(report.outcomes.len(), qs.len());
+                    for (a, b) in report.outcomes.iter().zip(&reference.outcomes) {
+                        assert_eq!(a.results, b.results);
+                        assert_eq!(a.pages, b.pages);
+                        assert_eq!(a.runs, b.runs);
+                    }
+                    // Page totals partition exactly whatever the split.
+                    let routed: usize = report.shards.iter().map(|s| s.pages_routed).sum();
+                    assert_eq!(routed, report.total_pages());
+                    let hm: usize = report.outcomes.iter().map(|o| o.hits + o.misses).sum();
+                    assert_eq!(routed, hm);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_handles_can_overlap() {
+        let (points, order) = small_engine();
+        let cfg = EngineConfig {
+            records_per_page: 4,
+            fanout: 4,
+            shards: 2,
+            threads: 2,
+            ..Default::default()
+        };
+        let engine = ServeEngine::new(&points, &order, cfg);
+        let qs = queries();
+        // Admit three batches before waiting on any of them.
+        let handles: Vec<BatchHandle> = (0..3).map(|_| engine.submit(&qs)).collect();
+        assert!(handles.iter().all(|h| h.queries() == qs.len()));
+        let reports: Vec<BatchReport> = handles.into_iter().map(BatchHandle::wait).collect();
+        for r in &reports {
+            assert_eq!(r.digest, reports[0].digest);
+            assert_eq!(r.outcomes.len(), qs.len());
+        }
+        // The engine still serves after the overlap.
+        let again = engine.run(&qs);
+        assert_eq!(again.digest, reports[0].digest);
+    }
+
+    #[test]
+    fn replay_panic_is_reraised_at_wait_not_hung() {
+        // A panicking replay (here: a poisoned shard lock) must surface
+        // as a panic from wait()/run(), never as a hang — on the pool the
+        // runner survives, retires the unit as failed, and the waiter
+        // re-raises.
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // silence expected panics
+        for threads in [1usize, 2] {
+            let (points, order) = small_engine();
+            let cfg = EngineConfig {
+                records_per_page: 4,
+                fanout: 4,
+                threads,
+                ..Default::default()
+            };
+            let engine = ServeEngine::new(&points, &order, cfg);
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _guard = engine.shared.shards[0].lock().unwrap();
+                panic!("poison the shard lock");
+            }));
+            let outcome =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| engine.run(&queries())));
+            assert!(
+                outcome.is_err(),
+                "threads={threads}: wait must re-raise replay failures"
+            );
+        }
+        std::panic::set_hook(prev);
     }
 
     #[test]
@@ -763,6 +1351,42 @@ mod tests {
         assert_eq!(routed, hits_misses);
         // Round-robin spreads the whole-grid query across all shards.
         assert!(report.shards.iter().all(|s| s.queries >= 1));
+        // Round-robin over a uniform batch is well balanced.
+        let balance = report.shard_balance();
+        assert!((1.0..2.0).contains(&balance), "balance {balance}");
+    }
+
+    #[test]
+    fn latencies_are_recorded_for_page_touching_queries() {
+        let (points, order) = small_engine();
+        let cfg = EngineConfig {
+            records_per_page: 4,
+            fanout: 4,
+            shards: 2,
+            threads: 2,
+            ..Default::default()
+        };
+        let engine = ServeEngine::new(&points, &order, cfg);
+        let report = engine.run(&queries());
+        for outcome in &report.outcomes {
+            if outcome.pages > 0 {
+                assert!(outcome.seconds > 0.0);
+                assert!(outcome.seconds <= report.elapsed_seconds);
+            } else {
+                assert_eq!(outcome.seconds, 0.0);
+            }
+        }
+        assert!(report.latency_quantile(0.99) >= report.latency_quantile(0.5));
+        assert_eq!(
+            BatchReport {
+                outcomes: Vec::new(),
+                shards: Vec::new(),
+                elapsed_seconds: 0.0,
+                digest: 0,
+            }
+            .latency_quantile(0.5),
+            0.0
+        );
     }
 
     #[test]
@@ -786,5 +1410,21 @@ mod tests {
         assert!(report.page_quantile(0.99) >= report.page_quantile(0.5));
         assert!(report.queries_per_second() > 0.0);
         assert_eq!(report.outcomes.len(), 4);
+        // A single-shard batch is perfectly (trivially) balanced.
+        assert_eq!(report.shard_balance(), 1.0);
+    }
+
+    #[test]
+    fn planner_parse_and_display() {
+        assert_eq!(KnnPlanner::parse("best-first"), Some(KnnPlanner::BestFirst));
+        assert_eq!(KnnPlanner::parse("BF"), Some(KnnPlanner::BestFirst));
+        assert_eq!(
+            KnnPlanner::parse("expanding-ball"),
+            Some(KnnPlanner::ExpandingBall)
+        );
+        assert_eq!(KnnPlanner::parse("Ball"), Some(KnnPlanner::ExpandingBall));
+        assert_eq!(KnnPlanner::parse("dijkstra"), None);
+        assert_eq!(KnnPlanner::BestFirst.to_string(), "best-first");
+        assert_eq!(KnnPlanner::ExpandingBall.to_string(), "expanding-ball");
     }
 }

@@ -10,22 +10,30 @@
 //!
 //! * [`pool`] — a persistent [`pool::WorkerPool`]: long-lived threads fed
 //!   by the `crossbeam` shim's MPMC channels, amortising the per-call
-//!   spawn cost that dominates scoped threads below ~64k work items.
+//!   spawn cost that dominates scoped threads below ~64k work items. Via
+//!   [`pool::WorkerPool::linalg_pool`] the same workers also run the
+//!   eigensolver's chunked kernels (`slpm_linalg::ScopeExecutor`) — one
+//!   pool abstraction for compute and serving.
 //! * [`shard`] — partitioning one order's pages across shards
 //!   ([`shard::Partition::Contiguous`] rank ranges, or the declustered
 //!   [`shard::Partition::RoundRobin`] reusing
 //!   [`slpm_storage::decluster`]), each shard owning a
 //!   [`slpm_storage::PageStore`] slice plus its own LRU buffer pool.
 //! * [`engine`] — the batch executor: plan each query on the packed
-//!   R-tree, route page reads to shards through the pool, merge outcomes
-//!   in deterministic query order with I/O-cost, buffer and latency
-//!   accounting.
+//!   R-tree (range scans plus a best-first branch-and-bound kNN planner,
+//!   [`engine::KnnPlanner`]), admit any number of concurrent batches
+//!   through per-shard FIFO queues with round-robin fairness
+//!   ([`engine::ServeEngine::submit`] / [`engine::BatchHandle`]), and
+//!   merge outcomes in deterministic query order with I/O-cost, buffer,
+//!   latency and shard-balance accounting.
 //! * [`workload`] — reproducible mixed range/kNN batches built on
-//!   [`slpm_querysim::workloads::sample_boxes`].
+//!   [`slpm_querysim::workloads::sample_boxes`], plus hot-spot (Zipf)
+//!   batches ([`workload::zipf_workload`]) for skew studies.
 //!
 //! **The serving contract:** result sets, page counts, run counts and the
-//! batch digest are bitwise identical for every shard count and thread
-//! count — scheduling moves work, never answers.
+//! batch digest are bitwise identical for every shard count, thread
+//! count, kNN planner and in-flight batch count — scheduling moves work,
+//! never answers.
 //!
 //! ```
 //! use slpm_serve::engine::{EngineConfig, ServeEngine};
@@ -54,7 +62,12 @@ pub mod pool;
 pub mod shard;
 pub mod workload;
 
-pub use engine::{BatchReport, EngineConfig, Query, QueryOutcome, ServeEngine, ShardReport};
+pub use engine::{
+    digest_outcomes, BatchHandle, BatchReport, EngineConfig, KnnPlanner, Query, QueryOutcome,
+    ServeEngine, ShardReport,
+};
 pub use pool::WorkerPool;
 pub use shard::{Partition, Shard, ShardMap};
-pub use workload::{grid_points, mixed_workload, WorkloadConfig};
+pub use workload::{
+    grid_points, mixed_workload, mixed_workload_labeled, zipf_workload, WorkloadConfig, ZipfConfig,
+};

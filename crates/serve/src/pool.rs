@@ -75,11 +75,35 @@ impl WorkerPool {
 
     /// Fire-and-forget: queue a job for whichever worker frees up first.
     pub fn submit<F: FnOnce() + Send + 'static>(&self, job: F) {
+        self.submit_boxed(Box::new(job));
+    }
+
+    /// [`WorkerPool::submit`] for an already-boxed job — the sink shape
+    /// `crossbeam::thread::run_scoped` lends borrowed work through.
+    pub fn submit_boxed(&self, job: Job) {
         self.sender
             .as_ref()
             .expect("pool is live until drop")
-            .send(Box::new(job))
+            .send(job)
             .expect("pool workers outlive the sender");
+    }
+
+    /// Run a batch of **borrowing** jobs on the pool's persistent
+    /// workers, blocking until all complete — the scoped-thread shape
+    /// (`crossbeam::thread::scope`) without the per-call spawn cost.
+    /// Panics if any job panicked. Do not call from inside a pool job
+    /// (same capacity caveat as [`WorkerPool::run_batch`]).
+    pub fn run_scoped(&self, jobs: Vec<Box<dyn FnOnce() + Send + '_>>) {
+        crossbeam::thread::run_scoped(jobs, &mut |job| self.submit_boxed(job));
+    }
+
+    /// Borrow this pool as an eigensolver backend: the returned
+    /// [`slpm_linalg::Pool`] schedules the sparse kernels' chunked work
+    /// onto these persistent workers instead of spawning scoped threads
+    /// per call — one pool abstraction for compute and serving. Results
+    /// are bitwise identical to every other backend and thread count.
+    pub fn linalg_pool(&self) -> slpm_linalg::Pool<'_> {
+        slpm_linalg::Pool::with_executor(self.threads(), self)
     }
 
     /// Count of submitted (fire-and-forget) jobs that panicked.
@@ -134,6 +158,15 @@ impl WorkerPool {
             resume_unwind(payload);
         }
         results
+    }
+}
+
+impl slpm_linalg::ScopeExecutor for WorkerPool {
+    /// Lend the pool's workers to `slpm_linalg`'s chunked kernels — the
+    /// jobs borrow the eigensolver's buffers; `run_scoped` blocks until
+    /// every one has completed, so no borrow outlives the call.
+    fn run_jobs(&self, jobs: Vec<Box<dyn FnOnce() + Send + '_>>) {
+        self.run_scoped(jobs);
     }
 }
 
@@ -232,6 +265,55 @@ mod tests {
             Box::new(|| 7usize) as Box<dyn FnOnce() -> usize + Send>
         ]);
         assert_eq!(results, vec![7]);
+    }
+
+    #[test]
+    fn run_scoped_borrows_caller_data_on_pool_workers() {
+        let pool = WorkerPool::new(3);
+        let mut data = [0usize; 24];
+        for round in 1..=3usize {
+            let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = data
+                .chunks_mut(8)
+                .map(|chunk| {
+                    Box::new(move || {
+                        for v in chunk.iter_mut() {
+                            *v += round;
+                        }
+                    }) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            pool.run_scoped(jobs);
+        }
+        assert!(data.iter().all(|&v| v == 6));
+    }
+
+    #[test]
+    fn linalg_kernels_on_the_serving_pool_match_serial_bitwise() {
+        // The one-pool-abstraction adapter: eigensolver kernels scheduled
+        // on the serving engine's persistent workers answer bit-for-bit
+        // like the serial and scoped backends.
+        let pool = WorkerPool::new(4);
+        let shared = pool.linalg_pool();
+        assert_eq!(shared.threads(), 4);
+        let n = 40_000; // above the kernels' spawn threshold
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+        let y: Vec<f64> = (0..n).map(|i| (i as f64 * 0.11).cos()).collect();
+        let serial = slpm_linalg::Pool::serial();
+        assert_eq!(
+            shared.dot(&x, &y).to_bits(),
+            serial.dot(&x, &y).to_bits(),
+            "pooled dot diverged from serial"
+        );
+        let mut a = y.clone();
+        let mut b = y.clone();
+        serial.axpy(1.25, &x, &mut a);
+        shared.axpy(1.25, &x, &mut b);
+        assert_eq!(a, b);
+        serial.center(&mut a);
+        shared.center(&mut b);
+        assert_eq!(a, b);
+        // The pool keeps serving ordinary batches afterwards.
+        assert_eq!(pool.run_batch(vec![|| 5usize]), vec![5]);
     }
 
     #[test]

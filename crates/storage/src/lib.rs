@@ -47,7 +47,7 @@ pub use buffer::{BufferPool, BufferStats};
 pub use clustering::cluster_count;
 pub use decluster::{Declustering, RoundRobin};
 pub use io::{IoCost, IoModel};
-pub use mbr::Mbr;
+pub use mbr::{chebyshev, Mbr};
 pub use pages::{PageLayout, PageMapper};
 pub use rtree::{PackedRTree, QueryCost};
 pub use store::PageStore;

@@ -92,6 +92,38 @@ impl Mbr {
             .map(|(&l, &h)| h - l)
             .sum()
     }
+
+    /// Chebyshev (L∞) distance from `p` to the nearest point of this MBR
+    /// (`0` when `p` lies inside). This is the lower bound a best-first
+    /// kNN search orders its frontier by: no point under a subtree can be
+    /// closer to `p` than its node MBR.
+    pub fn min_chebyshev_dist(&self, p: &[i64]) -> i64 {
+        debug_assert_eq!(p.len(), self.ndim());
+        p.iter()
+            .zip(self.lo.iter().zip(self.hi.iter()))
+            .map(|(&c, (&l, &h))| {
+                if c < l {
+                    l - c
+                } else if c > h {
+                    c - h
+                } else {
+                    0
+                }
+            })
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Chebyshev (L∞) distance between two points — the metric every kNN
+/// query of the serving layer ranks neighbours by.
+pub fn chebyshev(a: &[i64], b: &[i64]) -> i64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b.iter())
+        .map(|(&x, &y)| (x - y).abs())
+        .max()
+        .unwrap_or(0)
 }
 
 #[cfg(test)]
@@ -149,6 +181,34 @@ mod tests {
         assert!(!a.intersects(&c));
         // b and c overlap in x ([2,4]∩[3,4]) but not in y ([2,4]∩[0,1]).
         assert!(!b.intersects(&c));
+    }
+
+    #[test]
+    fn min_chebyshev_dist_cases() {
+        let m = Mbr {
+            lo: vec![2, 2],
+            hi: vec![5, 4],
+        };
+        // Inside and on the boundary: distance zero.
+        assert_eq!(m.min_chebyshev_dist(&[3, 3]), 0);
+        assert_eq!(m.min_chebyshev_dist(&[2, 4]), 0);
+        // Outside along one axis.
+        assert_eq!(m.min_chebyshev_dist(&[0, 3]), 2);
+        assert_eq!(m.min_chebyshev_dist(&[3, 7]), 3);
+        // Outside along both: Chebyshev takes the larger gap.
+        assert_eq!(m.min_chebyshev_dist(&[0, 7]), 3);
+        // Consistency: the bound never exceeds the distance to any
+        // contained point.
+        for p in [[2i64, 2], [5, 4], [4, 3]] {
+            assert!(m.min_chebyshev_dist(&[-3, 9]) <= chebyshev(&[-3, 9], &p));
+        }
+    }
+
+    #[test]
+    fn chebyshev_distance_cases() {
+        assert_eq!(chebyshev(&[0, 0], &[3, -2]), 3);
+        assert_eq!(chebyshev(&[1, 1, 1], &[1, 1, 1]), 0);
+        assert_eq!(chebyshev(&[], &[]), 0);
     }
 
     #[test]

@@ -9,9 +9,11 @@
 //! [`LinearOrder`], so the spectral order can be compared against the
 //! fractals on the application the paper only gestures at.
 
-use crate::mbr::Mbr;
+use crate::mbr::{chebyshev, Mbr};
 use serde::Serialize;
 use spectral_lpm::LinearOrder;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// One node of the packed R-tree.
 #[derive(Debug, Clone, Serialize)]
@@ -47,6 +49,27 @@ pub struct QueryCost {
     pub leaves_visited: usize,
     /// Matching points returned.
     pub results: usize,
+}
+
+impl QueryCost {
+    /// The all-zero cost, the identity of [`QueryCost::absorb`].
+    pub const ZERO: QueryCost = QueryCost {
+        nodes_visited: 0,
+        leaves_visited: 0,
+        results: 0,
+    };
+
+    /// Saturating accumulate: add another probe's counters without ever
+    /// overflow-panicking in debug builds. Iterative planners (the
+    /// expanding-ball kNN probe re-pays the tree on every doubling round)
+    /// can rack up counters far past any single traversal on adversarial
+    /// workloads; pinning the sum at `usize::MAX` keeps the accounting a
+    /// diagnostic, never a crash.
+    pub fn absorb(&mut self, other: &QueryCost) {
+        self.nodes_visited = self.nodes_visited.saturating_add(other.nodes_visited);
+        self.leaves_visited = self.leaves_visited.saturating_add(other.leaves_visited);
+        self.results = self.results.saturating_add(other.results);
+    }
 }
 
 impl<'a> PackedRTree<'a> {
@@ -205,6 +228,83 @@ impl<'a> PackedRTree<'a> {
         cost.results = results.len();
         (results, cost)
     }
+
+    /// Exact k-nearest-neighbour search under the Chebyshev (L∞) metric,
+    /// as a **best-first branch-and-bound** over the packed tree (the
+    /// classic Hjaltason–Samet incremental search, specialised to a fixed
+    /// `k`):
+    ///
+    /// * the frontier is a binary min-heap of tree nodes keyed by
+    ///   `(`[`Mbr::min_chebyshev_dist`]` to the centre, node id)` — the
+    ///   node id tie-break makes the pop order, and therefore the
+    ///   node-access counters, a pure function of the tree and query;
+    /// * the current `k` best candidates live in a max-heap keyed by
+    ///   `(distance, point id)`; a node is descended only while its
+    ///   min-distance can still beat the worst candidate (strictly
+    ///   greater prunes — an equal bound may still hide an equal-distance
+    ///   point with a smaller id);
+    /// * once the closest frontier node is strictly farther than the
+    ///   worst of `k` candidates the search stops: every unvisited point
+    ///   is at least that far away.
+    ///
+    /// Results come back sorted ascending by `(distance, id)` — bitwise
+    /// identical to brute force (score every point, sort, truncate) and to
+    /// the expanding-ball probe the serving engine used before, while
+    /// visiting each node **at most once** instead of re-paying the root
+    /// path on every doubling round.
+    ///
+    /// `k` is clamped to the point count; `k == 0` returns nothing and
+    /// touches nothing.
+    pub fn knn_best_first(&self, center: &[i64], k: usize) -> (Vec<usize>, QueryCost) {
+        let mut cost = QueryCost::ZERO;
+        let k = k.min(self.points.len());
+        if k == 0 {
+            return (Vec::new(), cost);
+        }
+        // Min-heap frontier of (lower bound, node id).
+        let mut frontier: BinaryHeap<Reverse<(i64, usize)>> = BinaryHeap::new();
+        frontier.push(Reverse((
+            self.nodes[self.root].mbr.min_chebyshev_dist(center),
+            self.root,
+        )));
+        // Max-heap of the best k candidates seen, keyed (distance, id).
+        let mut best: BinaryHeap<(i64, usize)> = BinaryHeap::with_capacity(k + 1);
+        while let Some(Reverse((bound, id))) = frontier.pop() {
+            // The frontier pops in non-decreasing bound order, so the
+            // first unbeatable bound ends the whole search.
+            if best.len() == k && bound > best.peek().expect("k > 0 candidates").0 {
+                break;
+            }
+            let node = &self.nodes[id];
+            cost.nodes_visited += 1;
+            if node.is_leaf {
+                cost.leaves_visited += 1;
+                for &pid in &node.children {
+                    let entry = (chebyshev(center, &self.points[pid]), pid);
+                    if best.len() < k {
+                        best.push(entry);
+                    } else if entry < *best.peek().expect("k > 0 candidates") {
+                        best.pop();
+                        best.push(entry);
+                    }
+                }
+            } else {
+                for &child in &node.children {
+                    let child_bound = self.nodes[child].mbr.min_chebyshev_dist(center);
+                    // Prune only on a strictly worse bound: an equal one
+                    // may hold an equal-distance point with a smaller id.
+                    if best.len() < k || child_bound <= best.peek().expect("k > 0 candidates").0 {
+                        frontier.push(Reverse((child_bound, child)));
+                    }
+                }
+            }
+        }
+        let mut scored = best.into_vec();
+        scored.sort_unstable();
+        let results: Vec<usize> = scored.into_iter().map(|(_, id)| id).collect();
+        cost.results = results.len();
+        (results, cost)
+    }
 }
 
 #[cfg(test)]
@@ -339,6 +439,88 @@ mod tests {
         resorted.sort_unstable();
         assert_eq!(resorted, plain);
         assert_eq!(cost, plain_cost);
+    }
+
+    /// Brute-force kNN reference: score, sort by (distance, id), truncate.
+    fn brute_knn(points: &[Vec<i64>], center: &[i64], k: usize) -> Vec<usize> {
+        let mut scored: Vec<(i64, usize)> = points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (chebyshev(center, p), i))
+            .collect();
+        scored.sort_unstable();
+        scored.truncate(k);
+        scored.into_iter().map(|(_, id)| id).collect()
+    }
+
+    #[test]
+    fn knn_best_first_matches_brute_force() {
+        let pts = grid_points(8);
+        let t = PackedRTree::pack(&pts, &LinearOrder::identity(64), 4);
+        for center in [[3i64, 3], [0, 0], [7, 7], [-2, 4], [10, 10]] {
+            for k in [1usize, 2, 5, 17, 64] {
+                let (got, cost) = t.knn_best_first(&center, k);
+                assert_eq!(got, brute_knn(&pts, &center, k), "center {center:?} k {k}");
+                assert_eq!(cost.results, k.min(64));
+                // Best-first visits each node at most once.
+                assert!(cost.nodes_visited <= t.num_nodes());
+                assert!(cost.leaves_visited <= t.num_leaves());
+            }
+        }
+    }
+
+    #[test]
+    fn knn_best_first_handles_duplicates_and_large_k() {
+        // Duplicate points: ties on distance resolve by id.
+        let pts = vec![
+            vec![2i64, 2],
+            vec![2, 2],
+            vec![0, 0],
+            vec![2, 2],
+            vec![5, 5],
+        ];
+        let t = PackedRTree::pack(&pts, &LinearOrder::identity(5), 2);
+        let (got, _) = t.knn_best_first(&[2, 2], 3);
+        assert_eq!(got, vec![0, 1, 3]);
+        // k beyond the point count clamps; k == 0 touches nothing.
+        let (all, _) = t.knn_best_first(&[2, 2], 100);
+        assert_eq!(all, brute_knn(&pts, &[2, 2], 5));
+        let (none, cost) = t.knn_best_first(&[2, 2], 0);
+        assert!(none.is_empty());
+        assert_eq!(cost, QueryCost::ZERO);
+    }
+
+    #[test]
+    fn knn_best_first_prunes_far_subtrees() {
+        // A query in one corner of a well-packed 16x16 grid must not
+        // visit the whole tree for a small k.
+        let pts = grid_points(16);
+        let t = PackedRTree::pack(&pts, &LinearOrder::identity(256), 4);
+        let (res, cost) = t.knn_best_first(&[0, 0], 4);
+        assert_eq!(res.len(), 4);
+        assert!(
+            cost.nodes_visited < t.num_nodes() / 2,
+            "visited {} of {} nodes",
+            cost.nodes_visited,
+            t.num_nodes()
+        );
+    }
+
+    #[test]
+    fn query_cost_absorb_saturates() {
+        let mut a = QueryCost {
+            nodes_visited: usize::MAX - 1,
+            leaves_visited: 3,
+            results: 0,
+        };
+        a.absorb(&QueryCost {
+            nodes_visited: 5,
+            leaves_visited: 2,
+            results: 1,
+        });
+        assert_eq!(a.nodes_visited, usize::MAX);
+        assert_eq!(a.leaves_visited, 5);
+        assert_eq!(a.results, 1);
     }
 
     #[test]

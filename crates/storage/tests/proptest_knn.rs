@@ -1,0 +1,78 @@
+//! Property tests for the best-first kNN planner: on random point sets —
+//! dimensions 2 and 3, with a coordinate range small enough that
+//! duplicate points are common, and `k` frequently at or beyond the point
+//! count — [`PackedRTree::knn_best_first`] must return exactly the brute
+//! force answer (score every point, sort by `(Chebyshev distance, id)`,
+//! truncate to `k`) while visiting each tree node at most once.
+
+use proptest::prelude::*;
+use slpm_storage::{chebyshev, PackedRTree};
+use spectral_lpm::LinearOrder;
+
+/// Brute-force reference: the k lexicographically smallest
+/// `(distance, id)` pairs.
+fn brute_knn(points: &[Vec<i64>], center: &[i64], k: usize) -> Vec<usize> {
+    let mut scored: Vec<(i64, usize)> = points
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (chebyshev(center, p), i))
+        .collect();
+    scored.sort_unstable();
+    scored.truncate(k);
+    scored.into_iter().map(|(_, id)| id).collect()
+}
+
+/// `(points, center, k, fanout)` in a shared dimensionality of 2 or 3.
+/// Coordinates live in a tight range so duplicates (exact ties at every
+/// distance) occur regularly; `k` ranges past the point count.
+fn knn_case() -> impl Strategy<Value = (Vec<Vec<i64>>, Vec<i64>, usize, usize)> {
+    (2usize..=3).prop_flat_map(|dim| {
+        (
+            proptest::collection::vec(proptest::collection::vec(-5i64..=5, dim), 1..=48),
+            proptest::collection::vec(-8i64..=8, dim),
+            0usize..=56,
+            2usize..=5,
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn best_first_knn_matches_brute_force((points, center, k, fanout) in knn_case()) {
+        let order = LinearOrder::identity(points.len());
+        let tree = PackedRTree::pack(&points, &order, fanout);
+        let (got, cost) = tree.knn_best_first(&center, k);
+        prop_assert_eq!(&got, &brute_knn(&points, &center, k));
+        prop_assert_eq!(got.len(), k.min(points.len()));
+        prop_assert_eq!(cost.results, got.len());
+        // Best-first never re-visits: counters are bounded by the tree.
+        prop_assert!(cost.nodes_visited <= tree.num_nodes());
+        prop_assert!(cost.leaves_visited <= tree.num_leaves());
+        if k > 0 {
+            prop_assert!(cost.leaves_visited >= 1);
+        }
+    }
+
+    #[test]
+    fn best_first_knn_is_scrambled_order_invariant(
+        (points, center, k, fanout) in knn_case(),
+        stride in 1usize..=7,
+    ) {
+        // The answer is a property of the point set, not of the packing
+        // order: a scrambled (coprime-stride) order must return the
+        // identical result list, only at different node cost.
+        let n = points.len();
+        let order = LinearOrder::identity(n);
+        let scramble = LinearOrder::from_ranks(
+            (0..n).map(|v| (v * stride) % n).collect(),
+        );
+        // A non-coprime stride is not a permutation; skip those draws.
+        if let Ok(scramble) = scramble {
+            let (a, _) = PackedRTree::pack(&points, &order, fanout).knn_best_first(&center, k);
+            let (b, _) = PackedRTree::pack(&points, &scramble, fanout).knn_best_first(&center, k);
+            prop_assert_eq!(a, b);
+        }
+    }
+}

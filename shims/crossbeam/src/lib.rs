@@ -94,6 +94,114 @@ pub mod thread {
             Err(payload) => Err(payload),
         }
     }
+
+    /// Lend a batch of **borrowing** jobs to a persistent executor.
+    ///
+    /// [`scope`] spawns fresh OS threads per call; this is the
+    /// complementary primitive for executors whose threads already exist
+    /// (e.g. a long-lived worker pool): each job is re-packaged as a
+    /// `'static` closure and handed to `submit`, which must arrange for it
+    /// to run eventually (a dropped-unrun job is detected and reported,
+    /// never leaked). `run_scoped` blocks until every submitted job has
+    /// finished or been dropped — no borrow escapes the call, which is
+    /// exactly the guarantee that makes handing borrowed closures to
+    /// `'static` worker threads sound.
+    ///
+    /// # Panics
+    /// Panics (after all jobs have settled) when any job panicked or was
+    /// dropped without running — the moral equivalent of [`scope`]
+    /// returning `Err`.
+    pub fn run_scoped<'env>(
+        jobs: Vec<Box<dyn FnOnce() + Send + 'env>>,
+        submit: &mut dyn FnMut(Box<dyn FnOnce() + Send + 'static>),
+    ) {
+        use std::sync::{Arc, Condvar, Mutex};
+
+        /// `(in-flight wrappers, jobs that did not complete normally)`.
+        struct Latch {
+            state: Mutex<(usize, usize)>,
+            done: Condvar,
+        }
+        impl Latch {
+            fn wait_idle(&self) -> usize {
+                let mut state = self.state.lock().expect("latch lock");
+                while state.0 > 0 {
+                    state = self.done.wait(state).expect("latch lock");
+                }
+                state.1
+            }
+        }
+        /// Decrements the latch when dropped; `completed` is set only
+        /// after the wrapped job returned normally, so a panic or an
+        /// unrun drop counts as a failure.
+        struct Guard {
+            latch: Arc<Latch>,
+            completed: bool,
+        }
+        impl Guard {
+            fn new(latch: &Arc<Latch>) -> Self {
+                latch.state.lock().expect("latch lock").0 += 1;
+                Guard {
+                    latch: Arc::clone(latch),
+                    completed: false,
+                }
+            }
+        }
+        impl Drop for Guard {
+            fn drop(&mut self) {
+                let mut state = self.latch.state.lock().expect("latch lock");
+                state.0 -= 1;
+                if !self.completed {
+                    state.1 += 1;
+                }
+                if state.0 == 0 {
+                    self.latch.done.notify_all();
+                }
+            }
+        }
+        /// Blocks until the latch drains even when `submit` unwinds —
+        /// wrappers already queued on the executor may still be running
+        /// and must not outlive the caller's borrows.
+        struct WaitOnUnwind<'a>(&'a Latch);
+        impl Drop for WaitOnUnwind<'_> {
+            fn drop(&mut self) {
+                self.0.wait_idle();
+            }
+        }
+
+        let latch = Arc::new(Latch {
+            state: Mutex::new((0, 0)),
+            done: Condvar::new(),
+        });
+        let drain = WaitOnUnwind(&latch);
+        for job in jobs {
+            let guard = Guard::new(&latch);
+            let wrapper: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
+                let mut guard = guard;
+                job();
+                guard.completed = true;
+            });
+            // SAFETY: every borrow captured by `wrapper` is valid for
+            // 'env, and the latch guarantees this function does not
+            // return (on any path — `drain` covers unwinding) until the
+            // wrapper has been dropped, run to completion, or panicked
+            // and been cleaned up. No erased borrow can therefore be
+            // touched after 'env ends. This is the lifetime-erasure
+            // contract crossbeam's own scoped threads are built on.
+            let wrapper = unsafe {
+                std::mem::transmute::<
+                    Box<dyn FnOnce() + Send + 'env>,
+                    Box<dyn FnOnce() + Send + 'static>,
+                >(wrapper)
+            };
+            submit(wrapper);
+        }
+        let failed = latch.wait_idle();
+        std::mem::forget(drain);
+        if failed > 0 {
+            panic!("{failed} scoped job(s) panicked or were dropped unrun");
+        }
+    }
 }
 
 #[cfg(test)]
@@ -146,6 +254,59 @@ mod tests {
             .or_else(|| caught.downcast_ref::<String>().cloned())
             .expect("panic payload is a message");
         assert!(msg.contains("main closure bug: 42"), "got {msg:?}");
+    }
+
+    #[test]
+    fn run_scoped_runs_borrowing_jobs_on_external_threads() {
+        let mut data = vec![0usize; 64];
+        {
+            let (tx, rx) = std::sync::mpsc::channel::<Box<dyn FnOnce() + Send>>();
+            let worker = std::thread::spawn(move || {
+                for job in rx {
+                    job();
+                }
+            });
+            let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = data
+                .chunks_mut(16)
+                .enumerate()
+                .map(|(c, chunk)| {
+                    Box::new(move || {
+                        for (i, v) in chunk.iter_mut().enumerate() {
+                            *v = c * 16 + i;
+                        }
+                    }) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            thread::run_scoped(jobs, &mut |job| tx.send(job).expect("worker alive"));
+            drop(tx);
+            worker.join().unwrap();
+        }
+        // Every borrowed chunk was filled before run_scoped returned.
+        assert_eq!(data, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_scoped_reports_panicked_and_dropped_jobs() {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // silence the workers
+                                                // Executor that runs the first job (which panics, killing the
+                                                // thread) and therefore drops the rest unrun.
+        let caught = std::panic::catch_unwind(|| {
+            let (tx, rx) = std::sync::mpsc::channel::<Box<dyn FnOnce() + Send>>();
+            let worker = std::thread::spawn(move || {
+                for job in rx {
+                    job();
+                }
+            });
+            let jobs: Vec<Box<dyn FnOnce() + Send>> =
+                vec![Box::new(|| panic!("job exploded")), Box::new(|| {})];
+            thread::run_scoped(jobs, &mut |job| {
+                let _ = tx.send(job);
+            });
+            worker.join().unwrap();
+        });
+        std::panic::set_hook(prev);
+        assert!(caught.is_err(), "failed jobs must surface as a panic");
     }
 
     #[test]
