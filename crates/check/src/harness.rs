@@ -1,0 +1,392 @@
+//! A miniature worker pool + per-shard FIFO + batch-handle engine.
+//!
+//! This is a structural mirror of `slpm_serve`'s serving stack —
+//! [`MiniPool`] ↔ `slpm_serve::pool::WorkerPool`, [`MiniEngine`] ↔ the
+//! per-shard FIFO queues and round-robin batch rotation of
+//! `slpm_serve::engine`, [`MiniBatchHandle::wait`] ↔
+//! `BatchHandle::wait` — shrunk until every bounded interleaving can be
+//! explored by [`crossbeam::model::explore`]. Everything is written
+//! against `crossbeam::sync` and `crossbeam::channel`, so the same code
+//! runs on real primitives in plain tests and on instrumented ones
+//! inside a model session.
+//!
+//! The protocol properties under test are exactly the engine's:
+//!
+//! * `submit` enqueues one `BatchWork` per shard and starts a runner for
+//!   every shard that is not already running (`running` flag under the
+//!   shard-queue lock — the lost-update window the checker probes);
+//! * runners pop the front batch, take one unit, and rotate the batch to
+//!   the back while units remain (round-robin fairness across in-flight
+//!   batches);
+//! * unit replay panics are caught, recorded, and re-raised at
+//!   [`MiniBatchHandle::wait`] — never allowed to wedge the waiter;
+//! * per-unit contributions merge commutatively under the progress lock,
+//!   so [`slpm_serve::digest_outcomes`] over the returned outcomes must
+//!   be bitwise identical on every schedule.
+
+use crossbeam::channel::{self, Sender};
+use crossbeam::sync::thread as sync_thread;
+use crossbeam::sync::{Arc, Condvar, Mutex};
+use slpm_serve::QueryOutcome;
+use slpm_storage::{IoCost, QueryCost};
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A tiny persistent worker pool over the shim's MPMC channel,
+/// mirroring `slpm_serve::pool::WorkerPool`'s lifecycle: long-lived
+/// workers drain an unbounded channel; dropping the pool disconnects the
+/// channel and joins every worker.
+pub struct MiniPool {
+    tx: Option<Sender<Job>>,
+    workers: Vec<sync_thread::JoinHandle<()>>,
+}
+
+impl MiniPool {
+    /// Start `workers` pool threads (model threads inside a session).
+    pub fn new(workers: usize) -> MiniPool {
+        let (tx, rx) = channel::unbounded::<Job>();
+        let workers = (0..workers)
+            .map(|_| {
+                let rx = rx.clone();
+                sync_thread::spawn(move || {
+                    for job in rx.iter() {
+                        if let Err(payload) = catch_unwind(AssertUnwindSafe(job)) {
+                            // The model's teardown signal must unwind the
+                            // whole thread; everything else mirrors the
+                            // real pool's swallow-and-count behaviour
+                            // (failures are the batch's to record).
+                            if crossbeam::model::is_abort(&*payload) {
+                                resume_unwind(payload);
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        MiniPool {
+            tx: Some(tx),
+            workers,
+        }
+    }
+
+    /// Queue a job for some worker.
+    pub fn submit(&self, job: Job) {
+        self.tx
+            .as_ref()
+            .expect("pool channel alive until drop")
+            .send(job)
+            .expect("pool workers alive");
+    }
+}
+
+impl Drop for MiniPool {
+    fn drop(&mut self) {
+        self.tx.take(); // last sender gone: workers drain and exit
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// One replay unit: the work one query routed to one shard.
+#[derive(Clone, Copy, Debug)]
+pub struct MiniUnit {
+    /// Index of the owning query in its batch.
+    pub qidx: usize,
+    /// Pages this unit contributes to the query's outcome.
+    pub work: usize,
+    /// When set, replaying this unit panics (exercises the
+    /// failure-propagation path of `wait`).
+    pub poison: bool,
+}
+
+/// Mutable batch accounting, guarded by the batch lock.
+struct Progress {
+    units_left: usize,
+    failed: usize,
+    outcomes: Vec<Option<QueryOutcome>>,
+}
+
+/// Completion state one batch's waiters block on.
+struct BatchState {
+    progress: Mutex<Progress>,
+    done: Condvar,
+}
+
+impl BatchState {
+    fn record_unit(&self, qidx: usize, pages: usize) {
+        let mut p = self.progress.lock().expect("batch progress");
+        let outcome = p.outcomes[qidx].get_or_insert_with(|| empty_outcome(qidx));
+        // Commutative merges only: unit arrival order is
+        // schedule-dependent, the merged outcome must not be.
+        outcome.pages += pages;
+        outcome.runs += 1;
+        outcome.hits += pages / 2;
+        outcome.misses += pages - pages / 2;
+        finish_unit(self, p);
+    }
+
+    fn record_failure(&self) {
+        let mut p = self.progress.lock().expect("batch progress");
+        p.failed += 1;
+        finish_unit(self, p);
+    }
+}
+
+fn finish_unit(state: &BatchState, mut p: crossbeam::sync::MutexGuard<'_, Progress>) {
+    assert!(
+        p.units_left > 0,
+        "mini batch: more units settled than queued"
+    );
+    p.units_left -= 1;
+    if p.units_left == 0 {
+        state.done.notify_all();
+    }
+}
+
+fn empty_outcome(qidx: usize) -> QueryOutcome {
+    QueryOutcome {
+        results: vec![qidx],
+        pages: 0,
+        runs: 0,
+        hits: 0,
+        misses: 0,
+        io: IoCost {
+            pages: 0,
+            runs: 0,
+            total: 0.0,
+        },
+        tree: QueryCost::ZERO,
+        seconds: 0.0,
+    }
+}
+
+/// One batch's units queued on one shard.
+struct BatchWork {
+    state: Arc<BatchState>,
+    units: VecDeque<MiniUnit>,
+}
+
+/// A shard's FIFO of in-flight batches plus its runner flag.
+struct ShardQueue {
+    batches: VecDeque<BatchWork>,
+    running: bool,
+}
+
+struct Shared {
+    queues: Vec<Mutex<ShardQueue>>,
+}
+
+/// Handle to one submitted batch; [`wait`](MiniBatchHandle::wait) blocks
+/// until every unit settled.
+pub struct MiniBatchHandle {
+    state: Arc<BatchState>,
+}
+
+impl MiniBatchHandle {
+    /// Block until every unit of the batch has settled, then return the
+    /// merged per-query outcomes (in query order).
+    ///
+    /// # Panics
+    /// Panics when any replay unit panicked — after all units settled,
+    /// so a failed batch still never wedges its waiter.
+    pub fn wait(self) -> Vec<QueryOutcome> {
+        let mut p = self.state.progress.lock().expect("batch progress");
+        while p.units_left > 0 {
+            p = self.state.done.wait(p).expect("batch progress");
+        }
+        let failed = p.failed;
+        let outcomes = std::mem::take(&mut p.outcomes);
+        drop(p);
+        assert!(
+            failed == 0,
+            "mini batch: {failed} replay unit(s) panicked during this batch"
+        );
+        outcomes
+            .into_iter()
+            .enumerate()
+            .map(|(qidx, o)| o.unwrap_or_else(|| empty_outcome(qidx)))
+            .collect()
+    }
+}
+
+/// The miniature engine: per-shard FIFO queues drained by [`MiniPool`]
+/// runners, mirroring `slpm_serve::engine::ServeEngine`'s admission.
+pub struct MiniEngine {
+    pool: MiniPool,
+    shared: Arc<Shared>,
+}
+
+impl MiniEngine {
+    /// Build an engine with `workers` pool threads and `shards` queues.
+    pub fn new(workers: usize, shards: usize) -> MiniEngine {
+        MiniEngine {
+            pool: MiniPool::new(workers),
+            shared: Arc::new(Shared {
+                queues: (0..shards)
+                    .map(|_| {
+                        Mutex::new(ShardQueue {
+                            batches: VecDeque::new(),
+                            running: false,
+                        })
+                    })
+                    .collect(),
+            }),
+        }
+    }
+
+    /// Admit a batch of `queries` queries whose per-shard units are
+    /// `shard_units[shard]`; returns immediately with a wait handle.
+    pub fn submit(&self, queries: usize, shard_units: Vec<Vec<MiniUnit>>) -> MiniBatchHandle {
+        assert_eq!(shard_units.len(), self.shared.queues.len());
+        let total: usize = shard_units.iter().map(Vec::len).sum();
+        let state = Arc::new(BatchState {
+            progress: Mutex::new(Progress {
+                units_left: total,
+                failed: 0,
+                outcomes: (0..queries).map(|_| None).collect(),
+            }),
+            done: Condvar::new(),
+        });
+        for (shard, units) in shard_units.into_iter().enumerate() {
+            if units.is_empty() {
+                continue;
+            }
+            let start_runner = {
+                let mut q = self.shared.queues[shard].lock().expect("shard queue");
+                q.batches.push_back(BatchWork {
+                    state: Arc::clone(&state),
+                    units: units.into(),
+                });
+                let start = !q.running;
+                if start {
+                    q.running = true;
+                }
+                start
+            };
+            if start_runner {
+                let shared = Arc::clone(&self.shared);
+                self.pool
+                    .submit(Box::new(move || run_shard(&shared, shard)));
+            }
+        }
+        MiniBatchHandle { state }
+    }
+}
+
+/// Drain one shard's queue: one unit per iteration, rotating the batch
+/// to the back while it has more (round-robin across in-flight batches),
+/// exactly as `slpm_serve::engine`'s shard runner does.
+fn run_shard(shared: &Arc<Shared>, shard: usize) {
+    loop {
+        let (unit, state) = {
+            let mut q = shared.queues[shard].lock().expect("shard queue");
+            let Some(mut batch) = q.batches.pop_front() else {
+                // The `running = false` ↔ `submit` handoff is the
+                // classic lost-batch window; both sides act under this
+                // lock, and the model checker verifies there is no
+                // schedule on which a queued batch is never drained.
+                q.running = false;
+                return;
+            };
+            let unit = batch.units.pop_front().expect("queued batch has units");
+            let state = Arc::clone(&batch.state);
+            if !batch.units.is_empty() {
+                q.batches.push_back(batch);
+            }
+            (unit, state)
+        };
+        match catch_unwind(AssertUnwindSafe(|| replay_unit(unit))) {
+            Ok(pages) => state.record_unit(unit.qidx, pages),
+            Err(payload) => {
+                if crossbeam::model::is_abort(&*payload) {
+                    resume_unwind(payload);
+                }
+                state.record_failure();
+            }
+        }
+    }
+}
+
+/// Replay one unit: a deterministic function of the unit alone, so any
+/// schedule-dependence in the merged outcomes must come from the
+/// concurrency protocol — which is what the digest invariance test
+/// pins down.
+fn replay_unit(unit: MiniUnit) -> usize {
+    if unit.poison {
+        panic!("seeded replay-unit panic (qidx {})", unit.qidx);
+    }
+    unit.work
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slpm_serve::digest_outcomes;
+
+    #[test]
+    fn plain_mode_engine_merges_outcomes_in_query_order() {
+        let engine = MiniEngine::new(2, 2);
+        let unit = |qidx, work| MiniUnit {
+            qidx,
+            work,
+            poison: false,
+        };
+        let handle = engine.submit(
+            3,
+            vec![vec![unit(0, 4), unit(2, 2)], vec![unit(0, 6), unit(1, 8)]],
+        );
+        let outcomes = handle.wait();
+        assert_eq!(outcomes.len(), 3);
+        assert_eq!(outcomes[0].pages, 10); // 4 from shard 0 + 6 from shard 1
+        assert_eq!(outcomes[0].runs, 2);
+        assert_eq!(outcomes[1].pages, 8);
+        assert_eq!(outcomes[2].pages, 2);
+        // A second identical run digests identically.
+        let handle = engine.submit(
+            3,
+            vec![vec![unit(0, 4), unit(2, 2)], vec![unit(0, 6), unit(1, 8)]],
+        );
+        assert_eq!(digest_outcomes(&handle.wait()), digest_outcomes(&outcomes));
+    }
+
+    #[test]
+    fn plain_mode_zero_unit_batch_returns_immediately() {
+        let engine = MiniEngine::new(1, 2);
+        let outcomes = engine.submit(2, vec![vec![], vec![]]).wait();
+        assert_eq!(outcomes.len(), 2);
+        assert_eq!(outcomes[0].pages, 0);
+    }
+
+    #[test]
+    fn plain_mode_poisoned_unit_panics_wait_without_wedging() {
+        let caught = crate::with_quiet_panics(|| {
+            std::panic::catch_unwind(|| {
+                let engine = MiniEngine::new(2, 1);
+                let handle = engine.submit(
+                    2,
+                    vec![vec![
+                        MiniUnit {
+                            qidx: 0,
+                            work: 1,
+                            poison: false,
+                        },
+                        MiniUnit {
+                            qidx: 1,
+                            work: 1,
+                            poison: true,
+                        },
+                    ]],
+                );
+                handle.wait()
+            })
+        });
+        let payload = caught.expect_err("poisoned batch must fail wait()");
+        let msg = payload
+            .downcast_ref::<String>()
+            .expect("assert! message payload");
+        assert!(msg.contains("replay unit(s) panicked"), "got {msg:?}");
+    }
+}

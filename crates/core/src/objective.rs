@@ -48,8 +48,10 @@ pub fn normalize_to_feasible(x: &[f64]) -> Option<Vec<f64>> {
     if n == 0 {
         return None;
     }
+    // xtask:allow(float-reduce): serial left-to-right fold over one slice
     let mean = x.iter().sum::<f64>() / n as f64;
     let mut y: Vec<f64> = x.iter().map(|&v| v - mean).collect();
+    // xtask:allow(float-reduce): serial left-to-right fold over one slice
     let norm = y.iter().map(|v| v * v).sum::<f64>().sqrt();
     if norm == 0.0 {
         return None;

@@ -719,6 +719,7 @@ impl<'a> ServeEngine<'a> {
         if inflight <= 1 {
             return self.run(queries);
         }
+        // xtask:allow(wall-clock): latency accounting only, excluded from digests
         let start = Instant::now();
         let chunk = queries.len().div_ceil(inflight);
         let handles: Vec<BatchHandle> = queries.chunks(chunk).map(|c| self.submit(c)).collect();
@@ -751,6 +752,7 @@ impl<'a> ServeEngine<'a> {
     /// completion handle **without waiting for replay**. Any number of
     /// batches may be in flight; each shard round-robins across them.
     pub fn submit(&self, queries: &[Query]) -> BatchHandle {
+        // xtask:allow(wall-clock): latency accounting only, excluded from digests
         let started = Instant::now();
         let (plans, mut routes) = self.plan_and_route(queries);
 
@@ -1007,6 +1009,7 @@ mod tests {
     use super::*;
     use slpm_graph::grid::GridSpec;
 
+    use crate::testing::with_watchdog;
     use crate::workload::grid_points;
 
     fn small_engine() -> (Vec<Vec<i64>>, LinearOrder) {
@@ -1285,6 +1288,189 @@ mod tests {
             );
         }
         std::panic::set_hook(prev);
+    }
+
+    #[test]
+    fn zero_query_batch_completes_immediately() {
+        // The degenerate batch: no queries, hence no units and no runner.
+        // `pending_units` starts at 0, so the handle must already be
+        // complete and wait() must return without ever touching the pool.
+        with_watchdog(
+            std::time::Duration::from_secs(30),
+            "zero-query batch",
+            || {
+                for threads in [1usize, 2] {
+                    let (points, order) = small_engine();
+                    let cfg = EngineConfig {
+                        records_per_page: 4,
+                        fanout: 4,
+                        shards: 2,
+                        threads,
+                        ..Default::default()
+                    };
+                    let engine = ServeEngine::new(&points, &order, cfg);
+                    let handle = engine.submit(&[]);
+                    assert_eq!(handle.queries(), 0);
+                    assert!(handle.is_complete(), "no units means nothing pending");
+                    let report = handle.wait();
+                    assert!(report.outcomes.is_empty());
+                    assert_eq!(report.digest, digest_outcomes(&[]));
+                    // The engine still serves real work afterwards.
+                    assert_eq!(engine.run(&queries()).outcomes.len(), 4);
+                }
+            },
+        );
+    }
+
+    #[test]
+    fn crafted_poisoned_unit_fails_wait_with_a_clear_message() {
+        // Inject a replay unit naming a page the shard's store slice does
+        // not own, so `read_page` panics inside the runner. The waiter
+        // must get the aggregated failure message — never a hang (the
+        // watchdog turns a hang into a clear failure).
+        with_watchdog(std::time::Duration::from_secs(30), "poisoned unit", || {
+            let prev = std::panic::take_hook();
+            std::panic::set_hook(Box::new(|_| {})); // silence expected panics
+            let (points, order) = small_engine();
+            let cfg = EngineConfig {
+                records_per_page: 4,
+                fanout: 4,
+                shards: 2,
+                threads: 2,
+                ..Default::default()
+            };
+            let engine = ServeEngine::new(&points, &order, cfg);
+            let state = Arc::new(BatchState {
+                started: Instant::now(),
+                progress: Mutex::new(BatchProgress {
+                    pending_units: 1,
+                    units_left: vec![1],
+                    hits: vec![0],
+                    misses: vec![0],
+                    shard_buffers: vec![BufferStats::default(); 2],
+                    latency: vec![0.0],
+                    failed_units: 0,
+                }),
+                done: Condvar::new(),
+            });
+            let mut units = VecDeque::new();
+            units.push_back(Unit {
+                qidx: 0,
+                pages: vec![usize::MAX],
+            });
+            {
+                let mut queue = engine.shared.queues[0].lock().expect("shard queue lock");
+                queue.batches.push_back(BatchWork {
+                    state: Arc::clone(&state),
+                    units,
+                });
+                queue.running = true;
+            }
+            let shared = Arc::clone(&engine.shared);
+            engine
+                .pool
+                .as_ref()
+                .expect("threads > 1 builds a pool")
+                .submit(move || run_shard_queue(&shared, 0));
+            let handle = BatchHandle {
+                state,
+                plans: Vec::new(),
+                routes: Vec::new(),
+                io: engine.cfg.io,
+                shards: 2,
+            };
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| handle.wait()));
+            let payload = outcome.expect_err("wait must re-raise the poisoned unit");
+            let msg = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .unwrap_or_default();
+            assert!(
+                msg.contains("replay unit(s) panicked during this batch"),
+                "unexpected panic payload: {msg}"
+            );
+            // The replay panic poisoned shard 0's lock, so later batches
+            // touching that shard must also fail loudly at wait() — the
+            // contract is "panic, never hang", not "self-heal".
+            let again =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| engine.run(&queries())));
+            assert!(again.is_err(), "a poisoned shard must keep failing loudly");
+            std::panic::set_hook(prev);
+        });
+    }
+
+    #[test]
+    fn more_inflight_batches_than_shards_preserves_outcomes() {
+        // 16 single-query batches over 2 shard queues: far more in-flight
+        // handles than shards, so every queue round-robins across many
+        // batches. Outcomes and digest must match the one-batch serial
+        // reference.
+        with_watchdog(
+            std::time::Duration::from_secs(30),
+            "inflight > shards",
+            || {
+                let (points, order) = small_engine();
+                let base = EngineConfig {
+                    records_per_page: 4,
+                    fanout: 4,
+                    buffer_pages: 8,
+                    ..Default::default()
+                };
+                let qs: Vec<Query> = (0..4).flat_map(|_| queries()).collect();
+                let reference = ServeEngine::new(&points, &order, base).run(&qs);
+                let cfg = EngineConfig {
+                    shards: 2,
+                    threads: 2,
+                    ..base
+                };
+                let engine = ServeEngine::new(&points, &order, cfg);
+                let handles: Vec<BatchHandle> = qs.chunks(1).map(|c| engine.submit(c)).collect();
+                assert!(handles.len() > 4 * engine.config().shards);
+                let outcomes: Vec<QueryOutcome> = handles
+                    .into_iter()
+                    .flat_map(|h| h.wait().outcomes)
+                    .collect();
+                assert_eq!(digest_outcomes(&outcomes), reference.digest);
+                for (a, b) in outcomes.iter().zip(&reference.outcomes) {
+                    assert_eq!(a.results, b.results);
+                    assert_eq!(a.pages, b.pages);
+                    assert_eq!(a.runs, b.runs);
+                }
+            },
+        );
+    }
+
+    #[test]
+    fn single_pooled_worker_serves_many_shards_and_batches() {
+        // Pin the pool to one worker under 4 shards and 3 overlapping
+        // batches: all shard runners queue behind a single thread, so
+        // completion relies on runners never blocking on one another.
+        with_watchdog(std::time::Duration::from_secs(30), "single worker", || {
+            let (points, order) = small_engine();
+            let base = EngineConfig {
+                records_per_page: 4,
+                fanout: 4,
+                buffer_pages: 8,
+                ..Default::default()
+            };
+            let qs = queries();
+            let reference = ServeEngine::new(&points, &order, base).run(&qs);
+            let cfg = EngineConfig {
+                shards: 4,
+                threads: 2,
+                ..base
+            };
+            let mut engine = ServeEngine::new(&points, &order, cfg);
+            engine.pool = Some(WorkerPool::new(1));
+            let handles: Vec<BatchHandle> = (0..3).map(|_| engine.submit(&qs)).collect();
+            for handle in handles {
+                let report = handle.wait();
+                assert_eq!(report.digest, reference.digest);
+                for (a, b) in report.outcomes.iter().zip(&reference.outcomes) {
+                    assert_eq!(a.results, b.results);
+                }
+            }
+        });
     }
 
     #[test]

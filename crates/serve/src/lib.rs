@@ -60,6 +60,7 @@
 pub mod engine;
 pub mod pool;
 pub mod shard;
+pub mod testing;
 pub mod workload;
 
 pub use engine::{

@@ -168,6 +168,7 @@ pub fn zipf_workload(spec: &GridSpec, cfg: &ZipfConfig) -> Vec<Query> {
     let weights: Vec<f64> = (0..cfg.hotspots)
         .map(|i| 1.0 / ((i + 1) as f64).powf(cfg.exponent))
         .collect();
+    // xtask:allow(float-reduce): serial fold over a fixed-order weight table
     let total: f64 = weights.iter().sum();
     let min_extent = spec.dims().iter().copied().min().expect("non-empty grid");
     let class_sides: Vec<i64> = [32usize, 16, 8]

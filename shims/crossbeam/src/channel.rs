@@ -16,9 +16,9 @@
 //! receiver is gone, `recv` fails once the queue is empty **and** every
 //! sender is gone (messages in flight are still delivered first).
 
+use crate::sync::{Arc, Condvar, Mutex};
 use std::collections::VecDeque;
 use std::fmt;
-use std::sync::{Arc, Condvar, Mutex};
 
 /// Error of [`Sender::send`]: every receiver disconnected; the unsent
 /// message is handed back.
@@ -382,6 +382,64 @@ mod tests {
             .collect();
         want.sort_unstable();
         assert_eq!(got, want);
+    }
+
+    #[test]
+    fn last_sender_drop_wakes_every_blocked_receiver_exactly_once() {
+        // Three receivers all parked in `recv` on an empty channel; the
+        // last sender clone dropping must wake *all* of them (notify_all
+        // on last-sender-drop), and each must observe disconnect exactly
+        // once — no receiver may hang, receive a phantom message, or be
+        // woken twice.
+        let (tx, rx) = unbounded::<usize>();
+        let tx2 = tx.clone();
+        let receivers: Vec<_> = (0..3)
+            .map(|_| {
+                let rx = rx.clone();
+                thread::spawn(move || rx.recv())
+            })
+            .collect();
+        // Let the receivers reach the condvar wait before disconnecting.
+        thread::sleep(Duration::from_millis(30));
+        drop(tx); // not the last sender: must wake nobody
+        thread::sleep(Duration::from_millis(10));
+        drop(tx2); // last sender: must wake all three
+        for handle in receivers {
+            assert_eq!(
+                handle.join().expect("receiver thread must not panic"),
+                Err(RecvError),
+                "a blocked receiver must observe disconnect, not a value"
+            );
+        }
+    }
+
+    #[test]
+    fn last_receiver_drop_wakes_every_blocked_sender() {
+        // The symmetric edge: two senders parked in `send` on a full
+        // bounded channel; the last receiver dropping must wake both so
+        // they observe disconnect and hand their message back.
+        let (tx, rx) = bounded::<usize>(1);
+        tx.send(0).unwrap(); // fill the channel
+        let senders: Vec<_> = (0..2)
+            .map(|i| {
+                let tx = tx.clone();
+                thread::spawn(move || tx.send(100 + i))
+            })
+            .collect();
+        thread::sleep(Duration::from_millis(30));
+        drop(rx); // only receiver: both parked senders must wake
+        let mut returned: Vec<usize> = senders
+            .into_iter()
+            .map(|h| {
+                let err = h
+                    .join()
+                    .expect("sender thread must not panic")
+                    .expect_err("send into a receiverless channel must fail");
+                err.0
+            })
+            .collect();
+        returned.sort_unstable();
+        assert_eq!(returned, vec![100, 101], "unsent messages are handed back");
     }
 
     #[test]

@@ -11,8 +11,18 @@
 //! * [`channel`] — cloneable MPMC channels (`unbounded` / `bounded`,
 //!   blocking `send`/`recv`, `try_recv`, `iter`) over `Mutex` + `Condvar`,
 //!   feeding the persistent worker pool in `slpm_serve`.
+//!
+//! Both are written against the [`sync`] facade: normally a zero-cost
+//! re-export of `std::sync`, but under the `model` feature the same
+//! names become instrumented primitives driven by the deterministic
+//! schedule-exploring checker in [`model`] — see `crates/check` for the
+//! harnesses that exhaustively verify the channel, the `run_scoped`
+//! latch, and the serving pool protocol over every interleaving.
 
 pub mod channel;
+#[cfg(feature = "model")]
+pub mod model;
+pub mod sync;
 
 /// Scoped threads, mirroring `crossbeam::thread`.
 pub mod thread {
@@ -115,34 +125,64 @@ pub mod thread {
         jobs: Vec<Box<dyn FnOnce() + Send + 'env>>,
         submit: &mut dyn FnMut(Box<dyn FnOnce() + Send + 'static>),
     ) {
-        use std::sync::{Arc, Condvar, Mutex};
+        use crate::sync::{Arc, Condvar, Mutex};
 
-        /// `(in-flight wrappers, jobs that did not complete normally)`.
+        /// Tracks every lent wrapper until it settles.
+        struct LatchState {
+            /// Wrappers handed to `submit` whose `Guard` has not yet
+            /// dropped. `wait_idle` returns only once this reaches 0.
+            in_flight: usize,
+            /// Jobs that did not complete normally (panicked, or were
+            /// dropped by the executor without running).
+            failed: usize,
+            /// One flag per job, set under this lock when its guard
+            /// settles. `wait_idle` asserts all of them afterwards: a
+            /// clear flag at that point would mean a wrapper escaped
+            /// accounting and could still touch `'env` borrows — the
+            /// exact unsoundness the latch exists to rule out.
+            settled: Vec<bool>,
+        }
         struct Latch {
-            state: Mutex<(usize, usize)>,
+            state: Mutex<LatchState>,
             done: Condvar,
         }
         impl Latch {
             fn wait_idle(&self) -> usize {
                 let mut state = self.state.lock().expect("latch lock");
-                while state.0 > 0 {
+                while state.in_flight > 0 {
                     state = self.done.wait(state).expect("latch lock");
                 }
-                state.1
+                // No-escape invariant: `in_flight == 0` was observed
+                // under the same lock each guard settles under, so every
+                // flag set happens-before this read. A clear flag here is
+                // a latch bug, and returning would be unsound — fail hard.
+                assert!(
+                    state.settled.iter().all(|&s| s),
+                    "run_scoped latch: in_flight hit 0 with unsettled job(s) — \
+                     a borrowed wrapper escaped accounting"
+                );
+                state.failed
             }
         }
-        /// Decrements the latch when dropped; `completed` is set only
-        /// after the wrapped job returned normally, so a panic or an
-        /// unrun drop counts as a failure.
+        /// Settles slot `idx` of the latch when dropped; `completed` is
+        /// set only after the wrapped job returned normally, so a panic
+        /// or an unrun drop counts as a failure.
         struct Guard {
             latch: Arc<Latch>,
+            idx: usize,
             completed: bool,
         }
         impl Guard {
-            fn new(latch: &Arc<Latch>) -> Self {
-                latch.state.lock().expect("latch lock").0 += 1;
+            fn new(latch: &Arc<Latch>, idx: usize) -> Self {
+                let mut state = latch.state.lock().expect("latch lock");
+                state.in_flight += 1;
+                assert!(
+                    state.in_flight <= state.settled.len(),
+                    "run_scoped latch: more guards than jobs"
+                );
                 Guard {
                     latch: Arc::clone(latch),
+                    idx,
                     completed: false,
                 }
             }
@@ -150,11 +190,17 @@ pub mod thread {
         impl Drop for Guard {
             fn drop(&mut self) {
                 let mut state = self.latch.state.lock().expect("latch lock");
-                state.0 -= 1;
+                assert!(
+                    !state.settled[self.idx],
+                    "run_scoped latch: job {} settled twice",
+                    self.idx
+                );
+                state.settled[self.idx] = true;
+                state.in_flight -= 1;
                 if !self.completed {
-                    state.1 += 1;
+                    state.failed += 1;
                 }
-                if state.0 == 0 {
+                if state.in_flight == 0 {
                     self.latch.done.notify_all();
                 }
             }
@@ -170,24 +216,49 @@ pub mod thread {
         }
 
         let latch = Arc::new(Latch {
-            state: Mutex::new((0, 0)),
+            state: Mutex::new(LatchState {
+                in_flight: 0,
+                failed: 0,
+                settled: vec![false; jobs.len()],
+            }),
             done: Condvar::new(),
         });
         let drain = WaitOnUnwind(&latch);
-        for job in jobs {
-            let guard = Guard::new(&latch);
+        for (idx, job) in jobs.into_iter().enumerate() {
+            let guard = Guard::new(&latch, idx);
             let wrapper: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
                 let mut guard = guard;
                 job();
                 guard.completed = true;
             });
-            // SAFETY: every borrow captured by `wrapper` is valid for
-            // 'env, and the latch guarantees this function does not
-            // return (on any path — `drain` covers unwinding) until the
-            // wrapper has been dropped, run to completion, or panicked
-            // and been cleaned up. No erased borrow can therefore be
-            // touched after 'env ends. This is the lifetime-erasure
-            // contract crossbeam's own scoped threads are built on.
+            // SAFETY: lifetime erasure of `'env` borrows to `'static`,
+            // sound because no erased borrow can be used after `'env`
+            // ends. The argument, piece by piece:
+            //
+            // 1. Every borrow captured by `wrapper` (via `job`) is valid
+            //    for `'env`, which outlives this call — the signature
+            //    guarantees it.
+            // 2. `wrapper` owns the only handle to those borrows, and the
+            //    `Guard` it also owns settles its latch slot exactly once
+            //    when the wrapper is dropped — whether the job ran to
+            //    completion, panicked (the guard unwinds with it), or the
+            //    executor dropped the box unrun. Rust's ownership rules
+            //    make a drop the last event of the wrapper's life, so
+            //    "slot settled" happens-after every use of the borrows.
+            // 3. This function does not return, on any path, until
+            //    `in_flight == 0`: the normal path calls
+            //    `latch.wait_idle()`, and an unwind out of `submit` hits
+            //    `drain`'s `Drop`, which calls the same `wait_idle`.
+            //    `wait_idle` additionally asserts that every per-job
+            //    settled flag was set under the same lock, so a wrapper
+            //    that somehow escaped accounting aborts the process
+            //    instead of returning borrows to a dead frame.
+            // 4. Therefore every wrapper has been dropped before control
+            //    returns to the caller, and no erased borrow outlives
+            //    `'env`. This is the lifetime-erasure contract
+            //    crossbeam's own scoped threads are built on; the
+            //    `crates/check` model harness `run_scoped` tests verify
+            //    the latch protocol over every bounded interleaving.
             let wrapper = unsafe {
                 std::mem::transmute::<
                     Box<dyn FnOnce() + Send + 'env>,
@@ -307,6 +378,47 @@ mod tests {
         });
         std::panic::set_hook(prev);
         assert!(caught.is_err(), "failed jobs must surface as a panic");
+    }
+
+    #[test]
+    fn run_scoped_blocks_until_a_dawdling_executor_finishes_borrowed_jobs() {
+        // Regression for the lifetime-erasure contract: the executor
+        // queues every job and only starts running them *after* a delay,
+        // long after `run_scoped`'s loop has finished submitting. If
+        // `run_scoped` returned before the last wrapper settled, the
+        // borrow of `data` would end while a job still held an erased
+        // `'static` alias to it — by construction that must be
+        // impossible, i.e. every write below must be visible the moment
+        // `run_scoped` returns.
+        let mut data = vec![0usize; 32];
+        {
+            let (tx, rx) = std::sync::mpsc::channel::<Box<dyn FnOnce() + Send>>();
+            let worker = std::thread::spawn(move || {
+                // Collect all four jobs first: none runs until run_scoped
+                // is already blocked in wait_idle.
+                let queued: Vec<_> = (0..4).map(|_| rx.recv().expect("4 jobs")).collect();
+                std::thread::sleep(std::time::Duration::from_millis(50));
+                for job in queued {
+                    job();
+                }
+            });
+            let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = data
+                .chunks_mut(8)
+                .enumerate()
+                .map(|(c, chunk)| {
+                    Box::new(move || {
+                        for (i, v) in chunk.iter_mut().enumerate() {
+                            *v = c * 8 + i + 1;
+                        }
+                    }) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            thread::run_scoped(jobs, &mut |job| tx.send(job).expect("worker alive"));
+            drop(tx);
+            worker.join().unwrap();
+        }
+        // Every borrowed chunk was written before run_scoped returned.
+        assert_eq!(data, (1..=32).collect::<Vec<_>>());
     }
 
     #[test]
