@@ -18,6 +18,10 @@
 //! * runners pop the front batch, take one unit, and rotate the batch to
 //!   the back while units remain (round-robin fairness across in-flight
 //!   batches);
+//! * `submit_bounded` blocks the submitter on a per-shard condvar while
+//!   a target shard holds `bound` or more queued units; runners decrement
+//!   the count and notify under the same lock, and never wait themselves
+//!   (backpressure can stall admission but never deadlock it);
 //! * unit replay panics are caught, recorded, and re-raised at
 //!   [`MiniBatchHandle::wait`] — never allowed to wedge the waiter;
 //! * per-unit contributions merge commutatively under the progress lock,
@@ -169,14 +173,23 @@ struct BatchWork {
     units: VecDeque<MiniUnit>,
 }
 
-/// A shard's FIFO of in-flight batches plus its runner flag.
+/// A shard's FIFO of in-flight batches plus its runner flag and the
+/// queued-unit count bounded admission waits on.
 struct ShardQueue {
     batches: VecDeque<BatchWork>,
     running: bool,
+    pending_units: usize,
+}
+
+/// One shard's queue plus the condvar bounded submitters block on,
+/// mirroring `slpm_serve::engine`'s `ShardGate`.
+struct ShardGate {
+    queue: Mutex<ShardQueue>,
+    space: Condvar,
 }
 
 struct Shared {
-    queues: Vec<Mutex<ShardQueue>>,
+    queues: Vec<ShardGate>,
 }
 
 /// Handle to one submitted batch; [`wait`](MiniBatchHandle::wait) blocks
@@ -226,11 +239,13 @@ impl MiniEngine {
             pool: MiniPool::new(workers),
             shared: Arc::new(Shared {
                 queues: (0..shards)
-                    .map(|_| {
-                        Mutex::new(ShardQueue {
+                    .map(|_| ShardGate {
+                        queue: Mutex::new(ShardQueue {
                             batches: VecDeque::new(),
                             running: false,
-                        })
+                            pending_units: 0,
+                        }),
+                        space: Condvar::new(),
                     })
                     .collect(),
             }),
@@ -240,6 +255,30 @@ impl MiniEngine {
     /// Admit a batch of `queries` queries whose per-shard units are
     /// `shard_units[shard]`; returns immediately with a wait handle.
     pub fn submit(&self, queries: usize, shard_units: Vec<Vec<MiniUnit>>) -> MiniBatchHandle {
+        self.admit(queries, shard_units, None)
+    }
+
+    /// Admit a batch under a per-shard queued-unit bound, mirroring
+    /// `ServeEngine::submit_planned_bounded`: the caller blocks (shard by
+    /// shard, in ascending order) while a target shard already holds
+    /// `bound` or more queued units, and runners wake waiters as they
+    /// drain. Runners themselves never wait, so admission can stall but
+    /// never deadlock — the property the model tests pin down.
+    pub fn submit_bounded(
+        &self,
+        queries: usize,
+        shard_units: Vec<Vec<MiniUnit>>,
+        bound: usize,
+    ) -> MiniBatchHandle {
+        self.admit(queries, shard_units, Some(bound.max(1)))
+    }
+
+    fn admit(
+        &self,
+        queries: usize,
+        shard_units: Vec<Vec<MiniUnit>>,
+        bound: Option<usize>,
+    ) -> MiniBatchHandle {
         assert_eq!(shard_units.len(), self.shared.queues.len());
         let total: usize = shard_units.iter().map(Vec::len).sum();
         let state = Arc::new(BatchState {
@@ -255,7 +294,20 @@ impl MiniEngine {
                 continue;
             }
             let start_runner = {
-                let mut q = self.shared.queues[shard].lock().expect("shard queue");
+                let gate = &self.shared.queues[shard];
+                let mut q = gate.queue.lock().expect("shard queue");
+                if let Some(bound) = bound {
+                    while q.pending_units >= bound {
+                        q = gate.space.wait(q).expect("shard queue");
+                    }
+                    // The capacity invariant, checked under the lock at
+                    // every admission on every explored schedule.
+                    assert!(
+                        q.pending_units < bound,
+                        "bounded admission woke with a full queue"
+                    );
+                }
+                q.pending_units += units.len();
                 q.batches.push_back(BatchWork {
                     state: Arc::clone(&state),
                     units: units.into(),
@@ -282,7 +334,8 @@ impl MiniEngine {
 fn run_shard(shared: &Arc<Shared>, shard: usize) {
     loop {
         let (unit, state) = {
-            let mut q = shared.queues[shard].lock().expect("shard queue");
+            let gate = &shared.queues[shard];
+            let mut q = gate.queue.lock().expect("shard queue");
             let Some(mut batch) = q.batches.pop_front() else {
                 // The `running = false` ↔ `submit` handoff is the
                 // classic lost-batch window; both sides act under this
@@ -296,6 +349,12 @@ fn run_shard(shared: &Arc<Shared>, shard: usize) {
             if !batch.units.is_empty() {
                 q.batches.push_back(batch);
             }
+            // Pop and notify under the same lock, exactly as the engine's
+            // runner does — the no-lost-wakeup obligation of the bounded
+            // admission protocol.
+            assert!(q.pending_units > 0, "mini shard: unit drained twice");
+            q.pending_units -= 1;
+            gate.space.notify_all();
             (unit, state)
         };
         match catch_unwind(AssertUnwindSafe(|| replay_unit(unit))) {
@@ -350,6 +409,34 @@ mod tests {
             vec![vec![unit(0, 4), unit(2, 2)], vec![unit(0, 6), unit(1, 8)]],
         );
         assert_eq!(digest_outcomes(&handle.wait()), digest_outcomes(&outcomes));
+    }
+
+    #[test]
+    fn plain_mode_bounded_submit_backpressures_and_matches_unbounded() {
+        let engine = MiniEngine::new(2, 2);
+        let unit = |qidx, work| MiniUnit {
+            qidx,
+            work,
+            poison: false,
+        };
+        let batch = |e: &MiniEngine, bound: Option<usize>| {
+            let units = vec![vec![unit(0, 4), unit(2, 2)], vec![unit(0, 6), unit(1, 8)]];
+            match bound {
+                Some(b) => e.submit_bounded(3, units, b),
+                None => e.submit(3, units),
+            }
+        };
+        let free = batch(&engine, None).wait();
+        // Depth 1 forces the submitter through the wait path on the
+        // second unit of each shard; the merged outcomes are identical.
+        for _ in 0..8 {
+            let bounded = batch(&engine, Some(1)).wait();
+            assert_eq!(
+                digest_outcomes(&bounded),
+                digest_outcomes(&free),
+                "bounded admission changed answers"
+            );
+        }
     }
 
     #[test]

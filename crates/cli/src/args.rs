@@ -1,7 +1,9 @@
 //! Hand-rolled argument parsing for the `slpm` binary.
 
+use slpm_serve::arrival::ArrivalShape;
 use slpm_serve::engine::KnnPlanner;
 use slpm_serve::shard::Partition;
+use slpm_serve::stream::AdmissionPolicy;
 use std::fmt;
 
 /// A mapping selectable on the command line.
@@ -132,6 +134,25 @@ pub enum Command {
         inflight: usize,
         /// kNN planning algorithm.
         planner: KnnPlanner,
+        /// Streaming mode: serve the workload as an open-loop arrival
+        /// stream with admission control and SLO accounting instead of
+        /// one closed-loop batch.
+        stream: bool,
+        /// Streaming: mean arrival rate in queries per second.
+        rate: u64,
+        /// Streaming: the arrival-process shape.
+        arrival: ArrivalShape,
+        /// Streaming: micro-batch window in simulated µs.
+        batch_delay_us: u64,
+        /// Streaming: micro-batch size cap (a full batch dispatches
+        /// early).
+        max_batch: usize,
+        /// Streaming: per-shard bound on queued replay units.
+        queue_depth: usize,
+        /// Streaming: what happens at the bound (shed or block).
+        admission: AdmissionPolicy,
+        /// Streaming: SLO latency target in simulated µs.
+        slo_us: u64,
     },
     /// `slpm help`
     Help,
@@ -302,6 +323,14 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             let mut page_records = 64usize;
             let mut inflight = 1usize;
             let mut planner = KnnPlanner::BestFirst;
+            let mut stream = false;
+            let mut rate = 20_000u64;
+            let mut arrival = ArrivalShape::Poisson;
+            let mut batch_delay_us = 200u64;
+            let mut max_batch = 32usize;
+            let mut queue_depth = 64usize;
+            let mut admission = AdmissionPolicy::Shed;
+            let mut slo_us = 2_000u64;
             let mut i = 1;
             while i < args.len() {
                 match args[i].as_str() {
@@ -341,6 +370,34 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                             ))
                         })?;
                     }
+                    "--stream" => stream = true,
+                    "--rate" => rate = parse_positive(args, &mut i, "--rate")? as u64,
+                    "--arrival" => {
+                        let v = take_value(args, &mut i, "--arrival")?;
+                        arrival = ArrivalShape::parse(v).ok_or_else(|| {
+                            ParseError(format!(
+                                "unknown arrival shape '{v}' (deterministic, poisson, \
+                                 bursty, diurnal)"
+                            ))
+                        })?;
+                    }
+                    "--batch-delay-us" => {
+                        let v = take_value(args, &mut i, "--batch-delay-us")?;
+                        batch_delay_us = v.parse::<u64>().map_err(|_| {
+                            ParseError(format!(
+                                "invalid --batch-delay-us '{v}': expected an integer"
+                            ))
+                        })?;
+                    }
+                    "--max-batch" => max_batch = parse_positive(args, &mut i, "--max-batch")?,
+                    "--queue-depth" => queue_depth = parse_positive(args, &mut i, "--queue-depth")?,
+                    "--admission" => {
+                        let v = take_value(args, &mut i, "--admission")?;
+                        admission = AdmissionPolicy::parse(v).ok_or_else(|| {
+                            ParseError(format!("unknown admission policy '{v}' (shed, block)"))
+                        })?;
+                    }
+                    "--slo-us" => slo_us = parse_positive(args, &mut i, "--slo-us")? as u64,
                     other => return Err(ParseError(format!("unknown flag '{other}'"))),
                 }
                 i += 1;
@@ -357,6 +414,14 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 page_records,
                 inflight,
                 planner,
+                stream,
+                rate,
+                arrival,
+                batch_delay_us,
+                max_batch,
+                queue_depth,
+                admission,
+                slo_us,
             })
         }
         "report" => {
@@ -403,6 +468,10 @@ USAGE:
                [--queries 1000] [--seed 42] [--partition contiguous|round-robin]
                [--buffer-pages 64] [--page-records 64] [--inflight 1]
                [--knn-planner best-first|expanding-ball]
+               [--stream] [--rate 20000]
+               [--arrival deterministic|poisson|bursty|diurnal]
+               [--batch-delay-us 200] [--max-batch 32] [--queue-depth 64]
+               [--admission shed|block] [--slo-us 2000]
   slpm help
 
 Mappings: sweep, snake, peano (Z-order), truepeano, gray, hilbert,
@@ -421,6 +490,15 @@ counts and the printed digest are bitwise identical for every --shards,
 the workload into B concurrently admitted batches (per-shard FIFO queues,
 round-robin fairness); --knn-planner picks best-first branch-and-bound
 (default) or the expanding-ball baseline.
+--stream serves the same workload as an open-loop arrival process on a
+simulated clock: --rate and --arrival pick the traffic (mean q/s and
+shape), --batch-delay-us/--max-batch the micro-batch window, and
+--queue-depth/--admission the backpressure bound and policy (shed drops
+at the bound and counts per class; block stalls the stream and pays in
+tail latency). Per-query admission-to-completion latency is scored
+against --slo-us (p50/p99/p999, violation %); all streaming decisions
+and latencies are deterministic — machine-independent — and the printed
+digest still equals the batch digest of the admitted query sequence.
 ";
 
 #[cfg(test)]
@@ -567,6 +645,14 @@ mod tests {
                 page_records: 64,
                 inflight: 1,
                 planner: KnnPlanner::BestFirst,
+                stream: false,
+                rate: 20_000,
+                arrival: ArrivalShape::Poisson,
+                batch_delay_us: 200,
+                max_batch: 32,
+                queue_depth: 64,
+                admission: AdmissionPolicy::Shed,
+                slo_us: 2_000,
             }
         );
         let c = parse(&argv(&[
@@ -609,6 +695,14 @@ mod tests {
                 page_records: 32,
                 inflight: 4,
                 planner: KnnPlanner::ExpandingBall,
+                stream: false,
+                rate: 20_000,
+                arrival: ArrivalShape::Poisson,
+                batch_delay_us: 200,
+                max_batch: 32,
+                queue_depth: 64,
+                admission: AdmissionPolicy::Shed,
+                slo_us: 2_000,
             }
         );
         // Missing grid, bad values, bad partition, bad planner/inflight.
@@ -619,6 +713,60 @@ mod tests {
         assert!(parse(&argv(&["serve", "--grid", "8x8", "--seed", "x"])).is_err());
         assert!(parse(&argv(&["serve", "--grid", "8x8", "--inflight", "0"])).is_err());
         assert!(parse(&argv(&["serve", "--grid", "8x8", "--knn-planner", "astar"])).is_err());
+    }
+
+    #[test]
+    fn parse_serve_stream_flags() {
+        let c = parse(&argv(&[
+            "serve",
+            "--grid",
+            "64x64",
+            "--stream",
+            "--rate",
+            "50000",
+            "--arrival",
+            "bursty",
+            "--batch-delay-us",
+            "100",
+            "--max-batch",
+            "16",
+            "--queue-depth",
+            "8",
+            "--admission",
+            "block",
+            "--slo-us",
+            "1500",
+        ]))
+        .unwrap();
+        match c {
+            Command::Serve {
+                stream,
+                rate,
+                arrival,
+                batch_delay_us,
+                max_batch,
+                queue_depth,
+                admission,
+                slo_us,
+                ..
+            } => {
+                assert!(stream);
+                assert_eq!(rate, 50_000);
+                assert_eq!(arrival, ArrivalShape::Bursty);
+                assert_eq!(batch_delay_us, 100);
+                assert_eq!(max_batch, 16);
+                assert_eq!(queue_depth, 8);
+                assert_eq!(admission, AdmissionPolicy::Block);
+                assert_eq!(slo_us, 1_500);
+            }
+            other => panic!("expected Serve, got {other:?}"),
+        }
+        // Bad streaming values are rejected.
+        assert!(parse(&argv(&["serve", "--grid", "8x8", "--rate", "0"])).is_err());
+        assert!(parse(&argv(&["serve", "--grid", "8x8", "--arrival", "lognormal"])).is_err());
+        assert!(parse(&argv(&["serve", "--grid", "8x8", "--admission", "retry"])).is_err());
+        assert!(parse(&argv(&["serve", "--grid", "8x8", "--queue-depth", "0"])).is_err());
+        assert!(parse(&argv(&["serve", "--grid", "8x8", "--slo-us", "x"])).is_err());
     }
 
     #[test]

@@ -8,8 +8,10 @@ use slpm_querysim::experiments::{
     storage_io,
 };
 use slpm_querysim::mappings::{curve_order, curve_order_by_name};
+use slpm_serve::arrival::{ArrivalConfig, ArrivalShape};
 use slpm_serve::engine::{EngineConfig, ServeEngine};
-use slpm_serve::workload::{grid_points, mixed_workload, WorkloadConfig};
+use slpm_serve::stream::{stream_serve, AdmissionPolicy, StreamConfig};
+use slpm_serve::workload::{grid_points, mixed_workload, mixed_workload_labeled, WorkloadConfig};
 use slpm_sfc::TruePeanoCurve;
 use spectral_lpm::{LinearOrder, SpectralConfig, SpectralMapper};
 
@@ -64,6 +66,104 @@ fn build_order(
                 .order)
         }
     }
+}
+
+/// Run the streaming admission loop for `slpm serve --stream` and render
+/// its SLO scorecard. The in-process parity line replays the admitted
+/// subsequence as one batch and compares digests, so every streamed
+/// invocation doubles as a correctness check.
+#[allow(clippy::too_many_arguments)]
+fn serve_stream(
+    engine: &ServeEngine,
+    spec: &GridSpec,
+    dims: &[usize],
+    mapping: MappingChoice,
+    queries: usize,
+    seed: u64,
+    rate: u64,
+    arrival: ArrivalShape,
+    batch_delay_us: u64,
+    max_batch: usize,
+    queue_depth: usize,
+    admission: AdmissionPolicy,
+    slo_us: u64,
+) -> Result<String, ParseError> {
+    let labeled = mixed_workload_labeled(
+        spec,
+        &WorkloadConfig {
+            queries,
+            seed,
+            ..Default::default()
+        },
+    );
+    let (workload, labels): (Vec<_>, Vec<_>) = labeled.into_iter().unzip();
+    let cfg = StreamConfig {
+        arrival: ArrivalConfig::new(arrival, rate as f64, seed),
+        batch_delay_us: batch_delay_us as f64,
+        max_batch,
+        queue_depth,
+        policy: admission,
+        slo_us: slo_us as f64,
+        ..Default::default()
+    };
+    let report = stream_serve(engine, &workload, &labels, &cfg);
+    let slo = &report.slo;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "streaming {} queries over a {:?} grid ({} mapping)\n\
+         arrival: {} @ {} q/s  batch delay: {}us  max batch: {}  \
+         queue depth: {}  admission: {}\n",
+        queries, dims, mapping, arrival, rate, batch_delay_us, max_batch, queue_depth, admission,
+    ));
+    out.push_str(&format!(
+        "offered: {}  admitted: {}  shed: {}  micro-batches: {}  \
+         blocked batches: {} ({:.0}us stalled)\n",
+        slo.offered,
+        slo.admitted,
+        slo.shed,
+        report.micro_batches,
+        slo.blocked_batches,
+        slo.blocked_us,
+    ));
+    for (class, shed) in &slo.shed_by_class {
+        out.push_str(&format!("  shed[{class}]: {shed}\n"));
+    }
+    out.push_str(&format!(
+        "latency p50: {:.1}us  p99: {:.1}us  p999: {:.1}us  max: {:.1}us (simulated)\n",
+        slo.p50_us, slo.p99_us, slo.p999_us, slo.max_us,
+    ));
+    out.push_str(&format!(
+        "slo target: {}us  violations: {} ({:.2}%)  max queue depth: {}  slo met: {}\n",
+        slo.target_us,
+        slo.violations,
+        slo.violation_pct,
+        slo.max_queue_depth,
+        if slo.slo_met { "yes" } else { "no" },
+    ));
+    out.push_str(&format!(
+        "sim makespan: {:.0}us  wall elapsed: {:.3}s  throughput: {:.0} q/s\n",
+        report.sim_makespan_us,
+        report.elapsed_seconds,
+        report.queries_per_second(),
+    ));
+    // In-process parity witness: the streamed digest must equal a one-shot
+    // batch run of the admitted subsequence, bit for bit.
+    let admitted: Vec<_> = report
+        .admitted_idx
+        .iter()
+        .map(|&q| workload[q].clone())
+        .collect();
+    let one_shot = engine.run(&admitted);
+    out.push_str(&format!(
+        "digest: {:016x}\nparity (stream vs batch): {}\n",
+        report.digest,
+        if report.digest == one_shot.digest {
+            "ok"
+        } else {
+            "MISMATCH"
+        },
+    ));
+    Ok(out)
 }
 
 /// Execute a parsed command, returning its stdout text.
@@ -203,6 +303,14 @@ pub fn execute(cmd: &Command) -> Result<String, ParseError> {
             page_records,
             inflight,
             planner,
+            stream,
+            rate,
+            arrival,
+            batch_delay_us,
+            max_batch,
+            queue_depth,
+            admission,
+            slo_us,
         } => {
             let spec = GridSpec::new(dims);
             let order = build_order(dims, *mapping, None)?;
@@ -220,6 +328,23 @@ pub fn execute(cmd: &Command) -> Result<String, ParseError> {
                 ..Default::default()
             };
             let engine = ServeEngine::new(&points, &order, cfg);
+            if *stream {
+                return serve_stream(
+                    &engine,
+                    &spec,
+                    dims,
+                    *mapping,
+                    *queries,
+                    *seed,
+                    *rate,
+                    *arrival,
+                    *batch_delay_us,
+                    *max_batch,
+                    *queue_depth,
+                    *admission,
+                    *slo_us,
+                );
+            }
             let workload = mixed_workload(
                 &spec,
                 &WorkloadConfig {
@@ -456,6 +581,101 @@ mod tests {
         // A different seed is a different workload.
         let other = run(&["serve", "--grid", "16x16", "--queries", "40", "--seed", "7"]).unwrap();
         assert_ne!(digest_line(&other), reference);
+    }
+
+    #[test]
+    fn serve_stream_reports_slo_and_parity() {
+        let digest_line = |out: &str| {
+            out.lines()
+                .find(|l| l.starts_with("digest:"))
+                .expect("digest line")
+                .to_string()
+        };
+        // Uncontended stream: everything is admitted and the streamed
+        // digest matches the one-shot batch run of the same workload.
+        let out = run(&[
+            "serve",
+            "--grid",
+            "16x16",
+            "--queries",
+            "40",
+            "--stream",
+            "--rate",
+            "5000",
+            "--arrival",
+            "poisson",
+        ])
+        .unwrap();
+        assert!(out.contains("streaming 40 queries"));
+        assert!(out.contains("arrival: poisson @ 5000 q/s"));
+        assert!(out.contains("offered: 40  admitted: 40  shed: 0"));
+        assert!(out.contains("slo target: 2000us"));
+        assert!(out.contains("parity (stream vs batch): ok"));
+        let batch = run(&["serve", "--grid", "16x16", "--queries", "40"]).unwrap();
+        assert_eq!(digest_line(&out), digest_line(&batch));
+        // The simulated clock makes the stream thread-invariant too.
+        let threaded = run(&[
+            "serve",
+            "--grid",
+            "16x16",
+            "--queries",
+            "40",
+            "--stream",
+            "--rate",
+            "5000",
+            "--arrival",
+            "poisson",
+            "--shards",
+            "4",
+            "--threads",
+            "4",
+        ])
+        .unwrap();
+        assert_eq!(digest_line(&threaded), digest_line(&out));
+        // Overload with a tiny queue sheds under the default policy but
+        // still passes the parity check on the admitted subsequence.
+        let shed = run(&[
+            "serve",
+            "--grid",
+            "16x16",
+            "--queries",
+            "60",
+            "--stream",
+            "--rate",
+            "400000",
+            "--arrival",
+            "bursty",
+            "--queue-depth",
+            "1",
+            "--batch-delay-us",
+            "0",
+        ])
+        .unwrap();
+        assert!(
+            shed.contains("shed["),
+            "expected per-class shed lines:\n{shed}"
+        );
+        assert!(shed.contains("parity (stream vs batch): ok"));
+        // Block mode admits everything instead.
+        let block = run(&[
+            "serve",
+            "--grid",
+            "16x16",
+            "--queries",
+            "60",
+            "--stream",
+            "--rate",
+            "400000",
+            "--arrival",
+            "bursty",
+            "--queue-depth",
+            "1",
+            "--admission",
+            "block",
+        ])
+        .unwrap();
+        assert!(block.contains("offered: 60  admitted: 60  shed: 0"));
+        assert!(block.contains("parity (stream vs batch): ok"));
     }
 
     #[test]

@@ -252,16 +252,19 @@ impl BatchReport {
         quantile(&pages, q)
     }
 
-    /// The `q`-quantile of per-query admission-to-completion latency
-    /// (seconds). `0.0` on an empty batch.
+    /// The batch's per-query admission-to-completion latencies (seconds)
+    /// as a [`LatencySummary`] — sorted once; every quantile after that
+    /// is an O(1) lookup.
+    pub fn latency_summary(&self) -> LatencySummary {
+        LatencySummary::new(self.outcomes.iter().map(|o| o.seconds).collect())
+    }
+
+    /// The nearest-rank `q`-quantile of per-query admission-to-completion
+    /// latency (seconds); `0.0` on an empty batch. One-shot convenience
+    /// over [`BatchReport::latency_summary`] — when reading more than one
+    /// quantile, build the summary instead so the sample is sorted once.
     pub fn latency_quantile(&self, q: f64) -> f64 {
-        let mut lats: Vec<f64> = self.outcomes.iter().map(|o| o.seconds).collect();
-        lats.sort_by(f64::total_cmp);
-        if lats.is_empty() {
-            return 0.0;
-        }
-        let rank = (q.clamp(0.0, 1.0) * lats.len() as f64).ceil() as usize;
-        lats[rank.saturating_sub(1).min(lats.len() - 1)]
+        self.latency_summary().quantile(q)
     }
 
     /// Shard-balance skew: max/mean of per-shard routed pages — `1.0` is
@@ -282,6 +285,73 @@ impl BatchReport {
             .max()
             .unwrap_or(0) as f64;
         max / mean
+    }
+}
+
+/// A latency sample sorted once at construction, with nearest-rank
+/// quantiles. Unit-agnostic: the batch engine feeds it seconds, the
+/// streaming layer simulated microseconds.
+///
+/// **Method.** The `q`-quantile is *nearest-rank*: the `⌈q·n⌉`-th
+/// smallest sample value (1-based), i.e. the smallest observation with
+/// at least a `q` fraction of the sample at or below it. Every quantile
+/// is an actual observation — never an interpolation — so a reported
+/// p999 is a latency some query really experienced.
+#[derive(Debug, Clone, Default)]
+pub struct LatencySummary {
+    sorted: Vec<f64>,
+}
+
+impl LatencySummary {
+    /// Build from an unordered sample. Sorts once (total order over
+    /// floats, NaN-safe); all quantile reads afterwards are O(1).
+    pub fn new(mut sample: Vec<f64>) -> Self {
+        sample.sort_by(f64::total_cmp);
+        LatencySummary { sorted: sample }
+    }
+
+    /// Sample size.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True when the sample is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// The nearest-rank `q`-quantile (`q` clamped to `[0, 1]`); `0.0` on
+    /// an empty sample.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.sorted.len() as f64).ceil() as usize;
+        self.sorted[rank.saturating_sub(1).min(self.sorted.len() - 1)]
+    }
+
+    /// The SLO trio in one call: `(p50, p99, p999)`.
+    pub fn p50_p99_p999(&self) -> (f64, f64, f64) {
+        (
+            self.quantile(0.50),
+            self.quantile(0.99),
+            self.quantile(0.999),
+        )
+    }
+
+    /// Samples strictly above `target`, as `(count, fraction)`;
+    /// `(0, 0.0)` on an empty sample.
+    pub fn violations(&self, target: f64) -> (usize, f64) {
+        if self.sorted.is_empty() {
+            return (0, 0.0);
+        }
+        let over = self.sorted.len() - self.sorted.partition_point(|&v| v <= target);
+        (over, over as f64 / self.sorted.len() as f64)
+    }
+
+    /// The largest sample (`0.0` when empty).
+    pub fn max(&self) -> f64 {
+        self.sorted.last().copied().unwrap_or(0.0)
     }
 }
 
@@ -365,18 +435,29 @@ struct BatchWork {
 }
 
 /// One shard's admission queue: in-flight batches, each with its ordered
-/// remaining units, plus the is-a-runner-scheduled flag.
+/// remaining units, the is-a-runner-scheduled flag, and the queued-unit
+/// count that bounded admission gates on.
 #[derive(Default)]
 struct ShardQueue {
     batches: VecDeque<BatchWork>,
     running: bool,
+    /// Replay units currently enqueued (not yet taken by the runner) —
+    /// the depth [`ServeEngine::submit_planned_bounded`] compares against
+    /// its bound, and what [`ServeEngine::queue_depths`] snapshots.
+    pending_units: usize,
 }
 
-impl ShardQueue {
-    fn default_vec(shards: usize) -> Vec<Mutex<ShardQueue>> {
-        (0..shards)
-            .map(|_| Mutex::new(ShardQueue::default()))
-            .collect()
+/// A shard's queue paired with the condvar bounded submitters sleep on
+/// until the runner drains the queue below their depth bound.
+#[derive(Default)]
+struct ShardGate {
+    queue: Mutex<ShardQueue>,
+    space: Condvar,
+}
+
+impl ShardGate {
+    fn default_vec(shards: usize) -> Vec<ShardGate> {
+        (0..shards).map(|_| ShardGate::default()).collect()
     }
 }
 
@@ -384,7 +465,7 @@ impl ShardQueue {
 /// batch handles (everything the pool's `'static` jobs need).
 struct EngineShared {
     shards: Vec<Mutex<Shard>>,
-    queues: Vec<Mutex<ShardQueue>>,
+    queues: Vec<ShardGate>,
 }
 
 /// Mutable replay progress of one in-flight batch.
@@ -458,7 +539,8 @@ impl BatchState {
 fn run_shard_queue(shared: &EngineShared, shard_id: usize) {
     loop {
         let (state, unit) = {
-            let mut queue = shared.queues[shard_id].lock().expect("shard queue lock");
+            let gate = &shared.queues[shard_id];
+            let mut queue = gate.queue.lock().expect("shard queue lock");
             match queue.batches.pop_front() {
                 None => {
                     // Queue drained; clear the flag under the same lock a
@@ -472,6 +554,11 @@ fn run_shard_queue(shared: &EngineShared, shard_id: usize) {
                     if !work.units.is_empty() {
                         queue.batches.push_back(work);
                     }
+                    // Taking a unit frees one slot of the shard's bounded
+                    // depth; wake any submitter blocked on space (under
+                    // the same lock, so the wakeup can't be lost).
+                    queue.pending_units -= 1;
+                    gate.space.notify_all();
                     (state, unit)
                 }
             }
@@ -502,6 +589,61 @@ fn run_shard_queue(shared: &EngineShared, shard_id: usize) {
             }
             Err(_) => state.record_failure(unit.qidx),
         }
+    }
+}
+
+/// A planned-and-routed batch that has **not** been admitted yet — the
+/// seam streaming admission control builds on. [`ServeEngine::plan_batch`]
+/// produces one; [`PlannedBatch::shard_loads`] exposes where each query's
+/// pages would land (so a policy can decide to shed or block *before* any
+/// work is enqueued); [`PlannedBatch::select`] drops shed queries; and
+/// [`ServeEngine::submit_planned`] /
+/// [`ServeEngine::submit_planned_bounded`] admit whatever remains. Plans
+/// are never recomputed along the way.
+pub struct PlannedBatch {
+    plans: Vec<Plan>,
+    routes: Vec<Route>,
+}
+
+impl PlannedBatch {
+    /// Number of planned queries.
+    pub fn len(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// True when no queries remain.
+    pub fn is_empty(&self) -> bool {
+        self.plans.is_empty()
+    }
+
+    /// The shards query `qidx` routes to, as `(shard, pages, runs)`
+    /// triples in ascending shard order — the loads an admission policy
+    /// charges against its per-shard depth bound.
+    pub fn shard_loads(&self, qidx: usize) -> Vec<(usize, usize, usize)> {
+        self.routes[qidx]
+            .slices
+            .iter()
+            .map(|s| (s.shard, s.pages.len(), s.runs))
+            .collect()
+    }
+
+    /// Keep only the queries whose `keep[qidx]` flag is set (shed the
+    /// rest); survivors renumber densely in their original order, so the
+    /// admitted batch's digest equals a one-shot run of exactly the
+    /// admitted query sequence.
+    ///
+    /// # Panics
+    /// Panics when `keep.len()` differs from [`PlannedBatch::len`].
+    pub fn select(self, keep: &[bool]) -> PlannedBatch {
+        assert_eq!(keep.len(), self.plans.len(), "one keep flag per query");
+        let (plans, routes) = self
+            .plans
+            .into_iter()
+            .zip(self.routes)
+            .zip(keep)
+            .filter_map(|((p, r), &k)| k.then_some((p, r)))
+            .unzip();
+        PlannedBatch { plans, routes }
     }
 }
 
@@ -667,7 +809,7 @@ impl<'a> ServeEngine<'a> {
             shard_map,
             shared: Arc::new(EngineShared {
                 shards,
-                queues: ShardQueue::default_vec(cfg.shards),
+                queues: ShardGate::default_vec(cfg.shards),
             }),
             pool: (cfg.threads > 1).then(|| WorkerPool::new(cfg.threads)),
             cfg,
@@ -751,10 +893,62 @@ impl<'a> ServeEngine<'a> {
     /// FIFO queues, schedule runners for newly idle shards, and return a
     /// completion handle **without waiting for replay**. Any number of
     /// batches may be in flight; each shard round-robins across them.
+    /// Equivalent to `submit_planned(plan_batch(queries))`.
     pub fn submit(&self, queries: &[Query]) -> BatchHandle {
+        self.submit_planned(self.plan_batch(queries))
+    }
+
+    /// Plan and route a batch **without admitting it**: the streaming
+    /// admission seam. The returned [`PlannedBatch`] exposes per-query
+    /// shard loads (so a policy can shed or block before any work is
+    /// enqueued) and admits via [`ServeEngine::submit_planned`] or
+    /// [`ServeEngine::submit_planned_bounded`] — the plans are computed
+    /// exactly once either way.
+    pub fn plan_batch(&self, queries: &[Query]) -> PlannedBatch {
+        let (plans, routes) = self.plan_and_route(queries);
+        PlannedBatch { plans, routes }
+    }
+
+    /// Admit an already-planned batch (see [`ServeEngine::plan_batch`]).
+    pub fn submit_planned(&self, batch: PlannedBatch) -> BatchHandle {
+        self.admit(batch, None)
+    }
+
+    /// Admit an already-planned batch under a per-shard depth bound:
+    /// before enqueuing a shard's units, block until that shard's queued
+    /// unit count has drained below `depth` (clamped to ≥ 1) — real
+    /// backpressure, not accounting. The bound is checked at admission
+    /// time, so one batch's own units may overshoot it; what it
+    /// guarantees is that an unbounded stream of submitters cannot grow
+    /// any queue without limit.
+    ///
+    /// Deadlock-free by construction: a blocked submitter holds no other
+    /// shard's lock while waiting (shards are gated one at a time, in
+    /// ascending id order), and runners never wait — every queued unit
+    /// eventually drains and signals `space`. On a serial engine
+    /// (`threads == 1`) queues are always empty between submissions, so
+    /// the bound never blocks.
+    pub fn submit_planned_bounded(&self, batch: PlannedBatch, depth: usize) -> BatchHandle {
+        self.admit(batch, Some(depth.max(1)))
+    }
+
+    /// A snapshot of each shard's queued (not yet replayed) unit count —
+    /// the backpressure observable bounded admission gates on.
+    pub fn queue_depths(&self) -> Vec<usize> {
+        self.shared
+            .queues
+            .iter()
+            .map(|g| g.queue.lock().expect("shard queue lock").pending_units)
+            .collect()
+    }
+
+    /// The shared enqueue path behind [`ServeEngine::submit_planned`]
+    /// (`depth: None`) and [`ServeEngine::submit_planned_bounded`].
+    fn admit(&self, batch: PlannedBatch, depth: Option<usize>) -> BatchHandle {
         // xtask:allow(wall-clock): latency accounting only, excluded from digests
         let started = Instant::now();
-        let (plans, mut routes) = self.plan_and_route(queries);
+        let PlannedBatch { plans, mut routes } = batch;
+        let queries = plans.len();
 
         // Build the per-shard unit queues, each in batch (query) order.
         // Page lists move out of the routes (page_count stays behind for
@@ -762,7 +956,7 @@ impl<'a> ServeEngine<'a> {
         // flight.
         let mut per_shard: Vec<VecDeque<Unit>> =
             (0..self.cfg.shards).map(|_| VecDeque::new()).collect();
-        let mut units_left = vec![0usize; queries.len()];
+        let mut units_left = vec![0usize; queries];
         for (qidx, route) in routes.iter_mut().enumerate() {
             units_left[qidx] = route.slices.len();
             for slice in &mut route.slices {
@@ -778,10 +972,10 @@ impl<'a> ServeEngine<'a> {
             progress: Mutex::new(BatchProgress {
                 pending_units,
                 units_left,
-                hits: vec![0; queries.len()],
-                misses: vec![0; queries.len()],
+                hits: vec![0; queries],
+                misses: vec![0; queries],
                 shard_buffers: vec![BufferStats::default(); self.cfg.shards],
-                latency: vec![0.0; queries.len()],
+                latency: vec![0.0; queries],
                 failed_units: 0,
             }),
             done: Condvar::new(),
@@ -796,9 +990,14 @@ impl<'a> ServeEngine<'a> {
             if units.is_empty() {
                 continue;
             }
-            let mut queue = self.shared.queues[shard_id]
-                .lock()
-                .expect("shard queue lock");
+            let gate = &self.shared.queues[shard_id];
+            let mut queue = gate.queue.lock().expect("shard queue lock");
+            if let Some(bound) = depth {
+                while queue.pending_units >= bound {
+                    queue = gate.space.wait(queue).expect("shard queue lock");
+                }
+            }
+            queue.pending_units += units.len();
             queue.batches.push_back(BatchWork {
                 state: Arc::clone(&state),
                 units,
@@ -1359,7 +1558,11 @@ mod tests {
                 pages: vec![usize::MAX],
             });
             {
-                let mut queue = engine.shared.queues[0].lock().expect("shard queue lock");
+                let mut queue = engine.shared.queues[0]
+                    .queue
+                    .lock()
+                    .expect("shard queue lock");
+                queue.pending_units += 1;
                 queue.batches.push_back(BatchWork {
                     state: Arc::clone(&state),
                     units,
@@ -1598,6 +1801,120 @@ mod tests {
         assert_eq!(report.outcomes.len(), 4);
         // A single-shard batch is perfectly (trivially) balanced.
         assert_eq!(report.shard_balance(), 1.0);
+    }
+
+    #[test]
+    fn planned_batch_select_and_bounded_submit_match_plain_runs() {
+        with_watchdog(
+            std::time::Duration::from_secs(30),
+            "planned batch seams",
+            || {
+                let (points, order) = small_engine();
+                let base = EngineConfig {
+                    records_per_page: 4,
+                    fanout: 4,
+                    buffer_pages: 8,
+                    ..Default::default()
+                };
+                let qs = queries();
+                let reference = ServeEngine::new(&points, &order, base).run(&qs);
+                for (shards, threads) in [(1usize, 1usize), (2, 2), (4, 2)] {
+                    let cfg = EngineConfig {
+                        shards,
+                        threads,
+                        ..base
+                    };
+                    let engine = ServeEngine::new(&points, &order, cfg);
+                    // plan → submit_planned is submit.
+                    let planned = engine.plan_batch(&qs);
+                    assert_eq!(planned.len(), qs.len());
+                    assert!(!planned.is_empty());
+                    // Every page-touching query exposes its shard loads.
+                    for (qidx, outcome) in reference.outcomes.iter().enumerate() {
+                        let loads = planned.shard_loads(qidx);
+                        let pages: usize = loads.iter().map(|&(_, p, _)| p).sum();
+                        assert_eq!(pages, outcome.pages, "query {qidx}");
+                        assert!(loads.windows(2).all(|w| w[0].0 < w[1].0));
+                    }
+                    let report = engine.submit_planned(planned).wait();
+                    assert_eq!(report.digest, reference.digest);
+                    // A tight bound admits the same work, just gated.
+                    let bounded = engine
+                        .submit_planned_bounded(engine.plan_batch(&qs), 1)
+                        .wait();
+                    assert_eq!(bounded.digest, reference.digest);
+                    // Queues fully drained afterwards.
+                    assert!(engine.queue_depths().iter().all(|&d| d == 0));
+                    // Selecting a prefix equals running the prefix alone.
+                    let keep: Vec<bool> = (0..qs.len()).map(|i| i < 2).collect();
+                    let selected = engine.plan_batch(&qs).select(&keep);
+                    assert_eq!(selected.len(), 2);
+                    let sub = engine.submit_planned(selected).wait();
+                    assert_eq!(sub.digest, engine.run(&qs[..2]).digest);
+                }
+            },
+        );
+    }
+
+    #[test]
+    fn bounded_submits_backpressure_concurrent_batches() {
+        // Many single-query batches through a depth-1 bound on a pooled
+        // engine: every submission may block until the runner drains, and
+        // all of them must still complete with the reference outcomes.
+        with_watchdog(
+            std::time::Duration::from_secs(30),
+            "bounded backpressure",
+            || {
+                let (points, order) = small_engine();
+                let base = EngineConfig {
+                    records_per_page: 4,
+                    fanout: 4,
+                    buffer_pages: 8,
+                    ..Default::default()
+                };
+                let qs: Vec<Query> = (0..4).flat_map(|_| queries()).collect();
+                let reference = ServeEngine::new(&points, &order, base).run(&qs);
+                let cfg = EngineConfig {
+                    shards: 2,
+                    threads: 2,
+                    ..base
+                };
+                let engine = ServeEngine::new(&points, &order, cfg);
+                let handles: Vec<BatchHandle> = qs
+                    .chunks(1)
+                    .map(|c| engine.submit_planned_bounded(engine.plan_batch(c), 1))
+                    .collect();
+                let outcomes: Vec<QueryOutcome> = handles
+                    .into_iter()
+                    .flat_map(|h| h.wait().outcomes)
+                    .collect();
+                assert_eq!(digest_outcomes(&outcomes), reference.digest);
+                assert!(engine.queue_depths().iter().all(|&d| d == 0));
+            },
+        );
+    }
+
+    #[test]
+    fn latency_summary_sorts_once_and_supports_p999() {
+        let s = LatencySummary::new(vec![3.0, 1.0, 2.0, 4.0]);
+        assert_eq!(s.len(), 4);
+        assert!(!s.is_empty());
+        assert_eq!(s.quantile(0.5), 2.0);
+        assert_eq!(s.quantile(0.0), 1.0);
+        assert_eq!(s.quantile(1.0), 4.0);
+        assert_eq!(s.max(), 4.0);
+        // Nearest rank: p99 and p999 of a 4-sample set are the maximum —
+        // real observations, never interpolations.
+        let (p50, p99, p999) = s.p50_p99_p999();
+        assert_eq!((p50, p99, p999), (2.0, 4.0, 4.0));
+        assert!(p999 >= p99 && p99 >= p50);
+        assert_eq!(s.violations(2.5), (2, 0.5));
+        assert_eq!(s.violations(4.0), (0, 0.0));
+        let empty = LatencySummary::default();
+        assert!(empty.is_empty());
+        assert_eq!(empty.quantile(0.999), 0.0);
+        assert_eq!(empty.violations(1.0), (0, 0.0));
+        assert_eq!(empty.max(), 0.0);
     }
 
     #[test]

@@ -29,6 +29,15 @@
 //! * [`workload`] — reproducible mixed range/kNN batches built on
 //!   [`slpm_querysim::workloads::sample_boxes`], plus hot-spot (Zipf)
 //!   batches ([`workload::zipf_workload`]) for skew studies.
+//! * [`arrival`] — open-loop arrival processes on a simulated clock
+//!   (deterministic rate, seeded Poisson, bursty on/off, diurnal ramp),
+//!   turning a batch workload into timed offered traffic.
+//! * [`stream`] — the streaming admission loop: micro-batch arrivals
+//!   under a batching-delay window, shed or block against a bounded
+//!   per-shard queue depth ([`stream::AdmissionPolicy`]), execute on the
+//!   engine, and account per-query admission-to-completion latency into
+//!   an SLO report ([`stream::SloReport`]: p50/p99/p999 vs. target,
+//!   violation %, shed counts per class, max queue depth).
 //!
 //! **The serving contract:** result sets, page counts, run counts and the
 //! batch digest are bitwise identical for every shard count, thread
@@ -57,18 +66,24 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arrival;
 pub mod engine;
 pub mod pool;
 pub mod shard;
+pub mod stream;
 pub mod testing;
 pub mod workload;
 
+pub use arrival::{ArrivalConfig, ArrivalShape};
 pub use engine::{
-    digest_outcomes, BatchHandle, BatchReport, EngineConfig, KnnPlanner, Query, QueryOutcome,
-    ServeEngine, ShardReport,
+    digest_outcomes, BatchHandle, BatchReport, EngineConfig, KnnPlanner, LatencySummary,
+    PlannedBatch, Query, QueryOutcome, ServeEngine, ShardReport,
 };
 pub use pool::WorkerPool;
 pub use shard::{Partition, Shard, ShardMap};
+pub use stream::{
+    stream_serve, AdmissionPolicy, ServiceModel, SloReport, StreamConfig, StreamReport,
+};
 pub use workload::{
     grid_points, mixed_workload, mixed_workload_labeled, zipf_workload, WorkloadConfig, ZipfConfig,
 };

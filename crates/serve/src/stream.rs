@@ -1,0 +1,630 @@
+//! Streaming admission with SLO accounting: the open-loop serving layer.
+//!
+//! [`stream_serve`] drains an offered query sequence — timestamped by an
+//! [`ArrivalConfig`] — through a
+//! [`ServeEngine`]: arrivals are **micro-batched** under a batching-delay
+//! window, each micro-batch is planned once
+//! ([`ServeEngine::plan_batch`]), an **admission policy** decides per
+//! query whether it runs (shed) or when (block) against a bounded
+//! per-shard queue depth, and every admitted query's
+//! admission-to-completion latency lands in an [`SloReport`]
+//! (p50/p99/p999 against a target, violation fraction, shed counts per
+//! workload class, maximum queue depth).
+//!
+//! **Two clocks.** All admission decisions and SLO latencies live on the
+//! *simulated* clock: arrival times come from the arrival process, and
+//! service times come from a deterministic [`ServiceModel`] applied to
+//! each query's routed page/run counts (the same seek-vs-transfer shape
+//! as [`slpm_storage::IoModel`]). The sequence of admitted queries, every
+//! shed/block decision, every latency quantile and the SLO gate are
+//! therefore pure functions of `(workload, arrival, knobs)` — bitwise
+//! reproducible on any machine, which is what lets CI gate on "p99 under
+//! target at this rate" without flaking. Real execution still happens:
+//! each admitted micro-batch is submitted to the engine (through the
+//! bounded-admission seam under [`AdmissionPolicy::Block`], so the
+//! backpressure protocol is genuinely exercised), and wall-clock
+//! throughput is reported separately as an observable that never enters
+//! digests or gates.
+//!
+//! **Shed vs. block.** [`AdmissionPolicy::Shed`] drops a query at its
+//! dispatch instant when any shard it routes to is at the depth bound —
+//! offered load above capacity turns into counted rejections and the
+//! admitted traffic keeps meeting its SLO. [`AdmissionPolicy::Block`]
+//! never drops: the submission loop stalls until every target shard has
+//! space, so backpressure propagates upstream and shows up as queueing
+//! delay in the latency tail instead. Same bound, opposite failure mode
+//! — the classic serving trade-off, now measurable.
+//!
+//! **Digest parity.** Admitted queries replay through the engine in
+//! offered order, so [`StreamReport::digest`] equals
+//! [`digest_outcomes`] of a one-shot
+//! [`ServeEngine::run`] over exactly the admitted sequence (the
+//! split-invariance the engine already guarantees). When nothing is shed
+//! that is the whole offered workload — the parity flag the
+//! `stream_throughput` bench and CI's `stream-smoke` job assert.
+
+use crate::arrival::ArrivalConfig;
+use crate::engine::{
+    digest_outcomes, BatchHandle, LatencySummary, Query, QueryOutcome, ServeEngine,
+};
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+use std::time::Instant;
+
+/// What happens to a query whose target shards are at the depth bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionPolicy {
+    /// Drop it at dispatch time and count the rejection per class; the
+    /// admitted traffic keeps its latency profile.
+    Shed,
+    /// Stall the submission loop until space frees; nothing is dropped,
+    /// and the wait surfaces as queueing delay in the latency tail.
+    Block,
+}
+
+impl AdmissionPolicy {
+    /// Parse a policy name (case-insensitive).
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s.to_ascii_lowercase().as_str() {
+            "shed" | "drop" => AdmissionPolicy::Shed,
+            "block" | "wait" => AdmissionPolicy::Block,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for AdmissionPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AdmissionPolicy::Shed => "shed",
+            AdmissionPolicy::Block => "block",
+        })
+    }
+}
+
+/// Deterministic per-unit service model on the simulated clock: a
+/// (query, shard) replay unit with `p` routed pages in `r` sequential
+/// runs takes `per_unit_us + r·per_seek_us + p·per_page_us` simulated
+/// microseconds. The same seek-versus-transfer shape as
+/// [`slpm_storage::IoModel`], scaled to time — so everything the paper
+/// says about run counts shows up directly in simulated latency.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServiceModel {
+    /// Cost per routed page (transfer).
+    pub per_page_us: f64,
+    /// Cost per sequential run (seek).
+    pub per_seek_us: f64,
+    /// Fixed dispatch overhead per replay unit.
+    pub per_unit_us: f64,
+}
+
+impl Default for ServiceModel {
+    fn default() -> Self {
+        // 10:1 seek-to-transfer, matching IoModel's default shape.
+        ServiceModel {
+            per_page_us: 1.0,
+            per_seek_us: 10.0,
+            per_unit_us: 2.0,
+        }
+    }
+}
+
+impl ServiceModel {
+    /// Simulated service time of one replay unit.
+    fn unit_us(&self, pages: usize, runs: usize) -> f64 {
+        self.per_unit_us + runs as f64 * self.per_seek_us + pages as f64 * self.per_page_us
+    }
+}
+
+/// Knobs of one streaming run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamConfig {
+    /// The offered-traffic process.
+    pub arrival: ArrivalConfig,
+    /// Micro-batch window: a dispatch waits this long (simulated µs)
+    /// after its first member arrives, collecting later arrivals.
+    pub batch_delay_us: f64,
+    /// Hard cap on micro-batch size (a full batch dispatches early).
+    pub max_batch: usize,
+    /// Per-shard bound on queued replay units — the backpressure knob.
+    pub queue_depth: usize,
+    /// What happens at the bound.
+    pub policy: AdmissionPolicy,
+    /// Latency target (simulated µs) the SLO report scores against.
+    pub slo_us: f64,
+    /// Service-time model for the simulated shards.
+    pub service: ServiceModel,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            arrival: ArrivalConfig::new(crate::arrival::ArrivalShape::Deterministic, 10_000.0, 42),
+            batch_delay_us: 200.0,
+            max_batch: 32,
+            queue_depth: 64,
+            policy: AdmissionPolicy::Shed,
+            slo_us: 2_000.0,
+            service: ServiceModel::default(),
+        }
+    }
+}
+
+/// The SLO scorecard of one streaming run — every field is computed on
+/// the simulated clock, so it is machine-independent.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloReport {
+    /// The latency target scored against (simulated µs).
+    pub target_us: f64,
+    /// Median admission-to-completion latency.
+    pub p50_us: f64,
+    /// 99th-percentile latency.
+    pub p99_us: f64,
+    /// 99.9th-percentile latency.
+    pub p999_us: f64,
+    /// Worst admitted-query latency.
+    pub max_us: f64,
+    /// Admitted queries over the target.
+    pub violations: usize,
+    /// `100 * violations / admitted` (`0.0` when nothing was admitted).
+    pub violation_pct: f64,
+    /// Deepest any shard's simulated queue got (in replay units).
+    pub max_queue_depth: usize,
+    /// Queries shed at the bound (total).
+    pub shed: usize,
+    /// Shed counts grouped by workload class label.
+    pub shed_by_class: Vec<(String, usize)>,
+    /// Micro-batches that had to stall under [`AdmissionPolicy::Block`].
+    pub blocked_batches: usize,
+    /// Total stall time across those micro-batches (simulated µs).
+    pub blocked_us: f64,
+    /// Queries the arrival process offered.
+    pub offered: usize,
+    /// Queries actually admitted and executed.
+    pub admitted: usize,
+    /// `p99_us <= target_us` — the gate CI asserts at calibrated rates.
+    pub slo_met: bool,
+}
+
+/// The merged result of one streaming run.
+#[derive(Debug, Clone)]
+pub struct StreamReport {
+    /// Outcomes of the admitted queries, in admitted (offered) order.
+    pub outcomes: Vec<QueryOutcome>,
+    /// For each outcome, the index of its query in the offered sequence.
+    pub admitted_idx: Vec<usize>,
+    /// [`digest_outcomes`] over the
+    /// admitted outcomes — equals a one-shot batch run of the same
+    /// sequence (the streamed-vs-batch parity invariant).
+    pub digest: u64,
+    /// The simulated-clock SLO scorecard.
+    pub slo: SloReport,
+    /// Micro-batches dispatched.
+    pub micro_batches: usize,
+    /// Simulated time at which the last admitted unit completed (µs).
+    pub sim_makespan_us: f64,
+    /// Wall-clock seconds the real execution took — an observable for
+    /// throughput reporting only, never part of digests or gates.
+    pub elapsed_seconds: f64,
+}
+
+impl StreamReport {
+    /// Real executed throughput (admitted queries per wall-clock second).
+    pub fn queries_per_second(&self) -> f64 {
+        if self.elapsed_seconds > 0.0 {
+            self.outcomes.len() as f64 / self.elapsed_seconds
+        } else {
+            0.0
+        }
+    }
+}
+
+/// One simulated shard: completion times of its queued/running units,
+/// ascending. Mirrors the engine's one-runner-per-shard FIFO: units
+/// start when the previous one finishes, never earlier than `now`.
+#[derive(Default)]
+struct SimShard {
+    busy: VecDeque<f64>,
+}
+
+impl SimShard {
+    /// Retire units finished by `now`.
+    fn drain(&mut self, now: f64) {
+        while self.busy.front().is_some_and(|&done| done <= now) {
+            self.busy.pop_front();
+        }
+    }
+
+    /// Depth after retiring everything finished by `now`.
+    fn depth(&mut self, now: f64) -> usize {
+        self.drain(now);
+        self.busy.len()
+    }
+
+    /// Enqueue one unit at `now`; returns its completion time.
+    fn push(&mut self, now: f64, service_us: f64) -> f64 {
+        let start = self.busy.back().copied().unwrap_or(now).max(now);
+        let done = start + service_us;
+        self.busy.push_back(done);
+        done
+    }
+
+    /// Earliest completion (`None` when idle).
+    fn next_completion(&self) -> Option<f64> {
+        self.busy.front().copied()
+    }
+}
+
+/// Drive `queries` (one class label per query) through `engine` as an
+/// open-loop stream under `cfg`. See the module docs for the full
+/// semantics; in short: micro-batch on the simulated clock, plan once,
+/// shed or block at the per-shard depth bound, execute admitted queries
+/// on the real engine, and score simulated admission-to-completion
+/// latencies against the SLO target.
+///
+/// # Panics
+/// Panics when `labels.len() != queries.len()`, or on nonsensical knobs
+/// (zero `max_batch` / `queue_depth` are clamped to 1 instead).
+pub fn stream_serve(
+    engine: &ServeEngine<'_>,
+    queries: &[Query],
+    labels: &[&'static str],
+    cfg: &StreamConfig,
+) -> StreamReport {
+    assert_eq!(labels.len(), queries.len(), "one class label per query");
+    // xtask:allow(wall-clock): throughput observable only, excluded from digests
+    let wall_start = Instant::now();
+    let n = queries.len();
+    let max_batch = cfg.max_batch.max(1);
+    let depth_bound = cfg.queue_depth.max(1);
+    let times = cfg.arrival.times_us(n);
+    let shards = engine.config().shards;
+
+    let mut sim: Vec<SimShard> = (0..shards).map(|_| SimShard::default()).collect();
+    let mut handles: Vec<BatchHandle> = Vec::new();
+    let mut admitted_idx: Vec<usize> = Vec::new();
+    let mut latencies_us: Vec<f64> = Vec::new();
+    let mut shed_by_class: BTreeMap<&'static str, usize> = BTreeMap::new();
+    let mut shed = 0usize;
+    let mut blocked_batches = 0usize;
+    let mut blocked_us = 0.0f64;
+    let mut max_queue_depth = 0usize;
+    let mut micro_batches = 0usize;
+    let mut sim_makespan_us = 0.0f64;
+    // The submission loop is serial: it cannot start collecting the next
+    // micro-batch before the previous dispatch (and any block-mode stall)
+    // finished.
+    let mut driver_free = 0.0f64;
+
+    let mut i = 0usize;
+    while i < n {
+        // Collect one micro-batch: it opens when its first query is
+        // picked up, closes after the batching delay, and dispatches
+        // early if `max_batch` arrivals land inside the window.
+        let open = times[i].max(driver_free);
+        let close = open + cfg.batch_delay_us.max(0.0);
+        let mut end = i + 1;
+        while end < n && end - i < max_batch && times[end] <= close {
+            end += 1;
+        }
+        let mut dispatch = if end - i == max_batch {
+            times[end - 1].max(open)
+        } else {
+            close
+        };
+        let scheduled_dispatch = dispatch;
+        micro_batches += 1;
+
+        let planned = engine.plan_batch(&queries[i..end]);
+        // Per-member shard loads, charged against the simulated queues.
+        let loads: Vec<Vec<(usize, usize, usize)>> =
+            (0..planned.len()).map(|m| planned.shard_loads(m)).collect();
+
+        let mut keep = vec![true; planned.len()];
+        for (m, load) in loads.iter().enumerate() {
+            let qidx = i + m;
+            match cfg.policy {
+                AdmissionPolicy::Shed => {
+                    let fits = load
+                        .iter()
+                        .all(|&(s, _, _)| sim[s].depth(dispatch) < depth_bound);
+                    if !fits {
+                        keep[m] = false;
+                        shed += 1;
+                        *shed_by_class.entry(labels[qidx]).or_insert(0) += 1;
+                        continue;
+                    }
+                }
+                AdmissionPolicy::Block => {
+                    // Stall the driver until every target shard has
+                    // space: advance simulated time to the earliest
+                    // completion among the full ones, retire it, retry.
+                    let stall_from = dispatch;
+                    loop {
+                        let mut free_at: Option<f64> = None;
+                        for &(s, _, _) in load {
+                            if sim[s].depth(dispatch) >= depth_bound {
+                                if let Some(done) = sim[s].next_completion() {
+                                    free_at = Some(free_at.map_or(done, |f: f64| f.min(done)));
+                                }
+                            }
+                        }
+                        match free_at {
+                            None => break,
+                            Some(t) => dispatch = dispatch.max(t),
+                        }
+                    }
+                    if dispatch > stall_from {
+                        blocked_us += dispatch - stall_from;
+                    }
+                }
+            }
+            // Admit: one simulated unit per target shard, completing when
+            // its slowest slice does.
+            let mut done_at = dispatch;
+            for &(s, pages, runs) in load {
+                let done = sim[s].push(dispatch, cfg.service.unit_us(pages, runs));
+                done_at = done_at.max(done);
+                max_queue_depth = max_queue_depth.max(sim[s].busy.len());
+            }
+            admitted_idx.push(qidx);
+            latencies_us.push(done_at - times[qidx]);
+            sim_makespan_us = sim_makespan_us.max(done_at);
+        }
+
+        // A stalled dispatch counts once, however many members waited.
+        if dispatch > scheduled_dispatch {
+            blocked_batches += 1;
+        }
+
+        // Execute the admitted members on the real engine. Block mode
+        // goes through the bounded-admission seam so the engine's
+        // backpressure protocol (condvar gating on per-shard depth) is
+        // genuinely exercised, not just simulated.
+        let selected = if keep.iter().all(|&k| k) {
+            planned
+        } else {
+            planned.select(&keep)
+        };
+        if !selected.is_empty() {
+            handles.push(match cfg.policy {
+                AdmissionPolicy::Shed => engine.submit_planned(selected),
+                AdmissionPolicy::Block => engine.submit_planned_bounded(selected, depth_bound),
+            });
+        }
+        driver_free = dispatch;
+        i = end;
+    }
+
+    // Merge the real outcomes in admitted order; the digest over the
+    // concatenation equals a one-shot batch run of the admitted sequence
+    // by the engine's split-invariance.
+    let mut outcomes: Vec<QueryOutcome> = Vec::with_capacity(admitted_idx.len());
+    for handle in handles {
+        outcomes.extend(handle.wait().outcomes);
+    }
+    debug_assert_eq!(outcomes.len(), admitted_idx.len());
+    let digest = digest_outcomes(&outcomes);
+
+    let summary = LatencySummary::new(latencies_us);
+    let (p50_us, p99_us, p999_us) = summary.p50_p99_p999();
+    let (violations, violation_frac) = summary.violations(cfg.slo_us);
+    let violation_pct = violation_frac * 100.0;
+    let slo = SloReport {
+        target_us: cfg.slo_us,
+        p50_us,
+        p99_us,
+        p999_us,
+        max_us: summary.max(),
+        violations,
+        violation_pct,
+        max_queue_depth,
+        shed,
+        shed_by_class: shed_by_class
+            .into_iter()
+            .map(|(label, count)| (label.to_string(), count))
+            .collect(),
+        blocked_batches,
+        blocked_us,
+        offered: n,
+        admitted: outcomes.len(),
+        slo_met: p99_us <= cfg.slo_us,
+    };
+    StreamReport {
+        outcomes,
+        admitted_idx,
+        digest,
+        slo,
+        micro_batches,
+        sim_makespan_us,
+        elapsed_seconds: wall_start.elapsed().as_secs_f64(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrival::ArrivalShape;
+    use crate::engine::EngineConfig;
+    use crate::testing::with_watchdog;
+    use crate::workload::{grid_points, mixed_workload_labeled, WorkloadConfig};
+    use slpm_graph::grid::GridSpec;
+    use spectral_lpm::LinearOrder;
+
+    fn fixture() -> (Vec<Vec<i64>>, LinearOrder, Vec<Query>, Vec<&'static str>) {
+        let spec = GridSpec::cube(16, 2);
+        let points = grid_points(&spec);
+        let order = LinearOrder::identity(points.len());
+        let labeled = mixed_workload_labeled(
+            &spec,
+            &WorkloadConfig {
+                queries: 96,
+                ..Default::default()
+            },
+        );
+        let (queries, labels) = labeled.into_iter().unzip();
+        (points, order, queries, labels)
+    }
+
+    fn engine_cfg(shards: usize, threads: usize) -> EngineConfig {
+        EngineConfig {
+            records_per_page: 4,
+            fanout: 4,
+            buffer_pages: 16,
+            shards,
+            threads,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn uncontended_stream_admits_everything_and_matches_batch_digest() {
+        with_watchdog(std::time::Duration::from_secs(60), "stream parity", || {
+            let (points, order, queries, labels) = fixture();
+            for (shards, threads) in [(1usize, 1usize), (2, 2), (4, 2)] {
+                let engine = ServeEngine::new(&points, &order, engine_cfg(shards, threads));
+                let cfg = StreamConfig {
+                    arrival: ArrivalConfig::new(ArrivalShape::Deterministic, 2_000.0, 42),
+                    queue_depth: 1_000_000,
+                    slo_us: 1e9,
+                    ..Default::default()
+                };
+                let report = stream_serve(&engine, &queries, &labels, &cfg);
+                assert_eq!(report.slo.offered, queries.len());
+                assert_eq!(report.slo.admitted, queries.len());
+                assert_eq!(report.slo.shed, 0);
+                assert_eq!(report.admitted_idx, (0..queries.len()).collect::<Vec<_>>());
+                // The parity invariant: streamed digest == one-shot batch.
+                let batch = engine.run(&queries);
+                assert_eq!(report.digest, batch.digest, "S={shards} T={threads}");
+                assert!(report.slo.slo_met);
+                assert!(report.micro_batches >= queries.len() / cfg.max_batch);
+                assert!(report.sim_makespan_us > 0.0);
+                assert!(engine.queue_depths().iter().all(|&d| d == 0));
+            }
+        });
+    }
+
+    #[test]
+    fn stream_is_deterministic_on_the_simulated_clock() {
+        with_watchdog(
+            std::time::Duration::from_secs(60),
+            "stream determinism",
+            || {
+                let (points, order, queries, labels) = fixture();
+                let cfg = StreamConfig {
+                    arrival: ArrivalConfig::new(ArrivalShape::Poisson, 50_000.0, 7),
+                    queue_depth: 2,
+                    batch_delay_us: 50.0,
+                    ..Default::default()
+                };
+                // Two runs on differently scheduled engines: every simulated
+                // observable must be bitwise identical.
+                let a = {
+                    let engine = ServeEngine::new(&points, &order, engine_cfg(2, 2));
+                    stream_serve(&engine, &queries, &labels, &cfg)
+                };
+                let b = {
+                    let engine = ServeEngine::new(&points, &order, engine_cfg(2, 4));
+                    stream_serve(&engine, &queries, &labels, &cfg)
+                };
+                assert_eq!(a.slo, b.slo);
+                assert_eq!(a.admitted_idx, b.admitted_idx);
+                assert_eq!(a.digest, b.digest);
+                assert_eq!(a.micro_batches, b.micro_batches);
+                assert_eq!(a.sim_makespan_us, b.sim_makespan_us);
+            },
+        );
+    }
+
+    #[test]
+    fn overload_sheds_and_counts_per_class() {
+        with_watchdog(std::time::Duration::from_secs(60), "stream shed", || {
+            let (points, order, queries, labels) = fixture();
+            let engine = ServeEngine::new(&points, &order, engine_cfg(2, 2));
+            // Offered far above simulated capacity with a tiny bound:
+            // something must shed, and the books must balance.
+            let cfg = StreamConfig {
+                arrival: ArrivalConfig::new(ArrivalShape::Bursty, 400_000.0, 42),
+                queue_depth: 1,
+                batch_delay_us: 10.0,
+                policy: AdmissionPolicy::Shed,
+                ..Default::default()
+            };
+            let report = stream_serve(&engine, &queries, &labels, &cfg);
+            assert!(report.slo.shed > 0, "overload must shed: {:?}", report.slo);
+            assert_eq!(report.slo.admitted + report.slo.shed, report.slo.offered);
+            let by_class: usize = report.slo.shed_by_class.iter().map(|(_, c)| c).sum();
+            assert_eq!(by_class, report.slo.shed);
+            assert!(report.slo.max_queue_depth <= 1);
+            // The admitted subsequence still matches its one-shot run.
+            let admitted: Vec<Query> = report
+                .admitted_idx
+                .iter()
+                .map(|&q| queries[q].clone())
+                .collect();
+            assert_eq!(report.digest, engine.run(&admitted).digest);
+        });
+    }
+
+    #[test]
+    fn block_policy_admits_everything_but_pays_in_latency() {
+        with_watchdog(std::time::Duration::from_secs(60), "stream block", || {
+            let (points, order, queries, labels) = fixture();
+            let engine = ServeEngine::new(&points, &order, engine_cfg(2, 2));
+            let overload = ArrivalConfig::new(ArrivalShape::Deterministic, 400_000.0, 42);
+            let blocked = stream_serve(
+                &engine,
+                &queries,
+                &labels,
+                &StreamConfig {
+                    arrival: overload,
+                    queue_depth: 1,
+                    batch_delay_us: 10.0,
+                    policy: AdmissionPolicy::Block,
+                    ..Default::default()
+                },
+            );
+            assert_eq!(blocked.slo.admitted, blocked.slo.offered);
+            assert_eq!(blocked.slo.shed, 0);
+            assert!(blocked.slo.blocked_batches > 0, "{:?}", blocked.slo);
+            assert!(blocked.slo.blocked_us > 0.0);
+            // Nothing dropped → full-workload digest parity.
+            assert_eq!(blocked.digest, engine.run(&queries).digest);
+            // An empty offered stream degenerates cleanly.
+            let empty = stream_serve(&engine, &[], &[], &StreamConfig::default());
+            assert_eq!(empty.slo.admitted, 0);
+            assert_eq!(empty.micro_batches, 0);
+            assert_eq!(empty.slo.p999_us, 0.0);
+            // The same workload with ample headroom has a lower p99:
+            // blocking converts overload into tail latency.
+            let headroom = stream_serve(
+                &engine,
+                &queries,
+                &labels,
+                &StreamConfig {
+                    arrival: ArrivalConfig::new(ArrivalShape::Deterministic, 1_000.0, 42),
+                    queue_depth: 1_000_000,
+                    policy: AdmissionPolicy::Block,
+                    ..Default::default()
+                },
+            );
+            assert!(
+                headroom.slo.p99_us < blocked.slo.p99_us,
+                "headroom p99 {} vs blocked p99 {}",
+                headroom.slo.p99_us,
+                blocked.slo.p99_us
+            );
+        });
+    }
+
+    #[test]
+    fn policy_parse_and_display_round_trip() {
+        for p in [AdmissionPolicy::Shed, AdmissionPolicy::Block] {
+            assert_eq!(AdmissionPolicy::parse(&p.to_string()), Some(p));
+        }
+        assert_eq!(AdmissionPolicy::parse("DROP"), Some(AdmissionPolicy::Shed));
+        assert_eq!(AdmissionPolicy::parse("wait"), Some(AdmissionPolicy::Block));
+        assert_eq!(AdmissionPolicy::parse("retry"), None);
+    }
+}
