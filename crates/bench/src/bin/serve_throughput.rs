@@ -312,7 +312,7 @@ fn main() {
                 ..base
             },
         );
-        let report = engine.run(&workload);
+        let report = engine.run(&workload).expect("no replay panic");
         let (mut knn_nodes, mut knn_leaves, mut total_nodes) = (0usize, 0usize, 0usize);
         for (outcome, query) in report.outcomes.iter().zip(&workload) {
             total_nodes += outcome.tree.nodes_visited;
@@ -391,7 +391,7 @@ fn main() {
         for r in 0..repeats {
             for (slot, (&b, engine)) in flights.iter().zip(&engines).enumerate() {
                 let start = Instant::now();
-                let report = engine.run_inflight(&workload, b);
+                let report = engine.run_inflight(&workload, b).expect("no replay panic");
                 seconds[slot] += start.elapsed().as_secs_f64();
                 if r == 0 {
                     colds[slot] = Some(report.clone());

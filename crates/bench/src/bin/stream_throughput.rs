@@ -21,16 +21,23 @@
 //! * any entry's streamed digest differs from a one-shot batch run of
 //!   its admitted subsequence (the streamed-vs-batch parity contract), or
 //! * any headroom entry misses its SLO or sheds work (the `slo_gate`
-//!   CI's `stream-smoke` job asserts).
+//!   CI's `stream-smoke` job asserts), or
+//! * the **fault sweep** fails its chaos gate (`fault_gate`, the CI
+//!   `chaos-smoke` job asserts): a canned plan permanently killing one
+//!   shard mid-stream must trip the breaker, swap slice epochs, keep
+//!   every fault-free query bitwise identical to the unfaulted baseline
+//!   and keep the fault-free p99 inside the SLO, and a transient flaky
+//!   plan must recover inside the retry budget with zero degradation.
+//!   `--fault-plan SPEC` replaces the canned permanent plan.
 //!
 //! Usage:
 //!   stream_throughput [--grid N] [--shards S] [--threads T]
 //!                     [--queries Q] [--shapes a,b,..] [--mapping M]
 //!                     [--queue-depth D] [--batch-delay-us U]
-//!                     [--slo-us U] [--json] [--out PATH]
+//!                     [--slo-us U] [--fault-plan SPEC] [--json] [--out PATH]
 //!
 //! `--json` writes the machine-readable results (schema
-//! `slpm.serve_throughput.v3`) to PATH (default BENCH_serve.json); the
+//! `slpm.serve_throughput.v4`) to PATH (default BENCH_serve.json); the
 //! CI `stream-smoke` job uploads that file as a build artifact.
 
 use slpm_graph::grid::GridSpec;
@@ -39,6 +46,7 @@ use slpm_serve::arrival::{ArrivalConfig, ArrivalShape};
 use slpm_serve::engine::{EngineConfig, Query, ServeEngine};
 use slpm_serve::stream::{stream_serve, AdmissionPolicy, ServiceModel, StreamConfig, StreamReport};
 use slpm_serve::workload::{grid_points, mixed_workload_labeled, WorkloadConfig};
+use slpm_serve::FaultPlan;
 
 struct Entry {
     shape: ArrivalShape,
@@ -47,6 +55,23 @@ struct Entry {
     policy: AdmissionPolicy,
     report: StreamReport,
     parity: bool,
+}
+
+/// One fault-sweep run: a seeded plan streamed through a fresh engine,
+/// scored against the unfaulted baseline of the same configuration.
+struct FaultEntry {
+    label: &'static str,
+    plan: String,
+    report: StreamReport,
+    /// Every fault-free query answered bitwise identically (results,
+    /// pages, runs) to the unfaulted baseline run.
+    fault_free_identical: bool,
+    /// Fault-free p99 stayed inside the SLO target.
+    fault_slo_met: bool,
+    /// Coverage came back clean and the digest matches the baseline
+    /// (the expectation for transient plans inside the retry budget).
+    recovered: bool,
+    pass: bool,
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -61,10 +86,12 @@ fn to_json(
     overload_rate: f64,
     slo_gate: bool,
     parity: bool,
+    fault_gate: bool,
     entries: &[Entry],
+    fault_entries: &[FaultEntry],
 ) -> String {
     let mut out = String::from("{\n");
-    out.push_str("  \"schema\": \"slpm.serve_throughput.v3\",\n");
+    out.push_str("  \"schema\": \"slpm.serve_throughput.v4\",\n");
     out.push_str(
         "  \"description\": \"Streaming admission: arrival shapes x rates, SLO scorecards, shed/block accounting\",\n",
     );
@@ -91,6 +118,37 @@ fn to_json(
     ));
     out.push_str(&format!("  \"slo_gate\": {slo_gate},\n"));
     out.push_str(&format!("  \"parity\": {parity},\n"));
+    out.push_str(&format!("  \"fault_gate\": {fault_gate},\n"));
+    out.push_str("  \"fault_entries\": [\n");
+    for (i, e) in fault_entries.iter().enumerate() {
+        let slo = &e.report.slo;
+        out.push_str(&format!(
+            "    {{\"label\": \"{}\", \"plan\": \"{}\", \"offered\": {}, \"admitted\": {}, \
+             \"degraded\": {}, \"trips\": {}, \"epoch\": {}, \
+             \"fault_free_p99_us\": {:.1}, \"fault_free_identical\": {}, \
+             \"fault_slo_met\": {}, \"recovered\": {}, \
+             \"degraded_digest\": \"{:016x}\", \"pass\": {}}}{}\n",
+            e.label,
+            e.plan,
+            slo.offered,
+            slo.admitted,
+            slo.degraded,
+            e.report.trips,
+            e.report.epoch,
+            slo.fault_free_p99_us,
+            e.fault_free_identical,
+            e.fault_slo_met,
+            e.recovered,
+            e.report.degraded_digest(),
+            e.pass,
+            if i + 1 == fault_entries.len() {
+                ""
+            } else {
+                ","
+            }
+        ));
+    }
+    out.push_str("  ],\n");
     out.push_str("  \"entries\": [\n");
     for (i, e) in entries.iter().enumerate() {
         let slo = &e.report.slo;
@@ -150,6 +208,7 @@ fn main() {
     let mut batch_delay_us = 200u64;
     let mut slo_us = 2_000u64;
     let mut json = false;
+    let mut fault_plan: Option<String> = None;
     let mut out_path = String::from("BENCH_serve.json");
     let mut i = 0;
     let bad = |flag: &str| -> ! {
@@ -251,11 +310,24 @@ fn main() {
                     std::process::exit(2);
                 });
             }
+            "--fault-plan" => {
+                i += 1;
+                let spec = args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("--fault-plan requires a plan spec (e.g. kill!:0@12)");
+                    std::process::exit(2);
+                });
+                if let Err(e) = FaultPlan::parse(&spec) {
+                    eprintln!("invalid --fault-plan: {e}");
+                    std::process::exit(2);
+                }
+                fault_plan = Some(spec);
+            }
             other => {
                 eprintln!(
                     "unknown flag '{other}' (try --grid N, --shards S, --threads T, \
                      --queries Q, --shapes a,b, --mapping M, --queue-depth D, \
-                     --batch-delay-us U, --slo-us U, --json, --out PATH)"
+                     --batch-delay-us U, --slo-us U, --fault-plan SPEC, --json, \
+                     --out PATH)"
                 );
                 std::process::exit(2);
             }
@@ -358,7 +430,8 @@ fn main() {
             service,
             ..Default::default()
         };
-        let report = stream_serve(&engine, &workload, &labels, &cfg);
+        let report = stream_serve(&engine, &workload, &labels, &cfg)
+            .expect("the fault-free sweep has no replay panics");
         // The parity contract, checked in-process for every entry: a
         // one-shot batch run of the admitted subsequence must produce
         // the identical digest.
@@ -367,7 +440,11 @@ fn main() {
             .iter()
             .map(|&q| workload[q].clone())
             .collect();
-        let parity = engine.run(&admitted).digest == report.digest;
+        let parity = engine
+            .run(&admitted)
+            .expect("the fault-free sweep has no replay panics")
+            .digest
+            == report.digest;
         let slo = &report.slo;
         println!(
             "{:>14} {:>9} {:>10.0} {:>6} {:>9} {:>5} {:>9.1} {:>9.1} {:>9.1} {:>6.2}% {:>6} {:>7}",
@@ -422,6 +499,115 @@ fn main() {
         if slo_gate { "met" } else { "MISSED" },
         if parity { "ok" } else { "FAIL" },
     );
+
+    // ---- Fault sweep (chaos gate) ----------------------------------
+    // Stream the same workload at the headroom rate through fresh
+    // engines: once clean (the baseline), then once per fault plan. The
+    // canned permanent plan kills one of the shards mid-stream; the
+    // transient plan must recover inside the retry budget. All scoring
+    // is simulated-clock arithmetic, identical on every machine.
+    let fault_cfg = StreamConfig {
+        arrival: ArrivalConfig::new(shapes[0], base_rate, 42),
+        batch_delay_us: batch_delay_us as f64,
+        queue_depth,
+        slo_us: slo_us as f64,
+        service,
+        ..Default::default()
+    };
+    let fresh_engine = || {
+        ServeEngine::new(
+            &points,
+            &order,
+            EngineConfig {
+                shards,
+                threads,
+                ..Default::default()
+            },
+        )
+    };
+    let baseline = stream_serve(&fresh_engine(), &workload, &labels, &fault_cfg)
+        .expect("the unfaulted baseline has no replay panics");
+    let flaky_shard = 1.min(shards - 1);
+    let plans: Vec<(&'static str, String)> = vec![
+        (
+            "permanent",
+            fault_plan
+                .clone()
+                .unwrap_or_else(|| "kill!:0@12".to_string()),
+        ),
+        ("transient", format!("flaky:{flaky_shard}@0+2")),
+    ];
+    let mut fault_entries: Vec<FaultEntry> = Vec::new();
+    for (label, plan) in plans {
+        let engine = fresh_engine();
+        engine.inject_faults(FaultPlan::parse(&plan).expect("plans are pre-validated"));
+        let report = match stream_serve(&engine, &workload, &labels, &fault_cfg) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("FAILED: fault sweep '{label}' errored: {e}");
+                std::process::exit(1);
+            }
+        };
+        // Fault-free bitwise identity: penalties never reach admission,
+        // so the admitted sequence must match, and every non-degraded
+        // query must answer with the identical (results, pages, runs).
+        let mut fault_free_identical = report.admitted_idx == baseline.admitted_idx;
+        if fault_free_identical {
+            for (a, b) in report.outcomes.iter().zip(&baseline.outcomes) {
+                if a.degraded_pages > 0 {
+                    continue;
+                }
+                if a.results != b.results || a.pages != b.pages || a.runs != b.runs {
+                    fault_free_identical = false;
+                    break;
+                }
+            }
+        }
+        let fault_slo_met = report.slo.fault_free_p99_us <= report.slo.target_us;
+        let recovered = report.coverage.is_clean() && report.digest == baseline.digest;
+        let pass = match label {
+            "transient" => fault_free_identical && recovered,
+            // A user-supplied plan has unknown degradation; gate on the
+            // universal contracts only.
+            _ if fault_plan.is_some() => fault_free_identical && fault_slo_met,
+            _ => {
+                fault_free_identical
+                    && fault_slo_met
+                    && report.trips >= 1
+                    && report.epoch >= 1
+                    && report.slo.degraded > 0
+            }
+        };
+        println!(
+            "fault sweep [{label}] plan {plan}: admitted {} degraded {} trips {} \
+             epoch {} fault-free p99 {:.1}us identical {} recovered {} -> {}",
+            report.slo.admitted,
+            report.slo.degraded,
+            report.trips,
+            report.epoch,
+            report.slo.fault_free_p99_us,
+            fault_free_identical,
+            recovered,
+            if pass { "pass" } else { "FAIL" },
+        );
+        fault_entries.push(FaultEntry {
+            label,
+            plan,
+            report,
+            fault_free_identical,
+            fault_slo_met,
+            recovered,
+            pass,
+        });
+    }
+    let fault_gate = fault_entries.iter().all(|e| e.pass);
+    if !fault_gate {
+        eprintln!("FAILED: the fault sweep missed its chaos gate");
+    }
+    println!(
+        "fault gate (degraded serving): {}",
+        if fault_gate { "met" } else { "MISSED" },
+    );
     if json {
         let cfg = StreamConfig {
             arrival: ArrivalConfig::new(shapes[0], base_rate, 42),
@@ -442,7 +628,9 @@ fn main() {
             overload_rate,
             slo_gate,
             parity,
+            fault_gate,
             &entries,
+            &fault_entries,
         );
         if let Err(e) = std::fs::write(&out_path, &body) {
             eprintln!("cannot write {out_path}: {e}");
@@ -450,7 +638,7 @@ fn main() {
         }
         println!("\nwrote {out_path}");
     }
-    if !parity || !slo_gate {
+    if !parity || !slo_gate || !fault_gate {
         std::process::exit(1);
     }
 }

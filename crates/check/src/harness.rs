@@ -26,7 +26,17 @@
 //!   [`MiniBatchHandle::wait`] — never allowed to wedge the waiter;
 //! * per-unit contributions merge commutatively under the progress lock,
 //!   so [`slpm_serve::digest_outcomes`] over the returned outcomes must
-//!   be bitwise identical on every schedule.
+//!   be bitwise identical on every schedule;
+//! * the fault plane's breaker + epoch-swap protocol
+//!   ([`MiniBreaker`](MiniBreakerState) ↔ `slpm_serve::health::ShardBreaker`,
+//!   [`MiniEngine::epoch`] ↔ the engine's `ShardSet` swap): failing
+//!   units are stamped doomed at admission under the fleet lock,
+//!   consecutive failures trip the breaker (open → fast-fail cooldown →
+//!   half-open probe → close), a trip requests a slice rebuild that the
+//!   *next* admission installs by swapping an `Arc`'d epoch, and every
+//!   in-flight batch drains against the epoch it pinned at admission —
+//!   the fail-while-swapping and drain-vs-admit interleavings the model
+//!   tests explore.
 
 use crossbeam::channel::{self, Sender};
 use crossbeam::sync::thread as sync_thread;
@@ -104,12 +114,132 @@ pub struct MiniUnit {
     /// When set, replaying this unit panics (exercises the
     /// failure-propagation path of `wait`).
     pub poison: bool,
+    /// When set, the unit is doomed *on slice incarnation 0 only*
+    /// (mirrors the engine's incarnation-pinned `kill:S@N` faults: a
+    /// breaker trip rebuilds the slice and heals the fault). Doomed
+    /// units degrade instead of serving and drive the breaker.
+    pub fail: bool,
+}
+
+/// Recovery knobs for the mini breaker — the breaker half of
+/// `slpm_serve::health::RecoveryConfig`.
+#[derive(Clone, Copy, Debug)]
+pub struct MiniRecovery {
+    /// Consecutive doomed units that trip the breaker.
+    pub threshold: u32,
+    /// Units fast-failed after a trip before a probe is allowed.
+    pub cooldown: u32,
+}
+
+impl Default for MiniRecovery {
+    fn default() -> MiniRecovery {
+        MiniRecovery {
+            threshold: 2,
+            cooldown: 1,
+        }
+    }
+}
+
+/// Mini breaker phases, mirroring `slpm_serve::health::BreakerState`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MiniBreakerState {
+    /// Healthy: units execute, consecutive failures are counted.
+    Closed,
+    /// Tripped: units fast-fail for `cooldown` stamps, then probe.
+    Open,
+    /// Probing: the next unit decides close (success) or re-open.
+    HalfOpen,
+}
+
+/// Per-shard circuit breaker — a line-for-line shrink of
+/// `slpm_serve::health::ShardBreaker`, advanced only at admission time
+/// under the fleet lock (which is what makes its decisions
+/// schedule-invariant in the real engine too).
+struct MiniBreaker {
+    state: MiniBreakerState,
+    consecutive_failures: u32,
+    cooldown_left: u32,
+    trips: u32,
+    incarnation: u64,
+    rebuild_pending: bool,
+}
+
+impl MiniBreaker {
+    fn new() -> MiniBreaker {
+        MiniBreaker {
+            state: MiniBreakerState::Closed,
+            consecutive_failures: 0,
+            cooldown_left: 0,
+            trips: 0,
+            incarnation: 0,
+            rebuild_pending: false,
+        }
+    }
+
+    /// Advance on one admitted unit; `true` means execute (serve or
+    /// degrade), `false` means fast-fail without touching the shard.
+    fn on_unit(&mut self, doomed: bool, cfg: &MiniRecovery) -> bool {
+        match self.state {
+            MiniBreakerState::Closed => {
+                if doomed {
+                    self.consecutive_failures += 1;
+                    if self.consecutive_failures >= cfg.threshold {
+                        self.trip(cfg);
+                    }
+                } else {
+                    self.consecutive_failures = 0;
+                }
+                true
+            }
+            MiniBreakerState::Open => {
+                if self.cooldown_left > 0 {
+                    self.cooldown_left -= 1;
+                    false
+                } else {
+                    self.state = MiniBreakerState::HalfOpen;
+                    self.probe(doomed, cfg)
+                }
+            }
+            MiniBreakerState::HalfOpen => self.probe(doomed, cfg),
+        }
+    }
+
+    fn probe(&mut self, doomed: bool, cfg: &MiniRecovery) -> bool {
+        if doomed {
+            self.state = MiniBreakerState::Open;
+            self.cooldown_left = cfg.cooldown;
+        } else {
+            self.state = MiniBreakerState::Closed;
+            self.consecutive_failures = 0;
+        }
+        true
+    }
+
+    fn trip(&mut self, cfg: &MiniRecovery) {
+        self.state = MiniBreakerState::Open;
+        self.trips += 1;
+        self.incarnation += 1;
+        self.cooldown_left = cfg.cooldown;
+        self.consecutive_failures = 0;
+        self.rebuild_pending = true;
+    }
+}
+
+/// The swappable slice set: just an epoch counter here, but `Arc`-pinned
+/// by every in-flight batch exactly as the real `ShardSet` is — the
+/// drain-vs-admit obligation is that a unit only ever replays against
+/// the epoch its admission pinned.
+struct MiniSlices {
+    epoch: u64,
 }
 
 /// Mutable batch accounting, guarded by the batch lock.
 struct Progress {
     units_left: usize,
     failed: usize,
+    /// `(qidx, shard)` of every unit that degraded (doomed or
+    /// fast-failed) instead of serving.
+    degraded: Vec<(usize, usize)>,
     outcomes: Vec<Option<QueryOutcome>>,
 }
 
@@ -129,6 +259,12 @@ impl BatchState {
         outcome.runs += 1;
         outcome.hits += pages / 2;
         outcome.misses += pages - pages / 2;
+        finish_unit(self, p);
+    }
+
+    fn record_degraded(&self, qidx: usize, shard: usize) {
+        let mut p = self.progress.lock().expect("batch progress");
+        p.degraded.push((qidx, shard));
         finish_unit(self, p);
     }
 
@@ -164,13 +300,39 @@ fn empty_outcome(qidx: usize) -> QueryOutcome {
         },
         tree: QueryCost::ZERO,
         seconds: 0.0,
+        fault_us: 0.0,
+        degraded_pages: 0,
     }
+}
+
+/// How an admitted unit must be handled, stamped under the fleet lock
+/// at admission exactly as `slpm_serve::engine`'s `UnitDirective` is.
+#[derive(Clone, Copy)]
+enum Directive {
+    /// Healthy: replay normally.
+    Serve,
+    /// Doomed at the pinned incarnation: skip replay, record degraded.
+    Degrade,
+    /// Breaker open: degrade without touching the shard at all.
+    FastFail,
+}
+
+/// One admitted unit plus its admission-time fault-plane stamps.
+struct QueuedUnit {
+    unit: MiniUnit,
+    directive: Directive,
+    /// Slice epoch current when this unit was admitted; the runner
+    /// asserts the batch's pinned slices still carry it.
+    epoch: u64,
 }
 
 /// One batch's units queued on one shard.
 struct BatchWork {
     state: Arc<BatchState>,
-    units: VecDeque<MiniUnit>,
+    /// Slices pinned at admission: in-flight batches drain the epoch
+    /// they were admitted under even if a later admission swaps it.
+    slices: Arc<MiniSlices>,
+    units: VecDeque<QueuedUnit>,
 }
 
 /// A shard's FIFO of in-flight batches plus its runner flag and the
@@ -190,6 +352,13 @@ struct ShardGate {
 
 struct Shared {
     queues: Vec<ShardGate>,
+    /// Per-shard breakers, advanced at admission under this one lock —
+    /// mirrors `EngineShared::fleet`.
+    fleet: Mutex<Vec<MiniBreaker>>,
+    /// The current epoch's slices, swapped at admission boundaries when
+    /// a rebuild is pending — mirrors `EngineShared::slices`.
+    slices: Mutex<Arc<MiniSlices>>,
+    recovery: MiniRecovery,
 }
 
 /// Handle to one submitted batch; [`wait`](MiniBatchHandle::wait) blocks
@@ -206,22 +375,36 @@ impl MiniBatchHandle {
     /// Panics when any replay unit panicked — after all units settled,
     /// so a failed batch still never wedges its waiter.
     pub fn wait(self) -> Vec<QueryOutcome> {
+        self.wait_degraded().0
+    }
+
+    /// Like [`wait`](MiniBatchHandle::wait), additionally returning the
+    /// `(qidx, shard)` pairs of every degraded unit, sorted — the mini
+    /// analogue of `BatchReport`'s coverage, and like it required to be
+    /// a schedule-invariant function of the admitted sequence.
+    ///
+    /// # Panics
+    /// Panics when any replay unit panicked, after all units settled.
+    pub fn wait_degraded(self) -> (Vec<QueryOutcome>, Vec<(usize, usize)>) {
         let mut p = self.state.progress.lock().expect("batch progress");
         while p.units_left > 0 {
             p = self.state.done.wait(p).expect("batch progress");
         }
         let failed = p.failed;
+        let mut degraded = std::mem::take(&mut p.degraded);
         let outcomes = std::mem::take(&mut p.outcomes);
         drop(p);
         assert!(
             failed == 0,
             "mini batch: {failed} replay unit(s) panicked during this batch"
         );
-        outcomes
+        degraded.sort_unstable();
+        let outcomes = outcomes
             .into_iter()
             .enumerate()
             .map(|(qidx, o)| o.unwrap_or_else(|| empty_outcome(qidx)))
-            .collect()
+            .collect();
+        (outcomes, degraded)
     }
 }
 
@@ -233,8 +416,14 @@ pub struct MiniEngine {
 }
 
 impl MiniEngine {
-    /// Build an engine with `workers` pool threads and `shards` queues.
+    /// Build an engine with `workers` pool threads and `shards` queues,
+    /// using the default [`MiniRecovery`] knobs.
     pub fn new(workers: usize, shards: usize) -> MiniEngine {
+        MiniEngine::with_recovery(workers, shards, MiniRecovery::default())
+    }
+
+    /// Build an engine with explicit breaker knobs.
+    pub fn with_recovery(workers: usize, shards: usize, recovery: MiniRecovery) -> MiniEngine {
         MiniEngine {
             pool: MiniPool::new(workers),
             shared: Arc::new(Shared {
@@ -248,8 +437,23 @@ impl MiniEngine {
                         space: Condvar::new(),
                     })
                     .collect(),
+                fleet: Mutex::new((0..shards).map(|_| MiniBreaker::new()).collect()),
+                slices: Mutex::new(Arc::new(MiniSlices { epoch: 0 })),
+                recovery,
             }),
         }
+    }
+
+    /// The epoch of the currently installed slices.
+    pub fn epoch(&self) -> u64 {
+        self.shared.slices.lock().expect("mini slices").epoch
+    }
+
+    /// Snapshot one shard's breaker: `(state, trips, incarnation)`.
+    pub fn breaker(&self, shard: usize) -> (MiniBreakerState, u32, u64) {
+        let fleet = self.shared.fleet.lock().expect("mini fleet");
+        let b = &fleet[shard];
+        (b.state, b.trips, b.incarnation)
     }
 
     /// Admit a batch of `queries` queries whose per-shard units are
@@ -273,6 +477,26 @@ impl MiniEngine {
         self.admit(queries, shard_units, Some(bound.max(1)))
     }
 
+    /// Failover at the admission boundary, mirroring the engine's
+    /// `install_rebuilds`: collect pending rebuilds under the fleet
+    /// lock, then (only if any) swap a fresh epoch in under the slices
+    /// lock. The two locks are taken sequentially, never nested — the
+    /// same non-deadlocking order the real engine uses.
+    fn install_rebuilds(&self) {
+        let pending = {
+            let mut fleet = self.shared.fleet.lock().expect("mini fleet");
+            fleet
+                .iter_mut()
+                .any(|b| std::mem::take(&mut b.rebuild_pending))
+        };
+        if pending {
+            let mut slices = self.shared.slices.lock().expect("mini slices");
+            *slices = Arc::new(MiniSlices {
+                epoch: slices.epoch + 1,
+            });
+        }
+    }
+
     fn admit(
         &self,
         queries: usize,
@@ -280,16 +504,50 @@ impl MiniEngine {
         bound: Option<usize>,
     ) -> MiniBatchHandle {
         assert_eq!(shard_units.len(), self.shared.queues.len());
+        self.install_rebuilds();
+        let slices = Arc::clone(&*self.shared.slices.lock().expect("mini slices"));
         let total: usize = shard_units.iter().map(Vec::len).sum();
         let state = Arc::new(BatchState {
             progress: Mutex::new(Progress {
                 units_left: total,
                 failed: 0,
+                degraded: Vec::new(),
                 outcomes: (0..queries).map(|_| None).collect(),
             }),
             done: Condvar::new(),
         });
-        for (shard, units) in shard_units.into_iter().enumerate() {
+        // Stamp every unit's directive under one fleet-lock hold, in
+        // shard-then-queue order — admission-time decisions are what
+        // keep degraded coverage schedule-invariant.
+        let stamped: Vec<Vec<QueuedUnit>> = {
+            let mut fleet = self.shared.fleet.lock().expect("mini fleet");
+            shard_units
+                .into_iter()
+                .enumerate()
+                .map(|(shard, units)| {
+                    units
+                        .into_iter()
+                        .map(|unit| {
+                            let doomed = unit.fail && fleet[shard].incarnation == 0;
+                            let directive = if !fleet[shard].on_unit(doomed, &self.shared.recovery)
+                            {
+                                Directive::FastFail
+                            } else if doomed {
+                                Directive::Degrade
+                            } else {
+                                Directive::Serve
+                            };
+                            QueuedUnit {
+                                unit,
+                                directive,
+                                epoch: slices.epoch,
+                            }
+                        })
+                        .collect()
+                })
+                .collect()
+        };
+        for (shard, units) in stamped.into_iter().enumerate() {
             if units.is_empty() {
                 continue;
             }
@@ -310,6 +568,7 @@ impl MiniEngine {
                 q.pending_units += units.len();
                 q.batches.push_back(BatchWork {
                     state: Arc::clone(&state),
+                    slices: Arc::clone(&slices),
                     units: units.into(),
                 });
                 let start = !q.running;
@@ -332,8 +591,10 @@ impl MiniEngine {
 /// to the back while it has more (round-robin across in-flight batches),
 /// exactly as `slpm_serve::engine`'s shard runner does.
 fn run_shard(shared: &Arc<Shared>, shard: usize) {
+    // xtask:allow(unbounded-retry): queue-drain loop — exits when the
+    // shard FIFO is empty, never retries a faultable call.
     loop {
-        let (unit, state) = {
+        let (queued, state, slices) = {
             let gate = &shared.queues[shard];
             let mut q = gate.queue.lock().expect("shard queue");
             let Some(mut batch) = q.batches.pop_front() else {
@@ -346,6 +607,7 @@ fn run_shard(shared: &Arc<Shared>, shard: usize) {
             };
             let unit = batch.units.pop_front().expect("queued batch has units");
             let state = Arc::clone(&batch.state);
+            let slices = Arc::clone(&batch.slices);
             if !batch.units.is_empty() {
                 q.batches.push_back(batch);
             }
@@ -355,16 +617,28 @@ fn run_shard(shared: &Arc<Shared>, shard: usize) {
             assert!(q.pending_units > 0, "mini shard: unit drained twice");
             q.pending_units -= 1;
             gate.space.notify_all();
-            (unit, state)
+            (unit, state, slices)
         };
-        match catch_unwind(AssertUnwindSafe(|| replay_unit(unit))) {
-            Ok(pages) => state.record_unit(unit.qidx, pages),
-            Err(payload) => {
-                if crossbeam::model::is_abort(&*payload) {
-                    resume_unwind(payload);
-                }
-                state.record_failure();
+        // Drain-vs-admit obligation: whatever epoch is *currently*
+        // installed, this unit replays against the slices its admission
+        // pinned — checked on every unit of every explored schedule.
+        assert_eq!(
+            queued.epoch, slices.epoch,
+            "mini shard: unit drained against a slice epoch it was not admitted under"
+        );
+        match queued.directive {
+            Directive::Degrade | Directive::FastFail => {
+                state.record_degraded(queued.unit.qidx, shard);
             }
+            Directive::Serve => match catch_unwind(AssertUnwindSafe(|| replay_unit(queued.unit))) {
+                Ok(pages) => state.record_unit(queued.unit.qidx, pages),
+                Err(payload) => {
+                    if crossbeam::model::is_abort(&*payload) {
+                        resume_unwind(payload);
+                    }
+                    state.record_failure();
+                }
+            },
         }
     }
 }
@@ -392,6 +666,7 @@ mod tests {
             qidx,
             work,
             poison: false,
+            fail: false,
         };
         let handle = engine.submit(
             3,
@@ -418,6 +693,7 @@ mod tests {
             qidx,
             work,
             poison: false,
+            fail: false,
         };
         let batch = |e: &MiniEngine, bound: Option<usize>| {
             let units = vec![vec![unit(0, 4), unit(2, 2)], vec![unit(0, 6), unit(1, 8)]];
@@ -448,6 +724,55 @@ mod tests {
     }
 
     #[test]
+    fn plain_mode_breaker_trips_swaps_epoch_and_heals_pinned_faults() {
+        let engine = MiniEngine::with_recovery(
+            2,
+            2,
+            MiniRecovery {
+                threshold: 2,
+                cooldown: 1,
+            },
+        );
+        let fail = |qidx| MiniUnit {
+            qidx,
+            work: 3,
+            poison: false,
+            fail: true,
+        };
+        let ok = |qidx, work| MiniUnit {
+            qidx,
+            work,
+            poison: false,
+            fail: false,
+        };
+        // Two doomed units trip shard 0's breaker during this admission;
+        // shard 1 is untouched.
+        let (_, degraded) = engine
+            .submit(2, vec![vec![fail(0), fail(1)], vec![ok(0, 6)]])
+            .wait_degraded();
+        assert_eq!(degraded, vec![(0, 0), (1, 0)]);
+        let (state, trips, incarnation) = engine.breaker(0);
+        assert_eq!((state, trips, incarnation), (MiniBreakerState::Open, 1, 1));
+        assert_eq!(engine.epoch(), 0, "rebuild installs at the NEXT admission");
+        // Next admission swaps the epoch; its one shard-0 unit burns the
+        // cooldown as a fast-fail.
+        let (_, degraded) = engine
+            .submit(1, vec![vec![ok(0, 4)], vec![]])
+            .wait_degraded();
+        assert_eq!(engine.epoch(), 1);
+        assert_eq!(degraded, vec![(0, 0)]);
+        // Cooldown spent: the next unit probes, succeeds (the fail flag
+        // is pinned to incarnation 0), and closes the breaker.
+        let (outcomes, degraded) = engine
+            .submit(1, vec![vec![ok(0, 4)], vec![]])
+            .wait_degraded();
+        assert!(degraded.is_empty());
+        assert_eq!(outcomes[0].pages, 4);
+        assert_eq!(engine.breaker(0).0, MiniBreakerState::Closed);
+        assert_eq!(engine.breaker(1), (MiniBreakerState::Closed, 0, 0));
+    }
+
+    #[test]
     fn plain_mode_poisoned_unit_panics_wait_without_wedging() {
         let caught = crate::with_quiet_panics(|| {
             std::panic::catch_unwind(|| {
@@ -459,11 +784,13 @@ mod tests {
                             qidx: 0,
                             work: 1,
                             poison: false,
+                            fail: false,
                         },
                         MiniUnit {
                             qidx: 1,
                             work: 1,
                             poison: true,
+                            fail: false,
                         },
                     ]],
                 );

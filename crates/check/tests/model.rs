@@ -9,7 +9,7 @@
 //! reduced schedule budget; CI runs the full budget via
 //! `cargo test -p slpm_check --release`.
 
-use slpm_check::harness::{MiniEngine, MiniUnit};
+use slpm_check::harness::{MiniBreakerState, MiniEngine, MiniRecovery, MiniUnit};
 use slpm_check::{explore, is_abort, with_quiet_panics, ModelOptions};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::{Arc as StdArc, Mutex as StdMutex};
@@ -36,6 +36,16 @@ fn unit(qidx: usize, work: usize) -> MiniUnit {
         qidx,
         work,
         poison: false,
+        fail: false,
+    }
+}
+
+fn fail_unit(qidx: usize) -> MiniUnit {
+    MiniUnit {
+        qidx,
+        work: 3,
+        poison: false,
+        fail: true,
     }
 }
 
@@ -238,6 +248,7 @@ fn panic_in_replay_unit_never_wedges_wait_on_any_schedule() {
                 qidx: 1,
                 work: 1,
                 poison: true,
+                fail: false,
             };
             let handle = engine.submit(2, vec![vec![unit(0, 4)], vec![poisoned]]);
             let caught = catch_unwind(AssertUnwindSafe(|| handle.wait()));
@@ -268,6 +279,157 @@ fn zero_unit_batch_waits_return_on_every_schedule() {
         assert_eq!(busy.wait()[0].pages, 5);
     });
     eprintln!("zero-unit batches: {report:?}");
+}
+
+#[test]
+fn breaker_trips_while_epoch_swaps_and_inflight_batches_drain_their_pinned_slices() {
+    // Fail-while-swapping: batch A's admission trips shard 0's breaker
+    // (two consecutive doomed units at threshold 2); batch B's admission
+    // installs the rebuild — swapping the slice epoch — while A may
+    // still be draining. On every explored schedule the harness asserts
+    // each unit replays against the epoch its admission pinned, and the
+    // degraded coverage + outcomes must be bitwise identical because
+    // every fault-plane decision was stamped at admission.
+    let digests: StdArc<StdMutex<Vec<u64>>> = StdArc::new(StdMutex::new(Vec::new()));
+    let sink = StdArc::clone(&digests);
+    let report = explore(opts(4), move || {
+        let engine = MiniEngine::with_recovery(
+            2,
+            2,
+            MiniRecovery {
+                threshold: 2,
+                cooldown: 1,
+            },
+        );
+        let a = engine.submit(2, vec![vec![fail_unit(0), fail_unit(1)], vec![unit(0, 6)]]);
+        // B admits mid-drain: its admission installs the rebuilt slice
+        // (epoch 1) and its shard-0 unit burns the cooldown fast-fail.
+        let b = engine.submit(2, vec![vec![unit(0, 4)], vec![unit(1, 8)]]);
+        let (a_out, a_deg) = a.wait_degraded();
+        let (b_out, b_deg) = b.wait_degraded();
+        assert_eq!(a_deg, vec![(0, 0), (1, 0)], "the tripping units degrade");
+        assert_eq!(
+            b_deg,
+            vec![(0, 0)],
+            "the open breaker fast-fails B on shard 0"
+        );
+        assert_eq!(a_out[0].pages, 6, "shard 1 keeps serving A");
+        assert_eq!(b_out[1].pages, 8, "shard 1 keeps serving B");
+        assert_eq!(engine.epoch(), 1, "B's admission installs the rebuild");
+        let (state, trips, incarnation) = engine.breaker(0);
+        assert_eq!((trips, incarnation), (1, 1));
+        assert_eq!(state, MiniBreakerState::Open);
+        let digest = slpm_serve::digest_outcomes(&a_out)
+            ^ slpm_serve::digest_outcomes(&b_out).rotate_left(1);
+        sink.lock().expect("digest sink").push(digest);
+    });
+    let digests = digests.lock().expect("digest sink");
+    assert_eq!(digests.len(), report.schedules);
+    let first = digests[0];
+    if let Some(pos) = digests.iter().position(|&d| d != first) {
+        panic!(
+            "degraded serving is schedule-dependent: schedule 0 gave {first:#x}, \
+             schedule {pos} gave {:#x}",
+            digests[pos]
+        );
+    }
+    // CI greps for this exact line so a silently-skipped suite fails
+    // the model-check job.
+    eprintln!(
+        "breaker-epoch protocol: explored {} schedules (fail-while-swapping, {report:?})",
+        report.schedules
+    );
+}
+
+#[test]
+fn probe_racing_a_rival_trip_settles_to_one_trip_and_a_closed_breaker() {
+    // Probe-racing-trip: two submitters race batches of doomed units
+    // into the same shard. Stamping is atomic per admission under the
+    // fleet lock, so on every schedule exactly one batch trips the
+    // breaker (incarnation 1 heals the pinned faults); the other batch
+    // then burns the cooldown with one fast-fail and closes the breaker
+    // with a successful probe. Which batch plays which role is
+    // schedule-dependent — the settled protocol state must not be.
+    let report = explore(opts(4), move || {
+        let engine = StdArc::new(MiniEngine::with_recovery(
+            2,
+            1,
+            MiniRecovery {
+                threshold: 2,
+                cooldown: 1,
+            },
+        ));
+        let rival = StdArc::clone(&engine);
+        let other = crossbeam::sync::thread::spawn(move || {
+            rival
+                .submit(2, vec![vec![fail_unit(0), fail_unit(1)]])
+                .wait_degraded()
+        });
+        let (mine_out, mine_deg) = engine
+            .submit(2, vec![vec![fail_unit(0), fail_unit(1)]])
+            .wait_degraded();
+        let (theirs_out, theirs_deg) = other.join().unwrap();
+        // One batch tripped (2 degraded), the other fast-failed once and
+        // probe-served once: 3 degraded + 3 served pages in total.
+        assert_eq!(mine_deg.len() + theirs_deg.len(), 3);
+        let served: usize = mine_out.iter().chain(&theirs_out).map(|o| o.pages).sum();
+        assert_eq!(served, 3, "the successful probe serves its unit");
+        let (state, trips, incarnation) = engine.breaker(0);
+        assert_eq!(trips, 1, "a probe failure must not re-trip");
+        assert_eq!(incarnation, 1);
+        assert_eq!(
+            state,
+            MiniBreakerState::Closed,
+            "the probe closes the breaker"
+        );
+        // The next admission installs the rebuild and serves cleanly.
+        let (out, deg) = engine.submit(1, vec![vec![unit(0, 5)]]).wait_degraded();
+        assert!(deg.is_empty());
+        assert_eq!(out[0].pages, 5);
+        assert_eq!(engine.epoch(), 1);
+    });
+    assert!(report.schedules > 0);
+    eprintln!(
+        "breaker-epoch protocol: explored {} schedules (probe-racing-trip, {report:?})",
+        report.schedules
+    );
+}
+
+#[test]
+fn units_stamped_before_a_trip_keep_serving_through_the_swap() {
+    // Drain-vs-admit: a healthy batch A is stamped Serve before batch B
+    // trips the breaker and batch C swaps the epoch. A's units must
+    // drain to completion against their pinned epoch-0 slices on every
+    // schedule — failover never claws back work already admitted.
+    let report = explore(opts(4), move || {
+        let engine = MiniEngine::with_recovery(
+            2,
+            1,
+            MiniRecovery {
+                threshold: 2,
+                cooldown: 1,
+            },
+        );
+        let a = engine.submit(2, vec![vec![unit(0, 4), unit(1, 5), unit(0, 2)]]);
+        let b = engine.submit(1, vec![vec![fail_unit(0), fail_unit(0)]]);
+        let c = engine.submit(1, vec![vec![unit(0, 7)]]);
+        let (a_out, a_deg) = a.wait_degraded();
+        let (_, b_deg) = b.wait_degraded();
+        let (c_out, c_deg) = c.wait_degraded();
+        assert!(a_deg.is_empty(), "A was stamped healthy before the trip");
+        assert_eq!(a_out[0].pages, 6);
+        assert_eq!(a_out[1].pages, 5);
+        assert_eq!(b_deg, vec![(0, 0), (0, 0)]);
+        // C admits after the trip: epoch swapped, one cooldown fast-fail.
+        assert_eq!(engine.epoch(), 1);
+        assert_eq!(c_deg, vec![(0, 0)]);
+        assert_eq!(c_out[0].pages, 0);
+    });
+    assert!(report.schedules > 0);
+    eprintln!(
+        "breaker-epoch protocol: explored {} schedules (drain-vs-admit, {report:?})",
+        report.schedules
+    );
 }
 
 #[test]

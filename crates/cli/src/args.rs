@@ -153,6 +153,19 @@ pub enum Command {
         admission: AdmissionPolicy,
         /// Streaming: SLO latency target in simulated µs.
         slo_us: u64,
+        /// Seeded fault plan (validated `FaultPlan` grammar), `None` =
+        /// fault-free.
+        fault_plan: Option<String>,
+        /// Replay attempts per unit (1 = no retry).
+        retry: u32,
+        /// Per-attempt timeout in simulated µs.
+        timeout_us: u64,
+        /// Base retry backoff in simulated µs (doubles per attempt).
+        backoff_us: u64,
+        /// Consecutive doomed units that trip a shard's breaker.
+        breaker_threshold: u32,
+        /// Units an open breaker fast-fails before probing.
+        probe_cooldown: u32,
     },
     /// `slpm help`
     Help,
@@ -203,6 +216,14 @@ fn parse_positive(args: &[String], i: &mut usize, flag: &str) -> Result<usize, P
             "invalid {flag} '{v}': expected a positive integer"
         ))),
     }
+}
+
+/// Parse a non-negative integer flag value (0 is meaningful, e.g. a
+/// probe cooldown of zero probes immediately after a trip).
+fn parse_nonneg(args: &[String], i: &mut usize, flag: &str) -> Result<u64, ParseError> {
+    let v = take_value(args, i, flag)?;
+    v.parse::<u64>()
+        .map_err(|_| ParseError(format!("invalid {flag} '{v}': expected an integer >= 0")))
 }
 
 /// Parse a full argument vector (without the program name).
@@ -331,6 +352,12 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             let mut queue_depth = 64usize;
             let mut admission = AdmissionPolicy::Shed;
             let mut slo_us = 2_000u64;
+            let mut fault_plan = None;
+            let mut retry = 3u32;
+            let mut timeout_us = 10_000u64;
+            let mut backoff_us = 100u64;
+            let mut breaker_threshold = 3u32;
+            let mut probe_cooldown = 4u32;
             let mut i = 1;
             while i < args.len() {
                 match args[i].as_str() {
@@ -398,6 +425,28 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                         })?;
                     }
                     "--slo-us" => slo_us = parse_positive(args, &mut i, "--slo-us")? as u64,
+                    "--fault-plan" => {
+                        let v = take_value(args, &mut i, "--fault-plan")?;
+                        // Validate the grammar up front so a typo fails
+                        // at the command line, not mid-run.
+                        slpm_serve::FaultPlan::parse(v)
+                            .map_err(|e| ParseError(format!("invalid --fault-plan: {e}")))?;
+                        fault_plan = Some(v.to_string());
+                    }
+                    "--retry" => retry = parse_positive(args, &mut i, "--retry")? as u32,
+                    "--timeout-us" => {
+                        timeout_us = parse_positive(args, &mut i, "--timeout-us")? as u64
+                    }
+                    "--backoff-us" => {
+                        backoff_us = parse_positive(args, &mut i, "--backoff-us")? as u64
+                    }
+                    "--breaker-threshold" => {
+                        breaker_threshold =
+                            parse_positive(args, &mut i, "--breaker-threshold")? as u32
+                    }
+                    "--probe-cooldown" => {
+                        probe_cooldown = parse_nonneg(args, &mut i, "--probe-cooldown")? as u32
+                    }
                     other => return Err(ParseError(format!("unknown flag '{other}'"))),
                 }
                 i += 1;
@@ -422,6 +471,12 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 queue_depth,
                 admission,
                 slo_us,
+                fault_plan,
+                retry,
+                timeout_us,
+                backoff_us,
+                breaker_threshold,
+                probe_cooldown,
             })
         }
         "report" => {
@@ -472,6 +527,8 @@ USAGE:
                [--arrival deterministic|poisson|bursty|diurnal]
                [--batch-delay-us 200] [--max-batch 32] [--queue-depth 64]
                [--admission shed|block] [--slo-us 2000]
+               [--fault-plan SPEC] [--retry 3] [--timeout-us 10000]
+               [--backoff-us 100] [--breaker-threshold 3] [--probe-cooldown 4]
   slpm help
 
 Mappings: sweep, snake, peano (Z-order), truepeano, gray, hilbert,
@@ -499,6 +556,18 @@ tail latency). Per-query admission-to-completion latency is scored
 against --slo-us (p50/p99/p999, violation %); all streaming decisions
 and latencies are deterministic — machine-independent — and the printed
 digest still equals the batch digest of the admitted query sequence.
+--fault-plan injects seeded, fully deterministic faults at the replay
+seam. SPEC is comma-separated events: kill:S@N (shard S fails from its
+Nth unit, healed by failover), kill!:S@N (same, but survives rebuilds),
+flaky:S@N+A (A failing attempts), stall:S@N+K=U (K units stall U us),
+panic:S@N (one replay-unit panic), pagerr:P@N (page P's Nth read
+fails). --retry/--timeout-us/--backoff-us bound per-unit recovery;
+--breaker-threshold consecutive failures trip a shard's circuit
+breaker (failover to a rebuilt slice at the next admission) and
+--probe-cooldown sets how many units an open breaker fast-fails
+before probing. Fault-free queries stay bitwise identical to an
+unfaulted run; degraded queries are answered from the index plan with
+their unserved rank ranges reported.
 ";
 
 #[cfg(test)]
@@ -653,6 +722,12 @@ mod tests {
                 queue_depth: 64,
                 admission: AdmissionPolicy::Shed,
                 slo_us: 2_000,
+                fault_plan: None,
+                retry: 3,
+                timeout_us: 10_000,
+                backoff_us: 100,
+                breaker_threshold: 3,
+                probe_cooldown: 4,
             }
         );
         let c = parse(&argv(&[
@@ -703,6 +778,12 @@ mod tests {
                 queue_depth: 64,
                 admission: AdmissionPolicy::Shed,
                 slo_us: 2_000,
+                fault_plan: None,
+                retry: 3,
+                timeout_us: 10_000,
+                backoff_us: 100,
+                breaker_threshold: 3,
+                probe_cooldown: 4,
             }
         );
         // Missing grid, bad values, bad partition, bad planner/inflight.
@@ -767,6 +848,73 @@ mod tests {
         assert!(parse(&argv(&["serve", "--grid", "8x8", "--admission", "retry"])).is_err());
         assert!(parse(&argv(&["serve", "--grid", "8x8", "--queue-depth", "0"])).is_err());
         assert!(parse(&argv(&["serve", "--grid", "8x8", "--slo-us", "x"])).is_err());
+    }
+
+    #[test]
+    fn parse_serve_fault_flags() {
+        let c = parse(&argv(&[
+            "serve",
+            "--grid",
+            "16x16",
+            "--fault-plan",
+            "kill!:0@2,flaky:1@0+2",
+            "--retry",
+            "5",
+            "--timeout-us",
+            "500",
+            "--backoff-us",
+            "20",
+            "--breaker-threshold",
+            "2",
+            "--probe-cooldown",
+            "0",
+        ]))
+        .unwrap();
+        match c {
+            Command::Serve {
+                fault_plan,
+                retry,
+                timeout_us,
+                backoff_us,
+                breaker_threshold,
+                probe_cooldown,
+                ..
+            } => {
+                assert_eq!(fault_plan.as_deref(), Some("kill!:0@2,flaky:1@0+2"));
+                assert_eq!(retry, 5);
+                assert_eq!(timeout_us, 500);
+                assert_eq!(backoff_us, 20);
+                assert_eq!(breaker_threshold, 2);
+                assert_eq!(probe_cooldown, 0);
+            }
+            other => panic!("expected Serve, got {other:?}"),
+        }
+        // A malformed plan fails at the command line with the offending
+        // event named, and nonsensical recovery knobs are rejected.
+        let err = parse(&argv(&[
+            "serve",
+            "--grid",
+            "8x8",
+            "--fault-plan",
+            "zap:0@1",
+        ]))
+        .expect_err("unknown fault kind");
+        assert!(err.0.contains("invalid --fault-plan"), "{err}");
+        assert!(err.0.contains("zap:0@1"), "{err}");
+        assert!(parse(&argv(&["serve", "--grid", "8x8", "--retry", "0"])).is_err());
+        assert!(parse(&argv(&["serve", "--grid", "8x8", "--timeout-us", "0"])).is_err());
+        assert!(parse(&argv(&["serve", "--grid", "8x8", "--timeout-us", "-5"])).is_err());
+        assert!(parse(&argv(&["serve", "--grid", "8x8", "--backoff-us", "0"])).is_err());
+        assert!(parse(&argv(&[
+            "serve",
+            "--grid",
+            "8x8",
+            "--breaker-threshold",
+            "0"
+        ]))
+        .is_err());
+        assert!(parse(&argv(&["serve", "--grid", "8x8", "--probe-cooldown", "-1"])).is_err());
+        assert!(parse(&argv(&["serve", "--grid", "8x8", "--fault-plan"])).is_err());
     }
 
     #[test]

@@ -12,6 +12,7 @@ use slpm_serve::arrival::{ArrivalConfig, ArrivalShape};
 use slpm_serve::engine::{EngineConfig, ServeEngine};
 use slpm_serve::stream::{stream_serve, AdmissionPolicy, StreamConfig};
 use slpm_serve::workload::{grid_points, mixed_workload, mixed_workload_labeled, WorkloadConfig};
+use slpm_serve::{CoverageReport, FaultPlan, RecoveryConfig};
 use slpm_sfc::TruePeanoCurve;
 use spectral_lpm::{LinearOrder, SpectralConfig, SpectralMapper};
 
@@ -68,10 +69,50 @@ fn build_order(
     }
 }
 
+/// Render the fault-plane section shared by the batch and stream paths:
+/// the active plan, per-query coverage with the degraded rank ranges,
+/// breaker health per shard, and the slice epoch.
+fn render_fault_section(
+    out: &mut String,
+    plan: &str,
+    coverage: &CoverageReport,
+    engine: &ServeEngine,
+    degraded_digest: u64,
+) {
+    out.push_str(&format!("fault plan: {plan}\n"));
+    out.push_str(&format!(
+        "coverage: {} queries, {} fault-free, {} degraded\n",
+        coverage.queries,
+        coverage.fault_free,
+        coverage.degraded_queries(),
+    ));
+    const MAX_UNIT_LINES: usize = 8;
+    for d in coverage.degraded_units.iter().take(MAX_UNIT_LINES) {
+        out.push_str(&format!("  degraded: {d}\n"));
+    }
+    if coverage.degraded_units.len() > MAX_UNIT_LINES {
+        out.push_str(&format!(
+            "  ... and {} more degraded unit(s)\n",
+            coverage.degraded_units.len() - MAX_UNIT_LINES
+        ));
+    }
+    for b in engine.health_snapshot() {
+        out.push_str(&format!(
+            "  breaker[{}]: {} trips: {} incarnation: {}\n",
+            b.shard, b.state, b.trips, b.incarnation,
+        ));
+    }
+    out.push_str(&format!(
+        "epoch: {}  degraded digest: {degraded_digest:016x}\n",
+        engine.epoch(),
+    ));
+}
+
 /// Run the streaming admission loop for `slpm serve --stream` and render
 /// its SLO scorecard. The in-process parity line replays the admitted
 /// subsequence as one batch and compares digests, so every streamed
-/// invocation doubles as a correctness check.
+/// invocation doubles as a correctness check (skipped under a fault
+/// plan, whose stamp cursors are consumed by the streamed run).
 #[allow(clippy::too_many_arguments)]
 fn serve_stream(
     engine: &ServeEngine,
@@ -87,6 +128,7 @@ fn serve_stream(
     queue_depth: usize,
     admission: AdmissionPolicy,
     slo_us: u64,
+    fault_plan: Option<&str>,
 ) -> Result<String, ParseError> {
     let labeled = mixed_workload_labeled(
         spec,
@@ -106,7 +148,8 @@ fn serve_stream(
         slo_us: slo_us as f64,
         ..Default::default()
     };
-    let report = stream_serve(engine, &workload, &labels, &cfg);
+    let report = stream_serve(engine, &workload, &labels, &cfg)
+        .map_err(|e| ParseError(format!("stream failed: {e}")))?;
     let slo = &report.slo;
     let mut out = String::new();
     out.push_str(&format!(
@@ -146,6 +189,24 @@ fn serve_stream(
         report.elapsed_seconds,
         report.queries_per_second(),
     ));
+    if let Some(plan) = fault_plan {
+        out.push_str(&format!(
+            "degraded: {}  fault-free p99: {:.1}us  breaker trips: {}\n",
+            slo.degraded, slo.fault_free_p99_us, report.trips,
+        ));
+        render_fault_section(
+            &mut out,
+            plan,
+            &report.coverage,
+            engine,
+            report.degraded_digest(),
+        );
+        out.push_str(&format!(
+            "digest: {:016x}\nparity (stream vs batch): skipped (fault plan active)\n",
+            report.digest,
+        ));
+        return Ok(out);
+    }
     // In-process parity witness: the streamed digest must equal a one-shot
     // batch run of the admitted subsequence, bit for bit.
     let admitted: Vec<_> = report
@@ -153,7 +214,9 @@ fn serve_stream(
         .iter()
         .map(|&q| workload[q].clone())
         .collect();
-    let one_shot = engine.run(&admitted);
+    let one_shot = engine
+        .run(&admitted)
+        .map_err(|e| ParseError(format!("parity replay failed: {e}")))?;
     out.push_str(&format!(
         "digest: {:016x}\nparity (stream vs batch): {}\n",
         report.digest,
@@ -311,10 +374,26 @@ pub fn execute(cmd: &Command) -> Result<String, ParseError> {
             queue_depth,
             admission,
             slo_us,
+            fault_plan,
+            retry,
+            timeout_us,
+            backoff_us,
+            breaker_threshold,
+            probe_cooldown,
         } => {
             let spec = GridSpec::new(dims);
             let order = build_order(dims, *mapping, None)?;
             let points = grid_points(&spec);
+            let recovery = RecoveryConfig {
+                timeout_us: *timeout_us as f64,
+                max_attempts: *retry,
+                backoff_us: *backoff_us as f64,
+                breaker_threshold: *breaker_threshold,
+                probe_cooldown: *probe_cooldown,
+            };
+            recovery
+                .validate()
+                .map_err(|e| ParseError(format!("invalid recovery knobs: {e}")))?;
             let cfg = EngineConfig {
                 records_per_page: *page_records,
                 // Keep the documented one-leaf-per-page geometry when the
@@ -325,9 +404,15 @@ pub fn execute(cmd: &Command) -> Result<String, ParseError> {
                 partition: *partition,
                 buffer_pages: *buffer_pages,
                 knn_planner: *planner,
+                recovery,
                 ..Default::default()
             };
             let engine = ServeEngine::new(&points, &order, cfg);
+            if let Some(plan) = fault_plan {
+                let plan = FaultPlan::parse(plan)
+                    .map_err(|e| ParseError(format!("invalid --fault-plan: {e}")))?;
+                engine.inject_faults(plan);
+            }
             if *stream {
                 return serve_stream(
                     &engine,
@@ -343,6 +428,7 @@ pub fn execute(cmd: &Command) -> Result<String, ParseError> {
                     *queue_depth,
                     *admission,
                     *slo_us,
+                    fault_plan.as_deref(),
                 );
             }
             let workload = mixed_workload(
@@ -353,7 +439,9 @@ pub fn execute(cmd: &Command) -> Result<String, ParseError> {
                     ..Default::default()
                 },
             );
-            let report = engine.run_inflight(&workload, *inflight);
+            let report = engine
+                .run_inflight(&workload, *inflight)
+                .map_err(|e| ParseError(format!("serve failed: {e}")))?;
             let buffer = report.buffer_stats();
             let mut out = String::new();
             out.push_str(&format!(
@@ -402,6 +490,15 @@ pub fn execute(cmd: &Command) -> Result<String, ParseError> {
                     s.runs,
                     s.buffer.hit_ratio(),
                 ));
+            }
+            if let Some(plan) = fault_plan {
+                render_fault_section(
+                    &mut out,
+                    plan,
+                    &report.coverage,
+                    &engine,
+                    report.degraded_digest(),
+                );
             }
             // The parity witness: identical for every --shards/--threads.
             out.push_str(&format!("digest: {:016x}\n", report.digest));
@@ -676,6 +773,61 @@ mod tests {
         .unwrap();
         assert!(block.contains("offered: 60  admitted: 60  shed: 0"));
         assert!(block.contains("parity (stream vs batch): ok"));
+    }
+
+    #[test]
+    fn serve_fault_plan_reports_degraded_coverage_and_breakers() {
+        // Batch mode: a permanent kill on shard 0 of 2 degrades some
+        // queries, trips the breaker and swaps the epoch; the report
+        // names the rank ranges left unserved.
+        let out = run(&[
+            "serve",
+            "--grid",
+            "16x16",
+            "--queries",
+            "40",
+            "--shards",
+            "2",
+            "--fault-plan",
+            "kill!:0@0",
+            "--breaker-threshold",
+            "2",
+        ])
+        .unwrap();
+        assert!(out.contains("fault plan: kill!:0@0"), "{out}");
+        assert!(out.contains("degraded"), "{out}");
+        assert!(
+            out.contains("ranks"),
+            "degraded lines name rank ranges:\n{out}"
+        );
+        assert!(out.contains("breaker[0]:"), "{out}");
+        assert!(out.contains("trips: 1"), "{out}");
+        assert!(out.contains("degraded digest:"), "{out}");
+        // Stream mode reports the degraded/SLO split and skips the
+        // parity witness (the fault cursors were consumed by the run).
+        let out = run(&[
+            "serve",
+            "--grid",
+            "16x16",
+            "--queries",
+            "40",
+            "--shards",
+            "2",
+            "--stream",
+            "--rate",
+            "5000",
+            "--fault-plan",
+            "flaky:0@1+2",
+        ])
+        .unwrap();
+        assert!(out.contains("fault plan: flaky:0@1+2"), "{out}");
+        assert!(out.contains("fault-free p99:"), "{out}");
+        assert!(
+            out.contains("parity (stream vs batch): skipped (fault plan active)"),
+            "{out}"
+        );
+        // A transient fault inside the retry budget degrades nothing.
+        assert!(out.contains("40 fault-free, 0 degraded"), "{out}");
     }
 
     #[test]

@@ -43,9 +43,35 @@
 //! dependent quantity under *concurrent* admission: interleaving changes
 //! which batch finds a page warm (totals per shard still add up) —
 //! exactly as in any shared-cache server.
+//!
+//! **Failure and recovery.** Shards break; the engine keeps answering.
+//! An installed [`FaultPlan`] ([`ServeEngine::inject_faults`]) is
+//! resolved *at admission* — each unit's fault stamp is a pure function
+//! of its shard's admitted-unit sequence — and manifested *at the replay
+//! seam*: failing attempts pay a bounded retry/backoff loop on the
+//! simulated clock (see [`RecoveryConfig`]), injected panics genuinely
+//! unwind through the runner's `catch_unwind`. Units no retry budget can
+//! save **degrade** instead of failing the batch: [`BatchHandle::wait`]
+//! returns `Ok` with per-query coverage accounting
+//! ([`BatchReport::coverage`]) naming exactly which rank-ranges were
+//! served from a broken slice. Per-shard circuit breakers
+//! ([`crate::health::ShardBreaker`]) trip on consecutive doomed units;
+//! a trip requests **failover**: at the next admission boundary the
+//! tripped shard's rank-range is rebuilt on a fresh slice and published
+//! under an atomic epoch swap ([`crate::shard::ShardSet`]) — in-flight
+//! batches drain on their admission-time epoch while new admissions
+//! route to the rebuilt slice. Panics *outside* the fault plan (routing
+//! bugs, poisoned locks) surface as a typed
+//! [`ServeError::ReplayPanicked`] naming every failed unit's query and
+//! shard, and the affected slice is likewise rebuilt at the next
+//! admission — one poisoned lock no longer wedges the engine forever.
 
+use crate::fault::{FaultPlan, FaultState, ServeError, UnitFailure, UnitFault};
+use crate::health::{
+    BreakerSnapshot, RecoveryConfig, ShardBreaker, UnitDirective, UnitDisposition,
+};
 use crate::pool::WorkerPool;
-use crate::shard::{Partition, Shard, ShardMap};
+use crate::shard::{Partition, Shard, ShardMap, ShardSet};
 use slpm_storage::{
     chebyshev, BufferStats, IoCost, IoModel, Mbr, PackedRTree, PageLayout, PageMapper, QueryCost,
 };
@@ -126,6 +152,8 @@ pub struct EngineConfig {
     pub io: IoModel,
     /// kNN planning algorithm.
     pub knn_planner: KnnPlanner,
+    /// Retry/timeout/breaker knobs for the fault plane.
+    pub recovery: RecoveryConfig,
 }
 
 impl Default for EngineConfig {
@@ -140,6 +168,7 @@ impl Default for EngineConfig {
             buffer_pages: 64,
             io: IoModel::default(),
             knn_planner: KnnPlanner::BestFirst,
+            recovery: RecoveryConfig::default(),
         }
     }
 }
@@ -167,6 +196,14 @@ pub struct QueryOutcome {
     /// until the query's last shard unit replayed (`0.0` for queries that
     /// touch no pages). Scheduling-dependent — never part of the digest.
     pub seconds: f64,
+    /// Simulated fault penalty (µs): injected stalls, timeouts and retry
+    /// backoff accrued by this query's units. Deterministic for a fixed
+    /// fault plan; `0.0` when nothing was injected.
+    pub fault_us: f64,
+    /// Pages of this query that were *not* served by a healthy slice
+    /// (degraded units). `0` means the query is fault-free; the detailed
+    /// rank-ranges live in [`BatchReport::coverage`].
+    pub degraded_pages: usize,
 }
 
 /// Per-shard aggregates over one batch.
@@ -196,6 +233,74 @@ impl ShardReport {
     }
 }
 
+/// One replay unit that a healthy slice did not serve: the coverage
+/// accounting names exactly what was lost — which query, which shard,
+/// and which rank-ranges of the linear order went unserved.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DegradedUnit {
+    /// Query index within the batch (submission order).
+    pub query: usize,
+    /// Shard the unit was routed to.
+    pub shard: usize,
+    /// Routed pages the unit covered.
+    pub pages: usize,
+    /// The unserved rank-ranges, as half-open `[lo, hi)` intervals of
+    /// the linear order, ascending and maximally merged.
+    pub rank_ranges: Vec<(usize, usize)>,
+}
+
+impl fmt::Display for DegradedUnit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "query {} on shard {}: {} page(s), ranks",
+            self.query, self.shard, self.pages
+        )?;
+        for (i, &(lo, hi)) in self.rank_ranges.iter().enumerate() {
+            let sep = if i == 0 { " " } else { ", " };
+            write!(f, "{sep}[{lo}, {hi})")?;
+        }
+        Ok(())
+    }
+}
+
+/// Per-query coverage accounting of one batch: which queries were fully
+/// served and which rank-ranges were degraded. Deterministic for a fixed
+/// fault plan — degraded units are decided on the admission clock, never
+/// by runner scheduling.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CoverageReport {
+    /// Queries in the batch.
+    pub queries: usize,
+    /// Queries every unit of which was served by a healthy slice.
+    pub fault_free: usize,
+    /// The degraded units, ascending by `(query, shard)`.
+    pub degraded_units: Vec<DegradedUnit>,
+}
+
+impl CoverageReport {
+    /// Assemble from degraded units already sorted by `(query, shard)`.
+    pub(crate) fn new(queries: usize, degraded_units: Vec<DegradedUnit>) -> Self {
+        let mut seen = degraded_units.iter().map(|u| u.query).collect::<Vec<_>>();
+        seen.dedup();
+        CoverageReport {
+            queries,
+            fault_free: queries - seen.len(),
+            degraded_units,
+        }
+    }
+
+    /// Queries with at least one degraded unit.
+    pub fn degraded_queries(&self) -> usize {
+        self.queries - self.fault_free
+    }
+
+    /// True when every query was fully served.
+    pub fn is_clean(&self) -> bool {
+        self.degraded_units.is_empty()
+    }
+}
+
 /// The merged result of one batch.
 #[derive(Debug, Clone)]
 pub struct BatchReport {
@@ -209,6 +314,8 @@ pub struct BatchReport {
     /// count, run count) — see [`digest_outcomes`]; bitwise identical
     /// across shard counts, thread counts, planners and batch splits.
     pub digest: u64,
+    /// Which rank-ranges were served vs degraded, per query.
+    pub coverage: CoverageReport,
 }
 
 impl BatchReport {
@@ -285,6 +392,15 @@ impl BatchReport {
             .max()
             .unwrap_or(0) as f64;
         max / mean
+    }
+
+    /// The **degraded digest**: [`BatchReport::digest`] folded with the
+    /// coverage accounting (each degraded unit's query, shard, page
+    /// count and rank-ranges). Equal to the plain digest on a fault-free
+    /// run; deterministic for a fixed fault plan — the proptest and
+    /// chaos-gate invariant.
+    pub fn degraded_digest(&self) -> u64 {
+        digest_with_coverage(self.digest, &self.coverage.degraded_units)
     }
 }
 
@@ -395,6 +511,39 @@ where
     digest
 }
 
+/// Fold degraded-coverage accounting into a digest: each unit's query,
+/// shard, page count and rank-ranges, in the (already deterministic)
+/// `(query, shard)` order. Shared by [`BatchReport::degraded_digest`]
+/// and the streaming layer.
+pub fn digest_with_coverage(digest: u64, degraded: &[DegradedUnit]) -> u64 {
+    let mut digest = digest;
+    for unit in degraded {
+        fnv1a64(&mut digest, unit.query as u64);
+        fnv1a64(&mut digest, unit.shard as u64);
+        fnv1a64(&mut digest, unit.pages as u64);
+        for &(lo, hi) in &unit.rank_ranges {
+            fnv1a64(&mut digest, lo as u64);
+            fnv1a64(&mut digest, hi as u64);
+        }
+    }
+    digest
+}
+
+/// Merge an ascending page list into half-open `[lo, hi)` rank ranges
+/// (`records_per_page` ranks per page, the tail clamped to `records`).
+fn rank_ranges(pages: &[usize], records_per_page: usize, records: usize) -> Vec<(usize, usize)> {
+    let mut out: Vec<(usize, usize)> = Vec::new();
+    for &page in pages {
+        let lo = page * records_per_page;
+        let hi = ((page + 1) * records_per_page).min(records);
+        match out.last_mut() {
+            Some(last) if last.1 == lo => last.1 = hi,
+            _ => out.push((lo, hi)),
+        }
+    }
+    out
+}
+
 /// A planned query: its result ids plus tree accounting.
 struct Plan {
     results: Vec<usize>,
@@ -422,16 +571,21 @@ struct Route {
     slices: Vec<ShardSlice>,
 }
 
-/// One (query, shard) replay unit of a batch.
+/// One (query, shard) replay unit of a batch, carrying its
+/// admission-time fault/breaker verdict to the replay seam.
 struct Unit {
     qidx: usize,
     pages: Vec<usize>,
+    directive: UnitDirective,
 }
 
-/// A batch's pending units on one shard, FIFO in batch order.
+/// A batch's pending units on one shard, FIFO in batch order. Pins the
+/// epoch the batch was admitted against: the runner replays these units
+/// on `slices`, so a failover swap never moves in-flight work.
 struct BatchWork {
     state: Arc<BatchState>,
     units: VecDeque<Unit>,
+    slices: Arc<ShardSet>,
 }
 
 /// One shard's admission queue: in-flight batches, each with its ordered
@@ -461,11 +615,47 @@ impl ShardGate {
     }
 }
 
+/// Fleet health under one lock: per-shard breakers plus the fault
+/// plan's deterministic cursors. Taken once per admission (to stamp the
+/// batch's units in admission order) and briefly by runners reporting
+/// un-modeled panics.
+struct FleetHealth {
+    breakers: Vec<ShardBreaker>,
+    faults: Option<FaultState>,
+}
+
+impl FleetHealth {
+    /// Stamp the next admitted unit on `shard`: resolve its fault from
+    /// the plan's cursors, feed the verdict through the breaker, and
+    /// return what the replay seam should do.
+    fn stamp_unit(&mut self, shard: usize, pages: &[usize], rec: &RecoveryConfig) -> UnitDirective {
+        let incarnation = self.breakers[shard].incarnation();
+        let fault = match self.faults.as_mut() {
+            Some(state) => state.stamp(shard, incarnation, pages),
+            None => UnitFault::NONE,
+        };
+        let doomed = fault.will_degrade(rec.timeout_us, rec.max_attempts);
+        match self.breakers[shard].on_unit(doomed, rec) {
+            UnitDisposition::FastFail => UnitDirective::FastFail,
+            UnitDisposition::Execute if fault.is_none() => UnitDirective::Serve,
+            UnitDisposition::Execute => UnitDirective::Faulted(fault),
+        }
+    }
+}
+
 /// State shared between the engine, its shard runners and outstanding
 /// batch handles (everything the pool's `'static` jobs need).
 struct EngineShared {
-    shards: Vec<Mutex<Shard>>,
+    /// The current epoch's slices; swapped atomically at admission
+    /// boundaries when a rebuild is pending.
+    slices: Mutex<Arc<ShardSet>>,
     queues: Vec<ShardGate>,
+    fleet: Mutex<FleetHealth>,
+    recovery: RecoveryConfig,
+    /// Page geometry the runner needs to turn degraded pages into
+    /// rank-ranges.
+    records_per_page: usize,
+    records: usize,
 }
 
 /// Mutable replay progress of one in-flight batch.
@@ -480,9 +670,15 @@ struct BatchProgress {
     shard_buffers: Vec<BufferStats>,
     /// Per-query completion latency (seconds since submission).
     latency: Vec<f64>,
-    /// Units whose replay panicked; re-raised at the waiter (never a
-    /// silent hang).
-    failed_units: usize,
+    /// Per-query simulated fault penalty (stalls, timeouts, backoff).
+    fault_us: Vec<f64>,
+    /// Per-query pages not served by a healthy slice.
+    degraded_pages: Vec<usize>,
+    /// Degraded units with their lost rank-ranges (coverage accounting).
+    degraded: Vec<DegradedUnit>,
+    /// Units whose replay panicked *outside* the fault plan; surfaced as
+    /// [`ServeError::ReplayPanicked`] at the waiter (never a hang).
+    panicked: Vec<UnitFailure>,
 }
 
 /// Completion tracking for one submitted batch.
@@ -502,74 +698,126 @@ impl BatchState {
         hits: usize,
         misses: usize,
         delta: BufferStats,
+        penalty_us: f64,
     ) {
         let mut progress = self.progress.lock().expect("batch progress lock");
         progress.hits[qidx] += hits;
         progress.misses[qidx] += misses;
         progress.shard_buffers[shard].merge(&delta);
-        progress.units_left[qidx] -= 1;
-        if progress.units_left[qidx] == 0 {
-            progress.latency[qidx] = self.started.elapsed().as_secs_f64();
-        }
-        progress.pending_units -= 1;
+        progress.fault_us[qidx] += penalty_us;
+        Self::retire(&mut progress, qidx, &self.started);
         if progress.pending_units == 0 {
             self.done.notify_all();
         }
     }
 
-    /// A unit's replay panicked: count the failure and still retire the
-    /// unit, so waiters always wake (the failure is re-raised at
-    /// [`BatchHandle::wait`] instead of hanging the batch).
-    fn record_failure(&self, qidx: usize) {
+    /// A unit exhausted its retries (or was fast-failed by an open
+    /// breaker): retire it as degraded, recording the rank-ranges its
+    /// pages covered so the waiter's coverage report can name the loss.
+    fn record_degraded(
+        &self,
+        qidx: usize,
+        shard: usize,
+        pages: usize,
+        rank_ranges: Vec<(usize, usize)>,
+        penalty_us: f64,
+    ) {
         let mut progress = self.progress.lock().expect("batch progress lock");
-        progress.failed_units += 1;
-        progress.units_left[qidx] -= 1;
-        progress.pending_units -= 1;
+        progress.fault_us[qidx] += penalty_us;
+        progress.degraded_pages[qidx] += pages;
+        progress.degraded.push(DegradedUnit {
+            query: qidx,
+            shard,
+            pages,
+            rank_ranges,
+        });
+        Self::retire(&mut progress, qidx, &self.started);
         if progress.pending_units == 0 {
             self.done.notify_all();
         }
+    }
+
+    /// A unit's replay panicked outside the fault plan: record which
+    /// (query, shard) failed and still retire the unit, so waiters always
+    /// wake (the failure surfaces as an error at [`BatchHandle::wait`]
+    /// instead of hanging the batch).
+    fn record_panic(&self, qidx: usize, shard: usize) {
+        let mut progress = self.progress.lock().expect("batch progress lock");
+        progress.panicked.push(UnitFailure { query: qidx, shard });
+        Self::retire(&mut progress, qidx, &self.started);
+        if progress.pending_units == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    fn retire(progress: &mut BatchProgress, qidx: usize, started: &Instant) {
+        progress.units_left[qidx] -= 1;
+        if progress.units_left[qidx] == 0 {
+            progress.latency[qidx] = started.elapsed().as_secs_f64();
+        }
+        progress.pending_units -= 1;
     }
 }
 
-/// Drain one shard's queue: repeatedly take the front batch's next unit,
-/// rotate that batch to the back of the line (round-robin fairness across
-/// in-flight batches), and replay the unit against the shard. Exactly one
-/// runner is active per shard (the `running` flag), which is what keeps
-/// each batch's units on a shard in batch order.
-fn run_shard_queue(shared: &EngineShared, shard_id: usize) {
-    loop {
-        let (state, unit) = {
-            let gate = &shared.queues[shard_id];
-            let mut queue = gate.queue.lock().expect("shard queue lock");
-            match queue.batches.pop_front() {
-                None => {
-                    // Queue drained; clear the flag under the same lock a
-                    // submitter checks it, so no work is ever stranded.
-                    queue.running = false;
-                    return;
-                }
-                Some(mut work) => {
-                    let unit = work.units.pop_front().expect("queued batches have work");
-                    let state = Arc::clone(&work.state);
-                    if !work.units.is_empty() {
-                        queue.batches.push_back(work);
-                    }
-                    // Taking a unit frees one slot of the shard's bounded
-                    // depth; wake any submitter blocked on space (under
-                    // the same lock, so the wakeup can't be lost).
-                    queue.pending_units -= 1;
-                    gate.space.notify_all();
-                    (state, unit)
-                }
+/// What one replay unit resolved to after the retry loop.
+enum UnitResult {
+    Served {
+        hits: usize,
+        misses: usize,
+        delta: BufferStats,
+        penalty_us: f64,
+    },
+    Degraded {
+        penalty_us: f64,
+    },
+    /// Un-modeled panic (routing bug, poisoned lock, …).
+    Panicked,
+}
+
+/// Replay one unit against its batch's pinned epoch, manifesting the
+/// admission-time directive: injected stalls/failures pay their simulated
+/// penalty through a bounded retry/backoff loop; injected panics really
+/// unwind (and are caught); fast-fails skip the shard entirely.
+fn replay_unit(shared: &EngineShared, set: &ShardSet, shard_id: usize, unit: &Unit) -> UnitResult {
+    let fault = match &unit.directive {
+        UnitDirective::FastFail => {
+            // Open breaker: don't touch the shard at all. The unit pays
+            // nothing — the failure was already paid for by the units
+            // that tripped the breaker.
+            return UnitResult::Degraded { penalty_us: 0.0 };
+        }
+        UnitDirective::Serve => UnitFault::NONE,
+        UnitDirective::Faulted(fault) => *fault,
+    };
+    let rec = &shared.recovery;
+    let fail_attempts = fault.effective_fail_attempts(rec.timeout_us);
+    let mut penalty_us = 0.0;
+    // Bounded retry with backoff: each failed attempt pays the stall (or
+    // the timeout, whichever cuts it short) plus backoff before the next
+    // try. Never an unbounded loop around a faultable call.
+    for attempt in 0..rec.max_attempts.max(1) {
+        let last = attempt + 1 >= rec.max_attempts.max(1);
+        if u64::from(attempt) < u64::from(fail_attempts) {
+            if fault.panics {
+                // Injected panics really unwind (and are caught right
+                // here), exercising the exact seam un-modeled panics
+                // travel; `resume_unwind` skips the global panic hook so
+                // faulted runs stay quiet on stderr.
+                let unwound = std::panic::catch_unwind(|| {
+                    std::panic::resume_unwind(Box::new("injected replay-unit panic"))
+                });
+                debug_assert!(unwound.is_err());
             }
-        };
-        // A panicking replay (routing bug, poisoned shard lock, …) must
-        // not kill the runner silently: on the pool that would strand the
-        // batch (waiters hang forever) and wedge the shard behind a
-        // `running` flag nobody clears. Catch it, retire the unit as
-        // failed, and keep draining; the waiter re-raises at wait().
+            penalty_us += rec.failed_attempt_us(fault.stall_us, attempt, last);
+            if last {
+                return UnitResult::Degraded { penalty_us };
+            }
+            continue;
+        }
+        // This attempt succeeds (after paying any sub-timeout stall).
+        penalty_us += fault.stall_us.min(rec.timeout_us);
         let replayed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let mut shard = shared.shards[shard_id].lock().expect("shard lock");
+            let mut shard = set.shard(shard_id).lock().expect("shard lock");
             let before = shard.buffer_stats();
             let (h, m) = shard.replay(&unit.pages);
             let after = shard.buffer_stats();
@@ -583,11 +831,79 @@ fn run_shard_queue(shared: &EngineShared, shard_id: usize) {
                 },
             )
         }));
-        match replayed {
-            Ok((hits, misses, delta)) => {
-                state.record_unit(shard_id, unit.qidx, hits, misses, delta)
+        return match replayed {
+            Ok((hits, misses, delta)) => UnitResult::Served {
+                hits,
+                misses,
+                delta,
+                penalty_us,
+            },
+            Err(_) => UnitResult::Panicked,
+        };
+    }
+    UnitResult::Degraded { penalty_us }
+}
+
+/// Drain one shard's queue: repeatedly take the front batch's next unit,
+/// rotate that batch to the back of the line (round-robin fairness across
+/// in-flight batches), and replay the unit against the shard. Exactly one
+/// runner is active per shard (the `running` flag), which is what keeps
+/// each batch's units on a shard in batch order.
+fn run_shard_queue(shared: &EngineShared, shard_id: usize) {
+    // xtask:allow(unbounded-retry): queue-drain loop, not a retry loop —
+    // each iteration consumes one queued unit and the loop exits when the
+    // queue is empty; the faultable call inside is bounded by
+    // `replay_unit`'s attempt budget.
+    loop {
+        let (state, unit, slices) = {
+            let gate = &shared.queues[shard_id];
+            let mut queue = gate.queue.lock().expect("shard queue lock");
+            match queue.batches.pop_front() {
+                None => {
+                    // Queue drained; clear the flag under the same lock a
+                    // submitter checks it, so no work is ever stranded.
+                    queue.running = false;
+                    return;
+                }
+                Some(mut work) => {
+                    let unit = work.units.pop_front().expect("queued batches have work");
+                    let state = Arc::clone(&work.state);
+                    let slices = Arc::clone(&work.slices);
+                    if !work.units.is_empty() {
+                        queue.batches.push_back(work);
+                    }
+                    // Taking a unit frees one slot of the shard's bounded
+                    // depth; wake any submitter blocked on space (under
+                    // the same lock, so the wakeup can't be lost).
+                    queue.pending_units -= 1;
+                    gate.space.notify_all();
+                    (state, unit, slices)
+                }
             }
-            Err(_) => state.record_failure(unit.qidx),
+        };
+        match replay_unit(shared, &slices, shard_id, &unit) {
+            UnitResult::Served {
+                hits,
+                misses,
+                delta,
+                penalty_us,
+            } => state.record_unit(shard_id, unit.qidx, hits, misses, delta, penalty_us),
+            UnitResult::Degraded { penalty_us } => {
+                let ranges = rank_ranges(&unit.pages, shared.records_per_page, shared.records);
+                state.record_degraded(unit.qidx, shard_id, unit.pages.len(), ranges, penalty_us);
+            }
+            UnitResult::Panicked => {
+                // An un-modeled panic (routing bug, poisoned shard lock,
+                // …) must not kill the runner silently: on the pool that
+                // would strand the batch (waiters hang forever) and wedge
+                // the shard behind a `running` flag nobody clears. Record
+                // which unit failed (the waiter surfaces it as a
+                // [`ServeError`]) and mark the shard for a rebuild so the
+                // fleet self-heals at the next admission boundary.
+                shared.fleet.lock().expect("fleet health lock").breakers[shard_id]
+                    .note_unexpected_panic();
+                state.record_panic(unit.qidx, shard_id);
+            }
         }
     }
 }
@@ -676,22 +992,34 @@ impl BatchHandle {
     }
 
     /// Block until the batch completes, then merge per-query outcomes (in
-    /// submission order), per-shard aggregates and the digest.
-    pub fn wait(self) -> BatchReport {
-        let (outcomes, shards, elapsed_seconds) = self.finish();
+    /// submission order), per-shard aggregates, the coverage report and
+    /// the digest.
+    ///
+    /// # Errors
+    /// [`ServeError::ReplayPanicked`] when any replay unit panicked
+    /// *outside* the fault plan (a real bug, not an injected failure) —
+    /// naming every failed (query, shard). Injected failures never error:
+    /// they degrade, and the coverage report names what was lost.
+    pub fn wait(self) -> Result<BatchReport, ServeError> {
+        let queries = self.queries();
+        let (outcomes, shards, degraded, elapsed_seconds) = self.finish()?;
         let digest = digest_outcomes(&outcomes);
-        BatchReport {
+        Ok(BatchReport {
             outcomes,
             shards,
             elapsed_seconds,
             digest,
-        }
+            coverage: CoverageReport::new(queries, degraded),
+        })
     }
 
     /// [`BatchHandle::wait`] without the digest fold — the merge kernel
     /// [`ServeEngine::run_inflight`] builds on, so a split workload pays
     /// for exactly one digest pass over the concatenated outcomes.
-    fn finish(self) -> (Vec<QueryOutcome>, Vec<ShardReport>, f64) {
+    #[allow(clippy::type_complexity)]
+    fn finish(
+        self,
+    ) -> Result<(Vec<QueryOutcome>, Vec<ShardReport>, Vec<DegradedUnit>, f64), ServeError> {
         let BatchHandle {
             state,
             plans,
@@ -699,23 +1027,39 @@ impl BatchHandle {
             io,
             shards,
         } = self;
-        let (hits, misses, shard_buffers, latency) = {
+        let (
+            hits,
+            misses,
+            shard_buffers,
+            latency,
+            fault_us,
+            degraded_pages,
+            mut degraded,
+            mut panicked,
+        ) = {
             let mut progress = state.progress.lock().expect("batch progress lock");
             while progress.pending_units > 0 {
                 progress = state.done.wait(progress).expect("batch progress lock");
             }
-            assert!(
-                progress.failed_units == 0,
-                "{} replay unit(s) panicked during this batch (see worker logs)",
-                progress.failed_units
-            );
             (
                 std::mem::take(&mut progress.hits),
                 std::mem::take(&mut progress.misses),
                 std::mem::take(&mut progress.shard_buffers),
                 std::mem::take(&mut progress.latency),
+                std::mem::take(&mut progress.fault_us),
+                std::mem::take(&mut progress.degraded_pages),
+                std::mem::take(&mut progress.degraded),
+                std::mem::take(&mut progress.panicked),
             )
         };
+        if !panicked.is_empty() {
+            panicked.sort_unstable();
+            return Err(ServeError::ReplayPanicked { failures: panicked });
+        }
+        // Replay order is scheduling-dependent; the report is not: sort
+        // coverage into (query, shard) order so degraded digests are
+        // schedule-invariant.
+        degraded.sort_unstable_by_key(|d| (d.query, d.shard));
         let mut shard_reports: Vec<ShardReport> = (0..shards).map(ShardReport::idle).collect();
         for route in &routes {
             for slice in &route.slices {
@@ -745,13 +1089,16 @@ impl BatchHandle {
                 },
                 tree: plan.tree,
                 seconds: latency[qidx],
+                fault_us: fault_us[qidx],
+                degraded_pages: degraded_pages[qidx],
             })
             .collect();
-        (
+        Ok((
             outcomes,
             shard_reports,
+            degraded,
             state.started.elapsed().as_secs_f64(),
-        )
+        ))
     }
 }
 
@@ -768,6 +1115,9 @@ pub struct ServeEngine<'a> {
     layout: PageLayout,
     shard_map: ShardMap,
     shared: Arc<EngineShared>,
+    /// The fleet-shared page placement, kept so failover can rebuild a
+    /// tripped shard's slice without re-deriving it.
+    placement: Arc<Vec<(usize, usize)>>,
     /// `None` when `threads == 1`: the serial baseline runs inline.
     pool: Option<WorkerPool>,
     cfg: EngineConfig,
@@ -787,19 +1137,24 @@ impl<'a> ServeEngine<'a> {
         // One placement shared by the whole fleet (the store-side analogue
         // of the rank-borrowing PageMapper — no per-shard dense copies).
         let placement = slpm_storage::PageStore::placement_of(&mapper);
-        let shards: Vec<Mutex<Shard>> = (0..cfg.shards)
+        let shards: Vec<Shard> = (0..cfg.shards)
             .map(|id| {
-                Mutex::new(Shard::build(
+                Shard::build(
                     id,
                     &shard_map,
                     &mapper,
                     Arc::clone(&placement),
                     cfg.record_size,
                     cfg.buffer_pages,
-                ))
+                )
             })
             .collect();
         let bounds = Mbr::of_points(points.iter().map(|p| p.as_slice()));
+        assert!(
+            cfg.recovery.validate().is_ok(),
+            "invalid recovery config: {}",
+            cfg.recovery.validate().unwrap_err()
+        );
         ServeEngine {
             points,
             order,
@@ -808,9 +1163,17 @@ impl<'a> ServeEngine<'a> {
             layout,
             shard_map,
             shared: Arc::new(EngineShared {
-                shards,
+                slices: Mutex::new(Arc::new(ShardSet::new(shards))),
                 queues: ShardGate::default_vec(cfg.shards),
+                fleet: Mutex::new(FleetHealth {
+                    breakers: (0..cfg.shards).map(|_| ShardBreaker::default()).collect(),
+                    faults: None,
+                }),
+                recovery: cfg.recovery,
+                records_per_page: cfg.records_per_page,
+                records: points.len(),
             }),
+            placement,
             pool: (cfg.threads > 1).then(|| WorkerPool::new(cfg.threads)),
             cfg,
         }
@@ -846,7 +1209,10 @@ impl<'a> ServeEngine<'a> {
 
     /// Execute a batch to completion; per-query outcomes come back in
     /// submission order. Equivalent to `submit(queries).wait()`.
-    pub fn run(&self, queries: &[Query]) -> BatchReport {
+    ///
+    /// # Errors
+    /// See [`BatchHandle::wait`].
+    pub fn run(&self, queries: &[Query]) -> Result<BatchReport, ServeError> {
         self.submit(queries).wait()
     }
 
@@ -856,7 +1222,15 @@ impl<'a> ServeEngine<'a> {
     /// recomputed over the concatenation — by [`digest_outcomes`]'s
     /// split-invariance it equals the single-batch digest of the same
     /// workload.
-    pub fn run_inflight(&self, queries: &[Query], inflight: usize) -> BatchReport {
+    /// # Errors
+    /// See [`BatchHandle::wait`]; every sub-batch is drained before an
+    /// error is returned (no work is left in flight), and failure /
+    /// coverage indices are remapped to whole-workload query positions.
+    pub fn run_inflight(
+        &self,
+        queries: &[Query],
+        inflight: usize,
+    ) -> Result<BatchReport, ServeError> {
         let inflight = inflight.max(1).min(queries.len().max(1));
         if inflight <= 1 {
             return self.run(queries);
@@ -866,26 +1240,54 @@ impl<'a> ServeEngine<'a> {
         let chunk = queries.len().div_ceil(inflight);
         let handles: Vec<BatchHandle> = queries.chunks(chunk).map(|c| self.submit(c)).collect();
         let mut outcomes: Vec<QueryOutcome> = Vec::with_capacity(queries.len());
+        let mut degraded: Vec<DegradedUnit> = Vec::new();
+        let mut failures: Vec<UnitFailure> = Vec::new();
         let mut shard_reports: Vec<ShardReport> =
             (0..self.cfg.shards).map(ShardReport::idle).collect();
+        let mut next_base = 0usize;
         for handle in handles {
-            let (sub_outcomes, sub_shards, _elapsed) = handle.finish();
-            for sub in &sub_shards {
-                let merged = &mut shard_reports[sub.shard];
-                merged.queries += sub.queries;
-                merged.pages_routed += sub.pages_routed;
-                merged.runs += sub.runs;
-                merged.buffer.merge(&sub.buffer);
+            // Chunks renumber their queries from 0; offset everything a
+            // sub-batch reports back to whole-workload positions.
+            let base = next_base;
+            next_base += handle.queries();
+            match handle.finish() {
+                Ok((sub_outcomes, sub_shards, sub_degraded, _elapsed)) => {
+                    for sub in &sub_shards {
+                        let merged = &mut shard_reports[sub.shard];
+                        merged.queries += sub.queries;
+                        merged.pages_routed += sub.pages_routed;
+                        merged.runs += sub.runs;
+                        merged.buffer.merge(&sub.buffer);
+                    }
+                    outcomes.extend(sub_outcomes);
+                    degraded.extend(sub_degraded.into_iter().map(|mut d| {
+                        d.query += base;
+                        d
+                    }));
+                }
+                // The merged report is abandoned on error, but every
+                // handle is still drained (no work left in flight) and
+                // every failure collected.
+                Err(ServeError::ReplayPanicked { failures: sub }) => {
+                    failures.extend(sub.into_iter().map(|mut f| {
+                        f.query += base;
+                        f
+                    }));
+                }
             }
-            outcomes.extend(sub_outcomes);
+        }
+        if !failures.is_empty() {
+            failures.sort_unstable();
+            return Err(ServeError::ReplayPanicked { failures });
         }
         let digest = digest_outcomes(&outcomes);
-        BatchReport {
+        Ok(BatchReport {
+            coverage: CoverageReport::new(outcomes.len(), degraded),
             outcomes,
             shards: shard_reports,
             elapsed_seconds: start.elapsed().as_secs_f64(),
             digest,
-        }
+        })
     }
 
     /// Admit a batch: plan and route every query (chunk-parallel on the
@@ -942,6 +1344,73 @@ impl<'a> ServeEngine<'a> {
             .collect()
     }
 
+    /// Arm a deterministic fault plan: subsequently admitted units are
+    /// stamped against it in admission order. Replaces any previous plan
+    /// (its cursors reset); `FaultPlan::default()` disarms.
+    pub fn inject_faults(&self, plan: FaultPlan) {
+        let mut fleet = self.shared.fleet.lock().expect("fleet health lock");
+        fleet.faults = (!plan.is_empty()).then(|| FaultState::new(plan, self.cfg.shards));
+    }
+
+    /// A point-in-time view of every shard's circuit breaker.
+    pub fn health_snapshot(&self) -> Vec<BreakerSnapshot> {
+        self.shared
+            .fleet
+            .lock()
+            .expect("fleet health lock")
+            .breakers
+            .iter()
+            .enumerate()
+            .map(|(shard, b)| b.snapshot(shard))
+            .collect()
+    }
+
+    /// The current slice epoch (bumped by every failover swap; `0` until
+    /// a shard is rebuilt).
+    pub fn epoch(&self) -> u64 {
+        self.shared
+            .slices
+            .lock()
+            .expect("shard slices lock")
+            .epoch()
+    }
+
+    /// Swap rebuilt slices in for every shard whose breaker requested a
+    /// rebuild since the last admission: build a fresh [`Shard`] (cold
+    /// buffer pool, fresh lock) for each, publish a new [`ShardSet`]
+    /// under the next epoch, and leave old-epoch `Arc`s to drain in
+    /// whatever batches still hold them.
+    fn install_rebuilds(&self) {
+        let pending: Vec<usize> = {
+            let mut fleet = self.shared.fleet.lock().expect("fleet health lock");
+            (0..self.cfg.shards)
+                .filter(|&s| fleet.breakers[s].take_rebuild())
+                .collect()
+        };
+        if pending.is_empty() {
+            return;
+        }
+        let mapper = PageMapper::new(self.order, self.layout);
+        let replacements: Vec<(usize, Shard)> = pending
+            .into_iter()
+            .map(|id| {
+                (
+                    id,
+                    Shard::build(
+                        id,
+                        &self.shard_map,
+                        &mapper,
+                        Arc::clone(&self.placement),
+                        self.cfg.record_size,
+                        self.cfg.buffer_pages,
+                    ),
+                )
+            })
+            .collect();
+        let mut slices = self.shared.slices.lock().expect("shard slices lock");
+        *slices = Arc::new(slices.with_replacements(replacements));
+    }
+
     /// The shared enqueue path behind [`ServeEngine::submit_planned`]
     /// (`depth: None`) and [`ServeEngine::submit_planned_bounded`].
     fn admit(&self, batch: PlannedBatch, depth: Option<usize>) -> BatchHandle {
@@ -950,20 +1419,37 @@ impl<'a> ServeEngine<'a> {
         let PlannedBatch { plans, mut routes } = batch;
         let queries = plans.len();
 
+        // Failover happens at admission boundaries: swap in rebuilt
+        // slices for any shard whose breaker requested one, *before*
+        // this batch pins its epoch. In-flight batches keep draining the
+        // old epoch's `Arc`.
+        self.install_rebuilds();
+        let slices = Arc::clone(&*self.shared.slices.lock().expect("shard slices lock"));
+
         // Build the per-shard unit queues, each in batch (query) order.
         // Page lists move out of the routes (page_count stays behind for
         // the merge), so only one copy exists while the batch is in
-        // flight.
+        // flight. Fault/breaker verdicts are stamped here — serially,
+        // under one fleet lock, in query order within each shard — so
+        // resolution depends only on the admission sequence, never on
+        // replay scheduling.
         let mut per_shard: Vec<VecDeque<Unit>> =
             (0..self.cfg.shards).map(|_| VecDeque::new()).collect();
         let mut units_left = vec![0usize; queries];
-        for (qidx, route) in routes.iter_mut().enumerate() {
-            units_left[qidx] = route.slices.len();
-            for slice in &mut route.slices {
-                per_shard[slice.shard].push_back(Unit {
-                    qidx,
-                    pages: std::mem::take(&mut slice.pages),
-                });
+        {
+            let mut fleet = self.shared.fleet.lock().expect("fleet health lock");
+            let rec = self.shared.recovery;
+            for (qidx, route) in routes.iter_mut().enumerate() {
+                units_left[qidx] = route.slices.len();
+                for slice in &mut route.slices {
+                    let pages = std::mem::take(&mut slice.pages);
+                    let directive = fleet.stamp_unit(slice.shard, &pages, &rec);
+                    per_shard[slice.shard].push_back(Unit {
+                        qidx,
+                        pages,
+                        directive,
+                    });
+                }
             }
         }
         let pending_units: usize = units_left.iter().sum();
@@ -976,7 +1462,10 @@ impl<'a> ServeEngine<'a> {
                 misses: vec![0; queries],
                 shard_buffers: vec![BufferStats::default(); self.cfg.shards],
                 latency: vec![0.0; queries],
-                failed_units: 0,
+                fault_us: vec![0.0; queries],
+                degraded_pages: vec![0; queries],
+                degraded: Vec::new(),
+                panicked: Vec::new(),
             }),
             done: Condvar::new(),
         });
@@ -1001,6 +1490,7 @@ impl<'a> ServeEngine<'a> {
             queue.batches.push_back(BatchWork {
                 state: Arc::clone(&state),
                 units,
+                slices: Arc::clone(&slices),
             });
             if !queue.running {
                 queue.running = true;
@@ -1123,6 +1613,9 @@ impl<'a> ServeEngine<'a> {
             lo: center.to_vec(),
             hi: center.to_vec(),
         };
+        // xtask:allow(unbounded-retry): radius doubling over a finite grid —
+        // the query window covers the whole space within log2(extent) passes,
+        // at which point every candidate is found and the loop breaks.
         loop {
             for d in 0..center.len() {
                 query.lo[d] = center[d] - radius;
@@ -1246,7 +1739,7 @@ mod tests {
             ..Default::default()
         };
         let engine = ServeEngine::new(&points, &order, cfg);
-        let report = engine.run(&queries());
+        let report = engine.run(&queries()).expect("no replay panic");
         let q0 = Mbr {
             lo: vec![1, 1],
             hi: vec![3, 4],
@@ -1280,10 +1773,12 @@ mod tests {
             };
             let engine = ServeEngine::new(&points, &order, cfg);
             for (center, k) in [(vec![4i64, 4], 5usize), (vec![0, 0], 3), (vec![7, 7], 64)] {
-                let report = engine.run(&[Query::Knn {
-                    center: center.clone(),
-                    k,
-                }]);
+                let report = engine
+                    .run(&[Query::Knn {
+                        center: center.clone(),
+                        k,
+                    }])
+                    .expect("no replay panic");
                 let got = &report.outcomes[0].results;
                 let mut want: Vec<(i64, usize)> = (0..points.len())
                     .map(|i| (chebyshev(&center, &points[i]), i))
@@ -1293,10 +1788,12 @@ mod tests {
                 assert_eq!(got, &want, "planner {planner} center {center:?} k {k}");
             }
             // k larger than the point set clamps.
-            let report = engine.run(&[Query::Knn {
-                center: vec![3, 3],
-                k: 1000,
-            }]);
+            let report = engine
+                .run(&[Query::Knn {
+                    center: vec![3, 3],
+                    k: 1000,
+                }])
+                .expect("no replay panic");
             assert_eq!(report.outcomes[0].results.len(), 64);
         }
     }
@@ -1330,7 +1827,8 @@ mod tests {
                 ..base
             },
         )
-        .run(&qs);
+        .run(&qs)
+        .expect("no replay panic");
         let ball = ServeEngine::new(
             &points,
             &order,
@@ -1339,7 +1837,8 @@ mod tests {
                 ..base
             },
         )
-        .run(&qs);
+        .run(&qs)
+        .expect("no replay panic");
         assert_eq!(best.digest, ball.digest);
         let mut best_nodes = 0usize;
         let mut ball_nodes = 0usize;
@@ -1366,7 +1865,9 @@ mod tests {
             ..Default::default()
         };
         let qs = queries();
-        let reference = ServeEngine::new(&points, &order, base).run(&qs);
+        let reference = ServeEngine::new(&points, &order, base)
+            .run(&qs)
+            .expect("no replay panic");
         for shards in [1usize, 2, 4] {
             for threads in [1usize, 2, 4] {
                 for partition in [Partition::Contiguous, Partition::RoundRobin] {
@@ -1377,7 +1878,7 @@ mod tests {
                         ..base
                     };
                     let engine = ServeEngine::new(&points, &order, cfg);
-                    let report = engine.run(&qs);
+                    let report = engine.run(&qs).expect("no replay panic");
                     assert_eq!(
                         report.digest, reference.digest,
                         "digest diverged at S={shards} T={threads} {partition}"
@@ -1402,7 +1903,9 @@ mod tests {
             ..Default::default()
         };
         let qs = queries();
-        let reference = ServeEngine::new(&points, &order, base).run(&qs);
+        let reference = ServeEngine::new(&points, &order, base)
+            .run(&qs)
+            .expect("no replay panic");
         for threads in [1usize, 4] {
             for shards in [1usize, 4] {
                 for inflight in [1usize, 2, 4] {
@@ -1412,7 +1915,7 @@ mod tests {
                         ..base
                     };
                     let engine = ServeEngine::new(&points, &order, cfg);
-                    let report = engine.run_inflight(&qs, inflight);
+                    let report = engine.run_inflight(&qs, inflight).expect("no replay panic");
                     assert_eq!(
                         report.digest, reference.digest,
                         "digest diverged at S={shards} T={threads} inflight={inflight}"
@@ -1448,22 +1951,25 @@ mod tests {
         // Admit three batches before waiting on any of them.
         let handles: Vec<BatchHandle> = (0..3).map(|_| engine.submit(&qs)).collect();
         assert!(handles.iter().all(|h| h.queries() == qs.len()));
-        let reports: Vec<BatchReport> = handles.into_iter().map(BatchHandle::wait).collect();
+        let reports: Vec<BatchReport> = handles
+            .into_iter()
+            .map(|h| h.wait().expect("no replay panic"))
+            .collect();
         for r in &reports {
             assert_eq!(r.digest, reports[0].digest);
             assert_eq!(r.outcomes.len(), qs.len());
         }
         // The engine still serves after the overlap.
-        let again = engine.run(&qs);
+        let again = engine.run(&qs).expect("no replay panic");
         assert_eq!(again.digest, reports[0].digest);
     }
 
     #[test]
-    fn replay_panic_is_reraised_at_wait_not_hung() {
-        // A panicking replay (here: a poisoned shard lock) must surface
-        // as a panic from wait()/run(), never as a hang — on the pool the
-        // runner survives, retires the unit as failed, and the waiter
-        // re-raises.
+    fn replay_panic_surfaces_as_error_at_wait_then_self_heals() {
+        // An un-modeled panicking replay (here: a poisoned shard lock)
+        // must surface as `Err(ServeError::ReplayPanicked)` from
+        // wait()/run(), never as a hang — and the failed shard's slice is
+        // rebuilt at the next admission, so the engine keeps serving.
         let prev = std::panic::take_hook();
         std::panic::set_hook(Box::new(|_| {})); // silence expected panics
         for threads in [1usize, 2] {
@@ -1476,15 +1982,27 @@ mod tests {
             };
             let engine = ServeEngine::new(&points, &order, cfg);
             let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                let _guard = engine.shared.shards[0].lock().unwrap();
+                let slices = Arc::clone(&*engine.shared.slices.lock().unwrap());
+                let _guard = slices.shard(0).lock().unwrap();
                 panic!("poison the shard lock");
             }));
-            let outcome =
-                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| engine.run(&queries())));
+            let err = engine
+                .run(&queries())
+                .expect_err("wait must surface replay failures");
+            let ServeError::ReplayPanicked { failures } = &err;
             assert!(
-                outcome.is_err(),
-                "threads={threads}: wait must re-raise replay failures"
+                !failures.is_empty() && failures.iter().all(|f| f.shard == 0),
+                "threads={threads}: {failures:?}"
             );
+            // The error names every lost (query, shard) pair.
+            assert!(err.to_string().contains("query 0 on shard 0"), "{err}");
+            // Self-heal: the rebuild swaps in a fresh slice (new lock).
+            let again = engine
+                .run(&queries())
+                .expect("fleet self-heals after a rebuild");
+            assert_eq!(again.outcomes.len(), 4);
+            assert!(again.coverage.is_clean());
+            assert!(engine.epoch() >= 1, "rebuild must bump the epoch");
         }
         std::panic::set_hook(prev);
     }
@@ -1511,11 +2029,18 @@ mod tests {
                     let handle = engine.submit(&[]);
                     assert_eq!(handle.queries(), 0);
                     assert!(handle.is_complete(), "no units means nothing pending");
-                    let report = handle.wait();
+                    let report = handle.wait().expect("no replay panic");
                     assert!(report.outcomes.is_empty());
                     assert_eq!(report.digest, digest_outcomes(&[]));
                     // The engine still serves real work afterwards.
-                    assert_eq!(engine.run(&queries()).outcomes.len(), 4);
+                    assert_eq!(
+                        engine
+                            .run(&queries())
+                            .expect("no replay panic")
+                            .outcomes
+                            .len(),
+                        4
+                    );
                 }
             },
         );
@@ -1525,8 +2050,8 @@ mod tests {
     fn crafted_poisoned_unit_fails_wait_with_a_clear_message() {
         // Inject a replay unit naming a page the shard's store slice does
         // not own, so `read_page` panics inside the runner. The waiter
-        // must get the aggregated failure message — never a hang (the
-        // watchdog turns a hang into a clear failure).
+        // must get an error naming the lost (query, shard) — never a hang
+        // (the watchdog turns a hang into a clear failure).
         with_watchdog(std::time::Duration::from_secs(30), "poisoned unit", || {
             let prev = std::panic::take_hook();
             std::panic::set_hook(Box::new(|_| {})); // silence expected panics
@@ -1548,7 +2073,10 @@ mod tests {
                     misses: vec![0],
                     shard_buffers: vec![BufferStats::default(); 2],
                     latency: vec![0.0],
-                    failed_units: 0,
+                    fault_us: vec![0.0],
+                    degraded_pages: vec![0],
+                    degraded: Vec::new(),
+                    panicked: Vec::new(),
                 }),
                 done: Condvar::new(),
             });
@@ -1556,6 +2084,7 @@ mod tests {
             units.push_back(Unit {
                 qidx: 0,
                 pages: vec![usize::MAX],
+                directive: UnitDirective::Serve,
             });
             {
                 let mut queue = engine.shared.queues[0]
@@ -1566,6 +2095,7 @@ mod tests {
                 queue.batches.push_back(BatchWork {
                     state: Arc::clone(&state),
                     units,
+                    slices: Arc::clone(&*engine.shared.slices.lock().unwrap()),
                 });
                 queue.running = true;
             }
@@ -1582,22 +2112,24 @@ mod tests {
                 io: engine.cfg.io,
                 shards: 2,
             };
-            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| handle.wait()));
-            let payload = outcome.expect_err("wait must re-raise the poisoned unit");
-            let msg = payload
-                .downcast_ref::<String>()
-                .cloned()
-                .unwrap_or_default();
+            let err = handle
+                .wait()
+                .expect_err("wait must surface the poisoned unit");
+            let msg = err.to_string();
             assert!(
                 msg.contains("replay unit(s) panicked during this batch"),
-                "unexpected panic payload: {msg}"
+                "unexpected error message: {msg}"
             );
-            // The replay panic poisoned shard 0's lock, so later batches
-            // touching that shard must also fail loudly at wait() — the
-            // contract is "panic, never hang", not "self-heal".
-            let again =
-                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| engine.run(&queries())));
-            assert!(again.is_err(), "a poisoned shard must keep failing loudly");
+            // Satellite: the message names exactly what was lost.
+            assert!(msg.contains("query 0 on shard 0"), "{msg}");
+            // The un-modeled panic marked shard 0 for a rebuild: the next
+            // admission swaps in a fresh slice (fresh lock included), so
+            // the engine self-heals instead of failing forever.
+            let again = engine
+                .run(&queries())
+                .expect("fleet self-heals after the rebuild");
+            assert_eq!(again.outcomes.len(), 4);
+            assert!(engine.epoch() >= 1);
             std::panic::set_hook(prev);
         });
     }
@@ -1620,7 +2152,9 @@ mod tests {
                     ..Default::default()
                 };
                 let qs: Vec<Query> = (0..4).flat_map(|_| queries()).collect();
-                let reference = ServeEngine::new(&points, &order, base).run(&qs);
+                let reference = ServeEngine::new(&points, &order, base)
+                    .run(&qs)
+                    .expect("no replay panic");
                 let cfg = EngineConfig {
                     shards: 2,
                     threads: 2,
@@ -1631,7 +2165,7 @@ mod tests {
                 assert!(handles.len() > 4 * engine.config().shards);
                 let outcomes: Vec<QueryOutcome> = handles
                     .into_iter()
-                    .flat_map(|h| h.wait().outcomes)
+                    .flat_map(|h| h.wait().expect("no replay panic").outcomes)
                     .collect();
                 assert_eq!(digest_outcomes(&outcomes), reference.digest);
                 for (a, b) in outcomes.iter().zip(&reference.outcomes) {
@@ -1657,7 +2191,9 @@ mod tests {
                 ..Default::default()
             };
             let qs = queries();
-            let reference = ServeEngine::new(&points, &order, base).run(&qs);
+            let reference = ServeEngine::new(&points, &order, base)
+                .run(&qs)
+                .expect("no replay panic");
             let cfg = EngineConfig {
                 shards: 4,
                 threads: 2,
@@ -1667,7 +2203,7 @@ mod tests {
             engine.pool = Some(WorkerPool::new(1));
             let handles: Vec<BatchHandle> = (0..3).map(|_| engine.submit(&qs)).collect();
             for handle in handles {
-                let report = handle.wait();
+                let report = handle.wait().expect("no replay panic");
                 assert_eq!(report.digest, reference.digest);
                 for (a, b) in report.outcomes.iter().zip(&reference.outcomes) {
                     assert_eq!(a.results, b.results);
@@ -1688,7 +2224,7 @@ mod tests {
             ..Default::default()
         };
         let engine = ServeEngine::new(&points, &order, cfg);
-        let report = engine.run(&queries());
+        let report = engine.run(&queries()).expect("no replay panic");
         let layout = PageLayout::new(4);
         let mapper = PageMapper::new(&order, layout);
         let store = slpm_storage::PageStore::build(&mapper, order.len(), 8);
@@ -1714,8 +2250,8 @@ mod tests {
         };
         let engine = ServeEngine::new(&points, &order, cfg);
         let qs = queries();
-        let cold = engine.run(&qs);
-        let warm = engine.run(&qs);
+        let cold = engine.run(&qs).expect("no replay panic");
+        let warm = engine.run(&qs).expect("no replay panic");
         assert!(warm.buffer_stats().hits >= cold.buffer_stats().hits);
         // Second identical batch with a big enough pool: everything hits.
         assert_eq!(warm.total_misses(), 0);
@@ -1733,7 +2269,7 @@ mod tests {
             ..Default::default()
         };
         let engine = ServeEngine::new(&points, &order, cfg);
-        let report = engine.run(&queries());
+        let report = engine.run(&queries()).expect("no replay panic");
         let routed: usize = report.shards.iter().map(|s| s.pages_routed).sum();
         assert_eq!(routed, report.total_pages());
         let hits_misses: usize = report.outcomes.iter().map(|o| o.hits + o.misses).sum();
@@ -1756,7 +2292,7 @@ mod tests {
             ..Default::default()
         };
         let engine = ServeEngine::new(&points, &order, cfg);
-        let report = engine.run(&queries());
+        let report = engine.run(&queries()).expect("no replay panic");
         for outcome in &report.outcomes {
             if outcome.pages > 0 {
                 assert!(outcome.seconds > 0.0);
@@ -1772,6 +2308,7 @@ mod tests {
                 shards: Vec::new(),
                 elapsed_seconds: 0.0,
                 digest: 0,
+                coverage: CoverageReport::default(),
             }
             .latency_quantile(0.5),
             0.0
@@ -1795,7 +2332,7 @@ mod tests {
                 ..Default::default()
             },
         );
-        let report = engine.run(&queries());
+        let report = engine.run(&queries()).expect("no replay panic");
         assert!(report.page_quantile(0.99) >= report.page_quantile(0.5));
         assert!(report.queries_per_second() > 0.0);
         assert_eq!(report.outcomes.len(), 4);
@@ -1817,7 +2354,9 @@ mod tests {
                     ..Default::default()
                 };
                 let qs = queries();
-                let reference = ServeEngine::new(&points, &order, base).run(&qs);
+                let reference = ServeEngine::new(&points, &order, base)
+                    .run(&qs)
+                    .expect("no replay panic");
                 for (shards, threads) in [(1usize, 1usize), (2, 2), (4, 2)] {
                     let cfg = EngineConfig {
                         shards,
@@ -1836,12 +2375,16 @@ mod tests {
                         assert_eq!(pages, outcome.pages, "query {qidx}");
                         assert!(loads.windows(2).all(|w| w[0].0 < w[1].0));
                     }
-                    let report = engine.submit_planned(planned).wait();
+                    let report = engine
+                        .submit_planned(planned)
+                        .wait()
+                        .expect("no replay panic");
                     assert_eq!(report.digest, reference.digest);
                     // A tight bound admits the same work, just gated.
                     let bounded = engine
                         .submit_planned_bounded(engine.plan_batch(&qs), 1)
-                        .wait();
+                        .wait()
+                        .expect("no replay panic");
                     assert_eq!(bounded.digest, reference.digest);
                     // Queues fully drained afterwards.
                     assert!(engine.queue_depths().iter().all(|&d| d == 0));
@@ -1849,8 +2392,14 @@ mod tests {
                     let keep: Vec<bool> = (0..qs.len()).map(|i| i < 2).collect();
                     let selected = engine.plan_batch(&qs).select(&keep);
                     assert_eq!(selected.len(), 2);
-                    let sub = engine.submit_planned(selected).wait();
-                    assert_eq!(sub.digest, engine.run(&qs[..2]).digest);
+                    let sub = engine
+                        .submit_planned(selected)
+                        .wait()
+                        .expect("no replay panic");
+                    assert_eq!(
+                        sub.digest,
+                        engine.run(&qs[..2]).expect("no replay panic").digest
+                    );
                 }
             },
         );
@@ -1873,7 +2422,9 @@ mod tests {
                     ..Default::default()
                 };
                 let qs: Vec<Query> = (0..4).flat_map(|_| queries()).collect();
-                let reference = ServeEngine::new(&points, &order, base).run(&qs);
+                let reference = ServeEngine::new(&points, &order, base)
+                    .run(&qs)
+                    .expect("no replay panic");
                 let cfg = EngineConfig {
                     shards: 2,
                     threads: 2,
@@ -1886,7 +2437,7 @@ mod tests {
                     .collect();
                 let outcomes: Vec<QueryOutcome> = handles
                     .into_iter()
-                    .flat_map(|h| h.wait().outcomes)
+                    .flat_map(|h| h.wait().expect("no replay panic").outcomes)
                     .collect();
                 assert_eq!(digest_outcomes(&outcomes), reference.digest);
                 assert!(engine.queue_depths().iter().all(|&d| d == 0));
@@ -1915,6 +2466,180 @@ mod tests {
         assert_eq!(empty.quantile(0.999), 0.0);
         assert_eq!(empty.violations(1.0), (0, 0.0));
         assert_eq!(empty.max(), 0.0);
+    }
+
+    #[test]
+    fn transient_faults_recover_inside_the_retry_budget() {
+        // `flaky:0@1+2`: unit 1 on shard 0 fails its first 2 attempts and
+        // succeeds on the 3rd (max_attempts = 3). Nothing degrades, the
+        // digest matches a clean run bitwise, and the affected query pays
+        // its retries as fault latency.
+        let (points, order) = small_engine();
+        let cfg = EngineConfig {
+            records_per_page: 4,
+            fanout: 4,
+            shards: 2,
+            threads: 2,
+            ..Default::default()
+        };
+        let clean = ServeEngine::new(&points, &order, cfg)
+            .run(&queries())
+            .expect("no replay panic");
+        let engine = ServeEngine::new(&points, &order, cfg);
+        engine.inject_faults(FaultPlan::parse("flaky:0@1+2").unwrap());
+        let report = engine.run(&queries()).expect("no replay panic");
+        assert!(report.coverage.is_clean());
+        assert_eq!(report.digest, clean.digest);
+        assert_eq!(report.degraded_digest(), report.digest);
+        let paid: f64 = report.outcomes.iter().map(|o| o.fault_us).sum();
+        assert!(paid > 0.0, "retries must cost simulated time");
+        assert_eq!(engine.epoch(), 0, "no trip, no swap");
+    }
+
+    #[test]
+    fn permanent_kill_trips_the_breaker_and_swaps_epochs() {
+        with_watchdog(std::time::Duration::from_secs(30), "permanent kill", || {
+            let (points, order) = small_engine();
+            let cfg = EngineConfig {
+                records_per_page: 4,
+                fanout: 4,
+                shards: 2,
+                threads: 2,
+                ..Default::default()
+            };
+            let clean = ServeEngine::new(&points, &order, cfg)
+                .run(&queries())
+                .expect("no replay panic");
+            let engine = ServeEngine::new(&points, &order, cfg);
+            // Shard 0 dead from unit 0, across every incarnation.
+            engine.inject_faults(FaultPlan::parse("kill!:0@0").unwrap());
+            // Enough traffic to pass the breaker threshold on shard 0.
+            let qs: Vec<Query> = (0..4).flat_map(|_| queries()).collect();
+            let report = engine.run(&qs).expect("injected faults degrade, not error");
+            // Shard-0 units degrade with named rank-ranges; shard-1 units
+            // are still served and bitwise identical to the clean run.
+            assert!(!report.coverage.is_clean());
+            assert!(report
+                .coverage
+                .degraded_units
+                .iter()
+                .all(|d| d.shard == 0 && !d.rank_ranges.is_empty()));
+            for (got, want) in report.outcomes.iter().zip(clean.outcomes.iter().cycle()) {
+                if got.degraded_pages == 0 {
+                    assert_eq!(got.results, want.results);
+                }
+            }
+            let snap = engine.health_snapshot();
+            assert!(snap[0].trips >= 1, "{snap:?}");
+            assert_eq!(snap[1].trips, 0);
+            // The rebuild lands at the next admission boundary.
+            let again = engine.run(&queries()).expect("still serving");
+            assert!(engine.epoch() >= 1, "trip must swap epochs");
+            // Permanent kill spans incarnations: shard 0 stays degraded,
+            // shard 1 keeps serving.
+            assert!(again.coverage.degraded_units.iter().all(|d| d.shard == 0));
+        });
+    }
+
+    #[test]
+    fn incarnation_pinned_kill_heals_after_failover() {
+        with_watchdog(std::time::Duration::from_secs(30), "pinned kill", || {
+            let (points, order) = small_engine();
+            let cfg = EngineConfig {
+                records_per_page: 4,
+                fanout: 4,
+                shards: 2,
+                threads: 2,
+                ..Default::default()
+            };
+            let engine = ServeEngine::new(&points, &order, cfg);
+            // `kill:` (no `!`) pins the fault to incarnation 0: the
+            // rebuilt slice escapes it.
+            engine.inject_faults(FaultPlan::parse("kill:0@0").unwrap());
+            let qs: Vec<Query> = (0..4).flat_map(|_| queries()).collect();
+            let first = engine.run(&qs).expect("degrades, not errors");
+            assert!(!first.coverage.is_clean());
+            assert!(engine.health_snapshot()[0].trips >= 1);
+            // After the swap, the breaker's probe hits the healthy
+            // incarnation, closes, and coverage comes back clean. The
+            // open breaker fast-fails a few cooldown units first, so
+            // drive enough traffic through.
+            let mut healed = false;
+            for _ in 0..4 {
+                let r = engine.run(&qs).expect("still serving");
+                if r.coverage.is_clean() {
+                    healed = true;
+                    break;
+                }
+            }
+            assert!(healed, "pinned fault must heal after failover");
+            assert!(engine.epoch() >= 1);
+            let snap = engine.health_snapshot();
+            assert_eq!(snap[0].incarnation, 1);
+        });
+    }
+
+    #[test]
+    fn degraded_digest_is_schedule_invariant() {
+        // The same fault plan over 1, 2 and 4 threads (and repeat runs)
+        // must produce identical coverage and degraded digests — faults
+        // are decided on the admission clock, not by runner scheduling.
+        let (points, order) = small_engine();
+        let qs: Vec<Query> = (0..4).flat_map(|_| queries()).collect();
+        let mut baseline: Option<(u64, Vec<DegradedUnit>)> = None;
+        for threads in [1usize, 2, 4, 2] {
+            let cfg = EngineConfig {
+                records_per_page: 4,
+                fanout: 4,
+                shards: 2,
+                threads,
+                ..Default::default()
+            };
+            let engine = ServeEngine::new(&points, &order, cfg);
+            engine.inject_faults(FaultPlan::parse("kill!:0@2,stall:1@0+2=50").unwrap());
+            let report = engine.run(&qs).expect("degrades, not errors");
+            let digest = report.degraded_digest();
+            match &baseline {
+                None => baseline = Some((digest, report.coverage.degraded_units.clone())),
+                Some((d, units)) => {
+                    assert_eq!(digest, *d, "threads={threads}");
+                    assert_eq!(&report.coverage.degraded_units, units, "threads={threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn open_breaker_fast_fails_without_touching_the_shard() {
+        // With a dead shard and plenty of traffic, the breaker opens and
+        // later shard-0 units are fast-failed: degraded with zero fault
+        // latency (the failure was paid for by the units that tripped it).
+        let (points, order) = small_engine();
+        let cfg = EngineConfig {
+            records_per_page: 4,
+            fanout: 4,
+            shards: 2,
+            threads: 1,
+            ..Default::default()
+        };
+        let engine = ServeEngine::new(&points, &order, cfg);
+        engine.inject_faults(FaultPlan::parse("kill!:0@0").unwrap());
+        let qs: Vec<Query> = (0..8).flat_map(|_| queries()).collect();
+        let report = engine.run(&qs).expect("degrades, not errors");
+        let degraded: Vec<&QueryOutcome> = report
+            .outcomes
+            .iter()
+            .filter(|o| o.degraded_pages > 0)
+            .collect();
+        assert!(degraded.len() > engine.config().recovery.breaker_threshold as usize);
+        assert!(
+            degraded.iter().any(|o| o.fault_us == 0.0),
+            "some degraded unit must have been fast-failed"
+        );
+        assert!(
+            degraded.iter().any(|o| o.fault_us > 0.0),
+            "the tripping units paid the retry budget"
+        );
     }
 
     #[test]

@@ -29,6 +29,16 @@
 //! * [`workload`] — reproducible mixed range/kNN batches built on
 //!   [`slpm_querysim::workloads::sample_boxes`], plus hot-spot (Zipf)
 //!   batches ([`workload::zipf_workload`]) for skew studies.
+//! * [`fault`] / [`health`] — the fault plane and its recovery layer:
+//!   seeded, deterministic [`fault::FaultPlan`]s (stalls, transient and
+//!   permanent shard failures, replay-unit panics, page-read errors)
+//!   stamped at admission and manifested at the replay seam; per-shard
+//!   circuit breakers ([`health::BreakerState`]) with bounded
+//!   retry/backoff, and failover by rebuilding a tripped shard's slice
+//!   under an epoch-swapped [`shard::ShardSet`]. Faulted runs stay
+//!   reproducible: fault-free queries are bitwise identical to an
+//!   unfaulted run, and degraded coverage has a schedule-invariant
+//!   digest.
 //! * [`arrival`] — open-loop arrival processes on a simulated clock
 //!   (deterministic rate, seeded Poisson, bursty on/off, diurnal ramp),
 //!   turning a batch workload into timed offered traffic.
@@ -59,7 +69,7 @@
 //!     EngineConfig { shards: 2, threads: 2, ..Default::default() },
 //! );
 //! let batch = mixed_workload(&spec, &WorkloadConfig { queries: 32, ..Default::default() });
-//! let report = engine.run(&batch);
+//! let report = engine.run(&batch).expect("no replay unit panicked");
 //! assert_eq!(report.outcomes.len(), 32);
 //! ```
 
@@ -68,6 +78,8 @@
 
 pub mod arrival;
 pub mod engine;
+pub mod fault;
+pub mod health;
 pub mod pool;
 pub mod shard;
 pub mod stream;
@@ -76,11 +88,14 @@ pub mod workload;
 
 pub use arrival::{ArrivalConfig, ArrivalShape};
 pub use engine::{
-    digest_outcomes, BatchHandle, BatchReport, EngineConfig, KnnPlanner, LatencySummary,
-    PlannedBatch, Query, QueryOutcome, ServeEngine, ShardReport,
+    digest_outcomes, digest_with_coverage, BatchHandle, BatchReport, CoverageReport, DegradedUnit,
+    EngineConfig, KnnPlanner, LatencySummary, PlannedBatch, Query, QueryOutcome, ServeEngine,
+    ShardReport,
 };
+pub use fault::{Fault, FaultKind, FaultParseError, FaultPlan, ServeError, UnitFailure};
+pub use health::{BreakerSnapshot, BreakerState, RecoveryConfig};
 pub use pool::WorkerPool;
-pub use shard::{Partition, Shard, ShardMap};
+pub use shard::{Partition, Shard, ShardMap, ShardSet};
 pub use stream::{
     stream_serve, AdmissionPolicy, ServiceModel, SloReport, StreamConfig, StreamReport,
 };

@@ -21,7 +21,7 @@
 use slpm_storage::decluster::Declustering;
 use slpm_storage::{BufferPool, BufferStats, PageMapper, PageStore, RoundRobin};
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// How global pages are assigned to shards.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -199,6 +199,68 @@ impl Shard {
     }
 }
 
+/// One **epoch** of the fleet: a versioned, immutable set of shard
+/// slices. The engine publishes the current `Arc<ShardSet>` behind a
+/// lock and every admitted batch captures the set it was routed against,
+/// so a failover swap (rebuilding a tripped shard's rank-range on a
+/// fresh slice and publishing `epoch + 1`) never disturbs in-flight
+/// batches: they drain against their own epoch's slices while new
+/// admissions route to the rebuilt one. Because pages are read-only, a
+/// rebuilt slice *is* a replica — same bytes, fresh buffer pool, fresh
+/// (unpoisoned) lock.
+pub struct ShardSet {
+    epoch: u64,
+    shards: Vec<Arc<Mutex<Shard>>>,
+}
+
+impl ShardSet {
+    /// Epoch 0: the fleet as first built.
+    pub fn new(shards: Vec<Shard>) -> Self {
+        ShardSet {
+            epoch: 0,
+            shards: shards
+                .into_iter()
+                .map(|s| Arc::new(Mutex::new(s)))
+                .collect(),
+        }
+    }
+
+    /// This set's epoch (bumped by one per swap).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of shard slices.
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// True on an empty fleet (never built by the engine).
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+
+    /// Handle to one shard's slice.
+    pub fn shard(&self, id: usize) -> &Arc<Mutex<Shard>> {
+        &self.shards[id]
+    }
+
+    /// The next epoch with `replacements` swapped in: healthy shards are
+    /// shared by `Arc` (no copies), each replaced id gets its fresh
+    /// slice. This is the atomic failover step — callers publish the
+    /// returned set under the engine's slice lock.
+    pub fn with_replacements(&self, replacements: Vec<(usize, Shard)>) -> ShardSet {
+        let mut shards: Vec<Arc<Mutex<Shard>>> = self.shards.iter().map(Arc::clone).collect();
+        for (id, fresh) in replacements {
+            shards[id] = Arc::new(Mutex::new(fresh));
+        }
+        ShardSet {
+            epoch: self.epoch + 1,
+            shards,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -273,6 +335,29 @@ mod tests {
         assert_eq!(shard.buffer_stats().hits, 1);
         assert_eq!(shard.id(), 0);
         assert_eq!(shard.store().page_ids(), &[0, 1]);
+    }
+
+    #[test]
+    fn shard_set_swaps_epochs_and_shares_healthy_slices() {
+        let order = LinearOrder::identity(16);
+        let mapper = PageMapper::new(&order, PageLayout::new(4));
+        let map = ShardMap::new(2, mapper.num_pages(), Partition::Contiguous);
+        let placement = PageStore::placement_of(&mapper);
+        let build = |id: usize| Shard::build(id, &map, &mapper, Arc::clone(&placement), 8, 8);
+        let set = ShardSet::new(vec![build(0), build(1)]);
+        assert_eq!(set.epoch(), 0);
+        assert_eq!(set.len(), 2);
+        assert!(!set.is_empty());
+        // Warm shard 1's pool, then swap shard 0 out.
+        let _ = set.shard(1).lock().unwrap().replay(&[2, 3]);
+        let next = set.with_replacements(vec![(0, build(0))]);
+        assert_eq!(next.epoch(), 1);
+        // The healthy slice is the *same* object (Arc-shared)…
+        assert!(Arc::ptr_eq(set.shard(1), next.shard(1)));
+        // …while the rebuilt slice is fresh: cold pool, zero reads.
+        assert!(!Arc::ptr_eq(set.shard(0), next.shard(0)));
+        assert_eq!(next.shard(0).lock().unwrap().storage_reads(), 0);
+        assert_eq!(next.shard(1).lock().unwrap().storage_reads(), 2);
     }
 
     #[test]

@@ -45,8 +45,10 @@
 
 use crate::arrival::ArrivalConfig;
 use crate::engine::{
-    digest_outcomes, BatchHandle, LatencySummary, Query, QueryOutcome, ServeEngine,
+    digest_outcomes, digest_with_coverage, BatchHandle, CoverageReport, DegradedUnit,
+    LatencySummary, Query, QueryOutcome, ServeEngine,
 };
+use crate::fault::{ServeError, UnitFailure};
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 use std::time::Instant;
@@ -182,6 +184,13 @@ pub struct SloReport {
     pub offered: usize,
     /// Queries actually admitted and executed.
     pub admitted: usize,
+    /// Admitted queries with at least one degraded (unserved) unit under
+    /// the active fault plan (`0` on a healthy fleet).
+    pub degraded: usize,
+    /// p99 latency over the fault-free admitted queries only — what
+    /// surviving-shard traffic experienced (equals `p99_us` when nothing
+    /// degraded).
+    pub fault_free_p99_us: f64,
     /// `p99_us <= target_us` — the gate CI asserts at calibrated rates.
     pub slo_met: bool,
 }
@@ -206,6 +215,15 @@ pub struct StreamReport {
     /// Wall-clock seconds the real execution took — an observable for
     /// throughput reporting only, never part of digests or gates.
     pub elapsed_seconds: f64,
+    /// Coverage accounting over the admitted sequence: `query` indices
+    /// are positions in [`StreamReport::outcomes`] (admitted order); map
+    /// through [`StreamReport::admitted_idx`] for offered positions.
+    pub coverage: CoverageReport,
+    /// Total breaker trips across the fleet by the end of the run.
+    pub trips: usize,
+    /// The engine's slice epoch after the run (`> 0` once any shard was
+    /// rebuilt by failover).
+    pub epoch: u64,
 }
 
 impl StreamReport {
@@ -216,6 +234,13 @@ impl StreamReport {
         } else {
             0.0
         }
+    }
+
+    /// The digest folded with the degraded coverage — schedule-invariant
+    /// for a fixed fault plan, and equal to [`StreamReport::digest`] on a
+    /// clean run. See [`digest_with_coverage`].
+    pub fn degraded_digest(&self) -> u64 {
+        digest_with_coverage(self.digest, &self.coverage.degraded_units)
     }
 }
 
@@ -262,6 +287,18 @@ impl SimShard {
 /// on the real engine, and score simulated admission-to-completion
 /// latencies against the SLO target.
 ///
+/// Simulated fault penalties (stalls, timeouts, retry backoff) are added
+/// to the affected queries' reported latencies **after** admission: shed
+/// and block decisions are untouched by the fault plan, so the admitted
+/// sequence — and with it every fault-free query's outcome — is bitwise
+/// identical between a faulted and an unfaulted run.
+///
+/// # Errors
+/// [`ServeError::ReplayPanicked`] when a replay unit panicked outside
+/// the fault plan (injected faults degrade instead; see the coverage
+/// report). Every in-flight micro-batch is drained before the error
+/// returns.
+///
 /// # Panics
 /// Panics when `labels.len() != queries.len()`, or on nonsensical knobs
 /// (zero `max_batch` / `queue_depth` are clamped to 1 instead).
@@ -270,7 +307,7 @@ pub fn stream_serve(
     queries: &[Query],
     labels: &[&'static str],
     cfg: &StreamConfig,
-) -> StreamReport {
+) -> Result<StreamReport, ServeError> {
     assert_eq!(labels.len(), queries.len(), "one class label per query");
     // xtask:allow(wall-clock): throughput observable only, excluded from digests
     let wall_start = Instant::now();
@@ -340,6 +377,9 @@ pub fn stream_serve(
                     // space: advance simulated time to the earliest
                     // completion among the full ones, retire it, retry.
                     let stall_from = dispatch;
+                    // xtask:allow(unbounded-retry): simulated-clock drain, not a
+                    // retry loop — each pass retires a completion, and the queue
+                    // is finite, so it terminates
                     loop {
                         let mut free_at: Option<f64> = None;
                         for &(s, _, _) in load {
@@ -398,13 +438,52 @@ pub fn stream_serve(
 
     // Merge the real outcomes in admitted order; the digest over the
     // concatenation equals a one-shot batch run of the admitted sequence
-    // by the engine's split-invariance.
+    // by the engine's split-invariance. Micro-batches renumber their
+    // queries from 0, so coverage/failure indices are offset to admitted
+    // positions. All handles are drained even when one errors.
     let mut outcomes: Vec<QueryOutcome> = Vec::with_capacity(admitted_idx.len());
+    let mut degraded: Vec<DegradedUnit> = Vec::new();
+    let mut failures: Vec<UnitFailure> = Vec::new();
+    let mut next_base = 0usize;
     for handle in handles {
-        outcomes.extend(handle.wait().outcomes);
+        let base = next_base;
+        next_base += handle.queries();
+        match handle.wait() {
+            Ok(report) => {
+                degraded.extend(report.coverage.degraded_units.into_iter().map(|mut d| {
+                    d.query += base;
+                    d
+                }));
+                outcomes.extend(report.outcomes);
+            }
+            Err(ServeError::ReplayPanicked { failures: sub }) => {
+                failures.extend(sub.into_iter().map(|mut f| {
+                    f.query += base;
+                    f
+                }));
+            }
+        }
+    }
+    if !failures.is_empty() {
+        failures.sort_unstable();
+        return Err(ServeError::ReplayPanicked { failures });
     }
     debug_assert_eq!(outcomes.len(), admitted_idx.len());
     let digest = digest_outcomes(&outcomes);
+    let coverage = CoverageReport::new(outcomes.len(), degraded);
+
+    // Fault penalties land on reported latency only, after every shed /
+    // block decision was made — admitted traffic is fault-plan-invariant.
+    for (latency, outcome) in latencies_us.iter_mut().zip(&outcomes) {
+        *latency += outcome.fault_us;
+    }
+    let fault_free: Vec<f64> = latencies_us
+        .iter()
+        .zip(&outcomes)
+        .filter(|(_, o)| o.degraded_pages == 0)
+        .map(|(&l, _)| l)
+        .collect();
+    let fault_free_p99_us = LatencySummary::new(fault_free).quantile(0.99);
 
     let summary = LatencySummary::new(latencies_us);
     let (p50_us, p99_us, p999_us) = summary.p50_p99_p999();
@@ -428,9 +507,16 @@ pub fn stream_serve(
         blocked_us,
         offered: n,
         admitted: outcomes.len(),
+        degraded: coverage.degraded_queries(),
+        fault_free_p99_us,
         slo_met: p99_us <= cfg.slo_us,
     };
-    StreamReport {
+    let trips = engine
+        .health_snapshot()
+        .iter()
+        .map(|b| b.trips as usize)
+        .sum();
+    Ok(StreamReport {
         outcomes,
         admitted_idx,
         digest,
@@ -438,7 +524,10 @@ pub fn stream_serve(
         micro_batches,
         sim_makespan_us,
         elapsed_seconds: wall_start.elapsed().as_secs_f64(),
-    }
+        coverage,
+        trips,
+        epoch: engine.epoch(),
+    })
 }
 
 #[cfg(test)]
@@ -489,13 +578,14 @@ mod tests {
                     slo_us: 1e9,
                     ..Default::default()
                 };
-                let report = stream_serve(&engine, &queries, &labels, &cfg);
+                let report =
+                    stream_serve(&engine, &queries, &labels, &cfg).expect("no replay panic");
                 assert_eq!(report.slo.offered, queries.len());
                 assert_eq!(report.slo.admitted, queries.len());
                 assert_eq!(report.slo.shed, 0);
                 assert_eq!(report.admitted_idx, (0..queries.len()).collect::<Vec<_>>());
                 // The parity invariant: streamed digest == one-shot batch.
-                let batch = engine.run(&queries);
+                let batch = engine.run(&queries).expect("no replay panic");
                 assert_eq!(report.digest, batch.digest, "S={shards} T={threads}");
                 assert!(report.slo.slo_met);
                 assert!(report.micro_batches >= queries.len() / cfg.max_batch);
@@ -522,11 +612,11 @@ mod tests {
                 // observable must be bitwise identical.
                 let a = {
                     let engine = ServeEngine::new(&points, &order, engine_cfg(2, 2));
-                    stream_serve(&engine, &queries, &labels, &cfg)
+                    stream_serve(&engine, &queries, &labels, &cfg).expect("no replay panic")
                 };
                 let b = {
                     let engine = ServeEngine::new(&points, &order, engine_cfg(2, 4));
-                    stream_serve(&engine, &queries, &labels, &cfg)
+                    stream_serve(&engine, &queries, &labels, &cfg).expect("no replay panic")
                 };
                 assert_eq!(a.slo, b.slo);
                 assert_eq!(a.admitted_idx, b.admitted_idx);
@@ -551,7 +641,7 @@ mod tests {
                 policy: AdmissionPolicy::Shed,
                 ..Default::default()
             };
-            let report = stream_serve(&engine, &queries, &labels, &cfg);
+            let report = stream_serve(&engine, &queries, &labels, &cfg).expect("no replay panic");
             assert!(report.slo.shed > 0, "overload must shed: {:?}", report.slo);
             assert_eq!(report.slo.admitted + report.slo.shed, report.slo.offered);
             let by_class: usize = report.slo.shed_by_class.iter().map(|(_, c)| c).sum();
@@ -563,7 +653,10 @@ mod tests {
                 .iter()
                 .map(|&q| queries[q].clone())
                 .collect();
-            assert_eq!(report.digest, engine.run(&admitted).digest);
+            assert_eq!(
+                report.digest,
+                engine.run(&admitted).expect("no replay panic").digest
+            );
         });
     }
 
@@ -584,15 +677,20 @@ mod tests {
                     policy: AdmissionPolicy::Block,
                     ..Default::default()
                 },
-            );
+            )
+            .expect("no replay panic");
             assert_eq!(blocked.slo.admitted, blocked.slo.offered);
             assert_eq!(blocked.slo.shed, 0);
             assert!(blocked.slo.blocked_batches > 0, "{:?}", blocked.slo);
             assert!(blocked.slo.blocked_us > 0.0);
             // Nothing dropped → full-workload digest parity.
-            assert_eq!(blocked.digest, engine.run(&queries).digest);
+            assert_eq!(
+                blocked.digest,
+                engine.run(&queries).expect("no replay panic").digest
+            );
             // An empty offered stream degenerates cleanly.
-            let empty = stream_serve(&engine, &[], &[], &StreamConfig::default());
+            let empty =
+                stream_serve(&engine, &[], &[], &StreamConfig::default()).expect("no replay panic");
             assert_eq!(empty.slo.admitted, 0);
             assert_eq!(empty.micro_batches, 0);
             assert_eq!(empty.slo.p999_us, 0.0);
@@ -608,7 +706,8 @@ mod tests {
                     policy: AdmissionPolicy::Block,
                     ..Default::default()
                 },
-            );
+            )
+            .expect("no replay panic");
             assert!(
                 headroom.slo.p99_us < blocked.slo.p99_us,
                 "headroom p99 {} vs blocked p99 {}",

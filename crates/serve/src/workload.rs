@@ -394,7 +394,7 @@ mod tests {
                 ..Default::default()
             },
         );
-        let report = engine.run(&batch);
+        let report = engine.run(&batch).expect("no replay panic");
         assert!(report.total_pages() > 0);
         assert!(
             report.shard_balance() > 1.5,

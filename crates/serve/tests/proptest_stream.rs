@@ -104,7 +104,7 @@ proptest! {
             policy: s.policy,
             ..Default::default()
         };
-        let report = stream_serve(&engine, &queries, &labels, &cfg);
+        let report = stream_serve(&engine, &queries, &labels, &cfg).expect("no replay panic");
         // Accounting closes: offered = admitted + shed, and block mode
         // never sheds.
         prop_assert_eq!(report.slo.offered, s.queries);
@@ -120,7 +120,7 @@ proptest! {
             .iter()
             .map(|&q| queries[q].clone())
             .collect();
-        let one_shot = engine.run(&admitted);
+        let one_shot = engine.run(&admitted).expect("no replay panic");
         prop_assert_eq!(report.digest, one_shot.digest);
         prop_assert_eq!(report.outcomes.len(), one_shot.outcomes.len());
         for (a, b) in report.outcomes.iter().zip(&one_shot.outcomes) {

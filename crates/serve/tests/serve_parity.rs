@@ -55,7 +55,9 @@ fn results_identical_across_shards_threads_and_partitions() {
             buffer_pages: 32,
             ..Default::default()
         };
-        let reference = ServeEngine::new(&points, &order, base).run(&workload);
+        let reference = ServeEngine::new(&points, &order, base)
+            .run(&workload)
+            .expect("no replay panic");
         assert_eq!(reference.outcomes.len(), queries);
         assert!(reference.total_results() > 0, "degenerate workload");
         for shards in [1usize, 4] {
@@ -68,7 +70,7 @@ fn results_identical_across_shards_threads_and_partitions() {
                         ..base
                     };
                     let engine = ServeEngine::new(&points, &order, cfg);
-                    let report = engine.run(&workload);
+                    let report = engine.run(&workload).expect("no replay panic");
                     let label = format!("{side}x{side} S={shards} T={threads} {partition}");
                     assert_eq!(report.digest, reference.digest, "digest: {label}");
                     for (q, (a, b)) in report.outcomes.iter().zip(&reference.outcomes).enumerate() {
@@ -105,7 +107,9 @@ fn results_identical_across_planners_and_inflight_batches() {
             buffer_pages: 32,
             ..Default::default()
         };
-        let reference = ServeEngine::new(&points, &order, base).run(&workload);
+        let reference = ServeEngine::new(&points, &order, base)
+            .run(&workload)
+            .expect("no replay panic");
         let mut best_first_nodes = 0usize;
         let mut expanding_nodes = 0usize;
         for planner in [KnnPlanner::BestFirst, KnnPlanner::ExpandingBall] {
@@ -119,7 +123,9 @@ fn results_identical_across_planners_and_inflight_batches() {
                             ..base
                         };
                         let engine = ServeEngine::new(&points, &order, cfg);
-                        let report = engine.run_inflight(&workload, inflight);
+                        let report = engine
+                            .run_inflight(&workload, inflight)
+                            .expect("no replay panic");
                         let label =
                             format!("{side}x{side} {planner} S={shards} T={threads} I={inflight}");
                         assert_eq!(report.digest, reference.digest, "digest: {label}");
@@ -176,7 +182,7 @@ fn engine_page_accounting_matches_plain_store_replay() {
             ..Default::default()
         };
         let engine = ServeEngine::new(&points, &order, cfg);
-        let report = engine.run(&workload);
+        let report = engine.run(&workload).expect("no replay panic");
         // The classic single-threaded, single-shard accounting loop.
         let mapper = PageMapper::new(&order, PageLayout::new(cfg.records_per_page));
         let store = PageStore::build(&mapper, order.len(), 8);

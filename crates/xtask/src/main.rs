@@ -20,11 +20,18 @@
 //! * **`wall-clock`** — no `Instant::now` / `SystemTime` in
 //!   digest-feeding crates (`crates/*` except the bench crate):
 //!   wall-clock readings must never reach a digest.
+//! * **`unbounded-retry`** — no bare `loop` in the fault-aware serving
+//!   stack (`crates/serve`, `crates/check` non-test code): a retry
+//!   around a faultable call must be bounded (a `for` over an attempt
+//!   budget) so a permanently failed shard cannot wedge a worker.
+//!   Queue-drain and other provably-terminating loops carry a reasoned
+//!   pragma.
 //! * **`forbid-unsafe`** — every `crates/*/src/lib.rs` carries
 //!   `#![forbid(unsafe_code)]`.
 //!
 //! A finding is silenced by an explicit, reasoned pragma on the same
-//! line or the line above: `// xtask:allow(<rule>): <why this is sound>`.
+//! line or in the line-comment block directly above:
+//! `// xtask:allow(<rule>): <why this is sound>`.
 //! Pragmas with unknown rule names or missing reasons are themselves
 //! violations. Test code (`#[cfg(test)]` regions, `tests/`, `benches/`,
 //! `examples/`) is exempt from the determinism rules but not from the
@@ -47,6 +54,7 @@ const RULES: &[&str] = &[
     "thread-spawn",
     "float-reduce",
     "wall-clock",
+    "unbounded-retry",
     "forbid-unsafe",
 ];
 
@@ -234,6 +242,22 @@ fn lint_file(rel: &str, source: &str, out: &mut Vec<Violation>) {
             });
         }
 
+        if (rel.starts_with("crates/serve/") || rel.starts_with("crates/check/"))
+            && !exempt_determinism
+            && contains_word(code_line, "loop")
+            && !allowed(&raw, idx, "unbounded-retry")
+        {
+            out.push(Violation {
+                path: rel.to_string(),
+                line: line_no,
+                rule: "unbounded-retry",
+                message: "bare `loop` in the fault-aware serving stack — bound retries \
+                          with an attempt budget (`for attempt in 0..max_attempts`), or \
+                          annotate why this loop provably terminates"
+                    .to_string(),
+            });
+        }
+
         if rel.starts_with("crates/") && !rel.starts_with(BENCH_CRATE_PREFIX) && !exempt_determinism
         {
             let clock = code_line.contains("Instant::now") || code_line.contains("SystemTime");
@@ -265,14 +289,26 @@ fn is_float_reduce(code_line: &str) -> bool {
     typed_sum || sum_fold
 }
 
-/// True when line `idx` (or the comment line above) carries a
-/// well-formed `xtask:allow(<rule>)` pragma.
+/// True when line `idx` (or the line-comment block directly above it)
+/// carries a well-formed `xtask:allow(<rule>)` pragma — reasons often
+/// wrap across lines, so the whole contiguous comment block counts.
 fn allowed(raw: &[&str], idx: usize, rule: &str) -> bool {
     let needle = format!("xtask:allow({rule})");
     if raw[idx].contains(&needle) {
         return true;
     }
-    idx > 0 && raw[idx - 1].trim_start().starts_with("//") && raw[idx - 1].contains(&needle)
+    let mut i = idx;
+    while i > 0 {
+        i -= 1;
+        let t = raw[i].trim_start();
+        if !t.starts_with("//") {
+            break;
+        }
+        if t.contains(&needle) {
+            return true;
+        }
+    }
+    false
 }
 
 /// Validate every pragma on a raw line; returns error messages.
@@ -576,6 +612,43 @@ mod tests {
         assert!(malformed_pragmas("// xtask:allow(wall-clock): latency only").is_empty());
         assert!(!malformed_pragmas("// xtask:allow(wall-clock)").is_empty());
         assert!(!malformed_pragmas("// xtask:allow(no-such-rule): x").is_empty());
+    }
+
+    #[test]
+    fn unbounded_retry_flags_bare_loops_in_the_serving_stack() {
+        let bare = "fn drain() {\n    loop {\n        step();\n    }\n}\n";
+        let mut v = Vec::new();
+        lint_file("crates/serve/src/engine.rs", bare, &mut v);
+        assert_eq!(
+            v.len(),
+            1,
+            "expected exactly one finding: {:?}",
+            v[0].message
+        );
+        assert_eq!(v[0].rule, "unbounded-retry");
+
+        // A reasoned pragma on the line above silences it.
+        let blessed = "fn drain() {\n    // xtask:allow(unbounded-retry): drains a \
+                       bounded queue\n    loop {\n        step();\n    }\n}\n";
+        let mut v = Vec::new();
+        lint_file("crates/serve/src/engine.rs", blessed, &mut v);
+        assert!(
+            v.is_empty(),
+            "pragma should silence: {:?}",
+            v.first().map(|x| &x.message)
+        );
+
+        // Outside the serving stack the rule does not apply.
+        let mut v = Vec::new();
+        lint_file("crates/linalg/src/vector.rs", bare, &mut v);
+        assert!(v.is_empty());
+
+        // `for` over an attempt budget is the bounded idiom — clean.
+        let bounded = "fn retry() {\n    for attempt in 0..max_attempts {\n        \
+                       step(attempt);\n    }\n}\n";
+        let mut v = Vec::new();
+        lint_file("crates/check/src/harness.rs", bounded, &mut v);
+        assert!(v.is_empty());
     }
 
     #[test]
