@@ -9,7 +9,8 @@
 //! graph every iteration); the multilevel path covers every size.
 //!
 //! Usage:
-//!   pipeline_scale [--max-side N] [--threads N] [--json] [--out PATH]
+//!   pipeline_scale [--max-side N] [--threads N] [--oocore SIDE]
+//!                  [--json] [--out PATH]
 //!
 //! `--threads N` (N > 1) additionally runs the multilevel path on N worker
 //! threads at every size and **verifies in-process that the threaded
@@ -18,14 +19,28 @@
 //! and fails the run). Baseline methods always run single-threaded so the
 //! trajectory stays comparable across machines.
 //!
+//! `--oocore SIDE` additionally runs the **out-of-core stage**: pack a
+//! SIDE×SIDE grid's Hilbert order into an on-disk page file (at 2048 that
+//! is 4,194,304 records — well past what the in-memory tier should hold)
+//! and stream the whole file twice through a buffer pool capped at ~10%
+//! of its pages, cold then warm, with and without readahead. The stage
+//! uses the curve order rather than the spectral pipeline because its
+//! subject is the storage tier at scale, not the eigensolver; it gates
+//! (nonzero exit) on disk-read determinism (cold digest == warm digest ==
+//! readahead-off digest) and on readahead cutting demand misses.
+//!
 //! `--json` additionally writes the machine-readable benchmark trajectory
-//! (schema `slpm.pipeline_scale.v2`) to PATH (default BENCH_pipeline.json);
+//! (schema `slpm.pipeline_scale.v3`) to PATH (default BENCH_pipeline.json);
 //! CI uploads that file as a build artifact on every push. The process
-//! exits nonzero if any attempted solver path fails or a threaded run
-//! diverges from serial.
+//! exits nonzero if any attempted solver path fails, a threaded run
+//! diverges from serial, or the out-of-core stage misses its gate.
 
 use slpm_graph::grid::{Connectivity, GridSpec};
 use slpm_linalg::fiedler::{FiedlerMethod, FiedlerOptions};
+use slpm_querysim::mappings::curve_order_by_name;
+use slpm_serve::engine::{EngineConfig, Query, ServeEngine};
+use slpm_serve::workload::grid_points;
+use slpm_storage::{write_page_file, Mbr, PageLayout, PageMapper};
 use spectral_lpm::{objective, LinearOrder, SpectralConfig, SpectralMapper};
 use std::time::Instant;
 
@@ -94,9 +109,120 @@ fn run_one(
     Ok((entry, mapping.order))
 }
 
-fn to_json(max_side: usize, threads: usize, entries: &[Entry]) -> String {
+/// The out-of-core stage: a page file bigger than its buffer pool,
+/// streamed end to end. All gate inputs are page/miss counters and
+/// digests — deterministic; the wall-clock fields are observables.
+struct Oocore {
+    side: usize,
+    records: usize,
+    pages: usize,
+    file_bytes: u64,
+    buffer_pages: usize,
+    readahead: usize,
+    pack_seconds: f64,
+    cold_seconds: f64,
+    warm_seconds: f64,
+    digest: u64,
+    cold_misses: usize,
+    warm_misses: usize,
+    plain_misses: usize,
+    prefetched: usize,
+    gate: bool,
+}
+
+/// Pack `side`²'s Hilbert order into a temp page file and stream the
+/// whole file through a pool capped at ~10% of its pages: cold, warm,
+/// and readahead-off passes.
+fn run_oocore(side: usize) -> Result<Oocore, String> {
+    let spec = GridSpec::cube(side, 2);
+    let order = curve_order_by_name(&spec, "hilbert")?;
+    let ecfg = EngineConfig {
+        shards: 4,
+        ..Default::default()
+    };
+    let mapper = PageMapper::new(&order, PageLayout::new(ecfg.records_per_page));
+    let pages = mapper.num_pages();
+    let readahead = 8usize;
+    let pool = (pages / 10).max(readahead + 2);
+    let path = std::env::temp_dir().join(format!("slpm-oocore-{}.pages", std::process::id()));
+    let t = Instant::now();
+    let header =
+        write_page_file(&path, &mapper, ecfg.record_size).map_err(|e| format!("pack: {e}"))?;
+    let pack_seconds = t.elapsed().as_secs_f64();
+    println!(
+        "oocore: packed {side}x{side} ({} records) -> {} pages, {} bytes, pool {pool} \
+         ({:.1}% of file), {pack_seconds:.2}s",
+        order.len(),
+        pages,
+        header.file_len(),
+        100.0 * pool as f64 / pages as f64,
+    );
+
+    let points = grid_points(&spec);
+    let sweep = vec![Query::Range(Mbr {
+        lo: vec![0, 0],
+        hi: vec![side as i64 - 1, side as i64 - 1],
+    })];
+    let mk = |ra: usize| {
+        ServeEngine::with_page_file(
+            &points,
+            &order,
+            EngineConfig {
+                buffer_pages: pool,
+                readahead: ra,
+                ..ecfg
+            },
+            path.clone(),
+        )
+        .map_err(|e| format!("open: {e}"))
+    };
+    let engine = mk(readahead)?;
+    let t = Instant::now();
+    let cold = engine.run(&sweep).map_err(|e| format!("cold sweep: {e}"))?;
+    let cold_seconds = t.elapsed().as_secs_f64();
+    let cold_misses = cold.buffer_stats().misses;
+    let t = Instant::now();
+    let warm = engine.run(&sweep).map_err(|e| format!("warm sweep: {e}"))?;
+    let warm_seconds = t.elapsed().as_secs_f64();
+    let warm_misses = warm.buffer_stats().misses;
+    let plain = mk(0)?
+        .run(&sweep)
+        .map_err(|e| format!("readahead-off sweep: {e}"))?;
+    // xtask:allow(fs-only-in-storage): removes its own temp page file
+    let _ = std::fs::remove_file(&path);
+    let prefetched = cold.buffer_stats().prefetched;
+    let gate = cold.digest == warm.digest
+        && cold.digest == plain.digest
+        && cold_misses < plain.buffer_stats().misses
+        && prefetched > 0;
+    println!(
+        "oocore: cold {cold_seconds:.2}s ({cold_misses} misses), warm {warm_seconds:.2}s \
+         ({warm_misses} misses), readahead-off {} misses, prefetched {prefetched} -> {}",
+        plain.buffer_stats().misses,
+        if gate { "pass" } else { "FAIL" },
+    );
+    Ok(Oocore {
+        side,
+        records: order.len(),
+        pages,
+        file_bytes: header.file_len(),
+        buffer_pages: pool,
+        readahead,
+        pack_seconds,
+        cold_seconds,
+        warm_seconds,
+        digest: cold.digest,
+        cold_misses,
+        warm_misses,
+        plain_misses: plain.buffer_stats().misses,
+        prefetched,
+        gate,
+    })
+}
+
+fn to_json(max_side: usize, threads: usize, entries: &[Entry], oocore: Option<&Oocore>) -> String {
     let mut out = String::from("{\n");
-    out.push_str("  \"schema\": \"slpm.pipeline_scale.v2\",\n");
+    out.push_str("  \"schema\": \"slpm.pipeline_scale.v3\",\n");
     out.push_str(
         "  \"description\": \"End-to-end Spectral LPM pipeline wall time per eigensolver\",\n",
     );
@@ -106,6 +232,31 @@ fn to_json(max_side: usize, threads: usize, entries: &[Entry]) -> String {
         "  \"host_parallelism\": {},\n",
         std::thread::available_parallelism().map_or(1, |n| n.get())
     ));
+    match oocore {
+        None => out.push_str("  \"oocore\": null,\n"),
+        Some(o) => out.push_str(&format!(
+            "  \"oocore\": {{\"side\": {}, \"records\": {}, \"pages\": {}, \
+             \"file_bytes\": {}, \"buffer_pages\": {}, \"readahead\": {}, \
+             \"pack_seconds\": {:.3}, \"cold_seconds\": {:.3}, \"warm_seconds\": {:.3}, \
+             \"digest\": \"{:016x}\", \"cold_misses\": {}, \"warm_misses\": {}, \
+             \"plain_misses\": {}, \"prefetched\": {}, \"oocore_gate\": {}}},\n",
+            o.side,
+            o.records,
+            o.pages,
+            o.file_bytes,
+            o.buffer_pages,
+            o.readahead,
+            o.pack_seconds,
+            o.cold_seconds,
+            o.warm_seconds,
+            o.digest,
+            o.cold_misses,
+            o.warm_misses,
+            o.plain_misses,
+            o.prefetched,
+            o.gate,
+        )),
+    }
     out.push_str("  \"entries\": [\n");
     for (i, e) in entries.iter().enumerate() {
         out.push_str(&format!(
@@ -182,6 +333,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut max_side = 1024usize;
     let mut threads = 1usize;
+    let mut oocore_side = 0usize; // 0 = stage off
     let mut json = false;
     let mut out_path = String::from("BENCH_pipeline.json");
     let mut i = 0;
@@ -213,9 +365,21 @@ fn main() {
                     std::process::exit(2);
                 });
             }
+            "--oocore" => {
+                i += 1;
+                oocore_side = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&s| s >= 16)
+                    .unwrap_or_else(|| {
+                        eprintln!("--oocore requires a grid side >= 16");
+                        std::process::exit(2);
+                    });
+            }
             other => {
                 eprintln!(
-                    "unknown flag '{other}' (try --max-side N, --threads N, --json, --out PATH)"
+                    "unknown flag '{other}' (try --max-side N, --threads N, --oocore SIDE, \
+                     --json, --out PATH)"
                 );
                 std::process::exit(2);
             }
@@ -314,8 +478,29 @@ fn main() {
         }
     }
 
+    // ---- Out-of-core stage ------------------------------------------
+    let oocore = if oocore_side > 0 {
+        match run_oocore(oocore_side) {
+            Ok(o) => {
+                if !o.gate {
+                    eprintln!("FAILED: the out-of-core stage missed its gate");
+                    failed = true;
+                }
+                Some(o)
+            }
+            Err(msg) => {
+                eprintln!("FAILED: {msg}");
+                failed = true;
+                None
+            }
+        }
+    } else {
+        None
+    };
+
     if json {
-        let body = to_json(max_side, threads, &entries);
+        let body = to_json(max_side, threads, &entries, oocore.as_ref());
+        // xtask:allow(fs-only-in-storage): benches persist their JSON artifacts
         if let Err(e) = std::fs::write(&out_path, &body) {
             eprintln!("cannot write {out_path}: {e}");
             failed = true;

@@ -16,13 +16,21 @@
 //!   expanding ball on the kNN share of the workload (the planner gate
 //!   CI's `serve-smoke` job enforces).
 //!
+//! With `--page-file PATH` (an artifact of `slpm pack`, matching this
+//! run's grid/mapping and the default page geometry) every engine in the
+//! matrix serves from the on-disk page file instead of memory-resident
+//! payloads — the parity contract then also proves the out-of-core tier
+//! answers bitwise identically across the whole matrix. `--readahead N`
+//! sets the run-prefetch window (default 0 = off).
+//!
 //! Usage:
 //!   serve_throughput [--grid N] [--shards S] [--threads T] [--queries Q]
 //!                    [--repeats R] [--inflight B] [--mapping M]
-//!                    [--partition P] [--json] [--out PATH]
+//!                    [--partition P] [--page-file PATH] [--readahead N]
+//!                    [--json] [--out PATH]
 //!
 //! `--json` writes the machine-readable results (schema
-//! `slpm.serve_throughput.v2`) to PATH (default BENCH_serve.json); the CI
+//! `slpm.serve_matrix.v5`) to PATH (default BENCH_serve.json); the CI
 //! `serve-smoke` job uploads that file as a build artifact. The JSON
 //! stamps `host_parallelism` — on a single-core container the pooled
 //! entries measure scheduling overhead, not speedup; read them together
@@ -33,6 +41,7 @@ use slpm_querysim::mappings::curve_order_by_name;
 use slpm_serve::engine::{BatchReport, EngineConfig, KnnPlanner, Query, ServeEngine};
 use slpm_serve::shard::Partition;
 use slpm_serve::workload::{grid_points, mixed_workload_labeled, WorkloadConfig, CLASS_LABELS};
+use std::path::PathBuf;
 use std::time::Instant;
 
 struct Entry {
@@ -91,13 +100,14 @@ fn to_json(
     inflight: usize,
     partition: Partition,
     cfg: &EngineConfig,
+    page_file: Option<&str>,
     planners: &[PlannerCost],
     planner_gate: bool,
     entries: &[Entry],
     parity: bool,
 ) -> String {
     let mut out = String::from("{\n");
-    out.push_str("  \"schema\": \"slpm.serve_throughput.v2\",\n");
+    out.push_str("  \"schema\": \"slpm.serve_matrix.v5\",\n");
     out.push_str(
         "  \"description\": \"Sharded/batched query serving: planners, pooling, concurrent admission\",\n",
     );
@@ -110,6 +120,11 @@ fn to_json(
     out.push_str(&format!(
         "  \"records_per_page\": {},\n  \"buffer_pages\": {},\n",
         cfg.records_per_page, cfg.buffer_pages
+    ));
+    out.push_str(&format!(
+        "  \"page_file\": {},\n  \"readahead\": {},\n",
+        page_file.map_or("null".to_string(), |p| format!("\"{p}\"")),
+        cfg.readahead
     ));
     // Single-core hosts cannot show pooled speedups; stamp the machine so
     // the recorded trajectory is read in context (as BENCH_pipeline.json
@@ -182,6 +197,8 @@ fn main() {
     let mut inflight = 4usize;
     let mut mapping = String::from("hilbert");
     let mut partition = Partition::Contiguous;
+    let mut page_file: Option<String> = None;
+    let mut readahead = 0usize;
     let mut json = false;
     let mut out_path = String::from("BENCH_serve.json");
     let mut i = 0;
@@ -264,11 +281,25 @@ fn main() {
                     std::process::exit(2);
                 });
             }
+            "--page-file" => {
+                i += 1;
+                page_file = Some(args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("--page-file requires a path (e.g. from `slpm pack`)");
+                    std::process::exit(2);
+                }));
+            }
+            "--readahead" => {
+                i += 1;
+                readahead = args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--readahead requires a non-negative integer");
+                    std::process::exit(2);
+                });
+            }
             other => {
                 eprintln!(
                     "unknown flag '{other}' (try --grid N, --shards S, --threads T, \
                      --queries Q, --repeats R, --inflight B, --mapping M, --partition P, \
-                     --json, --out PATH)"
+                     --page-file PATH, --readahead N, --json, --out PATH)"
                 );
                 std::process::exit(2);
             }
@@ -296,7 +327,23 @@ fn main() {
     let labels: Vec<&'static str> = labeled.iter().map(|(_, l)| *l).collect();
     let base = EngineConfig {
         partition,
+        readahead,
         ..Default::default()
+    };
+    // Every engine in the run — planner pass and matrix — shares one
+    // backing choice: memory-resident payloads, or the page file.
+    let mk_engine = |cfg: EngineConfig| -> ServeEngine {
+        match &page_file {
+            None => ServeEngine::new(&points, &order, cfg),
+            Some(path) => ServeEngine::with_page_file(&points, &order, cfg, PathBuf::from(path))
+                .unwrap_or_else(|e| {
+                    eprintln!(
+                        "FAILED: cannot open page file {path} (geometry/order must \
+                         match this run's --grid/--mapping): {e}"
+                    );
+                    std::process::exit(1);
+                }),
+        }
     };
 
     // Phase 1 — the planner gate: both kNN planners over the identical
@@ -304,14 +351,10 @@ fn main() {
     // strictly fewer node visits for best-first.
     let mut planners: Vec<PlannerCost> = Vec::new();
     for planner in [KnnPlanner::BestFirst, KnnPlanner::ExpandingBall] {
-        let engine = ServeEngine::new(
-            &points,
-            &order,
-            EngineConfig {
-                knn_planner: planner,
-                ..base
-            },
-        );
+        let engine = mk_engine(EngineConfig {
+            knn_planner: planner,
+            ..base
+        });
         let report = engine.run(&workload).expect("no replay panic");
         let (mut knn_nodes, mut knn_leaves, mut total_nodes) = (0usize, 0usize, 0usize);
         for (outcome, query) in report.outcomes.iter().zip(&workload) {
@@ -381,10 +424,7 @@ fn main() {
         // with the admission modes' repeats **interleaved** so both see
         // the same thermal/frequency drift — the single-vs-multi-batch
         // comparison is paired, not sequential.
-        let engines: Vec<ServeEngine> = flights
-            .iter()
-            .map(|_| ServeEngine::new(&points, &order, cfg))
-            .collect();
+        let engines: Vec<ServeEngine> = flights.iter().map(|_| mk_engine(cfg)).collect();
         let mut seconds = vec![0.0f64; flights.len()];
         let mut colds: Vec<Option<BatchReport>> = vec![None; flights.len()];
         let mut lasts: Vec<Option<BatchReport>> = vec![None; flights.len()];
@@ -467,11 +507,13 @@ fn main() {
             inflight,
             partition,
             &base,
+            page_file.as_deref(),
             &planners,
             planner_gate,
             &entries,
             parity,
         );
+        // xtask:allow(fs-only-in-storage): benches persist their JSON artifacts
         if let Err(e) = std::fs::write(&out_path, &body) {
             eprintln!("cannot write {out_path}: {e}");
             std::process::exit(1);

@@ -28,17 +28,30 @@
 //!   every fault-free query bitwise identical to the unfaulted baseline
 //!   and keep the fault-free p99 inside the SLO, and a transient flaky
 //!   plan must recover inside the retry budget with zero degradation.
-//!   `--fault-plan SPEC` replaces the canned permanent plan.
+//!   `--fault-plan SPEC` replaces the canned permanent plan, or
+//! * the **out-of-core sweep** fails its storage gate (`storage_gate`,
+//!   the CI `oocore-smoke` job asserts): the same engine geometry served
+//!   from a real page file on disk — `--page-file PATH` to reuse a
+//!   `slpm pack` artifact, else a temp file packed in-process — must
+//!   answer the whole workload bitwise identically to the in-memory
+//!   engine (cold pool and warm pool), and on an ordered full-domain
+//!   sweep with the buffer pool capped at ~10% of the file,
+//!   linear-order readahead (`--readahead`, default 8) must cut demand
+//!   misses versus the identical sweep without it. Cold-vs-warm wall
+//!   throughput is recorded as an observable only.
 //!
 //! Usage:
 //!   stream_throughput [--grid N] [--shards S] [--threads T]
 //!                     [--queries Q] [--shapes a,b,..] [--mapping M]
 //!                     [--queue-depth D] [--batch-delay-us U]
-//!                     [--slo-us U] [--fault-plan SPEC] [--json] [--out PATH]
+//!                     [--slo-us U] [--fault-plan SPEC]
+//!                     [--page-file PATH] [--readahead N]
+//!                     [--buffer-pages N] [--json] [--out PATH]
 //!
 //! `--json` writes the machine-readable results (schema
-//! `slpm.serve_throughput.v4`) to PATH (default BENCH_serve.json); the
-//! CI `stream-smoke` job uploads that file as a build artifact.
+//! `slpm.serve_throughput.v5`) to PATH (default BENCH_serve.json); the
+//! CI `stream-smoke` and `oocore-smoke` jobs upload that file as a
+//! build artifact.
 
 use slpm_graph::grid::GridSpec;
 use slpm_querysim::mappings::curve_order_by_name;
@@ -47,6 +60,9 @@ use slpm_serve::engine::{EngineConfig, Query, ServeEngine};
 use slpm_serve::stream::{stream_serve, AdmissionPolicy, ServiceModel, StreamConfig, StreamReport};
 use slpm_serve::workload::{grid_points, mixed_workload_labeled, WorkloadConfig};
 use slpm_serve::FaultPlan;
+use slpm_storage::{write_page_file, Mbr, PageLayout, PageMapper};
+use std::path::PathBuf;
+use std::time::Instant;
 
 struct Entry {
     shape: ArrivalShape,
@@ -74,6 +90,28 @@ struct FaultEntry {
     pass: bool,
 }
 
+/// The out-of-core sweep: the workload and an ordered full-domain scan
+/// served from a real on-disk page file through a capped buffer pool.
+struct StorageSweep {
+    page_file: String,
+    pages: usize,
+    buffer_pages: usize,
+    readahead: usize,
+    cold_wall_qps: f64,
+    warm_wall_qps: f64,
+    memory_digest: u64,
+    cold_digest: u64,
+    warm_digest: u64,
+    sweep_plain_misses: usize,
+    sweep_readahead_misses: usize,
+    sweep_prefetched: usize,
+    sweep_prefetch_hits: usize,
+    /// Disk == memory bitwise (cold and warm) and readahead cut demand
+    /// misses on the ordered sweep. Pure counter arithmetic — identical
+    /// on every machine; the wall qps fields are observables only.
+    storage_gate: bool,
+}
+
 #[allow(clippy::too_many_arguments)]
 fn to_json(
     side: usize,
@@ -89,9 +127,10 @@ fn to_json(
     fault_gate: bool,
     entries: &[Entry],
     fault_entries: &[FaultEntry],
+    storage: &StorageSweep,
 ) -> String {
     let mut out = String::from("{\n");
-    out.push_str("  \"schema\": \"slpm.serve_throughput.v4\",\n");
+    out.push_str("  \"schema\": \"slpm.serve_throughput.v5\",\n");
     out.push_str(
         "  \"description\": \"Streaming admission: arrival shapes x rates, SLO scorecards, shed/block accounting\",\n",
     );
@@ -119,6 +158,28 @@ fn to_json(
     out.push_str(&format!("  \"slo_gate\": {slo_gate},\n"));
     out.push_str(&format!("  \"parity\": {parity},\n"));
     out.push_str(&format!("  \"fault_gate\": {fault_gate},\n"));
+    out.push_str(&format!(
+        "  \"storage\": {{\"page_file\": \"{}\", \"pages\": {}, \"buffer_pages\": {}, \
+         \"readahead\": {}, \"cold_wall_qps\": {:.1}, \"warm_wall_qps\": {:.1}, \
+         \"memory_digest\": \"{:016x}\", \"cold_digest\": \"{:016x}\", \
+         \"warm_digest\": \"{:016x}\", \"sweep_plain_misses\": {}, \
+         \"sweep_readahead_misses\": {}, \"sweep_prefetched\": {}, \
+         \"sweep_prefetch_hits\": {}, \"storage_gate\": {}}},\n",
+        storage.page_file,
+        storage.pages,
+        storage.buffer_pages,
+        storage.readahead,
+        storage.cold_wall_qps,
+        storage.warm_wall_qps,
+        storage.memory_digest,
+        storage.cold_digest,
+        storage.warm_digest,
+        storage.sweep_plain_misses,
+        storage.sweep_readahead_misses,
+        storage.sweep_prefetched,
+        storage.sweep_prefetch_hits,
+        storage.storage_gate,
+    ));
     out.push_str("  \"fault_entries\": [\n");
     for (i, e) in fault_entries.iter().enumerate() {
         let slo = &e.report.slo;
@@ -209,6 +270,9 @@ fn main() {
     let mut slo_us = 2_000u64;
     let mut json = false;
     let mut fault_plan: Option<String> = None;
+    let mut page_file: Option<String> = None;
+    let mut readahead = 8usize;
+    let mut buffer_pages = 0usize; // 0 = auto: ~10% of the file's pages
     let mut out_path = String::from("BENCH_serve.json");
     let mut i = 0;
     let bad = |flag: &str| -> ! {
@@ -322,11 +386,35 @@ fn main() {
                 }
                 fault_plan = Some(spec);
             }
+            "--page-file" => {
+                i += 1;
+                page_file = Some(args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("--page-file requires a path (e.g. from `slpm pack`)");
+                    std::process::exit(2);
+                }));
+            }
+            "--readahead" => {
+                i += 1;
+                readahead = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| bad("--readahead"));
+            }
+            "--buffer-pages" => {
+                i += 1;
+                buffer_pages = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| bad("--buffer-pages"));
+            }
             other => {
                 eprintln!(
                     "unknown flag '{other}' (try --grid N, --shards S, --threads T, \
                      --queries Q, --shapes a,b, --mapping M, --queue-depth D, \
-                     --batch-delay-us U, --slo-us U, --fault-plan SPEC, --json, \
+                     --batch-delay-us U, --slo-us U, --fault-plan SPEC, \
+                     --page-file PATH, --readahead N, --buffer-pages N, --json, \
                      --out PATH)"
                 );
                 std::process::exit(2);
@@ -608,6 +696,129 @@ fn main() {
         "fault gate (degraded serving): {}",
         if fault_gate { "met" } else { "MISSED" },
     );
+
+    // ---- Out-of-core sweep (storage gate) --------------------------
+    // The same engine geometry served from a real page file on disk,
+    // through a buffer pool capped well under the file size. Two
+    // deterministic contracts gate; wall throughput is an observable.
+    let ecfg = EngineConfig {
+        shards,
+        threads,
+        ..Default::default()
+    };
+    let mapper = PageMapper::new(&order, PageLayout::new(ecfg.records_per_page));
+    let num_pages = mapper.num_pages();
+    // Auto pool: ~10% of the file, floored so the prefetch budget (which
+    // never evicts the demand page, so caps at capacity - 1) stays open.
+    let pool = if buffer_pages > 0 {
+        buffer_pages
+    } else {
+        (num_pages / 10).max(readahead + 2)
+    };
+    let (pf_path, temp_file) = match &page_file {
+        Some(p) => (PathBuf::from(p), false),
+        None => {
+            let p = std::env::temp_dir().join(format!("slpm-stream-{}.pages", std::process::id()));
+            if let Err(e) = write_page_file(&p, &mapper, ecfg.record_size) {
+                eprintln!("FAILED: cannot write page file {}: {e}", p.display());
+                std::process::exit(1);
+            }
+            (p, true)
+        }
+    };
+    let disk_engine = |ra: usize| -> ServeEngine {
+        ServeEngine::with_page_file(
+            &points,
+            &order,
+            EngineConfig {
+                buffer_pages: pool,
+                readahead: ra,
+                ..ecfg
+            },
+            pf_path.clone(),
+        )
+        .unwrap_or_else(|e| {
+            eprintln!(
+                "FAILED: cannot open page file {} (geometry/order must match \
+                 this run's --grid/--mapping): {e}",
+                pf_path.display()
+            );
+            std::process::exit(1);
+        })
+    };
+    let memory_digest = engine.run(&workload).expect("no replay panic").digest;
+    let oocore = disk_engine(readahead);
+    let t0 = Instant::now();
+    let cold = oocore.run(&workload).expect("no replay panic");
+    let cold_secs = t0.elapsed().as_secs_f64();
+    let t1 = Instant::now();
+    let warm = oocore.run(&workload).expect("no replay panic");
+    let warm_secs = t1.elapsed().as_secs_f64();
+    // The ordered sweep: each full-domain range is one monotone pass over
+    // every page in linear order; with the pool capped at ~10% of the
+    // file, the second pass re-faults everything the first evicted, so
+    // demand misses stay high unless readahead hides them.
+    let sweep: Vec<Query> = (0..2)
+        .map(|_| {
+            Query::Range(Mbr {
+                lo: vec![0, 0],
+                hi: vec![side as i64 - 1, side as i64 - 1],
+            })
+        })
+        .collect();
+    let ra_report = disk_engine(readahead).run(&sweep).expect("no replay panic");
+    let plain_report = disk_engine(0).run(&sweep).expect("no replay panic");
+    let ra_stats = ra_report.buffer_stats();
+    let plain_stats = plain_report.buffer_stats();
+    if temp_file {
+        // xtask:allow(fs-only-in-storage): removes its own temp page file
+        let _ = std::fs::remove_file(&pf_path);
+    }
+    let parity_ok = cold.digest == memory_digest
+        && warm.digest == memory_digest
+        && ra_report.digest == plain_report.digest;
+    let readahead_ok = ra_stats.misses < plain_stats.misses && ra_stats.prefetch_hits > 0;
+    let storage_gate = parity_ok && readahead_ok;
+    println!(
+        "out-of-core: {} pages, pool {pool}, readahead {readahead}: cold {:.0} q/s, \
+         warm {:.0} q/s, sweep misses {} (readahead) vs {} (none), \
+         prefetched {} ({} hit) -> {}",
+        num_pages,
+        queries as f64 / cold_secs,
+        queries as f64 / warm_secs,
+        ra_stats.misses,
+        plain_stats.misses,
+        ra_stats.prefetched,
+        ra_stats.prefetch_hits,
+        if storage_gate { "pass" } else { "FAIL" },
+    );
+    if !parity_ok {
+        eprintln!("FAILED: disk-backed serving diverged from the in-memory engine");
+    }
+    if !readahead_ok {
+        eprintln!("FAILED: readahead did not cut demand misses on the ordered sweep");
+    }
+    println!(
+        "storage gate (out-of-core parity + readahead): {}",
+        if storage_gate { "met" } else { "MISSED" },
+    );
+    let storage = StorageSweep {
+        page_file: page_file.unwrap_or_else(|| "(temp)".to_string()),
+        pages: num_pages,
+        buffer_pages: pool,
+        readahead,
+        cold_wall_qps: queries as f64 / cold_secs,
+        warm_wall_qps: queries as f64 / warm_secs,
+        memory_digest,
+        cold_digest: cold.digest,
+        warm_digest: warm.digest,
+        sweep_plain_misses: plain_stats.misses,
+        sweep_readahead_misses: ra_stats.misses,
+        sweep_prefetched: ra_stats.prefetched,
+        sweep_prefetch_hits: ra_stats.prefetch_hits,
+        storage_gate,
+    };
+
     if json {
         let cfg = StreamConfig {
             arrival: ArrivalConfig::new(shapes[0], base_rate, 42),
@@ -631,14 +842,16 @@ fn main() {
             fault_gate,
             &entries,
             &fault_entries,
+            &storage,
         );
+        // xtask:allow(fs-only-in-storage): benches persist their JSON artifacts
         if let Err(e) = std::fs::write(&out_path, &body) {
             eprintln!("cannot write {out_path}: {e}");
             std::process::exit(1);
         }
         println!("\nwrote {out_path}");
     }
-    if !parity || !slo_gate || !fault_gate {
+    if !parity || !slo_gate || !fault_gate || !storage_gate {
         std::process::exit(1);
     }
 }

@@ -105,10 +105,26 @@ pub enum Command {
         /// Which mapping.
         mapping: MappingChoice,
     },
+    /// `slpm pack --grid AxB --out FILE [--mapping M] [--page-records N]
+    /// [--record-size B]` — write the grid's records to a disk page file
+    /// in linear-order sequence, for `slpm serve --page-file`.
+    Pack {
+        /// Grid extents.
+        dims: Vec<usize>,
+        /// Which mapping lays out the file (default Hilbert).
+        mapping: MappingChoice,
+        /// Output path of the page file.
+        out: String,
+        /// Records per page.
+        page_records: usize,
+        /// Bytes per record payload.
+        record_size: usize,
+    },
     /// `slpm serve --grid AxB [--mapping M] [--shards S] [--threads T]
     /// [--queries Q] [--seed N] [--partition contiguous|round-robin]
     /// [--buffer-pages N] [--page-records N] [--inflight B]
-    /// [--knn-planner best-first|expanding-ball]` — run a mixed range/kNN
+    /// [--knn-planner best-first|expanding-ball]
+    /// [--page-file FILE] [--readahead N]` — run a mixed range/kNN
     /// workload through the sharded serving engine.
     Serve {
         /// Grid extents.
@@ -166,6 +182,13 @@ pub enum Command {
         breaker_threshold: u32,
         /// Units an open breaker fast-fails before probing.
         probe_cooldown: u32,
+        /// Serve pages from this disk page file (written by `slpm pack`
+        /// under the same grid, mapping and page geometry) instead of
+        /// materialising them in memory.
+        page_file: Option<String>,
+        /// Run-readahead window per demand miss (0 = off; only
+        /// meaningful with a buffer pool smaller than the working set).
+        readahead: usize,
     },
     /// `slpm help`
     Help,
@@ -332,6 +355,38 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             }
             Ok(Command::Experiment { name: name.clone() })
         }
+        "pack" => {
+            let mut dims = None;
+            let mut mapping = MappingChoice::Hilbert;
+            let mut out = None;
+            let mut page_records = 64usize;
+            let mut record_size = 64usize;
+            let mut i = 1;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--grid" => dims = Some(parse_dims(take_value(args, &mut i, "--grid")?)?),
+                    "--mapping" => {
+                        let v = take_value(args, &mut i, "--mapping")?;
+                        mapping = MappingChoice::parse(v)
+                            .ok_or_else(|| ParseError(format!("unknown mapping '{v}'")))?;
+                    }
+                    "--out" => out = Some(take_value(args, &mut i, "--out")?.to_string()),
+                    "--page-records" => {
+                        page_records = parse_positive(args, &mut i, "--page-records")?
+                    }
+                    "--record-size" => record_size = parse_positive(args, &mut i, "--record-size")?,
+                    other => return Err(ParseError(format!("unknown flag '{other}'"))),
+                }
+                i += 1;
+            }
+            Ok(Command::Pack {
+                dims: dims.ok_or_else(|| ParseError("pack requires --grid".into()))?,
+                mapping,
+                out: out.ok_or_else(|| ParseError("pack requires --out".into()))?,
+                page_records,
+                record_size,
+            })
+        }
         "serve" => {
             let mut dims = None;
             let mut mapping = MappingChoice::Hilbert;
@@ -358,6 +413,8 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             let mut backoff_us = 100u64;
             let mut breaker_threshold = 3u32;
             let mut probe_cooldown = 4u32;
+            let mut page_file = None;
+            let mut readahead = 0usize;
             let mut i = 1;
             while i < args.len() {
                 match args[i].as_str() {
@@ -447,6 +504,12 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                     "--probe-cooldown" => {
                         probe_cooldown = parse_nonneg(args, &mut i, "--probe-cooldown")? as u32
                     }
+                    "--page-file" => {
+                        page_file = Some(take_value(args, &mut i, "--page-file")?.to_string())
+                    }
+                    "--readahead" => {
+                        readahead = parse_nonneg(args, &mut i, "--readahead")? as usize
+                    }
                     other => return Err(ParseError(format!("unknown flag '{other}'"))),
                 }
                 i += 1;
@@ -477,6 +540,8 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 backoff_us,
                 breaker_threshold,
                 probe_cooldown,
+                page_file,
+                readahead,
             })
         }
         "report" => {
@@ -519,10 +584,13 @@ USAGE:
   slpm figure  <fig1|fig3|fig4|fig5a|fig5b|fig6a|fig6b>
   slpm experiment <knn|storage|rtree|decluster|pointcloud|ablations>
   slpm report  --grid 8x8 --mapping hilbert
+  slpm pack    --grid 256x256 --out pages.slpm [--mapping hilbert]
+               [--page-records 64] [--record-size 64]
   slpm serve   --grid 256x256 [--mapping hilbert] [--shards 2] [--threads 1]
                [--queries 1000] [--seed 42] [--partition contiguous|round-robin]
                [--buffer-pages 64] [--page-records 64] [--inflight 1]
                [--knn-planner best-first|expanding-ball]
+               [--page-file pages.slpm] [--readahead 0]
                [--stream] [--rate 20000]
                [--arrival deterministic|poisson|bursty|diurnal]
                [--batch-delay-us 200] [--max-batch 32] [--queue-depth 64]
@@ -547,6 +615,13 @@ counts and the printed digest are bitwise identical for every --shards,
 the workload into B concurrently admitted batches (per-shard FIFO queues,
 round-robin fairness); --knn-planner picks best-first branch-and-bound
 (default) or the expanding-ball baseline.
+`slpm pack` writes the grid's records to a checksummed disk page file laid
+out in linear-order sequence; `slpm serve --page-file` then serves the
+same workload out-of-core, faulting pages through each shard's buffer
+pool — results, page accounting and the digest stay bitwise identical to
+the in-memory engine. --readahead N prefetches up to N next pages of the
+current monotone page run on each demand miss (one seek per run), which
+pays off when --buffer-pages is smaller than the working set.
 --stream serves the same workload as an open-loop arrival process on a
 simulated clock: --rate and --arrival pick the traffic (mean q/s and
 shape), --batch-delay-us/--max-batch the micro-batch window, and
@@ -728,6 +803,8 @@ mod tests {
                 backoff_us: 100,
                 breaker_threshold: 3,
                 probe_cooldown: 4,
+                page_file: None,
+                readahead: 0,
             }
         );
         let c = parse(&argv(&[
@@ -784,6 +861,8 @@ mod tests {
                 backoff_us: 100,
                 breaker_threshold: 3,
                 probe_cooldown: 4,
+                page_file: None,
+                readahead: 0,
             }
         );
         // Missing grid, bad values, bad partition, bad planner/inflight.
@@ -794,6 +873,74 @@ mod tests {
         assert!(parse(&argv(&["serve", "--grid", "8x8", "--seed", "x"])).is_err());
         assert!(parse(&argv(&["serve", "--grid", "8x8", "--inflight", "0"])).is_err());
         assert!(parse(&argv(&["serve", "--grid", "8x8", "--knn-planner", "astar"])).is_err());
+    }
+
+    #[test]
+    fn parse_pack_and_serve_page_file_flags() {
+        let c = parse(&argv(&["pack", "--grid", "16x16", "--out", "f.pages"])).unwrap();
+        assert_eq!(
+            c,
+            Command::Pack {
+                dims: vec![16, 16],
+                mapping: MappingChoice::Hilbert,
+                out: "f.pages".into(),
+                page_records: 64,
+                record_size: 64,
+            }
+        );
+        let c = parse(&argv(&[
+            "pack",
+            "--grid",
+            "8x8",
+            "--out",
+            "g.pages",
+            "--mapping",
+            "snake",
+            "--page-records",
+            "16",
+            "--record-size",
+            "32",
+        ]))
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Pack {
+                dims: vec![8, 8],
+                mapping: MappingChoice::Snake,
+                out: "g.pages".into(),
+                page_records: 16,
+                record_size: 32,
+            }
+        );
+        // pack needs both a grid and an output path.
+        assert!(parse(&argv(&["pack", "--out", "f.pages"])).is_err());
+        assert!(parse(&argv(&["pack", "--grid", "8x8"])).is_err());
+        assert!(parse(&argv(&["pack", "--grid", "8x8", "--out"])).is_err());
+
+        // serve takes the file and a readahead depth.
+        let c = parse(&argv(&[
+            "serve",
+            "--grid",
+            "16x16",
+            "--page-file",
+            "f.pages",
+            "--readahead",
+            "4",
+        ]))
+        .unwrap();
+        match c {
+            Command::Serve {
+                page_file,
+                readahead,
+                ..
+            } => {
+                assert_eq!(page_file.as_deref(), Some("f.pages"));
+                assert_eq!(readahead, 4);
+            }
+            other => panic!("expected serve, got {other:?}"),
+        }
+        assert!(parse(&argv(&["serve", "--grid", "8x8", "--page-file"])).is_err());
+        assert!(parse(&argv(&["serve", "--grid", "8x8", "--readahead", "x"])).is_err());
     }
 
     #[test]

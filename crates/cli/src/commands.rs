@@ -14,7 +14,9 @@ use slpm_serve::stream::{stream_serve, AdmissionPolicy, StreamConfig};
 use slpm_serve::workload::{grid_points, mixed_workload, mixed_workload_labeled, WorkloadConfig};
 use slpm_serve::{CoverageReport, FaultPlan, RecoveryConfig};
 use slpm_sfc::TruePeanoCurve;
+use slpm_storage::{write_page_file, PageLayout, PageMapper};
 use spectral_lpm::{LinearOrder, SpectralConfig, SpectralMapper};
+use std::path::PathBuf;
 
 /// Build the requested order over the grid. `threads` pins the spectral
 /// eigensolver's worker count (ignored by the curve mappings).
@@ -354,6 +356,32 @@ pub fn execute(cmd: &Command) -> Result<String, ParseError> {
             }
             other => return Err(ParseError(format!("unknown experiment '{other}'"))),
         }),
+        Command::Pack {
+            dims,
+            mapping,
+            out,
+            page_records,
+            record_size,
+        } => {
+            let order = build_order(dims, *mapping, None)?;
+            let mapper = PageMapper::new(&order, PageLayout::new(*page_records));
+            let header = write_page_file(PathBuf::from(out).as_path(), &mapper, *record_size)
+                .map_err(|e| ParseError(format!("pack failed: {e}")))?;
+            Ok(format!(
+                "packed {:?} grid ({} mapping) -> {out}\n\
+                 records: {}  pages: {}  page: {} records x {} bytes\n\
+                 file: {} bytes  format v{}  order digest: {:016x}\n",
+                dims,
+                mapping,
+                header.num_records,
+                header.num_pages,
+                page_records,
+                record_size,
+                header.file_len(),
+                header.version,
+                header.order_digest,
+            ))
+        }
         Command::Serve {
             dims,
             mapping,
@@ -380,6 +408,8 @@ pub fn execute(cmd: &Command) -> Result<String, ParseError> {
             backoff_us,
             breaker_threshold,
             probe_cooldown,
+            page_file,
+            readahead,
         } => {
             let spec = GridSpec::new(dims);
             let order = build_order(dims, *mapping, None)?;
@@ -403,11 +433,20 @@ pub fn execute(cmd: &Command) -> Result<String, ParseError> {
                 threads: *threads,
                 partition: *partition,
                 buffer_pages: *buffer_pages,
+                readahead: *readahead,
                 knn_planner: *planner,
                 recovery,
                 ..Default::default()
             };
-            let engine = ServeEngine::new(&points, &order, cfg);
+            let engine = match page_file {
+                // Out-of-core: shard slices fault pages off the packed
+                // file; a geometry/order mismatch fails here, up front.
+                Some(path) => {
+                    ServeEngine::with_page_file(&points, &order, cfg, PathBuf::from(path))
+                        .map_err(|e| ParseError(format!("cannot open page file '{path}': {e}")))?
+                }
+                None => ServeEngine::new(&points, &order, cfg),
+            };
             if let Some(plan) = fault_plan {
                 let plan = FaultPlan::parse(plan)
                     .map_err(|e| ParseError(format!("invalid --fault-plan: {e}")))?;
@@ -461,6 +500,11 @@ pub fn execute(cmd: &Command) -> Result<String, ParseError> {
                 planner,
                 inflight,
             ));
+            if let Some(path) = page_file {
+                out.push_str(&format!(
+                    "storage: page file {path} (readahead {readahead})\n"
+                ));
+            }
             out.push_str(&format!(
                 "results: {}  pages touched: {}  storage reads: {}  hit ratio: {:.3}\n",
                 report.total_results(),
@@ -828,6 +872,88 @@ mod tests {
         );
         // A transient fault inside the retry budget degrades nothing.
         assert!(out.contains("40 fault-free, 0 degraded"), "{out}");
+    }
+
+    #[test]
+    fn pack_then_serve_page_file_matches_in_memory_digest() {
+        let digest_line = |out: &str| {
+            out.lines()
+                .find(|l| l.starts_with("digest:"))
+                .expect("digest line")
+                .to_string()
+        };
+        let path = std::env::temp_dir().join(format!("slpm-cli-{}.pages", std::process::id()));
+        let path_str = path.to_str().expect("utf-8 temp path");
+        let packed = run(&["pack", "--grid", "16x16", "--out", path_str]).unwrap();
+        assert!(packed.contains("records: 256"), "{packed}");
+        assert!(packed.contains("pages: 4"), "{packed}");
+        assert!(packed.contains("format v1"), "{packed}");
+        // Same grid, mapping and geometry: the out-of-core serve run is
+        // bitwise identical to the in-memory one — with and without
+        // readahead, across a tiny buffer pool.
+        let mem = run(&["serve", "--grid", "16x16", "--queries", "40"]).unwrap();
+        let disk = run(&[
+            "serve",
+            "--grid",
+            "16x16",
+            "--queries",
+            "40",
+            "--page-file",
+            path_str,
+        ])
+        .unwrap();
+        assert!(disk.contains(&format!("storage: page file {path_str} (readahead 0)")));
+        assert_eq!(digest_line(&disk), digest_line(&mem));
+        let ra = run(&[
+            "serve",
+            "--grid",
+            "16x16",
+            "--queries",
+            "40",
+            "--page-file",
+            path_str,
+            "--readahead",
+            "4",
+            "--buffer-pages",
+            "2",
+        ])
+        .unwrap();
+        assert_eq!(digest_line(&ra), digest_line(&mem));
+        // A geometry mismatch is a typed CLI error, not a panic.
+        let err = run(&[
+            "serve",
+            "--grid",
+            "16x16",
+            "--queries",
+            "40",
+            "--page-file",
+            path_str,
+            "--page-records",
+            "32",
+        ])
+        .expect_err("wrong page geometry");
+        assert!(err.0.contains("cannot open page file"), "{err}");
+        // A different mapping packs a different order: also rejected.
+        let err = run(&[
+            "serve",
+            "--grid",
+            "16x16",
+            "--queries",
+            "40",
+            "--mapping",
+            "snake",
+            "--page-file",
+            path_str,
+        ])
+        .expect_err("wrong order");
+        assert!(err.0.contains("cannot open page file"), "{err}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn pack_requires_grid_and_out() {
+        assert!(run(&["pack", "--grid", "8x8"]).is_err());
+        assert!(run(&["pack", "--out", "/tmp/x.pages"]).is_err());
     }
 
     #[test]

@@ -71,13 +71,15 @@ use crate::health::{
     BreakerSnapshot, RecoveryConfig, ShardBreaker, UnitDirective, UnitDisposition,
 };
 use crate::pool::WorkerPool;
-use crate::shard::{Partition, Shard, ShardMap, ShardSet};
+use crate::shard::{Partition, ReadPath, Shard, ShardMap, ShardSet};
 use slpm_storage::{
     chebyshev, BufferStats, IoCost, IoModel, Mbr, PackedRTree, PageLayout, PageMapper, QueryCost,
+    StorageError,
 };
 use spectral_lpm::LinearOrder;
 use std::collections::VecDeque;
 use std::fmt;
+use std::path::PathBuf;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
@@ -148,6 +150,12 @@ pub struct EngineConfig {
     pub partition: Partition,
     /// LRU frames per shard's buffer pool.
     pub buffer_pages: usize,
+    /// Run-readahead window per demand miss (`0` = off). With a
+    /// locality-preserving order a range query's shard pages form
+    /// monotone runs, so each miss can prefetch the run's next pages in
+    /// one seek; `0` keeps hit/miss accounting bitwise identical to the
+    /// pre-readahead engine.
+    pub readahead: usize,
     /// Seek/transfer model for the per-query I/O cost estimate.
     pub io: IoModel,
     /// kNN planning algorithm.
@@ -166,6 +174,7 @@ impl Default for EngineConfig {
             threads: 1,
             partition: Partition::Contiguous,
             buffer_pages: 64,
+            readahead: 0,
             io: IoModel::default(),
             knn_planner: KnnPlanner::BestFirst,
             recovery: RecoveryConfig::default(),
@@ -808,6 +817,21 @@ fn replay_unit(shared: &EngineShared, set: &ShardSet, shard_id: usize, unit: &Un
                 });
                 debug_assert!(unwound.is_err());
             }
+            if fault.fail_page != usize::MAX {
+                // A `pagerr` stamp travels the *real* read path: arm the
+                // shard's store and fault the page — the failure this
+                // attempt pays for is a genuine typed `StorageError`
+                // coming back off the storage tier, identically on
+                // memory- and disk-backed slices.
+                if let Ok(shard) = set.shard(shard_id).lock() {
+                    shard.store().arm_read_error(fault.fail_page);
+                    let read = shard.store().try_read_page(fault.fail_page);
+                    debug_assert!(
+                        matches!(read, Err(StorageError::Injected { .. })),
+                        "armed page read must fail"
+                    );
+                }
+            }
             penalty_us += rec.failed_attempt_us(fault.stall_us, attempt, last);
             if last {
                 return UnitResult::Degraded { penalty_us };
@@ -819,25 +843,29 @@ fn replay_unit(shared: &EngineShared, set: &ShardSet, shard_id: usize, unit: &Un
         let replayed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             let mut shard = set.shard(shard_id).lock().expect("shard lock");
             let before = shard.buffer_stats();
-            let (h, m) = shard.replay(&unit.pages);
+            let outcome = shard.replay(&unit.pages);
             let after = shard.buffer_stats();
-            (
-                h,
-                m,
-                BufferStats {
-                    hits: after.hits - before.hits,
-                    misses: after.misses - before.misses,
-                    evictions: after.evictions - before.evictions,
-                },
-            )
+            let delta = BufferStats {
+                hits: after.hits - before.hits,
+                misses: after.misses - before.misses,
+                evictions: after.evictions - before.evictions,
+                prefetched: after.prefetched - before.prefetched,
+                prefetch_hits: after.prefetch_hits - before.prefetch_hits,
+            };
+            outcome.map(|(h, m)| (h, m, delta))
         }));
         return match replayed {
-            Ok((hits, misses, delta)) => UnitResult::Served {
+            Ok(Ok((hits, misses, delta))) => UnitResult::Served {
                 hits,
                 misses,
                 delta,
                 penalty_us,
             },
+            // A genuine storage failure on the serving attempt —
+            // corruption, truncation, a device error: no retry budget
+            // fixes bad bytes, so the unit degrades (coverage names its
+            // rank-ranges) instead of failing the batch.
+            Ok(Err(_)) => UnitResult::Degraded { penalty_us },
             Err(_) => UnitResult::Panicked,
         };
     }
@@ -1120,16 +1148,49 @@ pub struct ServeEngine<'a> {
     placement: Arc<Vec<(usize, usize)>>,
     /// `None` when `threads == 1`: the serial baseline runs inline.
     pool: Option<WorkerPool>,
+    /// `Some(path)`: shard slices fault pages off this disk page file
+    /// (and failover rebuilds reopen it) instead of materialising them.
+    page_file: Option<PathBuf>,
     cfg: EngineConfig,
 }
 
 impl<'a> ServeEngine<'a> {
-    /// Build an engine over `points` laid out by `order`.
+    /// Build an engine over `points` laid out by `order`, with shards
+    /// materialised in memory.
     ///
     /// # Panics
     /// Panics when `points` is empty or its length differs from the
     /// order's (caller bugs), or on zero geometry knobs.
     pub fn new(points: &'a [Vec<i64>], order: &'a LinearOrder, cfg: EngineConfig) -> Self {
+        ServeEngine::with_storage(points, order, cfg, None)
+            .expect("in-memory shard builds are infallible")
+    }
+
+    /// Build an engine whose shard slices read the disk page file at
+    /// `page_file` (written by [`slpm_storage::write_page_file`] under
+    /// the same order and geometry) instead of materialising pages in
+    /// memory. Query results, page accounting and digests are bitwise
+    /// identical to [`ServeEngine::new`]; only where the bytes live
+    /// differs.
+    ///
+    /// # Errors
+    /// Any [`StorageError`] from opening/validating the file — bad magic,
+    /// version skew, truncation, or a geometry/order-digest mismatch.
+    pub fn with_page_file(
+        points: &'a [Vec<i64>],
+        order: &'a LinearOrder,
+        cfg: EngineConfig,
+        page_file: PathBuf,
+    ) -> Result<Self, StorageError> {
+        ServeEngine::with_storage(points, order, cfg, Some(page_file))
+    }
+
+    fn with_storage(
+        points: &'a [Vec<i64>],
+        order: &'a LinearOrder,
+        cfg: EngineConfig,
+        page_file: Option<PathBuf>,
+    ) -> Result<Self, StorageError> {
         assert_eq!(points.len(), order.len(), "order/point-set mismatch");
         let layout = PageLayout::new(cfg.records_per_page);
         let mapper = PageMapper::new(order, layout);
@@ -1145,17 +1206,21 @@ impl<'a> ServeEngine<'a> {
                     &mapper,
                     Arc::clone(&placement),
                     cfg.record_size,
-                    cfg.buffer_pages,
+                    ReadPath {
+                        buffer_pages: cfg.buffer_pages,
+                        readahead: cfg.readahead,
+                        page_file: page_file.as_deref(),
+                    },
                 )
             })
-            .collect();
+            .collect::<Result<_, _>>()?;
         let bounds = Mbr::of_points(points.iter().map(|p| p.as_slice()));
         assert!(
             cfg.recovery.validate().is_ok(),
             "invalid recovery config: {}",
             cfg.recovery.validate().unwrap_err()
         );
-        ServeEngine {
+        Ok(ServeEngine {
             points,
             order,
             rtree: PackedRTree::pack(points, order, cfg.fanout.max(2)),
@@ -1175,8 +1240,9 @@ impl<'a> ServeEngine<'a> {
             }),
             placement,
             pool: (cfg.threads > 1).then(|| WorkerPool::new(cfg.threads)),
+            page_file,
             cfg,
-        }
+        })
     }
 
     /// The engine's configuration.
@@ -1394,17 +1460,23 @@ impl<'a> ServeEngine<'a> {
         let replacements: Vec<(usize, Shard)> = pending
             .into_iter()
             .map(|id| {
-                (
+                let fresh = Shard::build(
                     id,
-                    Shard::build(
-                        id,
-                        &self.shard_map,
-                        &mapper,
-                        Arc::clone(&self.placement),
-                        self.cfg.record_size,
-                        self.cfg.buffer_pages,
-                    ),
+                    &self.shard_map,
+                    &mapper,
+                    Arc::clone(&self.placement),
+                    self.cfg.record_size,
+                    ReadPath {
+                        buffer_pages: self.cfg.buffer_pages,
+                        readahead: self.cfg.readahead,
+                        page_file: self.page_file.as_deref(),
+                    },
                 )
+                // The file opened at engine construction; failing to
+                // reopen it mid-failover is an environment change no
+                // rebuild can paper over.
+                .expect("rebuild reopens the page file the engine started with");
+                (id, fresh)
             })
             .collect();
         let mut slices = self.shared.slices.lock().expect("shard slices lock");
@@ -1934,6 +2006,177 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// Write the test grid's page file to a unique temp path (the caller
+    /// removes it once every engine holding it open is done).
+    fn temp_page_file(
+        tag: &str,
+        order: &LinearOrder,
+        records_per_page: usize,
+        record_size: usize,
+    ) -> PathBuf {
+        let path =
+            std::env::temp_dir().join(format!("slpm-engine-{}-{tag}.pages", std::process::id()));
+        let mapper = PageMapper::new(order, PageLayout::new(records_per_page));
+        slpm_storage::write_page_file(&path, &mapper, record_size).expect("page file writes");
+        path
+    }
+
+    #[test]
+    fn disk_backed_engine_is_bitwise_identical_to_memory() {
+        // The out-of-core acceptance bar: same config, the disk-backed
+        // engine and the in-memory engine agree bitwise — results, page
+        // counts, runs, digests, and (single-batch) buffer accounting —
+        // across the shard × thread × partition × inflight matrix.
+        let (points, order) = small_engine();
+        let path = temp_page_file("parity", &order, 4, 64);
+        let qs = queries();
+        for shards in [1usize, 2, 4] {
+            for threads in [1usize, 2] {
+                for partition in [Partition::Contiguous, Partition::RoundRobin] {
+                    for inflight in [1usize, 2] {
+                        let cfg = EngineConfig {
+                            records_per_page: 4,
+                            fanout: 4,
+                            buffer_pages: 4,
+                            shards,
+                            threads,
+                            partition,
+                            ..Default::default()
+                        };
+                        let tag = format!("S={shards} T={threads} {partition} I={inflight}");
+                        let mem = ServeEngine::new(&points, &order, cfg)
+                            .run_inflight(&qs, inflight)
+                            .expect("no replay panic");
+                        let disk = ServeEngine::with_page_file(&points, &order, cfg, path.clone())
+                            .expect("page file opens")
+                            .run_inflight(&qs, inflight)
+                            .expect("no replay panic");
+                        assert_eq!(disk.digest, mem.digest, "digest diverged at {tag}");
+                        for (d, m) in disk.outcomes.iter().zip(&mem.outcomes) {
+                            assert_eq!(d.results, m.results, "{tag}");
+                            assert_eq!(d.pages, m.pages, "{tag}");
+                            assert_eq!(d.runs, m.runs, "{tag}");
+                        }
+                        // Hit/miss splits are scheduling-dependent only
+                        // under concurrent admission; a single batch must
+                        // account identically on both backings.
+                        if inflight == 1 {
+                            for (d, m) in disk.outcomes.iter().zip(&mem.outcomes) {
+                                assert_eq!(d.hits, m.hits, "{tag}");
+                                assert_eq!(d.misses, m.misses, "{tag}");
+                            }
+                            for (d, m) in disk.shards.iter().zip(&mem.shards) {
+                                assert_eq!(d.buffer, m.buffer, "shard accounting at {tag}");
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn readahead_preserves_digests_and_cuts_demand_misses() {
+        // Ordered range sweeps: each query's shard pages form one
+        // monotone run, the shape readahead exists for. With readahead on
+        // the digest is unchanged, demand misses drop (prefetched pages
+        // are admitted off the demand path), and the in-memory engine
+        // under the same readahead matches the disk engine bitwise.
+        let (points, order) = small_engine();
+        let path = temp_page_file("readahead", &order, 4, 64);
+        let qs: Vec<Query> = (0..4i64)
+            .map(|i| {
+                Query::Range(Mbr {
+                    lo: vec![2 * i, 0],
+                    hi: vec![2 * i + 1, 7],
+                })
+            })
+            .collect();
+        let cfg = EngineConfig {
+            records_per_page: 4,
+            fanout: 4,
+            shards: 2,
+            buffer_pages: 8,
+            ..Default::default()
+        };
+        let plain = ServeEngine::with_page_file(&points, &order, cfg, path.clone())
+            .expect("page file opens")
+            .run(&qs)
+            .expect("no replay panic");
+        let ra_cfg = EngineConfig {
+            readahead: 4,
+            ..cfg
+        };
+        let ra = ServeEngine::with_page_file(&points, &order, ra_cfg, path.clone())
+            .expect("page file opens")
+            .run(&qs)
+            .expect("no replay panic");
+        assert_eq!(ra.digest, plain.digest, "readahead must not change results");
+        for (a, b) in ra.outcomes.iter().zip(&plain.outcomes) {
+            assert_eq!(a.results, b.results);
+        }
+        let misses = |r: &BatchReport| r.shards.iter().map(|s| s.buffer.misses).sum::<usize>();
+        let prefetched: usize = ra.shards.iter().map(|s| s.buffer.prefetched).sum();
+        let prefetch_hits: usize = ra.shards.iter().map(|s| s.buffer.prefetch_hits).sum();
+        assert!(prefetched > 0, "sweeps must trigger prefetch");
+        assert!(prefetch_hits > 0, "prefetched pages must be used");
+        assert!(
+            misses(&ra) < misses(&plain),
+            "readahead demand misses {} must undercut plain {}",
+            misses(&ra),
+            misses(&plain)
+        );
+        // Same readahead, memory backing: bitwise-identical accounting.
+        let mem = ServeEngine::new(&points, &order, ra_cfg)
+            .run(&qs)
+            .expect("no replay panic");
+        assert_eq!(mem.digest, ra.digest);
+        for (d, m) in ra.shards.iter().zip(&mem.shards) {
+            assert_eq!(d.buffer, m.buffer, "backings must account identically");
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn page_error_degrades_and_names_the_failed_pages_rank_range() {
+        // `pagerr:3@0` fails the first *real* disk read of page 3. With
+        // no retry budget the owning unit degrades, and the coverage
+        // report's rank-ranges must cover the failed page's records
+        // (page 3 holds ranks 12..16 at 4 records/page).
+        let (points, order) = small_engine();
+        let path = temp_page_file("pagerr", &order, 4, 64);
+        let cfg = EngineConfig {
+            records_per_page: 4,
+            fanout: 4,
+            shards: 2,
+            recovery: RecoveryConfig {
+                max_attempts: 1,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let engine = ServeEngine::with_page_file(&points, &order, cfg, path.clone())
+            .expect("page file opens");
+        engine.inject_faults(FaultPlan::parse("pagerr:3@0").unwrap());
+        let report = engine.run(&queries()).expect("degrades, not errors");
+        assert!(!report.coverage.is_clean());
+        let covers = report
+            .coverage
+            .degraded_units
+            .iter()
+            .any(|d| d.rank_ranges.iter().any(|&(lo, hi)| lo <= 12 && 16 <= hi));
+        assert!(
+            covers,
+            "coverage must name the failed page's rank-range: {:?}",
+            report.coverage.degraded_units
+        );
+        // The one-shot error is consumed: a second run is clean.
+        let again = engine.run(&queries()).expect("no replay panic");
+        assert!(again.coverage.is_clean());
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -121,6 +121,11 @@ pub struct UnitFault {
     pub stall_us: f64,
     /// Failing attempts manifest as real panics through the catch seam.
     pub panics: bool,
+    /// Page whose read the failing attempts manifest through: the replay
+    /// seam arms the shard's store so this page's next read returns a
+    /// *real* `StorageError` — the `pagerr:P@N` plan travelling the same
+    /// typed path a device error would. `usize::MAX` = no page fault.
+    pub fail_page: usize,
 }
 
 impl UnitFault {
@@ -129,6 +134,7 @@ impl UnitFault {
         fail_attempts: 0,
         stall_us: 0.0,
         panics: false,
+        fail_page: usize::MAX,
     };
 
     /// True when this stamp changes nothing.
@@ -437,6 +443,7 @@ impl FaultState {
             *self.page_access.entry(page).or_insert(0) += 1;
             if hit {
                 stamp.fail_attempts = stamp.fail_attempts.max(1);
+                stamp.fail_page = page;
             }
         }
         stamp
@@ -577,10 +584,13 @@ mod tests {
         let s0 = state.stamp(1, 0, &[5]);
         assert_eq!(s0.stall_us, 100.0);
         assert_eq!(s0.fail_attempts, 0);
-        // Shard 1, unit 1: stalled, and page 5's access #1 errors once.
+        // Shard 1, unit 1: stalled, and page 5's access #1 errors once —
+        // the stamp carries the page so replay can arm a real read error.
         let s1 = state.stamp(1, 0, &[5, 6]);
         assert_eq!(s1.stall_us, 100.0);
         assert_eq!(s1.fail_attempts, 1);
+        assert_eq!(s1.fail_page, 5);
+        assert_eq!(s0.fail_page, usize::MAX);
         // Shard 1, unit 2: the kill starts; incarnation 0 fails outright.
         let s2 = state.stamp(1, 0, &[]);
         assert_eq!(s2.fail_attempts, u32::MAX);
@@ -603,21 +613,18 @@ mod tests {
         assert!(!clean.will_degrade(1_000.0, 3));
         let flaky = UnitFault {
             fail_attempts: 2,
-            stall_us: 0.0,
-            panics: false,
+            ..UnitFault::NONE
         };
         assert!(!flaky.will_degrade(1_000.0, 3)); // 3rd attempt succeeds
         assert!(flaky.will_degrade(1_000.0, 2)); // budget exhausted
         let stalled = UnitFault {
-            fail_attempts: 0,
             stall_us: 1_000.0,
-            panics: false,
+            ..UnitFault::NONE
         };
         assert!(stalled.will_degrade(1_000.0, 3)); // every attempt times out
         let slow = UnitFault {
-            fail_attempts: 0,
             stall_us: 999.0,
-            panics: false,
+            ..UnitFault::NONE
         };
         assert!(!slow.will_degrade(1_000.0, 3)); // slow but inside budget
     }

@@ -19,8 +19,9 @@
 //! land, which is exactly what the engine's parity guarantees rely on.
 
 use slpm_storage::decluster::Declustering;
-use slpm_storage::{BufferPool, BufferStats, PageMapper, PageStore, RoundRobin};
+use slpm_storage::{BufferPool, BufferStats, PageMapper, PageStore, RoundRobin, StorageError};
 use std::fmt;
+use std::path::Path;
 use std::sync::{Arc, Mutex};
 
 /// How global pages are assigned to shards.
@@ -128,33 +129,63 @@ impl ShardMap {
     }
 }
 
+/// How a shard reads its pages: LRU pool size, readahead window, and
+/// the optional disk page file to fault frames from.
+#[derive(Clone, Copy, Debug)]
+pub struct ReadPath<'a> {
+    /// LRU pool capacity in pages (clamped to at least 1).
+    pub buffer_pages: usize,
+    /// Readahead window: pages of a miss's monotone run prefetched per
+    /// demand miss. `0` = off.
+    pub readahead: usize,
+    /// Disk page file to read through, or `None` for in-memory payloads.
+    pub page_file: Option<&'a Path>,
+}
+
 /// One shard: a slice of the page store plus its private LRU pool.
 pub struct Shard {
     id: usize,
     store: PageStore,
     buffer: BufferPool,
+    /// Readahead window: on a demand miss, up to this many following
+    /// pages of the miss's monotone run are prefetched. `0` = off.
+    readahead: usize,
 }
 
 impl Shard {
     /// Build shard `id` of the map: a [`PageStore`] slice over the owned
-    /// pages and a fresh LRU pool of `buffer_pages` frames. `placement`
+    /// pages and a fresh LRU pool sized by the [`ReadPath`]. `placement`
     /// is the store's shared record placement
     /// ([`PageStore::placement_of`]), computed once per fleet so S shards
     /// hold one copy, not S.
+    ///
+    /// With `read_path.page_file: Some(path)` the slice opens the disk
+    /// page file at `path` instead of materialising payloads — same
+    /// bytes, same accounting, reads fault frames off disk.
+    /// `read_path.readahead` sets the run-prefetch window (pages per
+    /// demand miss; `0` disables, which also keeps hit/miss accounting
+    /// bitwise identical to the pre-disk engine).
     pub fn build(
         id: usize,
         map: &ShardMap,
         mapper: &PageMapper,
         placement: Arc<Vec<(usize, usize)>>,
         record_size: usize,
-        buffer_pages: usize,
-    ) -> Self {
+        read_path: ReadPath<'_>,
+    ) -> Result<Self, StorageError> {
         let owned = map.pages_of(id);
-        Shard {
+        let store = match read_path.page_file {
+            None => PageStore::build_shard_placed(mapper, record_size, &owned, placement),
+            Some(path) => {
+                PageStore::open_shard_placed(path, mapper, record_size, &owned, placement)?
+            }
+        };
+        Ok(Shard {
             id,
-            store: PageStore::build_shard_placed(mapper, record_size, &owned, placement),
-            buffer: BufferPool::new(buffer_pages.max(1)),
-        }
+            store,
+            buffer: BufferPool::new(read_path.buffer_pages.max(1)),
+            readahead: read_path.readahead,
+        })
     }
 
     /// Shard id.
@@ -168,24 +199,69 @@ impl Shard {
     }
 
     /// Replay one query's page list against this shard: pages served from
-    /// the LRU pool are hits; misses go to the store (counted reads).
-    /// Returns `(hits, misses)`.
+    /// the LRU pool are hits; misses fault their payload from the store
+    /// (counted reads) and, with readahead on, pull the next pages of the
+    /// miss's monotone run into the pool ahead of demand. Returns
+    /// `(hits, misses)`; storage failures (disk errors, corruption,
+    /// injected faults) surface as typed [`StorageError`]s.
     ///
     /// Replay order is the caller's page order — the engine routes each
     /// shard's queries in deterministic batch order, which is what makes
-    /// hit/miss accounting reproducible for every thread count.
-    pub fn replay(&mut self, pages: &[usize]) -> (usize, usize) {
+    /// hit/miss accounting reproducible for every thread count. The
+    /// prefetcher is deterministic too (it looks only at the page list
+    /// and pool residency), so accounting stays bitwise identical between
+    /// memory- and disk-backed slices.
+    pub fn replay(&mut self, pages: &[usize]) -> Result<(usize, usize), StorageError> {
         let mut hits = 0;
         let mut misses = 0;
-        for &page in pages {
-            if self.buffer.access(page) {
+        for (i, &page) in pages.iter().enumerate() {
+            if self.buffer.get(page).is_some() {
                 hits += 1;
-            } else {
-                let _ = self.store.read_page(page);
-                misses += 1;
+                continue;
+            }
+            misses += 1;
+            // An unowned page is a routing bug in the caller, not a
+            // storage condition: keep the panicking contract (the engine
+            // catches it and surfaces the lost unit). Everything else —
+            // disk errors, corruption, injected faults — is typed.
+            let bytes = match self.store.try_read_page(page) {
+                Ok(bytes) => bytes,
+                Err(e @ StorageError::PageNotOwned { .. }) => panic!("{e}"),
+                Err(e) => return Err(e),
+            };
+            self.buffer.admit(page, bytes);
+            if self.readahead > 0 {
+                self.prefetch_run(pages, i)?;
             }
         }
-        (hits, misses)
+        Ok((hits, misses))
+    }
+
+    /// Extend the demand miss at `pages[i]` into its monotone run: the
+    /// linear order already sorted each query's shard list, so pages that
+    /// follow contiguously in the list are contiguous **on disk** — one
+    /// [`PageStore::read_run`] (a single seek) fetches them all. The
+    /// window stops at the readahead budget, at the first gap in the run,
+    /// at the first already-resident page, and always below the pool
+    /// capacity (speculation must never evict the demand page).
+    fn prefetch_run(&mut self, pages: &[usize], i: usize) -> Result<(), StorageError> {
+        let budget = self.readahead.min(self.buffer.capacity().saturating_sub(1));
+        let start = pages[i] + 1;
+        let mut count = 0;
+        for &q in &pages[i + 1..] {
+            if count == budget || q != start + count || self.buffer.is_resident(q) {
+                break;
+            }
+            count += 1;
+        }
+        if count == 0 {
+            return Ok(());
+        }
+        let run = self.store.read_run(start, count)?;
+        for (k, bytes) in run.into_iter().enumerate() {
+            self.buffer.admit_prefetch(start + k, bytes);
+        }
+        Ok(())
     }
 
     /// Cumulative buffer statistics.
@@ -193,7 +269,7 @@ impl Shard {
         self.buffer.stats()
     }
 
-    /// Pages read from backing storage (i.e. buffer misses) so far.
+    /// Pages read from backing storage (demand misses + prefetches).
     pub fn storage_reads(&self) -> usize {
         self.store.total_reads()
     }
@@ -267,6 +343,15 @@ mod tests {
     use slpm_storage::PageLayout;
     use spectral_lpm::LinearOrder;
 
+    /// In-memory [`ReadPath`] with the given pool size and readahead.
+    fn mem_pool(buffer_pages: usize, readahead: usize) -> ReadPath<'static> {
+        ReadPath {
+            buffer_pages,
+            readahead,
+            page_file: None,
+        }
+    }
+
     #[test]
     fn contiguous_partition_is_balanced_and_exhaustive() {
         // 10 pages over 4 shards: 3, 3, 2, 2.
@@ -327,9 +412,9 @@ mod tests {
         let mapper = PageMapper::new(&order, PageLayout::new(4)); // 4 pages
         let map = ShardMap::new(2, mapper.num_pages(), Partition::Contiguous);
         let placement = PageStore::placement_of(&mapper);
-        let mut shard = Shard::build(0, &map, &mapper, placement, 8, 8);
+        let mut shard = Shard::build(0, &map, &mapper, placement, 8, mem_pool(8, 0)).unwrap();
         // Shard 0 owns pages {0, 1}.
-        let (h, m) = shard.replay(&[0, 1, 0]);
+        let (h, m) = shard.replay(&[0, 1, 0]).unwrap();
         assert_eq!((h, m), (1, 2));
         assert_eq!(shard.storage_reads(), 2); // only misses hit the store
         assert_eq!(shard.buffer_stats().hits, 1);
@@ -338,12 +423,71 @@ mod tests {
     }
 
     #[test]
+    fn readahead_turns_run_misses_into_prefetch_hits() {
+        let order = LinearOrder::identity(32);
+        let mapper = PageMapper::new(&order, PageLayout::new(4)); // 8 pages
+        let map = ShardMap::new(1, mapper.num_pages(), Partition::Contiguous);
+        let placement = PageStore::placement_of(&mapper);
+        let build = |readahead: usize| {
+            Shard::build(
+                0,
+                &map,
+                &mapper,
+                Arc::clone(&placement),
+                8,
+                mem_pool(8, readahead),
+            )
+            .unwrap()
+        };
+        // An ordered sweep of a 4-page run, readahead off: 4 demand misses.
+        let mut plain = build(0);
+        let (h0, m0) = plain.replay(&[2, 3, 4, 5]).unwrap();
+        assert_eq!((h0, m0), (0, 4));
+        assert_eq!(plain.buffer_stats().prefetched, 0);
+        // Readahead 3: the first miss prefetches the rest of the run, so
+        // the remaining touches are hits — all of them prefetch hits.
+        let mut ahead = build(3);
+        let (h1, m1) = ahead.replay(&[2, 3, 4, 5]).unwrap();
+        assert_eq!((h1, m1), (3, 1));
+        let stats = ahead.buffer_stats();
+        assert_eq!(stats.prefetched, 3);
+        assert_eq!(stats.prefetch_hits, 3);
+        // Same total storage reads either way: readahead moves reads into
+        // runs, it does not add any on a fully-consumed sweep.
+        assert_eq!(ahead.storage_reads(), plain.storage_reads());
+        // A gap breaks the run: page 7 is not prefetched from the 2..=5 run.
+        let mut gap = build(8);
+        let (_, m2) = gap.replay(&[0, 1, 7]).unwrap();
+        assert_eq!(m2, 2); // 0 misses+prefetches 1, 7 misses separately
+        assert_eq!(gap.buffer_stats().prefetched, 1);
+    }
+
+    #[test]
+    fn replay_surfaces_typed_storage_errors() {
+        let order = LinearOrder::identity(16);
+        let mapper = PageMapper::new(&order, PageLayout::new(4));
+        let map = ShardMap::new(1, mapper.num_pages(), Partition::Contiguous);
+        let placement = PageStore::placement_of(&mapper);
+        let mut shard = Shard::build(0, &map, &mapper, placement, 8, mem_pool(8, 0)).unwrap();
+        shard.store().arm_read_error(2);
+        assert_eq!(
+            shard.replay(&[1, 2]).unwrap_err(),
+            StorageError::Injected { page: 2 }
+        );
+        // The failed page never entered the pool; a retry reads it fresh.
+        let (h, m) = shard.replay(&[1, 2]).unwrap();
+        assert_eq!((h, m), (1, 1));
+    }
+
+    #[test]
     fn shard_set_swaps_epochs_and_shares_healthy_slices() {
         let order = LinearOrder::identity(16);
         let mapper = PageMapper::new(&order, PageLayout::new(4));
         let map = ShardMap::new(2, mapper.num_pages(), Partition::Contiguous);
         let placement = PageStore::placement_of(&mapper);
-        let build = |id: usize| Shard::build(id, &map, &mapper, Arc::clone(&placement), 8, 8);
+        let build = |id: usize| {
+            Shard::build(id, &map, &mapper, Arc::clone(&placement), 8, mem_pool(8, 0)).unwrap()
+        };
         let set = ShardSet::new(vec![build(0), build(1)]);
         assert_eq!(set.epoch(), 0);
         assert_eq!(set.len(), 2);

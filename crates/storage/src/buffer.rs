@@ -1,10 +1,19 @@
-//! An LRU buffer pool over the page store.
+//! A byte-owning LRU buffer pool over the page store.
 //!
 //! Locality pays twice: once in fewer pages per query, and again in cache
 //! hits across *successive* queries — nearby queries touch overlapping page
-//! sets. The buffer pool makes the second effect measurable: replay a
-//! workload through a pool of `capacity` frames and read off the hit rate.
+//! sets. The buffer pool makes the second effect measurable *and physical*:
+//! frames own their page payloads (capacity-bounded, LRU-evicted), so with
+//! a disk-backed store a miss is a real read and a hit really avoids one.
+//!
+//! Readahead is accounted separately: pages brought in speculatively by
+//! the shard's run prefetcher are admitted with [`BufferPool::admit_prefetch`]
+//! (counted as `prefetched`, **not** as demand misses), and the first
+//! demand access that lands on such a frame counts both a `hit` and a
+//! `prefetch_hit` — so `prefetch_hits / prefetched` reads off directly how
+//! much of the speculation paid.
 
+use bytes::Bytes;
 use std::collections::HashMap;
 
 /// Statistics of a buffer-pool run.
@@ -16,6 +25,11 @@ pub struct BufferStats {
     pub misses: usize,
     /// Pages evicted to make room.
     pub evictions: usize,
+    /// Pages admitted speculatively by readahead.
+    pub prefetched: usize,
+    /// Demand hits whose frame was brought in by readahead — the subset of
+    /// `hits` that would have been `misses` without prefetch.
+    pub prefetch_hits: usize,
 }
 
 impl BufferStats {
@@ -37,22 +51,47 @@ impl BufferStats {
         }
     }
 
+    /// Fraction of speculatively admitted pages that served a demand hit,
+    /// in `[0, 1]`; `0.0` when nothing was prefetched.
+    pub fn prefetch_accuracy(&self) -> f64 {
+        if self.prefetched == 0 {
+            0.0
+        } else {
+            self.prefetch_hits as f64 / self.prefetched as f64
+        }
+    }
+
     /// Accumulate another run's counters into this one — used to fold
     /// per-shard pool statistics into a fleet-wide total.
     pub fn merge(&mut self, other: &BufferStats) {
         self.hits += other.hits;
         self.misses += other.misses;
         self.evictions += other.evictions;
+        self.prefetched += other.prefetched;
+        self.prefetch_hits += other.prefetch_hits;
     }
 }
 
-/// A fixed-capacity LRU buffer pool tracking page residency (payloads live
-/// in the [`crate::store::PageStore`]; the pool tracks only identity).
+/// One resident page: its payload, recency stamp, and whether it is an
+/// as-yet-untouched readahead admission.
+#[derive(Debug)]
+struct Frame {
+    bytes: Bytes,
+    stamp: u64,
+    prefetched: bool,
+}
+
+/// A fixed-capacity, byte-owning LRU buffer pool.
+///
+/// Frames hold the actual page payloads, so the pool's memory footprint is
+/// genuinely bounded by `capacity · page_size` — with a disk-backed
+/// [`crate::store::PageStore`] this is the only place cold page bytes live.
+/// (Callers that only want residency accounting can use [`BufferPool::access`],
+/// which admits empty payloads.)
 #[derive(Debug)]
 pub struct BufferPool {
     capacity: usize,
-    /// page → recency stamp of last touch.
-    resident: HashMap<usize, u64>,
+    frames: HashMap<usize, Frame>,
     clock: u64,
     stats: BufferStats,
 }
@@ -66,33 +105,82 @@ impl BufferPool {
         assert!(capacity >= 1, "buffer pool needs at least one frame");
         BufferPool {
             capacity,
-            resident: HashMap::with_capacity(capacity + 1),
+            frames: HashMap::with_capacity(capacity + 1),
             clock: 0,
             stats: BufferStats::default(),
         }
     }
 
-    /// Touch a page: returns `true` on a hit, `false` on a miss (after
-    /// which the page is resident, possibly evicting the LRU page).
-    pub fn access(&mut self, page: usize) -> bool {
+    /// Maximum number of resident frames.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Demand-access a page: on a hit, returns the resident payload (and
+    /// counts a `prefetch_hit` too if readahead brought the frame in); on
+    /// a miss returns `None` — the caller reads storage and [`BufferPool::admit`]s.
+    pub fn get(&mut self, page: usize) -> Option<Bytes> {
         self.clock += 1;
-        if let Some(stamp) = self.resident.get_mut(&page) {
-            *stamp = self.clock;
+        if let Some(frame) = self.frames.get_mut(&page) {
+            frame.stamp = self.clock;
             self.stats.hits += 1;
-            return true;
+            if frame.prefetched {
+                frame.prefetched = false;
+                self.stats.prefetch_hits += 1;
+            }
+            return Some(frame.bytes.clone());
         }
         self.stats.misses += 1;
-        if self.resident.len() == self.capacity {
+        None
+    }
+
+    /// Admit a page read on demand (after a [`BufferPool::get`] miss, which
+    /// already counted it), evicting the LRU frame when full.
+    pub fn admit(&mut self, page: usize, bytes: Bytes) {
+        self.insert(page, bytes, false);
+    }
+
+    /// Admit a page brought in by readahead: counted as `prefetched`, not
+    /// as a demand miss. A page that is already resident is left untouched
+    /// (its recency is not refreshed — speculation must not pin frames).
+    pub fn admit_prefetch(&mut self, page: usize, bytes: Bytes) {
+        if self.frames.contains_key(&page) {
+            return;
+        }
+        self.stats.prefetched += 1;
+        self.insert(page, bytes, true);
+    }
+
+    fn insert(&mut self, page: usize, bytes: Bytes, prefetched: bool) {
+        if !self.frames.contains_key(&page) && self.frames.len() == self.capacity {
             // Evict the least recently used frame.
             let (&victim, _) = self
-                .resident
+                .frames
                 .iter()
-                .min_by_key(|(_, &stamp)| stamp)
+                .min_by_key(|(_, frame)| frame.stamp)
                 .expect("pool is non-empty at capacity");
-            self.resident.remove(&victim);
+            self.frames.remove(&victim);
             self.stats.evictions += 1;
         }
-        self.resident.insert(page, self.clock);
+        self.clock += 1;
+        self.frames.insert(
+            page,
+            Frame {
+                bytes,
+                stamp: self.clock,
+                prefetched,
+            },
+        );
+    }
+
+    /// Touch a page without bytes: returns `true` on a hit, `false` on a
+    /// miss (after which the page is resident with an empty payload,
+    /// possibly evicting the LRU page). The accounting-only legacy path.
+    pub fn access(&mut self, page: usize) -> bool {
+        if self.get(page).is_some() {
+            return true;
+        }
+        self.admit(page, Bytes::new());
         false
     }
 
@@ -113,12 +201,12 @@ impl BufferPool {
 
     /// Number of currently resident pages.
     pub fn resident_count(&self) -> usize {
-        self.resident.len()
+        self.frames.len()
     }
 
     /// Whether a page is currently resident (does not count as a touch).
     pub fn is_resident(&self, page: usize) -> bool {
-        self.resident.contains_key(&page)
+        self.frames.contains_key(&page)
     }
 
     /// Cumulative statistics.
@@ -179,6 +267,7 @@ mod tests {
         // engine reports ratios for shards that served no queries).
         assert_eq!(BufferStats::default().hit_ratio(), 0.0);
         assert!(BufferStats::default().hit_ratio().is_finite());
+        assert_eq!(BufferStats::default().prefetch_accuracy(), 0.0);
     }
 
     #[test]
@@ -225,16 +314,65 @@ mod tests {
     }
 
     #[test]
+    fn frames_own_their_bytes() {
+        let mut pool = BufferPool::new(2);
+        assert!(pool.get(4).is_none());
+        pool.admit(4, Bytes::from(vec![1, 2, 3]));
+        let back = pool.get(4).expect("resident after admit");
+        assert_eq!(&back[..], &[1, 2, 3]);
+        // get() on a miss counts the miss; admit() does not double-count.
+        let s = pool.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+    }
+
+    #[test]
+    fn prefetch_admissions_are_not_demand_misses() {
+        let mut pool = BufferPool::new(4);
+        pool.admit_prefetch(7, Bytes::from(vec![9]));
+        pool.admit_prefetch(8, Bytes::from(vec![8]));
+        let s = pool.stats();
+        assert_eq!((s.hits, s.misses, s.prefetched), (0, 0, 2));
+        // First demand touch of a prefetched frame: hit + prefetch_hit,
+        // and the flag clears — a second touch is an ordinary hit.
+        assert!(pool.get(7).is_some());
+        assert!(pool.get(7).is_some());
+        let s = pool.stats();
+        assert_eq!((s.hits, s.prefetch_hits), (2, 1));
+        assert!((pool.stats().prefetch_accuracy() - 0.5).abs() < 1e-12);
+        // Prefetching an already-resident page is a no-op.
+        pool.admit_prefetch(7, Bytes::new());
+        assert_eq!(pool.stats().prefetched, 2);
+    }
+
+    #[test]
+    fn prefetched_frames_are_evictable() {
+        // Speculative admissions must not pin the pool: demand traffic
+        // evicts the untouched prefetched frame first (it is the LRU).
+        let mut pool = BufferPool::new(2);
+        pool.admit_prefetch(1, Bytes::new());
+        pool.access(2);
+        pool.access(3); // evicts 1 (oldest stamp, never touched)
+        assert!(!pool.is_resident(1));
+        assert!(pool.is_resident(2) && pool.is_resident(3));
+        assert_eq!(pool.stats().evictions, 1);
+        assert_eq!(pool.stats().prefetch_hits, 0);
+    }
+
+    #[test]
     fn merge_accumulates_counters() {
         let mut a = BufferStats {
             hits: 3,
             misses: 1,
             evictions: 0,
+            prefetched: 2,
+            prefetch_hits: 1,
         };
         let b = BufferStats {
             hits: 1,
             misses: 3,
             evictions: 2,
+            prefetched: 0,
+            prefetch_hits: 0,
         };
         a.merge(&b);
         assert_eq!(
@@ -242,7 +380,9 @@ mod tests {
             BufferStats {
                 hits: 4,
                 misses: 4,
-                evictions: 2
+                evictions: 2,
+                prefetched: 2,
+                prefetch_hits: 1,
             }
         );
         assert!((a.hit_ratio() - 0.5).abs() < 1e-12);

@@ -5,6 +5,16 @@
 //! `seek_cost ≫ transfer_cost` this rewards mappings that keep query
 //! results contiguous (few clusters), which is precisely the paper's
 //! locality argument stated in milliseconds.
+//!
+//! The model's two primitives map one-to-one onto the out-of-core tier
+//! in [`crate::diskfile`]: a `seek` is starting one `PageFile::read_run`
+//! (repositioning the file cursor), a `transfer` is one page frame read
+//! and checksum-verified inside that run. [`IoModel`]'s defaults keep
+//! the paper's 2003-era spinning-disk ratio for cost *estimates*; the
+//! serving stack's simulated-latency twin
+//! (`slpm_serve::stream::ServiceModel`) instead calibrates its defaults
+//! from measured `diskfile` read timings — same shape, different
+//! coefficients, each documented where it lives.
 
 use crate::pages::PageMapper;
 use serde::Serialize;

@@ -15,6 +15,10 @@
 //!   I/O time estimate.
 //! * [`decluster`] — round-robin declustering of pages over M parallel
 //!   disks with per-query parallel response time.
+//! * [`diskfile`] — the out-of-core tier: a checksummed page-file format
+//!   laid out in linear-order sequence, with typed [`StorageError`]s and
+//!   single-seek run reads (the readahead primitive). [`store::PageStore`]
+//!   serves either backing — memory and disk are bitwise interchangeable.
 //!
 //! All structures operate on [`spectral_lpm::LinearOrder`], so every
 //! mapping in the reproduction (spectral or fractal) can be evaluated
@@ -37,6 +41,7 @@
 pub mod buffer;
 pub mod clustering;
 pub mod decluster;
+pub mod diskfile;
 pub mod io;
 pub mod mbr;
 pub mod pages;
@@ -46,6 +51,7 @@ pub mod store;
 pub use buffer::{BufferPool, BufferStats};
 pub use clustering::cluster_count;
 pub use decluster::{Declustering, RoundRobin};
+pub use diskfile::{write_page_file, PageFile, PageFileHeader, StorageError};
 pub use io::{IoCost, IoModel};
 pub use mbr::{chebyshev, Mbr};
 pub use pages::{PageLayout, PageMapper};

@@ -85,6 +85,22 @@ impl<'a> PageMapper<'a> {
         self.rank[v]
     }
 
+    /// The borrowed rank array (`ranks()[v]` = 1-D position of `v`).
+    pub fn ranks(&self) -> &[usize] {
+        self.rank
+    }
+
+    /// The inverse permutation: `result[position] = vertex at that rank`.
+    /// This is the write-order view of the layout — a page-file writer
+    /// streams record payloads in exactly this sequence.
+    pub fn vertices_by_position(&self) -> Vec<usize> {
+        let mut vertex_at = vec![usize::MAX; self.rank.len()];
+        for (v, &r) in self.rank.iter().enumerate() {
+            vertex_at[r] = v;
+        }
+        vertex_at
+    }
+
     /// Number of records placed (the order's length).
     pub fn num_records(&self) -> usize {
         self.rank.len()
@@ -168,6 +184,18 @@ mod tests {
         assert_eq!(m.page_runs([0, 1, 2, 3]), 1);
         // Empty query.
         assert_eq!(m.page_runs(std::iter::empty()), 0);
+    }
+
+    #[test]
+    fn vertices_by_position_inverts_the_rank_array() {
+        let order = LinearOrder::from_ranks(vec![2, 0, 3, 1]).unwrap();
+        let m = PageMapper::new(&order, PageLayout::new(2));
+        assert_eq!(m.ranks(), &[2, 0, 3, 1]);
+        let inv = m.vertices_by_position();
+        assert_eq!(inv, vec![1, 3, 0, 2]);
+        for (v, &r) in m.ranks().iter().enumerate() {
+            assert_eq!(inv[r], v);
+        }
     }
 
     #[test]

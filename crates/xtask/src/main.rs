@@ -26,6 +26,12 @@
 //!   budget) so a permanently failed shard cannot wedge a worker.
 //!   Queue-drain and other provably-terminating loops carry a reasoned
 //!   pragma.
+//! * **`fs-only-in-storage`** — `std::fs` is confined to
+//!   `crates/storage/src/diskfile.rs` (the out-of-core tier) and the
+//!   shims; everything else reaches bytes through `PageFile`/`PageStore`
+//!   so checksums, accounting and fault injection cannot be bypassed.
+//!   Non-serving sites with a legitimate need (the linter reading the
+//!   tree, benches persisting artifacts) carry a reasoned pragma.
 //! * **`forbid-unsafe`** — every `crates/*/src/lib.rs` carries
 //!   `#![forbid(unsafe_code)]`.
 //!
@@ -45,6 +51,7 @@
 
 #![forbid(unsafe_code)]
 
+// xtask:allow(fs-only-in-storage): the linter must read the tree it scans
 use std::fs;
 use std::path::{Path, PathBuf};
 
@@ -55,6 +62,7 @@ const RULES: &[&str] = &[
     "float-reduce",
     "wall-clock",
     "unbounded-retry",
+    "fs-only-in-storage",
     "forbid-unsafe",
 ];
 
@@ -65,6 +73,8 @@ const BLESSED_SPAWN_SITE: &str = "crates/serve/src/pool.rs";
 const BLESSED_FLOAT_FILE: &str = "crates/linalg/src/vector.rs";
 /// Measurement-only crate: wall-clock readings are its whole point.
 const BENCH_CRATE_PREFIX: &str = "crates/bench/";
+/// The out-of-core tier — the one module allowed to touch `std::fs`.
+const BLESSED_FS_FILE: &str = "crates/storage/src/diskfile.rs";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -255,6 +265,25 @@ fn lint_file(rel: &str, source: &str, out: &mut Vec<Violation>) {
                           with an attempt budget (`for attempt in 0..max_attempts`), or \
                           annotate why this loop provably terminates"
                     .to_string(),
+            });
+        }
+
+        if !in_shims
+            && rel != BLESSED_FS_FILE
+            && !exempt_determinism
+            && code_line.contains("std::fs")
+            && !allowed(&raw, idx, "fs-only-in-storage")
+        {
+            out.push(Violation {
+                path: rel.to_string(),
+                line: line_no,
+                rule: "fs-only-in-storage",
+                message: format!(
+                    "filesystem access outside {BLESSED_FS_FILE} — go through \
+                     PageFile/PageStore so checksums, accounting and fault \
+                     injection stay on the path, or annotate why this site \
+                     must touch the filesystem"
+                ),
             });
         }
 
@@ -649,6 +678,48 @@ mod tests {
         let mut v = Vec::new();
         lint_file("crates/check/src/harness.rs", bounded, &mut v);
         assert!(v.is_empty());
+    }
+
+    #[test]
+    fn fs_access_is_confined_to_the_storage_tier() {
+        let bare = "fn save() {\n    std::fs::write(path, bytes).unwrap();\n}\n";
+        let mut v = Vec::new();
+        lint_file("crates/serve/src/engine.rs", bare, &mut v);
+        assert_eq!(v.len(), 1, "expected exactly one finding: {v:?}");
+        assert_eq!(v[0].rule, "fs-only-in-storage");
+
+        // The out-of-core tier itself is blessed by path.
+        let mut v = Vec::new();
+        lint_file("crates/storage/src/diskfile.rs", bare, &mut v);
+        assert!(v.is_empty());
+
+        // A reasoned pragma silences a legitimate non-serving site.
+        let blessed = "fn save() {\n    // xtask:allow(fs-only-in-storage): bench \
+                       artifact\n    std::fs::write(path, bytes).unwrap();\n}\n";
+        let mut v = Vec::new();
+        lint_file("crates/bench/src/bin/serve_throughput.rs", blessed, &mut v);
+        assert!(
+            v.is_empty(),
+            "pragma should silence: {:?}",
+            v.first().map(|x| &x.message)
+        );
+
+        // Test code keeps its temp-file freedom.
+        let in_tests = "#[cfg(test)]\nmod tests {\n    fn t() { \
+                        std::fs::remove_file(p).unwrap(); }\n}\n";
+        let mut v = Vec::new();
+        lint_file("crates/serve/src/engine.rs", in_tests, &mut v);
+        assert!(v.is_empty());
+    }
+
+    impl std::fmt::Debug for Violation {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(
+                f,
+                "{}:{}: [{}] {}",
+                self.path, self.line, self.rule, self.message
+            )
+        }
     }
 
     #[test]
