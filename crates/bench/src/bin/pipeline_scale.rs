@@ -10,14 +10,30 @@
 //!
 //! Usage:
 //!   pipeline_scale [--max-side N] [--threads N] [--oocore SIDE]
-//!                  [--json] [--out PATH]
+//!                  [--bisection SIDE] [--json] [--out PATH]
 //!
 //! `--threads N` (N > 1) additionally runs the multilevel path on N worker
 //! threads at every size and **verifies in-process that the threaded
 //! `LinearOrder` is identical to the serial one** (the parallel kernels
 //! use fixed-chunk deterministic reductions, so any divergence is a bug
 //! and fails the run). Baseline methods always run single-threaded so the
-//! trajectory stays comparable across machines.
+//! trajectory stays comparable across machines. Threaded runs execute on
+//! a persistent `WorkerPool` through the `ScopeExecutor` seam — the same
+//! path the CLI uses — and their dispatch-cost counters (parallel
+//! engagements, backend jobs, chunk-grid cells) are recorded per entry.
+//! Two gates ride on them: `dispatch_gate` requires the threaded jobs-
+//! submitted count to stay strictly below the pre-chunk-plan baseline at
+//! every gated side (the counters are machine-independent, so this holds
+//! on any host), and `speedup_gate` requires threaded wall time to beat
+//! serial per side whenever the host has ≥ 2 cores (vacuously true on a
+//! single-core host, where threading can only add overhead).
+//!
+//! `--bisection SIDE` additionally runs the **recursive-bisection stage**
+//! on a non-square SIDE × (3·SIDE/2) grid: the RSB order once with the
+//! root coarsening hierarchy restricted to each half
+//! (`reuse_hierarchy: true`) and once re-coarsening every fragment from
+//! scratch. It gates on the two orders being rank-for-rank identical and
+//! on the reuse run being faster.
 //!
 //! `--oocore SIDE` additionally runs the **out-of-core stage**: pack a
 //! SIDE×SIDE grid's Hilbert order into an on-disk page file (at 2048 that
@@ -30,18 +46,24 @@
 //! readahead-off digest) and on readahead cutting demand misses.
 //!
 //! `--json` additionally writes the machine-readable benchmark trajectory
-//! (schema `slpm.pipeline_scale.v3`) to PATH (default BENCH_pipeline.json);
+//! (schema `slpm.pipeline_scale.v4`) to PATH (default BENCH_pipeline.json);
 //! CI uploads that file as a build artifact on every push. The process
 //! exits nonzero if any attempted solver path fails, a threaded run
-//! diverges from serial, or the out-of-core stage misses its gate.
+//! diverges from serial, or the out-of-core, dispatch, speedup or
+//! bisection gate misses.
 
 use slpm_graph::grid::{Connectivity, GridSpec};
 use slpm_linalg::fiedler::{FiedlerMethod, FiedlerOptions};
+use slpm_linalg::parallel::{dispatch_counters, DispatchCounters};
+use slpm_linalg::Pool;
 use slpm_querysim::mappings::curve_order_by_name;
 use slpm_serve::engine::{EngineConfig, Query, ServeEngine};
 use slpm_serve::workload::grid_points;
+use slpm_serve::WorkerPool;
 use slpm_storage::{write_page_file, Mbr, PageLayout, PageMapper};
-use spectral_lpm::{objective, LinearOrder, SpectralConfig, SpectralMapper};
+use spectral_lpm::{
+    objective, rsb_order_on, LinearOrder, RsbOptions, SpectralConfig, SpectralMapper,
+};
 use std::time::Instant;
 
 /// Grid sides exercised (squares, 4-connectivity).
@@ -50,6 +72,28 @@ const SIDES: [usize; 6] = [32, 64, 128, 256, 512, 1024];
 const DENSE_MAX_VERTICES: usize = 1_100;
 /// Shift-invert Lanczos iterates full-graph CG solves: cap at 256x256.
 const LANCZOS_MAX_VERTICES: usize = 66_000;
+/// Backend jobs the 2-thread multilevel run submitted per side *before*
+/// the chunk-plan dispatcher (recorded on this trajectory's own
+/// instrumentation; one job per engagement). The counters depend only on
+/// the problem-size sequence and the thread count, never on the host, so
+/// `dispatch_gate` can require every threaded run to land strictly below
+/// these on any machine. Sides under 128 never engaged the parallel path
+/// (all kernels below the spawn thresholds) and are ungated.
+const DISPATCH_BASELINE_JOBS: [(usize, u64); 4] =
+    [(128, 15_652), (256, 26_418), (512, 35_798), (1024, 64_552)];
+
+/// Run `f` on the executor the requested thread count implies: a
+/// persistent [`WorkerPool`] via the `ScopeExecutor` seam when threaded
+/// (the pool outlives every kernel call of the solve), the serial pool
+/// otherwise.
+fn with_pool<T>(threads: usize, f: impl FnOnce(&Pool<'_>) -> T) -> T {
+    if threads > 1 {
+        let workers = WorkerPool::new(threads);
+        f(&workers.linalg_pool())
+    } else {
+        f(&Pool::serial())
+    }
+}
 
 struct Entry {
     side: usize,
@@ -64,6 +108,10 @@ struct Entry {
     /// For threaded multilevel runs: rank-for-rank identical to the serial
     /// order at the same side (always true for serial entries).
     order_matches_serial: bool,
+    /// Dispatch-cost counters accumulated during this run (parallel
+    /// engagements, backend jobs, chunk-grid cells) — all zero for serial
+    /// runs, machine-independent for a given (side, threads).
+    dispatch: DispatchCounters,
 }
 
 fn method_name(m: FiedlerMethod) -> &'static str {
@@ -83,17 +131,17 @@ fn run_one(
     let mapper = SpectralMapper::new(SpectralConfig {
         fiedler: FiedlerOptions {
             method,
-            threads: Some(threads),
             ..Default::default()
         },
         ..Default::default()
     });
     let graph = spec.graph(Connectivity::Orthogonal);
+    let before = dispatch_counters();
     let start = Instant::now();
-    let mapping = mapper
-        .map_grid(spec)
+    let mapping = with_pool(threads, |pool| mapper.map_grid_on(spec, pool))
         .map_err(|e| format!("{} on {:?}: {e}", method_name(method), spec.dims()))?;
     let seconds = start.elapsed().as_secs_f64();
+    let dispatch = dispatch_counters().since(&before);
     let entry = Entry {
         side: spec.dim(0),
         vertices: spec.num_points(),
@@ -105,6 +153,7 @@ fn run_one(
         residual: mapping.fiedler.residual,
         two_sum: objective::two_sum_cost(&graph, &mapping.order),
         order_matches_serial: true,
+        dispatch,
     };
     Ok((entry, mapping.order))
 }
@@ -220,18 +269,138 @@ fn run_oocore(side: usize) -> Result<Oocore, String> {
     })
 }
 
-fn to_json(max_side: usize, threads: usize, entries: &[Entry], oocore: Option<&Oocore>) -> String {
+/// The recursive-bisection stage: the same RSB order computed with the
+/// root hierarchy restricted per half vs re-coarsened per fragment.
+struct Bisection {
+    dims: [usize; 2],
+    vertices: usize,
+    threads: usize,
+    reuse_seconds: f64,
+    scratch_seconds: f64,
+    orders_match: bool,
+    gate: bool,
+}
+
+/// RSB on a non-square `side x (3*side/2)` grid (λ₂ simple, so the order
+/// is solver-independent), once with hierarchy reuse and once without.
+/// Both runs share the leaf size and eigensolver configuration; only the
+/// coarsening strategy differs, so the orders must agree rank for rank.
+fn run_bisection(side: usize, threads: usize) -> Result<Bisection, String> {
+    let dims = [side, side * 3 / 2];
+    let spec = GridSpec::new(&dims);
+    let graph = spec.graph(Connectivity::Orthogonal);
+    let config = SpectralConfig {
+        fiedler: FiedlerOptions {
+            method: FiedlerMethod::Multilevel,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let run = |reuse: bool| -> Result<(f64, LinearOrder), String> {
+        let opts = RsbOptions {
+            leaf_size: 64,
+            config: config.clone(),
+            reuse_hierarchy: reuse,
+        };
+        let start = Instant::now();
+        let order = with_pool(threads, |pool| rsb_order_on(&graph, &opts, pool))
+            .map_err(|e| format!("rsb (reuse={reuse}) on {dims:?}: {e}"))?;
+        Ok((start.elapsed().as_secs_f64(), order))
+    };
+    let (reuse_seconds, reuse_order) = run(true)?;
+    let (scratch_seconds, scratch_order) = run(false)?;
+    let orders_match = reuse_order.ranks() == scratch_order.ranks();
+    let gate = orders_match && reuse_seconds < scratch_seconds;
+    println!(
+        "bisection: {}x{} rsb reuse {reuse_seconds:.2}s vs re-coarsen {scratch_seconds:.2}s \
+         ({:.2}x), orders {} -> {}",
+        dims[0],
+        dims[1],
+        scratch_seconds / reuse_seconds,
+        if orders_match { "match" } else { "DIVERGE" },
+        if gate { "pass" } else { "FAIL" },
+    );
+    Ok(Bisection {
+        dims,
+        vertices: spec.num_points(),
+        threads,
+        reuse_seconds,
+        scratch_seconds,
+        orders_match,
+        gate,
+    })
+}
+
+/// `dispatch_gate`: every threaded multilevel entry at a side with a
+/// recorded pre-chunk-plan baseline must have submitted strictly fewer
+/// backend jobs than that baseline. Counter-based, so host-independent;
+/// vacuously true when no threaded entries were recorded.
+fn dispatch_gate(entries: &[Entry]) -> bool {
+    entries
+        .iter()
+        .filter(|e| e.method == "multilevel" && e.threads > 1)
+        .all(|e| {
+            DISPATCH_BASELINE_JOBS
+                .iter()
+                .find(|(side, _)| *side == e.side)
+                .is_none_or(|(_, baseline)| e.dispatch.jobs_submitted < *baseline)
+        })
+}
+
+/// `speedup_gate`: threaded multilevel wall time beats serial at every
+/// side — demanded only when the host actually has ≥ 2 cores to run the
+/// workers on (single-core hosts time-slice the pool, where threading can
+/// only break even at best; there the gate is vacuously true).
+fn speedup_gate(entries: &[Entry], host_parallelism: usize) -> bool {
+    if host_parallelism < 2 {
+        return true;
+    }
+    SIDES.iter().all(|&side| {
+        let serial = entries
+            .iter()
+            .find(|e| e.side == side && e.method == "multilevel" && e.threads == 1);
+        let threaded = entries
+            .iter()
+            .find(|e| e.side == side && e.method == "multilevel" && e.threads > 1);
+        match (serial, threaded) {
+            (Some(s), Some(t)) => t.seconds < s.seconds,
+            _ => true,
+        }
+    })
+}
+
+fn to_json(
+    max_side: usize,
+    threads: usize,
+    entries: &[Entry],
+    oocore: Option<&Oocore>,
+    bisection: Option<&Bisection>,
+) -> String {
     let mut out = String::from("{\n");
-    out.push_str("  \"schema\": \"slpm.pipeline_scale.v3\",\n");
+    out.push_str("  \"schema\": \"slpm.pipeline_scale.v4\",\n");
     out.push_str(
         "  \"description\": \"End-to-end Spectral LPM pipeline wall time per eigensolver\",\n",
     );
+    let host_parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
     out.push_str(&format!("  \"max_side\": {max_side},\n"));
     out.push_str(&format!("  \"threads\": {threads},\n"));
-    out.push_str(&format!(
-        "  \"host_parallelism\": {},\n",
-        std::thread::available_parallelism().map_or(1, |n| n.get())
-    ));
+    out.push_str(&format!("  \"host_parallelism\": {host_parallelism},\n"));
+    match bisection {
+        None => out.push_str("  \"bisection\": null,\n"),
+        Some(b) => out.push_str(&format!(
+            "  \"bisection\": {{\"dims\": [{}, {}], \"vertices\": {}, \"threads\": {}, \
+             \"reuse_seconds\": {:.3}, \"scratch_seconds\": {:.3}, \
+             \"orders_match\": {}, \"bisection_gate\": {}}},\n",
+            b.dims[0],
+            b.dims[1],
+            b.vertices,
+            b.threads,
+            b.reuse_seconds,
+            b.scratch_seconds,
+            b.orders_match,
+            b.gate,
+        )),
+    }
     match oocore {
         None => out.push_str("  \"oocore\": null,\n"),
         Some(o) => out.push_str(&format!(
@@ -262,7 +431,8 @@ fn to_json(max_side: usize, threads: usize, entries: &[Entry], oocore: Option<&O
         out.push_str(&format!(
             "    {{\"side\": {}, \"vertices\": {}, \"edges\": {}, \"method\": \"{}\", \
              \"threads\": {}, \"seconds\": {:.6}, \"lambda2\": {:.9e}, \"residual\": {:.3e}, \
-             \"two_sum\": {:.1}, \"order_matches_serial\": {}}}{}\n",
+             \"two_sum\": {:.1}, \"order_matches_serial\": {}, \
+             \"scope_entries\": {}, \"jobs_submitted\": {}, \"chunks_executed\": {}}}{}\n",
             e.side,
             e.vertices,
             e.edges,
@@ -273,6 +443,9 @@ fn to_json(max_side: usize, threads: usize, entries: &[Entry], oocore: Option<&O
             e.residual,
             e.two_sum,
             e.order_matches_serial,
+            e.dispatch.scope_entries,
+            e.dispatch.jobs_submitted,
+            e.dispatch.chunks_executed,
             if i + 1 == entries.len() { "" } else { "," }
         ));
     }
@@ -325,7 +498,16 @@ fn to_json(max_side: usize, threads: usize, entries: &[Entry], oocore: Option<&O
         }
     }
     out.push_str(&lines.join(",\n"));
-    out.push_str("\n  ]\n}\n");
+    out.push_str("\n  ],\n");
+    out.push_str(&format!(
+        "  \"dispatch_gate\": {},\n",
+        dispatch_gate(entries)
+    ));
+    out.push_str(&format!(
+        "  \"speedup_gate\": {}\n",
+        speedup_gate(entries, host_parallelism)
+    ));
+    out.push_str("}\n");
     out
 }
 
@@ -334,6 +516,7 @@ fn main() {
     let mut max_side = 1024usize;
     let mut threads = 1usize;
     let mut oocore_side = 0usize; // 0 = stage off
+    let mut bisection_side = 0usize; // 0 = stage off
     let mut json = false;
     let mut out_path = String::from("BENCH_pipeline.json");
     let mut i = 0;
@@ -376,10 +559,21 @@ fn main() {
                         std::process::exit(2);
                     });
             }
+            "--bisection" => {
+                i += 1;
+                bisection_side = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&s| s >= 16)
+                    .unwrap_or_else(|| {
+                        eprintln!("--bisection requires a grid side >= 16");
+                        std::process::exit(2);
+                    });
+            }
             other => {
                 eprintln!(
                     "unknown flag '{other}' (try --max-side N, --threads N, --oocore SIDE, \
-                     --json, --out PATH)"
+                     --bisection SIDE, --json, --out PATH)"
                 );
                 std::process::exit(2);
             }
@@ -409,6 +603,12 @@ fn main() {
             "{:>4}^2  {:>8}  {:>14}  {:>7}  {:>9.3}s  {:>12.4e}  {:>9.1e}  {:>14.0}",
             e.side, e.vertices, e.method, e.threads, e.seconds, e.lambda2, e.residual, e.two_sum
         );
+        if e.dispatch.scope_entries > 0 {
+            println!(
+                "        dispatch: {} engagements, {} jobs, {} chunks",
+                e.dispatch.scope_entries, e.dispatch.jobs_submitted, e.dispatch.chunks_executed
+            );
+        }
     };
     for &side in SIDES.iter().filter(|&&s| s <= max_side) {
         let spec = GridSpec::cube(side, 2);
@@ -498,8 +698,51 @@ fn main() {
         None
     };
 
+    // ---- Recursive-bisection stage ----------------------------------
+    let bisection = if bisection_side > 0 {
+        match run_bisection(bisection_side, threads) {
+            Ok(b) => {
+                if !b.gate {
+                    eprintln!("FAILED: the recursive-bisection stage missed its gate");
+                    failed = true;
+                }
+                Some(b)
+            }
+            Err(msg) => {
+                eprintln!("FAILED: {msg}");
+                failed = true;
+                None
+            }
+        }
+    } else {
+        None
+    };
+
+    // ---- Dispatch / speedup gates -----------------------------------
+    let host_parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if !dispatch_gate(&entries) {
+        eprintln!(
+            "FAILED: dispatch_gate — a threaded run submitted at least as many backend jobs \
+             as the pre-chunk-plan baseline"
+        );
+        failed = true;
+    }
+    if !speedup_gate(&entries, host_parallelism) {
+        eprintln!(
+            "FAILED: speedup_gate — threaded multilevel slower than serial on a \
+             {host_parallelism}-core host"
+        );
+        failed = true;
+    }
+
     if json {
-        let body = to_json(max_side, threads, &entries, oocore.as_ref());
+        let body = to_json(
+            max_side,
+            threads,
+            &entries,
+            oocore.as_ref(),
+            bisection.as_ref(),
+        );
         // xtask:allow(fs-only-in-storage): benches persist their JSON artifacts
         if let Err(e) = std::fs::write(&out_path, &body) {
             eprintln!("cannot write {out_path}: {e}");

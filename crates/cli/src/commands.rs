@@ -2,7 +2,8 @@
 
 use crate::args::{Command, MappingChoice, ParseError};
 use slpm_graph::grid::{Connectivity, GridSpec};
-use slpm_linalg::fiedler::{fiedler_pair, FiedlerMethod, FiedlerOptions};
+use slpm_linalg::fiedler::{fiedler_pair_on, FiedlerMethod, FiedlerOptions};
+use slpm_linalg::{parallel, Pool};
 use slpm_querysim::experiments::{
     ablation, declustering, fig1, fig3, fig4, fig5, fig6, knn, point_cloud, rtree_packing,
     storage_io,
@@ -12,11 +13,35 @@ use slpm_serve::arrival::{ArrivalConfig, ArrivalShape};
 use slpm_serve::engine::{EngineConfig, ServeEngine};
 use slpm_serve::stream::{stream_serve, AdmissionPolicy, StreamConfig};
 use slpm_serve::workload::{grid_points, mixed_workload, mixed_workload_labeled, WorkloadConfig};
-use slpm_serve::{CoverageReport, FaultPlan, RecoveryConfig};
+use slpm_serve::{CoverageReport, FaultPlan, RecoveryConfig, WorkerPool};
 use slpm_sfc::TruePeanoCurve;
 use slpm_storage::{write_page_file, PageLayout, PageMapper};
 use spectral_lpm::{LinearOrder, SpectralConfig, SpectralMapper};
 use std::path::PathBuf;
+
+/// The persistent worker pool every spectral solve in this binary runs
+/// on: one `WorkerPool` spun up per command (when more than one thread is
+/// requested), handed down through the `ScopeExecutor` seam so the
+/// multilevel driver, PCG and CSR matvec all schedule onto the same
+/// long-lived workers instead of paying a scoped thread spawn+join per
+/// kernel call. `threads = None` resolves once, here, via
+/// [`parallel::default_threads`] (the `SLPM_THREADS` env override, else
+/// the machine's available parallelism).
+fn spectral_pool(threads: Option<usize>) -> Option<WorkerPool> {
+    let threads = threads.unwrap_or_else(parallel::default_threads);
+    (threads > 1).then(|| WorkerPool::new(threads))
+}
+
+/// Run `f` on the resolved executor: the persistent pool's linalg handle
+/// when one exists, the serial pool otherwise. Thread count never changes
+/// results — every kernel keeps the fixed-chunk deterministic reduction
+/// order — so this only decides *where* the work runs.
+fn with_spectral_pool<T>(threads: Option<usize>, f: impl FnOnce(&Pool<'_>) -> T) -> T {
+    match spectral_pool(threads) {
+        Some(workers) => f(&workers.linalg_pool()),
+        None => f(&Pool::serial()),
+    }
+}
 
 /// Build the requested order over the grid. `threads` pins the spectral
 /// eigensolver's worker count (ignored by the curve mappings).
@@ -60,13 +85,13 @@ fn build_order(
             let mapper = SpectralMapper::new(SpectralConfig {
                 connectivity,
                 auto_method: true,
-                threads,
                 ..Default::default()
             });
-            Ok(mapper
-                .map_grid(&spec)
-                .map_err(|e| err(e.to_string()))?
-                .order)
+            Ok(
+                with_spectral_pool(threads, |pool| mapper.map_grid_on(&spec, pool))
+                    .map_err(|e| err(e.to_string()))?
+                    .order,
+            )
         }
     }
 }
@@ -291,14 +316,16 @@ pub fn execute(cmd: &Command) -> Result<String, ParseError> {
                 "auto" => SpectralConfig::method_for_size(spec.num_points()),
                 _ => FiedlerMethod::ShiftInvert,
             };
-            let pair = fiedler_pair(
-                &lap,
-                &FiedlerOptions {
-                    method: m,
-                    threads: *threads,
-                    ..Default::default()
-                },
-            )
+            let pair = with_spectral_pool(*threads, |pool| {
+                fiedler_pair_on(
+                    &lap,
+                    &FiedlerOptions {
+                        method: m,
+                        ..Default::default()
+                    },
+                    pool,
+                )
+            })
             .map_err(|e| ParseError(e.to_string()))?;
             let comps: Vec<String> = pair.vector.iter().map(|v| format!("{v:.4}")).collect();
             Ok(format!(

@@ -65,4 +65,6 @@ pub use diagnostics::OrderReport;
 pub use mapper::{MappingError, SpectralConfig, SpectralMapper, SpectralMapping};
 pub use order::LinearOrder;
 pub use partition::{spectral_bisection, Bisection};
-pub use recursive::{multi_vector_order, rsb_order, RsbOptions};
+pub use recursive::{
+    multi_vector_order, multi_vector_order_on, rsb_order, rsb_order_on, RsbOptions,
+};

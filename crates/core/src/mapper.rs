@@ -5,8 +5,10 @@ use crate::order::LinearOrder;
 use slpm_graph::grid::{Connectivity, GridSpec};
 use slpm_graph::points::PointSet;
 use slpm_graph::{Graph, GraphError};
-use slpm_linalg::fiedler::{fiedler_pair_balanced, FiedlerMethod, FiedlerOptions, FiedlerPair};
-use slpm_linalg::LinalgError;
+use slpm_linalg::fiedler::{
+    fiedler_pair_balanced, fiedler_pair_balanced_on, FiedlerMethod, FiedlerOptions, FiedlerPair,
+};
+use slpm_linalg::{LinalgError, Pool};
 use std::fmt;
 
 /// Errors from the mapping pipeline.
@@ -149,6 +151,17 @@ impl SpectralMapper {
         self.map_graph(&graph)
     }
 
+    /// [`SpectralMapper::map_grid`] on a caller-supplied [`Pool`] — see
+    /// [`SpectralMapper::map_graph_on`].
+    pub fn map_grid_on(
+        &self,
+        spec: &GridSpec,
+        pool: &Pool<'_>,
+    ) -> Result<SpectralMapping, MappingError> {
+        let graph = spec.graph(self.config.connectivity);
+        self.map_graph_on(&graph, pool)
+    }
+
     /// Map an arbitrary point set (paper step 1: Manhattan-distance-1
     /// edges, or Chebyshev under `Connectivity::Full`).
     pub fn map_points(&self, points: &PointSet) -> Result<SpectralMapping, MappingError> {
@@ -156,9 +169,42 @@ impl SpectralMapper {
         self.map_graph(&graph)
     }
 
+    /// [`SpectralMapper::map_points`] on a caller-supplied [`Pool`] — see
+    /// [`SpectralMapper::map_graph_on`].
+    pub fn map_points_on(
+        &self,
+        points: &PointSet,
+        pool: &Pool<'_>,
+    ) -> Result<SpectralMapping, MappingError> {
+        let graph = points.neighbourhood_graph(self.config.connectivity);
+        self.map_graph_on(&graph, pool)
+    }
+
     /// Map a pre-built graph — the fully general Section 4 form (weighted
     /// graphs, custom neighbourhood models).
     pub fn map_graph(&self, graph: &Graph) -> Result<SpectralMapping, MappingError> {
+        self.map_graph_impl(graph, None)
+    }
+
+    /// [`SpectralMapper::map_graph`] on a caller-supplied [`Pool`]: every
+    /// eigensolver kernel (inner PCG solves, multilevel coarsening and
+    /// refinement, CSR matvec) schedules onto that persistent executor
+    /// instead of paying a scoped thread spawn+join per kernel call. The
+    /// thread knobs inside the configuration are ignored; the pool
+    /// decides. The computed order is bitwise identical either way.
+    pub fn map_graph_on(
+        &self,
+        graph: &Graph,
+        pool: &Pool<'_>,
+    ) -> Result<SpectralMapping, MappingError> {
+        self.map_graph_impl(graph, Some(pool))
+    }
+
+    fn map_graph_impl(
+        &self,
+        graph: &Graph,
+        pool: Option<&Pool<'_>>,
+    ) -> Result<SpectralMapping, MappingError> {
         graph.require_connected()?;
         // Step 2: the Laplacian.
         let laplacian = graph.laplacian();
@@ -167,7 +213,10 @@ impl SpectralMapper {
         // representative instead of an arbitrary (possibly axis-pure,
         // sweep-like) element of the eigenspace.
         let fiedler_opts = self.config.resolved_fiedler(graph.num_vertices());
-        let fiedler = fiedler_pair_balanced(&laplacian, &fiedler_opts)?;
+        let fiedler = match pool {
+            Some(pool) => fiedler_pair_balanced_on(&laplacian, &fiedler_opts, pool)?,
+            None => fiedler_pair_balanced(&laplacian, &fiedler_opts)?,
+        };
         // Steps 4–5: sort on the Fiedler values. Snap values that agree up
         // to solver round-off so ties (grid rows share one value in exact
         // arithmetic) are broken by the documented vertex-index rule, not

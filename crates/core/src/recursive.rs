@@ -19,7 +19,8 @@
 use crate::mapper::{MappingError, SpectralConfig};
 use crate::order::LinearOrder;
 use slpm_graph::{traversal, Graph};
-use slpm_linalg::fiedler::{fiedler_pair, smallest_nonzero_eigenpairs};
+use slpm_linalg::fiedler::{fiedler_pair_on, smallest_nonzero_eigenpairs_on, FiedlerMethod};
+use slpm_linalg::{multilevel, CsrMatrix, Hierarchy, MultilevelOptions, Pool};
 
 /// Options for recursive spectral bisection.
 #[derive(Debug, Clone)]
@@ -29,6 +30,14 @@ pub struct RsbOptions {
     pub leaf_size: usize,
     /// Eigensolver configuration shared by all levels.
     pub config: SpectralConfig,
+    /// Reuse the root's multilevel coarsening hierarchy across recursion
+    /// levels: each fragment whose solve goes through the multilevel
+    /// method restricts the hierarchy built once for the whole graph
+    /// ([`Hierarchy::restrict`]) to its vertex set instead of re-running
+    /// heavy-edge matching from scratch. Off, every fragment re-coarsens —
+    /// kept as the ablation baseline the `pipeline_scale` benchmark's
+    /// `--bisection` stage compares against.
+    pub reuse_hierarchy: bool,
 }
 
 impl Default for RsbOptions {
@@ -36,28 +45,248 @@ impl Default for RsbOptions {
         RsbOptions {
             leaf_size: 8,
             config: SpectralConfig::default(),
+            reuse_hierarchy: true,
         }
     }
 }
 
+/// Root-level state shared by every recursion level when
+/// [`RsbOptions::reuse_hierarchy`] is on.
+struct ReuseCtx {
+    /// Number of vertices of the root graph (the hierarchy's finest level).
+    root_len: usize,
+    /// The coarsening hierarchy of the whole graph, built once.
+    hierarchy: Hierarchy,
+    /// The floor [`Hierarchy::build`] was given — restrictions must use
+    /// the same one so their stop conditions mirror a from-scratch build.
+    floor: usize,
+    /// The multilevel knobs of the root solve.
+    ml: MultilevelOptions,
+}
+
 /// Recursive-spectral-bisection order of a connected graph.
 pub fn rsb_order(graph: &Graph, opts: &RsbOptions) -> Result<LinearOrder, MappingError> {
+    let pool = Pool::new(opts.config.threads.or(opts.config.fiedler.threads));
+    rsb_order_on(graph, opts, &pool)
+}
+
+/// [`rsb_order`] on a caller-supplied [`Pool`]: every eigensolve of the
+/// recursion — and every kernel inside those solves — schedules onto the
+/// same persistent executor. The thread knobs inside `opts.config` are
+/// ignored; the pool decides.
+pub fn rsb_order_on(
+    graph: &Graph,
+    opts: &RsbOptions,
+    pool: &Pool<'_>,
+) -> Result<LinearOrder, MappingError> {
     graph.require_connected()?;
     let n = graph.num_vertices();
     let mut rank = vec![0usize; n];
     let vertices: Vec<usize> = (0..n).collect();
     let mut next_position = 0usize;
-    place(graph, &vertices, opts, &mut rank, &mut next_position)?;
+    // Build the root hierarchy once if the root solve will take the
+    // multilevel path; fragments restrict it instead of re-coarsening.
+    let reuse = if opts.reuse_hierarchy {
+        let fo = opts.config.resolved_fiedler(n);
+        if fo.method == FiedlerMethod::Multilevel {
+            let ml = fo.multilevel.clone();
+            let floor = rsb_block(&ml);
+            let hierarchy = Hierarchy::build(&graph.laplacian(), floor, &ml, pool)?;
+            Some(ReuseCtx {
+                root_len: n,
+                hierarchy,
+                floor,
+                ml,
+            })
+        } else {
+            None
+        }
+    } else {
+        None
+    };
+    place(
+        graph,
+        &vertices,
+        opts,
+        reuse.as_ref(),
+        None,
+        pool,
+        &mut rank,
+        &mut next_position,
+    )?;
     debug_assert_eq!(next_position, n);
     Ok(LinearOrder::from_ranks(rank).expect("RSB assigns each position once"))
 }
 
+/// Residual tolerance floor for multilevel fragment solves (see
+/// [`fragment_fiedler_vector`]): tight enough that the reuse and
+/// re-coarsen hierarchies converge to the same snapped order, comfortably
+/// above the round-off floor of the block refinement.
+const RSB_FRAGMENT_TOLERANCE: f64 = 1e-11;
+
+/// The block width (and therefore hierarchy floor) every RSB multilevel
+/// solve uses: `k = 1` Fiedler pair plus the guard vectors, exactly what
+/// `multilevel::smallest_nonzero_eigenpairs_on` computes internally.
+fn rsb_block(ml: &MultilevelOptions) -> usize {
+    (1 + ml.guard_vectors).min(ml.coarsest_size.max(3) - 1)
+}
+
+/// The Fiedler vector of a connected fragment, reusing the root hierarchy
+/// when the fragment's solve resolves to the multilevel method and a
+/// [`ReuseCtx`] is available. When the parent fragment's refined vector is
+/// supplied as `warm` (restricted to this fragment), the solve first tries
+/// [`multilevel::refine_warm_started_on`] — fine-level block refinement
+/// seeded with the parent's solution, skipping the coarsest solve and the
+/// walk-up — and only falls back to the restricted-hierarchy path if the
+/// warm start fails to converge. Post-processing (centre, normalise,
+/// canonical sign) mirrors `fiedler_pair_on` exactly so the reuse and
+/// re-coarsen paths produce comparable vectors.
+fn fragment_fiedler_vector(
+    sub_laplacian: &CsrMatrix,
+    vertices: &[usize],
+    opts: &RsbOptions,
+    reuse: Option<&ReuseCtx>,
+    warm: Option<&[f64]>,
+    pool: &Pool<'_>,
+) -> Result<Vec<f64>, MappingError> {
+    let mut fo = opts.config.resolved_fiedler(sub_laplacian.rows());
+    if fo.method == FiedlerMethod::Multilevel {
+        // RSB only consumes the *median membership* of each fragment
+        // vector, but that membership must not depend on which hierarchy
+        // (restricted vs freshly coarsened) refined the vector. At the
+        // default 1e-9 a near-degenerate fragment leaves an eigenvector
+        // mixture of order residual/(λ₃−λ₂) that can flip vertices across
+        // the median; refining well below it shrinks the mixture under
+        // the snap window of `fragment_order`.
+        fo.tolerance = fo.tolerance.min(RSB_FRAGMENT_TOLERANCE);
+        // Fragments at or below the multilevel coarsest size would take
+        // the solver's exact-dense path: a full O(n³) eigendecomposition
+        // per fragment, and RSB visits hundreds of them. Route those to
+        // the same policy the auto mapper uses — exact dense only for
+        // tiny fragments, Lanczos shift-invert otherwise (3–25× cheaper
+        // than the full decomposition at 97–256 vertices). Both are
+        // hierarchy-independent, so the reuse and re-coarsen
+        // configurations stay bitwise identical on small fragments.
+        let n = sub_laplacian.rows();
+        let dense_cutoff = fo
+            .multilevel
+            .coarsest_size
+            .max(rsb_block(&fo.multilevel) + 2);
+        if n <= dense_cutoff {
+            fo.method = if n <= crate::mapper::AUTO_DENSE_MAX {
+                FiedlerMethod::Dense
+            } else {
+                FiedlerMethod::ShiftInvert
+            };
+        } else if let Some(ctx) = reuse {
+            // Cheapest first: refine straight from the parent's vector.
+            // Any failure (typically NoConvergence from a weak guess on a
+            // near-degenerate half) falls back to the hierarchy walk-up —
+            // deterministically, so reruns take the same path.
+            let mut pairs = warm
+                .and_then(|w| {
+                    let warm_block = [w.to_vec()];
+                    multilevel::refine_warm_started_on(
+                        sub_laplacian,
+                        &warm_block,
+                        1,
+                        fo.tolerance,
+                        fo.seed,
+                        &ctx.ml,
+                        pool,
+                    )
+                    .ok()
+                })
+                .map(Ok)
+                .unwrap_or_else(|| {
+                    let restricted;
+                    let hierarchy = if vertices.len() == ctx.root_len {
+                        &ctx.hierarchy
+                    } else {
+                        restricted = ctx.hierarchy.restrict(
+                            vertices,
+                            sub_laplacian,
+                            ctx.floor,
+                            &ctx.ml,
+                            pool,
+                        )?;
+                        &restricted
+                    };
+                    multilevel::smallest_nonzero_eigenpairs_on_hierarchy(
+                        sub_laplacian,
+                        hierarchy,
+                        1,
+                        fo.tolerance,
+                        fo.seed,
+                        &ctx.ml,
+                        pool,
+                    )
+                })?;
+            let (_, mut v) = pairs.swap_remove(0);
+            slpm_linalg::vector::center(&mut v);
+            if slpm_linalg::vector::normalize(&mut v) == 0.0 {
+                return Err(MappingError::Linalg(
+                    slpm_linalg::LinalgError::NonFiniteInput {
+                        context: "rsb: fragment eigenvector collapsed",
+                    },
+                ));
+            }
+            slpm_linalg::vector::canonicalize_sign(&mut v);
+            return Ok(v);
+        }
+    }
+    Ok(fiedler_pair_on(sub_laplacian, &fo, pool)?.vector)
+}
+
+/// Snap a fragment's Fiedler values into a rank order the same way the
+/// direct mapper does: values that agree up to solver round-off share a
+/// key, so ties break by the documented vertex-index rule instead of by
+/// noise — and the reuse/re-coarsen hierarchies (whose refined vectors
+/// differ below the convergence tolerance) yield identical orders.
+fn fragment_order(vector: &[f64]) -> LinearOrder {
+    let max_abs = vector.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+    LinearOrder::from_keys_snapped(vector, max_abs * 1e-7).expect("finite eigenvector")
+}
+
+/// Sign-stabilise a fragment vector before ordering. The solver's own
+/// canonical sign keys off the first entry within `1e-9` of the maximum
+/// magnitude — but fragment Fiedler vectors are near-antisymmetric, so
+/// whole plateaus of *both* signs sit at ±max separated only by solver
+/// round-off, and sub-tolerance differences between the reuse and
+/// re-coarsen refinements can flip which plateau wins. A sign flip is not
+/// absorbed by [`orient`]: reversing a snapped order keeps each tie group
+/// ascending by vertex index, so `order(-v)` reversed is *not* `order(v)`.
+/// Keying the sign off the first entry that clears a coarse threshold
+/// (`1e-3` of the max, far above round-off, far below the plateau spacing)
+/// is invariant to those perturbations, making the ordered direction a
+/// stable function of the eigenvector's line rather than of solver noise.
+fn stabilize_sign(v: &mut [f64]) {
+    let max_abs = v.iter().fold(0.0f64, |m, x| m.max(x.abs()));
+    if max_abs == 0.0 {
+        return;
+    }
+    let threshold = max_abs * 1e-3;
+    if let Some(first) = v.iter().find(|x| x.abs() >= threshold) {
+        if *first < 0.0 {
+            for x in v.iter_mut() {
+                *x = -*x;
+            }
+        }
+    }
+}
+
 /// Recursively lay out `vertices` (ids in the *original* graph) starting at
-/// `*next_position`.
+/// `*next_position`. `warm` carries the parent fragment's refined Fiedler
+/// vector restricted to `vertices` (aligned index-for-index with it) when
+/// hierarchy reuse is active; it seeds the fragment solve.
+#[allow(clippy::too_many_arguments)]
 fn place(
     original: &Graph,
     vertices: &[usize],
     opts: &RsbOptions,
+    reuse: Option<&ReuseCtx>,
+    warm: Option<Vec<f64>>,
+    pool: &Pool<'_>,
     rank: &mut [usize],
     next_position: &mut usize,
 ) -> Result<(), MappingError> {
@@ -74,13 +303,26 @@ fn place(
     let num_comps = comps.iter().copied().max().map_or(0, |m| m + 1);
     if num_comps > 1 {
         for c in 0..num_comps {
-            let part: Vec<usize> = vertices
-                .iter()
-                .zip(comps.iter())
-                .filter(|(_, &cc)| cc == c)
-                .map(|(&v, _)| v)
-                .collect();
-            place(original, &part, opts, rank, next_position)?;
+            let mut part = Vec::new();
+            let mut part_warm = warm.as_ref().map(|_| Vec::new());
+            for (i, (&v, &cc)) in vertices.iter().zip(comps.iter()).enumerate() {
+                if cc == c {
+                    part.push(v);
+                    if let (Some(pw), Some(w)) = (part_warm.as_mut(), warm.as_ref()) {
+                        pw.push(w[i]);
+                    }
+                }
+            }
+            place(
+                original,
+                &part,
+                opts,
+                reuse,
+                part_warm,
+                pool,
+                rank,
+                next_position,
+            )?;
         }
         return Ok(());
     }
@@ -89,11 +331,16 @@ fn place(
         // Base case: single-vector spectral order of the fragment (or the
         // trivial order for fragments the eigensolver is too small for).
         let local = if sub.num_vertices() >= 2 && sub.num_edges() >= 1 {
-            let pair = fiedler_pair(
+            let mut v = fragment_fiedler_vector(
                 &sub.laplacian(),
-                &opts.config.resolved_fiedler(sub.num_vertices()),
+                vertices,
+                opts,
+                reuse,
+                warm.as_deref(),
+                pool,
             )?;
-            orient(LinearOrder::from_keys(&pair.vector).expect("finite eigenvector"))
+            stabilize_sign(&mut v);
+            orient(fragment_order(&v))
         } else {
             LinearOrder::identity(sub.num_vertices())
         };
@@ -106,18 +353,56 @@ fn place(
 
     // Median cut on the Fiedler vector (Chan–Ciarlet–Szeto optimal
     // bisection point).
-    let pair = fiedler_pair(
+    let mut v = fragment_fiedler_vector(
         &sub.laplacian(),
-        &opts.config.resolved_fiedler(sub.num_vertices()),
+        vertices,
+        opts,
+        reuse,
+        warm.as_deref(),
+        pool,
     )?;
-    let local = orient(LinearOrder::from_keys(&pair.vector).expect("finite eigenvector"));
+    stabilize_sign(&mut v);
+    let local = orient(fragment_order(&v));
     let half = vertices.len() / 2;
     let low: Vec<usize> = (0..half).map(|p| back[local.vertex_at(p)]).collect();
     let high: Vec<usize> = (half..vertices.len())
         .map(|p| back[local.vertex_at(p)])
         .collect();
-    place(original, &low, opts, rank, next_position)?;
-    place(original, &high, opts, rank, next_position)
+    // Seed each half with this fragment's vector (only useful — and only
+    // consumed — when hierarchy reuse is on; the re-coarsen configuration
+    // must measure the true from-scratch cost).
+    let (low_warm, high_warm) = if reuse.is_some() {
+        (
+            Some((0..half).map(|p| v[local.vertex_at(p)]).collect()),
+            Some(
+                (half..vertices.len())
+                    .map(|p| v[local.vertex_at(p)])
+                    .collect(),
+            ),
+        )
+    } else {
+        (None, None)
+    };
+    place(
+        original,
+        &low,
+        opts,
+        reuse,
+        low_warm,
+        pool,
+        rank,
+        next_position,
+    )?;
+    place(
+        original,
+        &high,
+        opts,
+        reuse,
+        high_warm,
+        pool,
+        rank,
+        next_position,
+    )
 }
 
 /// Orient a fragment's local order to follow the direction its vertices
@@ -146,11 +431,25 @@ pub fn multi_vector_order(
     tie_epsilon: f64,
     config: &SpectralConfig,
 ) -> Result<LinearOrder, MappingError> {
+    let pool = Pool::new(config.threads.or(config.fiedler.threads));
+    multi_vector_order_on(graph, num_vectors, tie_epsilon, config, &pool)
+}
+
+/// [`multi_vector_order`] on a caller-supplied [`Pool`]. The thread knobs
+/// inside `config` are ignored; the pool decides.
+pub fn multi_vector_order_on(
+    graph: &Graph,
+    num_vectors: usize,
+    tie_epsilon: f64,
+    config: &SpectralConfig,
+    pool: &Pool<'_>,
+) -> Result<LinearOrder, MappingError> {
     graph.require_connected()?;
-    let pairs = smallest_nonzero_eigenpairs(
+    let pairs = smallest_nonzero_eigenpairs_on(
         &graph.laplacian(),
         num_vectors,
         &config.resolved_fiedler(graph.num_vertices()),
+        pool,
     )?;
     let n = graph.num_vertices();
     let mut perm: Vec<usize> = (0..n).collect();
@@ -274,6 +573,45 @@ mod tests {
             .order;
         let multi = multi_vector_order(&g, 1, 1e-12, &SpectralConfig::default()).unwrap();
         assert_eq!(single.ranks(), multi.ranks());
+    }
+
+    #[test]
+    fn rsb_hierarchy_reuse_matches_recoarsening() {
+        // Restricting the root hierarchy to each half must produce the
+        // exact order that re-coarsening every fragment from scratch does
+        // (the eigenvectors differ below the convergence tolerance; the
+        // snapped keys absorb that). Non-square grid, big enough that the
+        // root and the first recursion levels genuinely build hierarchies
+        // (default coarsest_size is 256).
+        use slpm_linalg::{FiedlerMethod, FiedlerOptions};
+        let spec = GridSpec::new(&[36, 24]);
+        let g = spec.graph(Connectivity::Orthogonal);
+        let config = SpectralConfig {
+            fiedler: FiedlerOptions {
+                method: FiedlerMethod::Multilevel,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let reuse = rsb_order(
+            &g,
+            &RsbOptions {
+                leaf_size: 8,
+                config: config.clone(),
+                reuse_hierarchy: true,
+            },
+        )
+        .unwrap();
+        let scratch = rsb_order(
+            &g,
+            &RsbOptions {
+                leaf_size: 8,
+                config,
+                reuse_hierarchy: false,
+            },
+        )
+        .unwrap();
+        assert_eq!(reuse.ranks(), scratch.ranks());
     }
 
     #[test]

@@ -24,6 +24,7 @@ use crate::error::LinalgError;
 use crate::lanczos::{self, LanczosOptions};
 use crate::multilevel::{self, MultilevelOptions};
 use crate::operator::{ones_direction, DeflatedOperator, LinearOperator, ShiftedOperator};
+use crate::parallel::Pool;
 use crate::pcg;
 use crate::sparse::CsrMatrix;
 use crate::tql;
@@ -119,6 +120,7 @@ pub struct FiedlerPair {
 pub struct LaplacianPseudoInverse<'a> {
     laplacian: &'a CsrMatrix,
     cg_opts: CgOptions,
+    pool: Pool<'a>,
 }
 
 impl<'a> LaplacianPseudoInverse<'a> {
@@ -136,6 +138,15 @@ impl<'a> LaplacianPseudoInverse<'a> {
     /// [`LaplacianPseudoInverse::new`] with an explicit thread knob for
     /// the inner PCG solves (`None` = machine default).
     pub fn with_threads(laplacian: &'a CsrMatrix, tolerance: f64, threads: Option<usize>) -> Self {
+        // xtask:allow(adhoc-pool): compatibility constructor — resolves a
+        // thread count into a scoped pool; pooled callers use with_pool.
+        Self::with_pool(laplacian, tolerance, Pool::new(threads))
+    }
+
+    /// [`LaplacianPseudoInverse::new`] on a caller-supplied [`Pool`]: every
+    /// inner PCG solve schedules its kernels onto that pool instead of
+    /// opening a fresh scoped pool per `apply` call.
+    pub fn with_pool(laplacian: &'a CsrMatrix, tolerance: f64, pool: Pool<'a>) -> Self {
         let n = laplacian.rows();
         let mut max_d = 0.0f64;
         let mut min_d = f64::INFINITY;
@@ -152,8 +163,9 @@ impl<'a> LaplacianPseudoInverse<'a> {
                 tolerance: tolerance.max(floor),
                 max_iterations: None,
                 deflate_mean: true,
-                threads,
+                threads: None,
             },
+            pool,
         }
     }
 }
@@ -168,7 +180,7 @@ impl LinearOperator for LaplacianPseudoInverse<'_> {
         // input; the diagonal preconditioner keeps the iteration count flat
         // on Section 4's weighted graphs whose degrees vary by orders of
         // magnitude.
-        let out = pcg::solve_jacobi(self.laplacian, x, &self.cg_opts)
+        let out = pcg::solve_jacobi_on(self.laplacian, x, &self.cg_opts, self.pool)
             .expect("inner PCG solve failed: Laplacian not PSD or graph disconnected");
         y.copy_from_slice(&out.solution);
     }
@@ -209,6 +221,34 @@ pub fn fiedler_pair(
     laplacian: &CsrMatrix,
     opts: &FiedlerOptions,
 ) -> Result<FiedlerPair, LinalgError> {
+    // xtask:allow(adhoc-pool): compatibility entry point — resolves the
+    // options' thread knobs into a scoped pool; pooled callers use
+    // fiedler_pair_on instead.
+    let pool = Pool::new(resolve_threads(opts));
+    fiedler_pair_on(laplacian, opts, &pool)
+}
+
+/// The thread count the compatibility entry points historically honoured:
+/// the top-level knob, falling back to the multilevel knob when the
+/// multilevel method would have consulted it.
+fn resolve_threads(opts: &FiedlerOptions) -> Option<usize> {
+    match opts.method {
+        FiedlerMethod::Multilevel => opts.resolved_multilevel().threads,
+        _ => opts.threads,
+    }
+}
+
+/// [`fiedler_pair`] on a caller-supplied [`Pool`] — the path the CLI and
+/// recursive bisection use so every kernel down the call chain (inner PCG
+/// solves, multilevel coarsening/smoothing/refinement, CSR matvec)
+/// schedules onto one persistent executor instead of paying a scoped
+/// spawn+join per kernel call. The thread knobs inside `opts` are ignored;
+/// the pool decides.
+pub fn fiedler_pair_on(
+    laplacian: &CsrMatrix,
+    opts: &FiedlerOptions,
+    pool: &Pool<'_>,
+) -> Result<FiedlerPair, LinalgError> {
     let n = laplacian.rows();
     if n < 2 {
         return Err(LinalgError::ProblemTooSmall {
@@ -221,12 +261,13 @@ pub fn fiedler_pair(
     let (lambda2, mut v) = match opts.method {
         FiedlerMethod::Dense => dense_fiedler(laplacian)?,
         FiedlerMethod::ShiftedDirect => shifted_direct_fiedler(laplacian, opts)?,
-        FiedlerMethod::ShiftInvert => shift_invert_fiedler(laplacian, opts)?,
-        FiedlerMethod::Multilevel => multilevel::fiedler_pair(
+        FiedlerMethod::ShiftInvert => shift_invert_fiedler(laplacian, opts, pool)?,
+        FiedlerMethod::Multilevel => multilevel::fiedler_pair_on(
             laplacian,
             opts.tolerance,
             opts.seed,
             &opts.resolved_multilevel(),
+            pool,
         )?,
     };
 
@@ -266,6 +307,21 @@ pub fn smallest_nonzero_eigenpairs(
     k: usize,
     opts: &FiedlerOptions,
 ) -> Result<Vec<(f64, Vec<f64>)>, LinalgError> {
+    // xtask:allow(adhoc-pool): compatibility entry point — resolves the
+    // options' thread knobs into a scoped pool; pooled callers use
+    // smallest_nonzero_eigenpairs_on instead.
+    let pool = Pool::new(resolve_threads(opts));
+    smallest_nonzero_eigenpairs_on(laplacian, k, opts, &pool)
+}
+
+/// [`smallest_nonzero_eigenpairs`] on a caller-supplied [`Pool`]. The
+/// thread knobs inside `opts` are ignored; the pool decides.
+pub fn smallest_nonzero_eigenpairs_on(
+    laplacian: &CsrMatrix,
+    k: usize,
+    opts: &FiedlerOptions,
+    pool: &Pool<'_>,
+) -> Result<Vec<(f64, Vec<f64>)>, LinalgError> {
     let n = laplacian.rows();
     if n < k + 1 {
         return Err(LinalgError::ProblemTooSmall {
@@ -283,12 +339,13 @@ pub fn smallest_nonzero_eigenpairs(
     if opts.method == FiedlerMethod::Multilevel {
         // The multilevel driver already returns canonical-form pairs,
         // ascending, with Rayleigh-refined eigenvalues.
-        return multilevel::smallest_nonzero_eigenpairs(
+        return multilevel::smallest_nonzero_eigenpairs_on(
             laplacian,
             k,
             opts.tolerance,
             opts.seed,
             &opts.resolved_multilevel(),
+            pool,
         );
     }
     let res = match opts.method {
@@ -309,7 +366,7 @@ pub fn smallest_nonzero_eigenpairs(
         // Top-k of the deflated pseudo-inverse are 1/λ₂ ≥ … ≥ 1/λ_{k+1}.
         FiedlerMethod::ShiftInvert => {
             let inner_tol = (opts.tolerance * 1e-3).max(1e-14);
-            let pinv = LaplacianPseudoInverse::with_threads(laplacian, inner_tol, opts.threads);
+            let pinv = LaplacianPseudoInverse::with_pool(laplacian, inner_tol, *pool);
             let ones = vec![ones_direction(n)];
             let deflated = DeflatedOperator::new(&pinv, &ones);
             let lopts = lanczos::LanczosOptions {
@@ -372,9 +429,23 @@ pub fn fiedler_pair_balanced(
     laplacian: &CsrMatrix,
     opts: &FiedlerOptions,
 ) -> Result<FiedlerPair, LinalgError> {
+    // xtask:allow(adhoc-pool): compatibility entry point — resolves the
+    // options' thread knobs into a scoped pool; pooled callers use
+    // fiedler_pair_balanced_on instead.
+    let pool = Pool::new(resolve_threads(opts));
+    fiedler_pair_balanced_on(laplacian, opts, &pool)
+}
+
+/// [`fiedler_pair_balanced`] on a caller-supplied [`Pool`]. The thread
+/// knobs inside `opts` are ignored; the pool decides.
+pub fn fiedler_pair_balanced_on(
+    laplacian: &CsrMatrix,
+    opts: &FiedlerOptions,
+    pool: &Pool<'_>,
+) -> Result<FiedlerPair, LinalgError> {
     let n = laplacian.rows();
     if n < 3 {
-        return fiedler_pair(laplacian, opts);
+        return fiedler_pair_on(laplacian, opts, pool);
     }
 
     // Probe the bottom of the spectrum, widening until the cluster around
@@ -383,7 +454,7 @@ pub fn fiedler_pair_balanced(
     // grid, multiplicity exactly 2 — in a single solve.
     let max_k = (n - 1).min(8);
     let mut k = 3.min(max_k);
-    let mut pairs = smallest_nonzero_eigenpairs(laplacian, k, opts)?;
+    let mut pairs = smallest_nonzero_eigenpairs_on(laplacian, k, opts, pool)?;
     let cluster_len = |pairs: &[(f64, Vec<f64>)]| {
         let lambda2 = pairs[0].0;
         pairs
@@ -394,7 +465,7 @@ pub fn fiedler_pair_balanced(
     let mut m = cluster_len(&pairs);
     while m == pairs.len() && k < max_k {
         k = (k * 2).min(max_k);
-        pairs = smallest_nonzero_eigenpairs(laplacian, k, opts)?;
+        pairs = smallest_nonzero_eigenpairs_on(laplacian, k, opts, pool)?;
         m = cluster_len(&pairs);
     }
     if m <= 1 {
@@ -483,10 +554,11 @@ fn shifted_direct_fiedler(
 fn shift_invert_fiedler(
     laplacian: &CsrMatrix,
     opts: &FiedlerOptions,
+    pool: &Pool<'_>,
 ) -> Result<(f64, Vec<f64>), LinalgError> {
     let n = laplacian.rows();
     let inner_tol = (opts.tolerance * 1e-3).max(1e-14);
-    let pinv = LaplacianPseudoInverse::with_threads(laplacian, inner_tol, opts.threads);
+    let pinv = LaplacianPseudoInverse::with_pool(laplacian, inner_tol, *pool);
     let ones = vec![ones_direction(n)];
     let deflated = DeflatedOperator::new(&pinv, &ones);
     let lopts = LanczosOptions {

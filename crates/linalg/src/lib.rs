@@ -73,7 +73,7 @@ pub use dense::DenseMatrix;
 pub use error::LinalgError;
 pub use fiedler::{FiedlerMethod, FiedlerOptions, FiedlerPair};
 pub use lanczos::{LanczosOptions, LanczosResult};
-pub use multilevel::{Coarsening, MultilevelOptions, Prolongation};
+pub use multilevel::{Coarsening, Hierarchy, MultilevelOptions, Prolongation};
 pub use operator::LinearOperator;
-pub use parallel::{Pool, ScopeExecutor};
+pub use parallel::{dispatch_counters, DispatchCounters, Pool, ScopeExecutor};
 pub use sparse::CsrMatrix;

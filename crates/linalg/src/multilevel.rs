@@ -121,6 +121,164 @@ pub struct Coarsening {
     pub parent: Vec<usize>,
 }
 
+/// A full coarsening hierarchy for one Laplacian: the sequence of
+/// [`Coarsening`] steps the multilevel solver walks down and back up.
+///
+/// Building the hierarchy (greedy matching + Galerkin contraction per
+/// level) is a fixed cost independent of how many eigensolves run on it.
+/// Recursive spectral bisection exploits that through
+/// [`Hierarchy::restrict`]: instead of re-matching each half from
+/// scratch, the parent hierarchy is **restricted** to the half's vertex
+/// set — every matched pair that survives inside the half stays merged,
+/// pairs straddling the cut degrade to singletons, and each coarse
+/// operator is the Galerkin contraction of the restricted fine operator,
+/// so every level remains a genuine Laplacian.
+#[derive(Debug, Clone, Default)]
+pub struct Hierarchy {
+    /// Fine-to-coarse steps, finest first; `levels[i].coarse` is the
+    /// operator level `i + 1` lives on.
+    pub levels: Vec<Coarsening>,
+}
+
+impl Hierarchy {
+    /// Coarsen `laplacian` by heavy-edge matching until a level has at
+    /// most `opts.coarsest_size.max(floor)` vertices, matching stalls
+    /// (shrink factor below `opts.min_shrink`), or a level would not be
+    /// strictly larger than `floor`. Identical, level for level, to what
+    /// the eigensolver builds internally — the eigensolver simply calls
+    /// this.
+    pub fn build(
+        laplacian: &CsrMatrix,
+        floor: usize,
+        opts: &MultilevelOptions,
+        pool: &Pool,
+    ) -> Result<Hierarchy, LinalgError> {
+        let coarsest_size = opts.coarsest_size.max(floor + 2);
+        let mut levels: Vec<Coarsening> = Vec::new();
+        let mut current = laplacian;
+        while current.rows() > coarsest_size {
+            let step = coarsen_laplacian_pooled(current, pool)?;
+            let shrunk = step.coarse_len() < (current.rows() as f64 * opts.min_shrink) as usize;
+            if !shrunk || step.coarse_len() <= floor {
+                break;
+            }
+            levels.push(step);
+            current = &levels.last().expect("just pushed").coarse;
+        }
+        Ok(Hierarchy { levels })
+    }
+
+    /// The coarsest operator of the hierarchy, or `fallback` (the finest
+    /// operator) when no level was built.
+    pub fn coarsest<'a>(&'a self, fallback: &'a CsrMatrix) -> &'a CsrMatrix {
+        self.levels.last().map_or(fallback, |c| &c.coarse)
+    }
+
+    /// Restrict this hierarchy to an induced sub-problem.
+    ///
+    /// `vertices` are finest-level vertex indices of this hierarchy (in
+    /// the order the sub-problem numbers them — the `ids` returned by
+    /// `induced_subgraph`), and `sub` is the sub-problem's own Laplacian
+    /// on that numbering. Per level, the parent map is compressed onto
+    /// the surviving vertices (distinct coarse ids in ascending order, so
+    /// the numbering is deterministic) and the coarse operator is the
+    /// Galerkin contraction `PᵀLP` of the restricted fine operator. The
+    /// walk stops exactly as [`Hierarchy::build`] does — insufficient
+    /// shrink or small enough — and if the parent hierarchy runs out of
+    /// levels while the sub-problem is still large, fresh heavy-edge
+    /// coarsening extends it.
+    ///
+    /// Matched pairs are edges of the parent graph, so a pair inside the
+    /// sub-problem is still an edge of `sub`; contraction by such pairs
+    /// preserves connectivity, which keeps the solver's connected-input
+    /// precondition intact for connected sub-problems.
+    pub fn restrict(
+        &self,
+        vertices: &[usize],
+        sub: &CsrMatrix,
+        floor: usize,
+        opts: &MultilevelOptions,
+        pool: &Pool,
+    ) -> Result<Hierarchy, LinalgError> {
+        let coarsest_size = opts.coarsest_size.max(floor + 2);
+        let mut levels: Vec<Coarsening> = Vec::new();
+        // `ids[i]` = the parent-hierarchy vertex (at the current depth's
+        // fine level) that local vertex `i` of the current operator is.
+        let mut ids: Vec<usize> = vertices.to_vec();
+        let mut current: CsrMatrix = sub.clone();
+        for step in &self.levels {
+            if current.rows() <= coarsest_size {
+                break;
+            }
+            // Compress the parent map onto the surviving vertices:
+            // distinct coarse ids, ascending, become the local numbering.
+            let mut coarse_ids: Vec<usize> = ids.iter().map(|&v| step.parent[v]).collect();
+            let mut sorted = coarse_ids.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            let rank = |c: usize| sorted.binary_search(&c).expect("own coarse id");
+            for c in coarse_ids.iter_mut() {
+                *c = rank(*c);
+            }
+            let local_parent = coarse_ids;
+            let coarse_len = sorted.len();
+            let shrunk = coarse_len < (current.rows() as f64 * opts.min_shrink) as usize;
+            if !shrunk || coarse_len <= floor {
+                break;
+            }
+            // Galerkin contraction of the *restricted* fine operator by
+            // the restricted parent map — same triplet remap as
+            // `coarsen_laplacian_pooled`, so the result is a Laplacian.
+            let coarse = galerkin_contract(&current, &local_parent, coarse_len, pool)?;
+            ids = sorted;
+            current = coarse.clone();
+            levels.push(Coarsening {
+                coarse,
+                parent: local_parent,
+            });
+        }
+        // Parent hierarchy exhausted but the sub-problem is still big:
+        // extend with fresh matching (rare — restricted levels shrink at
+        // the parent's rate).
+        while current.rows() > coarsest_size {
+            let step = coarsen_laplacian_pooled(&current, pool)?;
+            let shrunk = step.coarse_len() < (current.rows() as f64 * opts.min_shrink) as usize;
+            if !shrunk || step.coarse_len() <= floor {
+                break;
+            }
+            current = step.coarse.clone();
+            levels.push(step);
+        }
+        Ok(Hierarchy { levels })
+    }
+}
+
+/// Galerkin contraction `PᵀLP` for a piecewise-constant prolongation given
+/// by `parent`: every fine triplet `(i, j, v)` lands at
+/// `(parent[i], parent[j])` and `from_triplets` sums duplicates, which
+/// preserves symmetry and zero row sums exactly. Row-chunked on the pool.
+fn galerkin_contract(
+    fine: &CsrMatrix,
+    parent: &[usize],
+    coarse_len: usize,
+    pool: &Pool,
+) -> Result<CsrMatrix, LinalgError> {
+    let n = fine.rows();
+    debug_assert_eq!(parent.len(), n);
+    let triplets = pool
+        .map_chunks(n, |lo, hi| {
+            let mut local = Vec::new();
+            for i in lo..hi {
+                for (j, v) in fine.row_iter(i) {
+                    local.push((parent[i], parent[j], v));
+                }
+            }
+            local
+        })
+        .concat();
+    CsrMatrix::from_triplets(coarse_len, coarse_len, &triplets)
+}
+
 impl Coarsening {
     /// Number of coarse vertices.
     pub fn coarse_len(&self) -> usize {
@@ -146,6 +304,8 @@ impl Coarsening {
 /// parallel coarse edges sum their weights, preserving Laplacian structure
 /// (symmetry and zero row sums) exactly.
 pub fn coarsen_laplacian(laplacian: &CsrMatrix) -> Result<Coarsening, LinalgError> {
+    // xtask:allow(adhoc-pool): compatibility entry point — pooled callers
+    // use coarsen_laplacian_pooled instead.
     coarsen_laplacian_pooled(laplacian, &Pool::default())
 }
 
@@ -256,6 +416,24 @@ pub fn smallest_nonzero_eigenpairs(
     seed: u64,
     opts: &MultilevelOptions,
 ) -> Result<Vec<(f64, Vec<f64>)>, LinalgError> {
+    // xtask:allow(adhoc-pool): compatibility entry point — resolves
+    // opts.threads into a scoped pool; pooled callers use the _on variant.
+    let pool = Pool::new(opts.threads);
+    smallest_nonzero_eigenpairs_on(laplacian, k, tolerance, seed, opts, &pool)
+}
+
+/// [`smallest_nonzero_eigenpairs`] on a caller-supplied [`Pool`] — the
+/// path the CLI and recursive bisection use so every kernel down the call
+/// chain (coarsening, smoothing, PCG, matvec) schedules onto the same
+/// persistent executor. `opts.threads` is ignored; the pool decides.
+pub fn smallest_nonzero_eigenpairs_on(
+    laplacian: &CsrMatrix,
+    k: usize,
+    tolerance: f64,
+    seed: u64,
+    opts: &MultilevelOptions,
+    pool: &Pool,
+) -> Result<Vec<(f64, Vec<f64>)>, LinalgError> {
     let n = laplacian.rows();
     if n < k + 1 {
         return Err(LinalgError::ProblemTooSmall {
@@ -274,26 +452,48 @@ pub fn smallest_nonzero_eigenpairs(
         return dense_smallest(laplacian, k);
     }
 
-    let pool = Pool::new(opts.threads);
-
     // Block width: requested pairs plus guard vectors, capped so the
     // coarsest dense solve can supply them all.
     let block = (k + opts.guard_vectors).min(coarsest_size - 1);
 
     // --- 1. Coarsen until the graph is small (or matching stalls). ---
-    let mut levels: Vec<Coarsening> = Vec::new();
-    {
-        let mut current = laplacian;
-        while current.rows() > coarsest_size {
-            let step = coarsen_laplacian_pooled(current, &pool)?;
-            let shrunk = step.coarse_len() < (current.rows() as f64 * opts.min_shrink) as usize;
-            if !shrunk || step.coarse_len() <= block {
-                break;
-            }
-            levels.push(step);
-            current = &levels.last().expect("just pushed").coarse;
-        }
+    let hierarchy = Hierarchy::build(laplacian, block, opts, pool)?;
+    smallest_nonzero_eigenpairs_on_hierarchy(laplacian, &hierarchy, k, tolerance, seed, opts, pool)
+}
+
+/// The solve phase of [`smallest_nonzero_eigenpairs_on`] on a prebuilt
+/// [`Hierarchy`]: coarsest-level solve, then the prolong + smooth +
+/// refine walk back up. Recursive bisection calls this directly with
+/// [`Hierarchy::restrict`]ed hierarchies so each half skips re-coarsening.
+///
+/// The hierarchy must belong to `laplacian` (its first level's parent map
+/// is indexed by `laplacian`'s rows); small problems
+/// (`n ≤ coarsest_size`) take the exact dense path regardless.
+pub fn smallest_nonzero_eigenpairs_on_hierarchy(
+    laplacian: &CsrMatrix,
+    hierarchy: &Hierarchy,
+    k: usize,
+    tolerance: f64,
+    seed: u64,
+    opts: &MultilevelOptions,
+    pool: &Pool,
+) -> Result<Vec<(f64, Vec<f64>)>, LinalgError> {
+    let n = laplacian.rows();
+    if n < k + 1 {
+        return Err(LinalgError::ProblemTooSmall {
+            dimension: n,
+            minimum: k + 1,
+        });
     }
+    if k == 0 {
+        return Ok(vec![]);
+    }
+    let coarsest_size = opts.coarsest_size.max(k + 2);
+    if n <= coarsest_size {
+        return dense_smallest(laplacian, k);
+    }
+    let block = (k + opts.guard_vectors).min(coarsest_size - 1);
+    let levels = &hierarchy.levels;
 
     // --- 2. Solve the coarsest level. ---
     // Matching can stall far above `coarsest_size` (hub/clique-like graphs
@@ -305,16 +505,16 @@ pub fn smallest_nonzero_eigenpairs(
     let coarse_pairs = if coarsest.rows() <= dense_cap {
         dense_smallest(coarsest, block)?
     } else {
-        crate::fiedler::smallest_nonzero_eigenpairs(
+        crate::fiedler::smallest_nonzero_eigenpairs_on(
             coarsest,
             block,
             &crate::fiedler::FiedlerOptions {
                 method: crate::fiedler::FiedlerMethod::ShiftInvert,
                 tolerance,
                 seed,
-                threads: Some(pool.threads()),
                 ..Default::default()
             },
+            pool,
         )?
     };
     if levels.is_empty() {
@@ -337,9 +537,9 @@ pub fn smallest_nonzero_eigenpairs(
             &levels[depth - 1].coarse
         };
         for v in &mut vectors {
-            *v = prolong_pooled(fine, step, v, opts.prolongation, &pool);
+            *v = prolong_pooled(fine, step, v, opts.prolongation, pool);
         }
-        smooth_block(fine, &mut vectors, &lambdas, opts.smoothing_passes, &pool);
+        smooth_block(fine, &mut vectors, &lambdas, opts.smoothing_passes, pool);
         let finest = depth == 0;
         let sweeps = if finest {
             opts.max_refine_steps
@@ -357,10 +557,10 @@ pub fn smallest_nonzero_eigenpairs(
             sweeps,
             opts,
             &mut rng,
-            &pool,
+            pool,
         )?;
         if finest {
-            let worst = worst_residual(fine, &vectors, &lambdas, k, &pool)?;
+            let worst = worst_residual(fine, &vectors, &lambdas, k, pool)?;
             if worst > target {
                 return Err(LinalgError::NoConvergence {
                     solver: "multilevel",
@@ -386,6 +586,91 @@ pub fn smallest_nonzero_eigenpairs(
     Ok(out)
 }
 
+/// Refine the bottom `k` nonzero eigenpairs **directly at the fine
+/// level** from caller-supplied warm-start vectors, skipping the coarse
+/// hierarchy entirely.
+///
+/// Recursive bisection uses this to amortise the parent fragment's solve:
+/// the parent's refined Fiedler vector restricted to a half is an
+/// excellent starting block for the half's own eigenproblem, so the child
+/// can skip the coarsest dense solve and the prolong/smooth walk-up. The
+/// block is padded to `k + guard_vectors` with seeded random guards, and
+/// the convergence target is identical to the hierarchy path's
+/// (`tolerance · max(gershgorin, 1)`); if [`MultilevelOptions::max_refine_steps`]
+/// sweeps cannot reach it from the supplied guess, the call returns
+/// [`LinalgError::NoConvergence`] and the caller should fall back to a
+/// full hierarchy solve.
+pub fn refine_warm_started_on(
+    laplacian: &CsrMatrix,
+    warm: &[Vec<f64>],
+    k: usize,
+    tolerance: f64,
+    seed: u64,
+    opts: &MultilevelOptions,
+    pool: &Pool,
+) -> Result<Vec<(f64, Vec<f64>)>, LinalgError> {
+    let n = laplacian.rows();
+    if n < k + 1 {
+        return Err(LinalgError::ProblemTooSmall {
+            dimension: n,
+            minimum: k + 1,
+        });
+    }
+    if k == 0 {
+        return Ok(vec![]);
+    }
+    for w in warm {
+        if w.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                context: "multilevel warm start",
+                expected: n,
+                found: w.len(),
+            });
+        }
+    }
+    let block = (k + opts.guard_vectors).max(k).min(n - 1);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED_AA3A_5E00_0001);
+    let mut vectors: Vec<Vec<f64>> = warm.iter().take(block).cloned().collect();
+    while vectors.len() < block {
+        let mut v = vec![0.0; n];
+        vector::fill_random(&mut rng, &mut v);
+        vectors.push(v);
+    }
+    let scale = laplacian.gershgorin_upper_bound().max(1.0);
+    let target = tolerance * scale;
+    let lambdas = refine_block(
+        laplacian,
+        &mut vectors,
+        k,
+        target,
+        opts.max_refine_steps,
+        opts,
+        &mut rng,
+        pool,
+    )?;
+    let worst = worst_residual(laplacian, &vectors, &lambdas, k, pool)?;
+    if worst > target {
+        return Err(LinalgError::NoConvergence {
+            solver: "multilevel warm start",
+            iterations: opts.max_refine_steps,
+            residual: worst,
+            tolerance: target,
+        });
+    }
+    let mut out = Vec::with_capacity(k);
+    for (lambda, mut v) in lambdas.into_iter().zip(vectors).take(k) {
+        vector::center(&mut v);
+        if vector::normalize(&mut v) == 0.0 {
+            return Err(LinalgError::NonFiniteInput {
+                context: "multilevel warm start: refined eigenvector collapsed",
+            });
+        }
+        vector::canonicalize_sign(&mut v);
+        out.push((lambda, v));
+    }
+    Ok(out)
+}
+
 /// [`smallest_nonzero_eigenpairs`] specialised to the Fiedler pair.
 pub fn fiedler_pair(
     laplacian: &CsrMatrix,
@@ -394,6 +679,19 @@ pub fn fiedler_pair(
     opts: &MultilevelOptions,
 ) -> Result<(f64, Vec<f64>), LinalgError> {
     let mut pairs = smallest_nonzero_eigenpairs(laplacian, 1, tolerance, seed, opts)?;
+    let (lambda, v) = pairs.swap_remove(0);
+    Ok((lambda, v))
+}
+
+/// [`fiedler_pair`] on a caller-supplied [`Pool`].
+pub fn fiedler_pair_on(
+    laplacian: &CsrMatrix,
+    tolerance: f64,
+    seed: u64,
+    opts: &MultilevelOptions,
+    pool: &Pool,
+) -> Result<(f64, Vec<f64>), LinalgError> {
+    let mut pairs = smallest_nonzero_eigenpairs_on(laplacian, 1, tolerance, seed, opts, pool)?;
     let (lambda, v) = pairs.swap_remove(0);
     Ok((lambda, v))
 }
@@ -527,7 +825,8 @@ fn smooth_block(
         for _ in 0..passes {
             pool.matvec_into(laplacian, v, &mut r);
             pool.axpy(-theta, v, &mut r);
-            pool.for_each_chunk(v, |off, chunk| {
+            // Level-1 elementwise update — light engagement threshold.
+            pool.for_each_chunk_light(v, |off, chunk| {
                 for (j, vi) in chunk.iter_mut().enumerate() {
                     *vi -= OMEGA * r[off + j] * inv_diag[off + j];
                 }
@@ -634,7 +933,9 @@ fn refine_block(
             let mut rhs = rotated_lv[i].clone();
             pool.scale(-1.0 / theta, &mut rhs);
             pool.axpy(1.0, v, &mut rhs);
-            let correction = pcg::solve_jacobi(laplacian, &rhs, &cg_opts)?;
+            // The inner solve inherits this pool — nested kernels must
+            // never fall back to per-call scoped spawns.
+            let correction = pcg::solve_jacobi_on(laplacian, &rhs, &cg_opts, *pool)?;
             let mut x = correction.solution;
             pool.axpy(1.0 / theta, v, &mut x);
             *v = x;

@@ -36,9 +36,26 @@ pub struct PcgOutcome {
 /// The matvec, dot, axpy, and preconditioner kernels run on the scoped
 /// worker pool selected by `opts.threads` ([`crate::parallel`]); the
 /// reductions use fixed chunking, so the returned solution is bitwise
-/// identical for every thread count.
+/// identical for every thread count. Callers that already hold a pool
+/// (e.g. one backed by a persistent executor) should use
+/// [`solve_jacobi_on`] so the solve inherits it instead of building a
+/// scoped pool per call.
 pub fn solve_jacobi(a: &CsrMatrix, b: &[f64], opts: &CgOptions) -> Result<PcgOutcome, LinalgError> {
-    let pool = Pool::new(opts.threads);
+    // xtask:allow(adhoc-pool): compatibility entry point — resolves opts.threads
+    // into a scoped pool; pooled callers use solve_jacobi_on instead.
+    solve_jacobi_on(a, b, opts, Pool::new(opts.threads))
+}
+
+/// [`solve_jacobi`] on a caller-supplied [`Pool`] — the path the
+/// multilevel driver uses so nested PCG solves schedule onto the same
+/// persistent executor as everything else instead of falling back to
+/// scoped spawns. `opts.threads` is ignored; the pool decides.
+pub fn solve_jacobi_on(
+    a: &CsrMatrix,
+    b: &[f64],
+    opts: &CgOptions,
+    pool: Pool<'_>,
+) -> Result<PcgOutcome, LinalgError> {
     let n = a.dim();
     if b.len() != n {
         return Err(LinalgError::DimensionMismatch {
@@ -83,7 +100,7 @@ pub fn solve_jacobi(a: &CsrMatrix, b: &[f64], opts: &CgOptions) -> Result<PcgOut
     let mut r = rhs;
     // z = M⁻¹ r
     let mut z = vec![0.0; n];
-    pool.for_each_chunk(&mut z, |off, chunk| {
+    pool.for_each_chunk_light(&mut z, |off, chunk| {
         for (j, zi) in chunk.iter_mut().enumerate() {
             *zi = r[off + j] * inv_diag[off + j];
         }
@@ -129,7 +146,7 @@ pub fn solve_jacobi(a: &CsrMatrix, b: &[f64], opts: &CgOptions) -> Result<PcgOut
                 relative_residual: rel,
             });
         }
-        pool.for_each_chunk(&mut z, |off, chunk| {
+        pool.for_each_chunk_light(&mut z, |off, chunk| {
             for (j, zi) in chunk.iter_mut().enumerate() {
                 *zi = r[off + j] * inv_diag[off + j];
             }
@@ -139,7 +156,7 @@ pub fn solve_jacobi(a: &CsrMatrix, b: &[f64], opts: &CgOptions) -> Result<PcgOut
         }
         let rz_new = pool.dot(&r, &z);
         let beta = rz_new / rz_old;
-        pool.for_each_chunk(&mut p, |off, chunk| {
+        pool.for_each_chunk_light(&mut p, |off, chunk| {
             for (j, pi) in chunk.iter_mut().enumerate() {
                 *pi = z[off + j] + beta * *pi;
             }

@@ -97,6 +97,21 @@ impl WorkerPool {
         crossbeam::thread::run_scoped(jobs, &mut |job| self.submit_boxed(job));
     }
 
+    /// [`WorkerPool::run_scoped`] with caller participation: `local` runs
+    /// on the calling thread between job submission and the completion
+    /// wait, so the caller computes one span itself instead of idling —
+    /// the shape `slpm_linalg`'s chunk-plan dispatcher wants (it hands
+    /// the pool `workers − 1` jobs and keeps the last span).
+    pub fn run_scoped_with_local<'env, L>(
+        &self,
+        jobs: Vec<Box<dyn FnOnce() + Send + 'env>>,
+        local: L,
+    ) where
+        L: FnOnce(),
+    {
+        crossbeam::thread::run_scoped_with_local(jobs, &mut |job| self.submit_boxed(job), local);
+    }
+
     /// Borrow this pool as an eigensolver backend: the returned
     /// [`slpm_linalg::Pool`] schedules the sparse kernels' chunked work
     /// onto these persistent workers instead of spawning scoped threads
@@ -167,6 +182,18 @@ impl slpm_linalg::ScopeExecutor for WorkerPool {
     /// every one has completed, so no borrow outlives the call.
     fn run_jobs(&self, jobs: Vec<Box<dyn FnOnce() + Send + '_>>) {
         self.run_scoped(jobs);
+    }
+
+    /// Caller participation, for real: the dispatcher's own span runs on
+    /// the calling thread while the pool works the submitted jobs — one
+    /// fewer queue handoff per engagement than the default caller-merging
+    /// implementation.
+    fn run_jobs_with_caller<'env>(
+        &self,
+        jobs: Vec<Box<dyn FnOnce() + Send + 'env>>,
+        caller: Box<dyn FnOnce() + Send + 'env>,
+    ) {
+        self.run_scoped_with_local(jobs, caller);
     }
 }
 
@@ -295,7 +322,9 @@ mod tests {
         let pool = WorkerPool::new(4);
         let shared = pool.linalg_pool();
         assert_eq!(shared.threads(), 4);
-        let n = 40_000; // above the kernels' spawn threshold
+        // Above the kernels' light-op engagement threshold, so the level-1
+        // kernels genuinely schedule onto the pool's workers.
+        let n = slpm_linalg::parallel::LIGHT_SPAWN_MIN + 12_345;
         let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
         let y: Vec<f64> = (0..n).map(|i| (i as f64 * 0.11).cos()).collect();
         let serial = slpm_linalg::Pool::serial();

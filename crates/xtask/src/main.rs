@@ -26,6 +26,14 @@
 //!   budget) so a permanently failed shard cannot wedge a worker.
 //!   Queue-drain and other provably-terminating loops carry a reasoned
 //!   pragma.
+//! * **`adhoc-pool`** — `Pool::new(..)` / `Pool::default()` in
+//!   `crates/cli` and `crates/linalg` is confined to
+//!   `crates/linalg/src/parallel.rs` (the dispatch layer itself):
+//!   every other site must accept a `Pool` through the `_on` entry
+//!   points or borrow one from `WorkerPool::linalg_pool()`, so spectral
+//!   solves never silently fall back to per-call scoped spawn pools.
+//!   Compatibility wrappers that intentionally build a one-shot pool
+//!   carry a reasoned pragma.
 //! * **`fs-only-in-storage`** — `std::fs` is confined to
 //!   `crates/storage/src/diskfile.rs` (the out-of-core tier) and the
 //!   shims; everything else reaches bytes through `PageFile`/`PageStore`
@@ -62,6 +70,7 @@ const RULES: &[&str] = &[
     "float-reduce",
     "wall-clock",
     "unbounded-retry",
+    "adhoc-pool",
     "fs-only-in-storage",
     "forbid-unsafe",
 ];
@@ -75,6 +84,9 @@ const BLESSED_FLOAT_FILE: &str = "crates/linalg/src/vector.rs";
 const BENCH_CRATE_PREFIX: &str = "crates/bench/";
 /// The out-of-core tier — the one module allowed to touch `std::fs`.
 const BLESSED_FS_FILE: &str = "crates/storage/src/diskfile.rs";
+/// The deterministic dispatch layer — the one file in the pool-lint
+/// scope allowed to construct `Pool` values directly.
+const BLESSED_POOL_FILE: &str = "crates/linalg/src/parallel.rs";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -268,6 +280,23 @@ fn lint_file(rel: &str, source: &str, out: &mut Vec<Violation>) {
             });
         }
 
+        if (rel.starts_with("crates/cli/") || rel.starts_with("crates/linalg/"))
+            && rel != BLESSED_POOL_FILE
+            && !exempt_determinism
+            && is_adhoc_pool(code_line)
+            && !allowed(&raw, idx, "adhoc-pool")
+        {
+            out.push(Violation {
+                path: rel.to_string(),
+                line: line_no,
+                rule: "adhoc-pool",
+                message: "ad-hoc Pool construction outside the dispatch layer — take a \
+                          `&Pool` via an `_on` entry point (or WorkerPool::linalg_pool), \
+                          or annotate why this compatibility site builds its own pool"
+                    .to_string(),
+            });
+        }
+
         if !in_shims
             && rel != BLESSED_FS_FILE
             && !exempt_determinism
@@ -316,6 +345,28 @@ fn is_float_reduce(code_line: &str) -> bool {
         && !code_line.contains("max")
         && !code_line.contains("min");
     typed_sum || sum_fold
+}
+
+/// Ad-hoc pool construction: `Pool::new(` / `Pool::default()` at a word
+/// boundary, so `WorkerPool::new(..)` (the blessed persistent pool) does
+/// not match. `Pool::serial()` is always fine — it spawns nothing.
+fn is_adhoc_pool(code_line: &str) -> bool {
+    for pat in ["Pool::new(", "Pool::default()"] {
+        let mut start = 0;
+        while let Some(pos) = code_line[start..].find(pat) {
+            let abs = start + pos;
+            let before_ok = abs == 0
+                || !code_line[..abs]
+                    .chars()
+                    .next_back()
+                    .is_some_and(|c| c.is_alphanumeric() || c == '_');
+            if before_ok {
+                return true;
+            }
+            start = abs + pat.len();
+        }
+    }
+    false
 }
 
 /// True when line `idx` (or the line-comment block directly above it)
@@ -677,6 +728,57 @@ mod tests {
                        step(attempt);\n    }\n}\n";
         let mut v = Vec::new();
         lint_file("crates/check/src/harness.rs", bounded, &mut v);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn adhoc_pool_is_confined_to_the_dispatch_layer() {
+        let bare = "fn solve() {\n    let pool = Pool::new(Some(4));\n}\n";
+        let mut v = Vec::new();
+        lint_file("crates/linalg/src/solver.rs", bare, &mut v);
+        assert_eq!(v.len(), 1, "expected exactly one finding: {v:?}");
+        assert_eq!(v[0].rule, "adhoc-pool");
+
+        let default = "fn solve() {\n    let pool = Pool::default();\n}\n";
+        let mut v = Vec::new();
+        lint_file("crates/cli/src/commands.rs", default, &mut v);
+        assert_eq!(v.len(), 1, "expected exactly one finding: {v:?}");
+        assert_eq!(v[0].rule, "adhoc-pool");
+
+        // The dispatch layer itself is blessed by path.
+        let mut v = Vec::new();
+        lint_file("crates/linalg/src/parallel.rs", bare, &mut v);
+        assert!(v.is_empty());
+
+        // WorkerPool::new is the persistent pool, not an ad-hoc one, and
+        // Pool::serial spawns nothing.
+        let fine = "fn run() {\n    let w = WorkerPool::new(4);\n    \
+                    let s = Pool::serial();\n}\n";
+        let mut v = Vec::new();
+        lint_file("crates/cli/src/commands.rs", fine, &mut v);
+        assert!(v.is_empty(), "false positive: {v:?}");
+
+        // A reasoned pragma blesses a compatibility wrapper.
+        let blessed = "fn compat() {\n    // xtask:allow(adhoc-pool): legacy entry \
+                       point builds a one-shot pool\n    let pool = \
+                       Pool::new(threads);\n}\n";
+        let mut v = Vec::new();
+        lint_file("crates/linalg/src/fiedler.rs", blessed, &mut v);
+        assert!(
+            v.is_empty(),
+            "pragma should silence: {:?}",
+            v.first().map(|x| &x.message)
+        );
+
+        // Outside the pool-lint scope the rule does not apply.
+        let mut v = Vec::new();
+        lint_file("crates/graph/src/coarsen.rs", bare, &mut v);
+        assert!(v.is_empty());
+
+        // Test code may build throwaway pools freely.
+        let in_tests = "#[cfg(test)]\nmod tests {\n    fn t() { let p = Pool::new(Some(2)); }\n}\n";
+        let mut v = Vec::new();
+        lint_file("crates/linalg/src/pcg.rs", in_tests, &mut v);
         assert!(v.is_empty());
     }
 
